@@ -1,0 +1,99 @@
+// Command lbsim runs a single load-balancing experiment and prints the
+// cost trajectory — a workbench for exploring the model.
+//
+// Examples:
+//
+//	lbsim -m 50 -net pl -dist exp -avg 100 -algo mine
+//	lbsim -m 20 -net c20 -dist peak -avg 100000 -algo nash
+//	lbsim -m 30 -net pl -dist uniform -avg 50 -algo frankwolfe
+//	lbsim -m 25 -net pl -dist exp -avg 80 -algo runtime -rounds 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"delaylb/internal/core"
+	"delaylb/internal/game"
+	"delaylb/internal/model"
+	"delaylb/internal/qp"
+	"delaylb/internal/runtime"
+	"delaylb/internal/sweep"
+	"delaylb/internal/workload"
+)
+
+func main() {
+	m := flag.Int("m", 50, "number of servers")
+	netKind := flag.String("net", "pl", "network: pl | c20")
+	dist := flag.String("dist", "exp", "load distribution: uniform | exp | peak | zipf")
+	avg := flag.Float64("avg", 100, "average load (peak: total)")
+	speeds := flag.String("speeds", "uniform", "speeds: uniform | const")
+	algo := flag.String("algo", "mine", "algorithm: mine | hybrid | proxy | frankwolfe | projgrad | nash | runtime")
+	rounds := flag.Int("rounds", 30, "rounds for -algo runtime")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	flag.Parse()
+
+	net := sweep.NetPlanetLab
+	if *netKind == "c20" {
+		net = sweep.NetHomogeneous
+	}
+	sk := sweep.SpeedUniform
+	if *speeds == "const" {
+		sk = sweep.SpeedConst
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	in := sweep.BuildInstance(*m, net, sk, workload.Kind(*dist), *avg, rng)
+
+	idCost := model.TotalCost(in, model.Identity(in))
+	fmt.Printf("m=%d net=%s dist=%s avg=%g seed=%d\n", *m, *netKind, *dist, *avg, *seed)
+	fmt.Printf("initial (identity) ΣC_i = %.4g\n", idCost)
+
+	start := time.Now()
+	switch *algo {
+	case "mine", "hybrid", "proxy":
+		strat := core.StrategyExact
+		if *algo == "hybrid" {
+			strat = core.StrategyHybrid
+		} else if *algo == "proxy" {
+			strat = core.StrategyProxy
+		}
+		alloc, tr := core.Run(in, core.Config{Strategy: strat, Rng: rng})
+		for it, c := range tr.Costs {
+			fmt.Printf("  iter %2d  ΣC_i = %.6g\n", it, c)
+		}
+		fmt.Printf("final ΣC_i = %.6g after %d iterations (%s, reason: %s)\n",
+			model.TotalCost(in, alloc), tr.Iters, time.Since(start).Round(time.Millisecond), tr.Reason)
+	case "frankwolfe", "projgrad":
+		var res *qp.Result
+		if *algo == "frankwolfe" {
+			res = qp.SolveFrankWolfe(in, qp.Options{Tol: 1e-8})
+		} else {
+			res = qp.SolveProjectedGradient(in, qp.Options{Tol: 1e-10})
+		}
+		fmt.Printf("final ΣC_i = %.6g after %d iterations (%s, converged=%v, gap=%.3g)\n",
+			res.Cost, res.Iters, time.Since(start).Round(time.Millisecond), res.Converged, res.Gap)
+	case "nash":
+		nash, tr := game.BestResponseDynamics(in, game.Config{})
+		nashCost := model.TotalCost(in, nash)
+		opt := core.ReferenceOptimum(in, rand.New(rand.NewSource(*seed+1)))
+		for sweepIdx, c := range tr.Costs {
+			fmt.Printf("  sweep %2d  ΣC_i = %.6g\n", sweepIdx+1, c)
+		}
+		fmt.Printf("Nash ΣC_i = %.6g in %d sweeps; optimum = %.6g; cost of selfishness = %.4f (ε=%.3g)\n",
+			nashCost, tr.Sweeps, opt, nashCost/opt, game.EpsilonNash(in, nash))
+	case "runtime":
+		bus := runtime.NewSimBus(in, 1e-6*idCost, *seed)
+		for r := 1; r <= *rounds; r++ {
+			bus.Tick()
+			fmt.Printf("  round %2d  ΣC_i = %.6g  (messages so far: %d)\n", r, bus.Cost(in), bus.Delivered)
+		}
+		fmt.Printf("final ΣC_i = %.6g, %.1f messages/server\n",
+			bus.Cost(in), float64(bus.Delivered)/float64(*m))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,298 @@
+// Package delaylb is a network delay-aware load balancer for
+// organizationally distributed systems, implementing Skowron & Rzadca,
+// "Network delay-aware load balancing in selfish and cooperative
+// distributed systems" (IPDPS/IPPS 2013, arXiv:1212.0421).
+//
+// The model: m organizations each own a server (speed s_i) and a stream
+// of unit requests (n_i). Relaying a request from organization i to
+// server j costs a fixed network latency c_ij on top of the congestion-
+// dependent handling time l_j/(2 s_j). The package computes request
+// routing fractions ρ_ij that minimize the total expected processing
+// time ΣC_i — either cooperatively (the global optimum, via the paper's
+// MinE distributed algorithm or convex-QP baselines) or selfishly (the
+// Nash equilibrium of organizations optimizing their own requests, via
+// exact best-response dynamics) — and quantifies the price of anarchy
+// between the two.
+//
+// Quick start:
+//
+//	sys, err := delaylb.New(speeds, loads, latencies)
+//	res, err := sys.Optimize()              // cooperative optimum
+//	nash, err := sys.NashEquilibrium()      // selfish equilibrium
+//	poa := nash.Cost / res.Cost             // cost of selfishness
+//
+// See the examples directory for full programs and DESIGN.md for the
+// mapping between the paper's evaluation and this repository.
+package delaylb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"delaylb/internal/core"
+	"delaylb/internal/discrete"
+	"delaylb/internal/game"
+	"delaylb/internal/model"
+	"delaylb/internal/qp"
+	"delaylb/internal/runtime"
+)
+
+// System is an immutable problem description: servers, their speeds,
+// initial loads and the pairwise latency matrix.
+type System struct {
+	in *model.Instance
+}
+
+// New validates and wraps a problem instance. speeds[i] > 0 is the
+// processing speed of server i (requests/ms); loads[i] ≥ 0 the number of
+// requests organization i owns; latency[i][j] ≥ 0 the one-way delay (ms)
+// from i to j, 0 on the diagonal, +Inf to forbid i from using j.
+func New(speeds, loads []float64, latency [][]float64) (*System, error) {
+	in, err := model.NewInstance(speeds, loads, latency)
+	if err != nil {
+		return nil, err
+	}
+	return &System{in: in}, nil
+}
+
+// Homogeneous builds the m-server uniform system of the paper's §V-A:
+// speed s, load n and latency c everywhere.
+func Homogeneous(m int, s, n, c float64) *System {
+	return &System{in: model.Uniform(m, s, n, c)}
+}
+
+// M returns the number of organizations.
+func (s *System) M() int { return s.in.M() }
+
+// AverageLoad returns l_av, the mean initial load per server.
+func (s *System) AverageLoad() float64 { return s.in.AverageLoad() }
+
+// AverageLatency returns the mean off-diagonal latency.
+func (s *System) AverageLatency() float64 { return s.in.AverageLatency() }
+
+// Result is the outcome of an optimization or equilibrium computation.
+type Result struct {
+	// Requests[i][j] is r_ij: the number of organization i's requests
+	// executed at server j.
+	Requests [][]float64
+	// Fractions[i][j] is ρ_ij = r_ij / n_i.
+	Fractions [][]float64
+	// Loads[j] is the resulting total load of server j.
+	Loads []float64
+	// Cost is the total expected processing time ΣC_i.
+	Cost float64
+	// OrgCosts[i] is organization i's private cost C_i.
+	OrgCosts []float64
+	// Iterations is the number of algorithm iterations (or best-response
+	// sweeps) performed.
+	Iterations int
+	// Converged reports whether the stopping criterion was met before
+	// the iteration cap.
+	Converged bool
+	// CostTrace holds ΣC_i per iteration (index 0 = initial state) when
+	// the producing algorithm records it.
+	CostTrace []float64
+}
+
+func resultFromAllocation(in *model.Instance, a *model.Allocation) *Result {
+	return &Result{
+		Requests:  a.R,
+		Fractions: a.Fractions(in),
+		Loads:     a.Loads(),
+		Cost:      model.TotalCost(in, a),
+		OrgCosts:  model.OrgCosts(in, a),
+	}
+}
+
+// options collects the tuning knobs shared by the entry points.
+type options struct {
+	seed       int64
+	maxIters   int
+	strategy   core.Strategy
+	cycleEvery int
+	solver     string // "mine" (default), "frankwolfe", "projgrad"
+	tolerance  float64
+}
+
+// Option customizes Optimize / NashEquilibrium / SimulateDistributed.
+type Option func(*options)
+
+// WithSeed fixes the random seed (default 1); runs are deterministic for
+// a fixed seed.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithMaxIterations caps the iteration count.
+func WithMaxIterations(n int) Option { return func(o *options) { o.maxIters = n } }
+
+// WithStrategy picks the MinE partner-selection strategy: "exact" (the
+// paper's Algorithm 2, default), "hybrid" (short-listed exact) or
+// "proxy" (O(1) scoring, for networks of thousands of servers).
+func WithStrategy(name string) Option {
+	return func(o *options) {
+		switch name {
+		case "proxy":
+			o.strategy = core.StrategyProxy
+		case "hybrid":
+			o.strategy = core.StrategyHybrid
+		default:
+			o.strategy = core.StrategyExact
+		}
+	}
+}
+
+// WithCycleRemoval runs the Appendix A negative-cycle removal every n
+// iterations (0 = never; the paper shows it is rarely needed).
+func WithCycleRemoval(n int) Option { return func(o *options) { o.cycleEvery = n } }
+
+// WithSolver selects the cooperative solver: "mine" (the distributed
+// algorithm, default), "frankwolfe" or "projgrad" (the §III baselines).
+func WithSolver(name string) Option { return func(o *options) { o.solver = name } }
+
+// WithTolerance sets the convergence tolerance of the QP baselines and
+// of best-response dynamics (default solver-specific).
+func WithTolerance(tol float64) Option { return func(o *options) { o.tolerance = tol } }
+
+func buildOptions(opts []Option) options {
+	o := options{seed: 1, solver: "mine"}
+	for _, f := range opts {
+		f(&o)
+	}
+	return o
+}
+
+// Optimize computes the cooperative optimum of ΣC_i. The default solver
+// is the paper's distributed MinE algorithm run to pairwise stability;
+// WithSolver selects the centralized convex baselines instead.
+func (s *System) Optimize(opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	switch o.solver {
+	case "mine":
+		alloc, tr := core.Run(s.in, core.Config{
+			Strategy:          o.strategy,
+			MaxIters:          o.maxIters,
+			RemoveCyclesEvery: o.cycleEvery,
+			Rng:               rand.New(rand.NewSource(o.seed)),
+		})
+		res := resultFromAllocation(s.in, alloc)
+		res.Iterations = tr.Iters
+		res.Converged = tr.Converged
+		res.CostTrace = tr.Costs
+		return res, nil
+	case "frankwolfe", "projgrad":
+		qopt := qp.Options{MaxIters: o.maxIters, Tol: o.tolerance}
+		var qres *qp.Result
+		if o.solver == "frankwolfe" {
+			qres = qp.SolveFrankWolfe(s.in, qopt)
+		} else {
+			qres = qp.SolveProjectedGradient(s.in, qopt)
+		}
+		res := resultFromAllocation(s.in, qres.Allocation(s.in))
+		res.Iterations = qres.Iters
+		res.Converged = qres.Converged
+		return res, nil
+	default:
+		return nil, fmt.Errorf("delaylb: unknown solver %q", o.solver)
+	}
+}
+
+// NashEquilibrium runs best-response dynamics until the paper's §VI-C
+// termination rule (every organization changes < 1% for two consecutive
+// sweeps) and returns the approximate equilibrium.
+func (s *System) NashEquilibrium(opts ...Option) (*Result, error) {
+	o := buildOptions(opts)
+	cfg := game.Config{MaxSweeps: o.maxIters, ChangeTol: o.tolerance}
+	nash, tr := game.BestResponseDynamics(s.in, cfg)
+	if !tr.Converged {
+		return nil, errors.New("delaylb: best-response dynamics did not converge")
+	}
+	res := resultFromAllocation(s.in, nash)
+	res.Iterations = tr.Sweeps
+	res.Converged = tr.Converged
+	res.CostTrace = tr.Costs
+	return res, nil
+}
+
+// PriceOfAnarchy measures the cost of selfishness: ΣC_i at the Nash
+// equilibrium divided by the cooperative optimum (≥ 1).
+func (s *System) PriceOfAnarchy(opts ...Option) (float64, error) {
+	o := buildOptions(opts)
+	res := game.MeasurePoA(s.in, game.Config{}, rand.New(rand.NewSource(o.seed)))
+	return res.Ratio, nil
+}
+
+// TheoreticalPoABounds returns the Theorem 1 analytic band
+// [1+2cs/lav−4(cs/lav)², 1+2cs/lav+(cs/lav)²] evaluated on this system's
+// average latency, first server speed and average load. Meaningful for
+// (near-)homogeneous systems.
+func (s *System) TheoreticalPoABounds() (lower, upper float64) {
+	return game.TheoremOneBounds(s.in.AverageLatency(), s.in.Speed[0], s.in.AverageLoad())
+}
+
+// DistanceBound returns the Proposition 1 bound on the Manhattan
+// distance between the given result and the optimal allocation —
+// computable without knowing the optimum. Negative cycles are removed
+// from a copy first, as the proposition requires. The bound is
+// deliberately conservative (factor (4m+1)·Σs_i); it is an operator's
+// stop-or-continue signal, not a tight estimate. Expensive: O(m³ log m).
+func (s *System) DistanceBound(res *Result) float64 {
+	alloc := (&model.Allocation{R: res.Requests}).Clone()
+	st := core.NewState(s.in, alloc)
+	core.RemoveCycles(st)
+	return core.DistanceBound(st)
+}
+
+// OptimizeReplicated solves the §VII replication variant: every
+// organization's requests must be spread so that no server holds more
+// than 1/r of them (ρ_ij ≤ 1/r), enabling r-fold replica placement via
+// PlaceReplicas.
+func (s *System) OptimizeReplicated(r int, opts ...Option) (*Result, error) {
+	if r < 1 || r > s.M() {
+		return nil, fmt.Errorf("delaylb: replication factor %d out of range [1, %d]", r, s.M())
+	}
+	o := buildOptions(opts)
+	rho := discrete.SolveReplicated(s.in, r, o.maxIters, o.tolerance)
+	return resultFromAllocation(s.in, model.FromFractions(s.in, rho)), nil
+}
+
+// PlaceReplicas samples, for one task of organization i, the r distinct
+// servers that should hold its copies, with inclusion probabilities
+// r·ρ_ij taken from a replicated optimization result.
+func (s *System) PlaceReplicas(res *Result, org, r int, seed int64) []int {
+	return discrete.PlaceReplicas(res.Fractions[org], r, rand.New(rand.NewSource(seed)))
+}
+
+// Task is an indivisible request with a size, for the §VII discrete
+// rounding.
+type Task = discrete.Task
+
+// GenerateTasks splits each organization's load into whole tasks of mean
+// size meanSize (sizes vary lognormally).
+func (s *System) GenerateTasks(meanSize float64, seed int64) []Task {
+	return discrete.GenerateTasks(s.in, meanSize, rand.New(rand.NewSource(seed)))
+}
+
+// RoundTasks assigns whole tasks to servers approximating the fractional
+// result (multiple-subset-sum greedy; over-assignment per server bounded
+// by the organization's largest task). It returns the task → server
+// assignment and the achieved discrete allocation as a Result.
+func (s *System) RoundTasks(res *Result, tasks []Task) ([]int, *Result) {
+	asg := discrete.Round(s.in, res.Fractions, tasks)
+	vol := discrete.Volumes(s.in, tasks, asg)
+	return asg, resultFromAllocation(s.in, vol)
+}
+
+// SimulateDistributed runs the message-passing runtime (gossip +
+// pairwise balance proposals) for the given number of rounds on a
+// deterministic in-memory bus and returns the reached allocation along
+// with the number of delivered messages.
+func (s *System) SimulateDistributed(rounds int, opts ...Option) (*Result, int) {
+	o := buildOptions(opts)
+	minGain := 1e-6 * (1 + model.TotalCost(s.in, model.Identity(s.in)))
+	bus := runtime.NewSimBus(s.in, minGain, o.seed)
+	bus.Run(s.in, rounds, 1e-9)
+	res := resultFromAllocation(s.in, bus.Allocation())
+	res.Converged = true
+	res.Iterations = rounds
+	return res, bus.Delivered
+}

@@ -1,0 +1,76 @@
+// CDN scenario (paper §I, §VII): a federation of 40 edge servers serves
+// content with Zipf-skewed request popularity. Requests are balanced
+// delay-aware, the fractional solution is rounded to whole content
+// chunks, and each chunk is placed on R = 2 replicas for availability.
+//
+//	go run ./examples/cdn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"delaylb"
+)
+
+func main() {
+	const (
+		m        = 40
+		avgLoad  = 200 // requests per edge server on average
+		replicas = 2
+		seed     = 7
+	)
+
+	// PlanetLab-like geography: clustered latencies, 5–300 ms.
+	sys, err := delaylb.New(
+		delaylb.UniformSpeeds(m, 1, 5, seed),
+		delaylb.ZipfLoads(m, avgLoad, seed+1), // popularity skew
+		delaylb.PlanetLabLatencies(m, seed+2),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Delay-aware balancing of download requests (§I: complementary
+	// to consistent caching — once content must be fetched from
+	// back-ends, this is how to spread the fetches).
+	opt, err := sys.Optimize()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fractional optimum: ΣC_i = %.0f ms (converged in %d iterations)\n",
+		opt.Cost, opt.Iterations)
+
+	// 2. Round to whole content chunks (mean size 5 requests' worth).
+	tasks := sys.GenerateTasks(5, seed+3)
+	_, discrete := sys.RoundTasks(opt, tasks)
+	fmt.Printf("after rounding %d chunks: ΣC_i = %.0f ms (+%.2f%% vs fractional)\n",
+		len(tasks), discrete.Cost, 100*(discrete.Cost-opt.Cost)/opt.Cost)
+
+	// 3. Replicated placement: no server may hold more than 1/R of an
+	// organization's content, so R distinct replicas always exist.
+	repl, err := sys.OptimizeReplicated(replicas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replication-constrained optimum (R=%d): ΣC_i = %.0f ms (+%.2f%% vs unconstrained)\n",
+		replicas, repl.Cost, 100*(repl.Cost-opt.Cost)/opt.Cost)
+
+	// Place the replicas of three example chunks of the busiest org.
+	busiest := 0
+	maxLoad := 0.0
+	for i, row := range repl.Requests {
+		var n float64
+		for _, v := range row {
+			n += v
+		}
+		if n > maxLoad {
+			maxLoad, busiest = n, i
+		}
+	}
+	fmt.Printf("replica placements for organization %d's chunks:\n", busiest)
+	for chunk := 0; chunk < 3; chunk++ {
+		servers := sys.PlaceReplicas(repl, busiest, replicas, int64(seed+10+chunk))
+		fmt.Printf("  chunk %d → servers %v\n", chunk, servers)
+	}
+}

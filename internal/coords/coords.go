@@ -1,0 +1,177 @@
+// Package coords implements Vivaldi network coordinates with the height
+// model (Dabek et al., SIGCOMM 2004). The paper assumes pairwise
+// latencies are known, citing scalable latency-estimation systems
+// ([9], [32] in the paper); this package is that substrate: servers embed
+// themselves in a low-dimensional space from a stream of RTT samples, so
+// each node can estimate its latency to every other node without
+// all-pairs probing.
+package coords
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Coord is one node's coordinate: a Euclidean position plus a non-negative
+// "height" capturing the access-link delay that cannot be embedded in the
+// plane.
+type Coord struct {
+	Pos    []float64
+	Height float64
+	// Err is the node's confidence estimate (lower is better), used to
+	// weight updates from more reliable peers.
+	Err float64
+}
+
+// Space is a collection of Vivaldi coordinates under training.
+type Space struct {
+	Nodes []Coord
+	// Ce and Cc are the Vivaldi tuning constants for error smoothing and
+	// coordinate movement (defaults 0.25 each).
+	Ce, Cc float64
+
+	dim int
+	rng *rand.Rand
+}
+
+// NewSpace creates m nodes with dim-dimensional coordinates at small
+// random offsets (identical origins give zero force directions; a small
+// jitter breaks the symmetry).
+func NewSpace(m, dim int, rng *rand.Rand) *Space {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	s := &Space{
+		Nodes: make([]Coord, m),
+		Ce:    0.25,
+		Cc:    0.25,
+		dim:   dim,
+		rng:   rng,
+	}
+	for i := range s.Nodes {
+		pos := make([]float64, dim)
+		for d := range pos {
+			pos[d] = rng.NormFloat64() * 1e-3
+		}
+		s.Nodes[i] = Coord{Pos: pos, Height: 1e-3, Err: 1}
+	}
+	return s
+}
+
+// Distance returns the coordinate-space latency estimate between i and j:
+// the Euclidean distance of their positions plus both heights.
+func (s *Space) Distance(i, j int) float64 {
+	if i == j {
+		return 0
+	}
+	return s.vecDist(i, j) + s.Nodes[i].Height + s.Nodes[j].Height
+}
+
+func (s *Space) vecDist(i, j int) float64 {
+	var d2 float64
+	a, b := s.Nodes[i].Pos, s.Nodes[j].Pos
+	for d := range a {
+		diff := a[d] - b[d]
+		d2 += diff * diff
+	}
+	return math.Sqrt(d2)
+}
+
+// Update incorporates one RTT measurement between nodes i and j,
+// adjusting node i's coordinate (the standard Vivaldi asymmetric update;
+// call twice with swapped arguments to adjust both ends).
+func (s *Space) Update(i, j int, rtt float64) {
+	if i == j || rtt <= 0 {
+		return
+	}
+	ni, nj := &s.Nodes[i], &s.Nodes[j]
+	w := ni.Err / (ni.Err + nj.Err)
+	dist := s.Distance(i, j)
+	sampleErr := math.Abs(rtt-dist) / rtt
+	ni.Err = sampleErr*s.Ce*w + ni.Err*(1-s.Ce*w)
+	if ni.Err > 2 {
+		ni.Err = 2
+	}
+	delta := s.Cc * w
+	force := delta * (rtt - dist)
+
+	// Unit vector from j to i in the augmented (position, height) space.
+	vd := s.vecDist(i, j)
+	if vd < 1e-12 {
+		// Coincident positions: push in a random direction.
+		for d := range ni.Pos {
+			ni.Pos[d] += force * s.rng.NormFloat64() * 0.1
+		}
+	} else {
+		for d := range ni.Pos {
+			ni.Pos[d] += force * (ni.Pos[d] - nj.Pos[d]) / vd
+		}
+	}
+	ni.Height += force
+	if ni.Height < 1e-6 {
+		ni.Height = 1e-6
+	}
+}
+
+// Train runs the given number of random symmetric measurements per node
+// against the true latency matrix (entries may be +Inf; those pairs are
+// skipped).
+func (s *Space) Train(lat [][]float64, samplesPerNode int) {
+	m := len(s.Nodes)
+	for k := 0; k < samplesPerNode; k++ {
+		for i := 0; i < m; i++ {
+			j := s.rng.Intn(m)
+			if j == i || math.IsInf(lat[i][j], 1) {
+				continue
+			}
+			s.Update(i, j, lat[i][j])
+			s.Update(j, i, lat[j][i])
+		}
+	}
+}
+
+// MedianRelativeError evaluates the embedding against the true matrix:
+// the median over all pairs of |est − true| / true.
+func (s *Space) MedianRelativeError(lat [][]float64) float64 {
+	m := len(s.Nodes)
+	var errs []float64
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			truth := lat[i][j]
+			if truth <= 0 || math.IsInf(truth, 1) {
+				continue
+			}
+			errs = append(errs, math.Abs(s.Distance(i, j)-truth)/truth)
+		}
+	}
+	if len(errs) == 0 {
+		return 0
+	}
+	return median(errs)
+}
+
+// EstimateMatrix materializes the full m×m latency estimate.
+func (s *Space) EstimateMatrix() [][]float64 {
+	m := len(s.Nodes)
+	out := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		out[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			if i != j {
+				out[i][j] = s.Distance(i, j)
+			}
+		}
+	}
+	return out
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}

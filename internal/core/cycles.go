@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+
+	"delaylb/internal/mcmf"
+)
+
+// RemoveCycles implements the paper's Appendix A: it re-routes all
+// currently relayed requests so that total communication cost is minimal
+// while every organization's outgoing volume and every server's incoming
+// volume stay fixed. Any "negative cycle" — a set of organizations
+// effectively swapping requests at unnecessary communication cost —
+// disappears in the re-routed solution.
+//
+// The reduction builds a bipartite transportation network: source →
+// front node i_f with capacity out(ρ,i); back node j_b → sink with
+// capacity in(ρ,j); arcs i_f → j_b (i ≠ j, c_ij finite) with cost c_ij
+// and infinite capacity. The min-cost max-flow re-assigns the off-
+// diagonal entries of the allocation; diagonal entries are untouched.
+//
+// It returns the reduction of ΣC_i (≥ 0; loads are preserved so only the
+// communication term changes).
+func RemoveCycles(st *State) float64 {
+	in := st.In
+	m := in.M()
+	a := st.Alloc
+
+	out := make([]float64, m)
+	inc := make([]float64, m)
+	var totalRelayed float64
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			v := a.R[i][j]
+			out[i] += v
+			inc[j] += v
+		}
+		totalRelayed += out[i]
+	}
+	if totalRelayed == 0 {
+		return 0
+	}
+
+	before := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j && a.R[i][j] != 0 {
+				before += a.R[i][j] * in.Latency[i][j]
+			}
+		}
+	}
+
+	// Nodes: 0..m-1 fronts, m..2m-1 backs, 2m source, 2m+1 sink.
+	g := mcmf.NewGraph(2*m + 2)
+	src, snk := 2*m, 2*m+1
+	for i := 0; i < m; i++ {
+		if out[i] > 0 {
+			g.AddEdge(src, i, out[i], 0)
+		}
+		if inc[i] > 0 {
+			g.AddEdge(m+i, snk, inc[i], 0)
+		}
+	}
+	type arc struct{ i, j, id int }
+	arcs := make([]arc, 0, m*m)
+	for i := 0; i < m; i++ {
+		if out[i] == 0 {
+			continue
+		}
+		for j := 0; j < m; j++ {
+			if i == j || inc[j] == 0 || math.IsInf(in.Latency[i][j], 1) {
+				continue
+			}
+			id := g.AddEdge(i, m+j, math.Inf(1), in.Latency[i][j])
+			arcs = append(arcs, arc{i, j, id})
+		}
+	}
+	flow, after := g.MinCostMaxFlow(src, snk)
+	// The original allocation is itself a feasible routing, so the max
+	// flow saturates all supplies; guard against numeric shortfalls.
+	if flow < totalRelayed*(1-1e-6) {
+		return 0
+	}
+	if after >= before {
+		return 0
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j {
+				a.R[i][j] = 0
+			}
+		}
+	}
+	for _, e := range arcs {
+		if f := g.Flow(e.id); f > 0 {
+			a.R[e.i][e.j] = f
+		}
+	}
+	// Loads are preserved by construction; refresh to clear float drift.
+	a.LoadsInto(st.Loads)
+	return before - after
+}
+
+// CycleGain reports how much communication cost negative-cycle removal
+// would save on the current state, without mutating it. A positive value
+// means the current allocation contains negative cycles in the sense of
+// §IV-B.
+func CycleGain(st *State) float64 {
+	cp := st.Clone()
+	return RemoveCycles(cp)
+}

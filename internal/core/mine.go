@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"delaylb/internal/model"
+)
+
+// Strategy selects how a server picks its partner in Algorithm 2.
+type Strategy int
+
+const (
+	// StrategyExact evaluates impr(id, j) for every candidate partner by
+	// simulating Algorithm 1, exactly as written in the paper. Cost:
+	// O(m² log m) per server step.
+	StrategyExact Strategy = iota
+	// StrategyProxy scores partners with a closed-form O(1) estimate
+	// (the Lemma 1 improvement for an aggregate transfer at latency
+	// c_ij) and runs Algorithm 1 only on the winner. Cost: O(m log m)
+	// per server step. Used for the very large networks of Figure 2.
+	StrategyProxy
+	// StrategyHybrid short-lists the top-K partners by the proxy score
+	// and evaluates those exactly.
+	StrategyHybrid
+)
+
+// Config tunes a MinE run. The zero value runs the exact strategy until
+// pairwise stability with a 1000-iteration safety bound.
+type Config struct {
+	// Strategy picks the partner-selection rule (default StrategyExact).
+	Strategy Strategy
+	// HybridK is the short-list size for StrategyHybrid (default 8).
+	HybridK int
+	// MaxIters bounds the number of iterations (default 1000). One
+	// iteration gives every server one Algorithm 2 step, in random
+	// order (§VI-B).
+	MaxIters int
+	// Reference, if positive, is a known (approximate) optimal cost;
+	// the run stops once cost ≤ Reference·(1+TargetRel).
+	Reference float64
+	// TargetRel is the relative error target against Reference
+	// (default 0, meaning stop only at stability).
+	TargetRel float64
+	// RemoveCyclesEvery, if positive, runs the Appendix A negative-cycle
+	// removal after every that many iterations (§VI-B compares 0 vs 2).
+	RemoveCyclesEvery int
+	// MinGain is the absolute improvement below which a pairwise
+	// exchange is considered noise (default: 1e-9·max(1, initial cost)).
+	MinGain float64
+	// Rng drives the per-iteration random server ordering. Defaults to
+	// a fixed-seed source for reproducibility.
+	Rng *rand.Rand
+	// OnIteration, if non-nil, is called after each iteration with the
+	// 1-based iteration number and current cost; returning false stops
+	// the run early.
+	OnIteration func(iter int, cost float64) bool
+}
+
+// StopReason says why a MinE run ended.
+type StopReason string
+
+const (
+	// StopStable: a full iteration made no accepted transfer; the
+	// allocation is pairwise stable and hence optimal (§IV-A).
+	StopStable StopReason = "stable"
+	// StopTarget: the cost reached Reference·(1+TargetRel).
+	StopTarget StopReason = "target"
+	// StopMaxIters: the iteration bound was hit.
+	StopMaxIters StopReason = "max-iters"
+	// StopCallback: the OnIteration callback requested a stop.
+	StopCallback StopReason = "callback"
+)
+
+// Trace records the trajectory of a MinE run: Costs[0] is the initial
+// ΣC_i and Costs[k] the cost after iteration k, so Iters == len(Costs)−1.
+type Trace struct {
+	Costs     []float64
+	Moved     []float64 // request volume exchanged per iteration
+	Iters     int
+	Reason    StopReason
+	Converged bool // true unless stopped by MaxIters
+}
+
+// Run creates an identity allocation for the instance and optimizes it
+// with MinE under cfg, returning the final allocation and the trace.
+func Run(in *model.Instance, cfg Config) (*model.Allocation, *Trace) {
+	st := NewIdentityState(in)
+	tr := RunState(st, cfg)
+	return st.Alloc, tr
+}
+
+// RunState optimizes an existing state in place.
+func RunState(st *State, cfg Config) *Trace {
+	in := st.In
+	m := in.M()
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 1000
+	}
+	if cfg.HybridK <= 0 {
+		cfg.HybridK = 8
+	}
+	if cfg.Rng == nil {
+		cfg.Rng = rand.New(rand.NewSource(1))
+	}
+	cost := st.Cost()
+	if cfg.MinGain <= 0 {
+		cfg.MinGain = 1e-9 * math.Max(1, cost)
+	}
+	tr := &Trace{Costs: []float64{cost}, Reason: StopMaxIters}
+
+	sel := newSelector(st, cfg)
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		var movedTotal float64
+		accepted := 0
+		for _, id := range cfg.Rng.Perm(m) {
+			partner, gain := sel.pick(id)
+			if partner < 0 || gain <= cfg.MinGain {
+				continue
+			}
+			out := ApplyPair(st, id, partner, sel.buf)
+			if out.Gain > 0 {
+				cost -= out.Gain
+				movedTotal += out.Moved
+				accepted++
+			}
+		}
+		if cfg.RemoveCyclesEvery > 0 && iter%cfg.RemoveCyclesEvery == 0 {
+			cost -= RemoveCycles(st)
+		}
+		// Recompute the cost exactly every iteration to avoid float
+		// drift in long runs.
+		cost = st.Cost()
+		tr.Costs = append(tr.Costs, cost)
+		tr.Moved = append(tr.Moved, movedTotal)
+		tr.Iters = iter
+
+		if cfg.OnIteration != nil && !cfg.OnIteration(iter, cost) {
+			tr.Reason, tr.Converged = StopCallback, true
+			return tr
+		}
+		if cfg.Reference > 0 && cost <= cfg.Reference*(1+cfg.TargetRel) {
+			tr.Reason, tr.Converged = StopTarget, true
+			return tr
+		}
+		if accepted == 0 {
+			tr.Reason, tr.Converged = StopStable, true
+			return tr
+		}
+	}
+	return tr
+}
+
+// ReferenceOptimum computes the reference optimal cost the experiments
+// measure against, by running the exact strategy until pairwise
+// stability — the paper approximates the optimum the same way (§VI-A),
+// since pairwise stability implies global optimality for this convex
+// program.
+func ReferenceOptimum(in *model.Instance, rng *rand.Rand) float64 {
+	st := NewIdentityState(in)
+	RunState(st, Config{Strategy: StrategyExact, MaxIters: 10000, Rng: rng})
+	return st.Cost()
+}
+
+// selector implements the three partner-selection strategies with shared
+// scratch buffers.
+type selector struct {
+	st   *State
+	cfg  Config
+	buf  *pairBuffer
+	cand []int // scratch for hybrid short-lists
+}
+
+func newSelector(st *State, cfg Config) *selector {
+	return &selector{st: st, cfg: cfg, buf: newPairBuffer(st.In.M())}
+}
+
+// pick returns the chosen partner for server id and the (estimated or
+// exact) gain, or (-1, 0) when no partner improves.
+func (s *selector) pick(id int) (int, float64) {
+	switch s.cfg.Strategy {
+	case StrategyProxy:
+		j, gain := s.bestProxy(id)
+		return j, gain
+	case StrategyHybrid:
+		return s.bestHybrid(id)
+	default:
+		return s.bestExact(id)
+	}
+}
+
+// bestExact is Algorithm 2 verbatim: argmax_j impr(id, j).
+func (s *selector) bestExact(id int) (int, float64) {
+	bestJ, bestGain := -1, 0.0
+	for j := 0; j < s.st.In.M(); j++ {
+		if j == id {
+			continue
+		}
+		out := EvaluatePair(s.st, id, j, s.buf)
+		if out.Gain > bestGain {
+			bestGain, bestJ = out.Gain, j
+		}
+	}
+	return bestJ, bestGain
+}
+
+// proxyGain estimates impr(id, j) in O(1): the improvement from moving
+// the Lemma 1 aggregate amount between the two servers, pricing every
+// moved request at the direct latency c_{id,j} (or c_{j,id} in the other
+// direction). It ignores third-party latency structure, which the exact
+// evaluation accounts for.
+func (s *selector) proxyGain(i, j int) float64 {
+	in := s.st.In
+	si, sj := in.Speed[i], in.Speed[j]
+	li, lj := s.st.Loads[i], s.st.Loads[j]
+	gain := 0.0
+	if c := in.Latency[i][j]; !math.IsInf(c, 1) {
+		if d := ((sj*li - si*lj) - si*sj*c) / (si + sj); d > 0 {
+			dd := math.Min(d, li)
+			gain = quadGain(si, sj, li, lj, c, dd)
+		}
+	}
+	if c := in.Latency[j][i]; !math.IsInf(c, 1) {
+		if d := ((si*lj - sj*li) - si*sj*c) / (si + sj); d > 0 {
+			dd := math.Min(d, lj)
+			if g := quadGain(sj, si, lj, li, c, dd); g > gain {
+				gain = g
+			}
+		}
+	}
+	return gain
+}
+
+// quadGain is the decrease of l_i²/2s_i + l_j²/2s_j + c·Δ when Δ moves
+// from i to j.
+func quadGain(si, sj, li, lj, c, d float64) float64 {
+	before := li*li/(2*si) + lj*lj/(2*sj)
+	after := (li-d)*(li-d)/(2*si) + (lj+d)*(lj+d)/(2*sj) + c*d
+	return before - after
+}
+
+func (s *selector) bestProxy(id int) (int, float64) {
+	bestJ, bestGain := -1, 0.0
+	for j := 0; j < s.st.In.M(); j++ {
+		if j == id {
+			continue
+		}
+		if g := s.proxyGain(id, j); g > bestGain {
+			bestGain, bestJ = g, j
+		}
+	}
+	return bestJ, bestGain
+}
+
+// bestHybrid evaluates exactly a short-list of candidates: the top-K
+// partners by proxy score, the K lowest-latency neighbors (third-party
+// rerouting gains concentrate on nearby servers, which the load-only
+// proxy cannot see) and K random partners for coverage.
+func (s *selector) bestHybrid(id int) (int, float64) {
+	k := s.cfg.HybridK
+	m := s.st.In.M()
+	s.cand = s.cand[:0]
+	s.cand = appendTopK(s.cand, k, m, id, func(j int) float64 {
+		return s.proxyGain(id, j)
+	})
+	lat := s.st.In.Latency[id]
+	s.cand = appendTopK(s.cand, k, m, id, func(j int) float64 {
+		if math.IsInf(lat[j], 1) {
+			return math.Inf(-1)
+		}
+		return -lat[j]
+	})
+	for i := 0; i < k; i++ {
+		if j := s.cfg.Rng.Intn(m); j != id {
+			s.cand = append(s.cand, j)
+		}
+	}
+	bestJ, bestGain := -1, 0.0
+	seen := map[int]bool{}
+	for _, j := range s.cand {
+		if seen[j] {
+			continue
+		}
+		seen[j] = true
+		out := EvaluatePair(s.st, id, j, s.buf)
+		if out.Gain > bestGain {
+			bestGain, bestJ = out.Gain, j
+		}
+	}
+	return bestJ, bestGain
+}
+
+// appendTopK appends to dst the (up to) k indices j ≠ id with the largest
+// score(j), skipping −Inf scores.
+func appendTopK(dst []int, k, m, id int, score func(int) float64) []int {
+	type scored struct {
+		j    int
+		gain float64
+	}
+	top := make([]scored, 0, k+1)
+	for j := 0; j < m; j++ {
+		if j == id {
+			continue
+		}
+		g := score(j)
+		if math.IsInf(g, -1) {
+			continue
+		}
+		pos := len(top)
+		for pos > 0 && top[pos-1].gain < g {
+			pos--
+		}
+		if pos < k {
+			top = append(top, scored{})
+			copy(top[pos+1:], top[pos:])
+			top[pos] = scored{j: j, gain: g}
+			if len(top) > k {
+				top = top[:k]
+			}
+		}
+	}
+	for _, c := range top {
+		dst = append(dst, c.j)
+	}
+	return dst
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"delaylb/internal/model"
+)
+
+// DeltaTransfer implements Lemma 1: the number of organization k's
+// requests that should move from server i to server j — given speeds
+// s_i, s_j, current loads l_i, l_j, latencies c_ki, c_kj and the amount
+// r_ki currently at i — to minimize ΣC_i along that single direction:
+//
+//	Δr' = ((s_j l_i − s_i l_j) − s_i s_j (c_kj − c_ki)) / (s_i + s_j)
+//	Δr  = max(0, min(r_ki, Δr'))
+func DeltaTransfer(si, sj, li, lj, cki, ckj, rki float64) float64 {
+	raw := ((sj*li - si*lj) - si*sj*(ckj-cki)) / (si + sj)
+	if raw <= 0 {
+		return 0
+	}
+	return math.Min(raw, rki)
+}
+
+// pairBuffer holds the scratch state for balancing one server pair. It is
+// reused across calls to avoid allocation in the hot loop.
+type pairBuffer struct {
+	ri, rj []float64 // working copies of allocation columns i and j
+	oi, oj []float64 // original columns, for move accounting
+	cI, cJ []float64 // latency columns c_ki and c_kj
+	order  []int     // organizations sorted by c_kj − c_ki
+	keys   []float64
+}
+
+func newPairBuffer(m int) *pairBuffer {
+	return &pairBuffer{
+		ri:    make([]float64, m),
+		rj:    make([]float64, m),
+		oi:    make([]float64, m),
+		oj:    make([]float64, m),
+		cI:    make([]float64, m),
+		cJ:    make([]float64, m),
+		order: make([]int, m),
+		keys:  make([]float64, m),
+	}
+}
+
+// load extracts columns i and j of the allocation into the buffer.
+func (b *pairBuffer) load(a *model.Allocation, i, j int) {
+	for k := range a.R {
+		b.ri[k] = a.R[k][i]
+		b.rj[k] = a.R[k][j]
+		b.oi[k] = b.ri[k]
+		b.oj[k] = b.rj[k]
+	}
+}
+
+// balance runs Algorithm 1 (CalcBestTransfer) on the buffered columns and
+// returns the resulting loads of servers i and j.
+func (b *pairBuffer) balance(in *model.Instance, i, j int) (li, lj float64) {
+	for k := range b.cI {
+		b.cI[k] = in.Latency[k][i]
+		b.cJ[k] = in.Latency[k][j]
+	}
+	return BalanceColumns(in.Speed[i], in.Speed[j], b.ri, b.rj, b.cI, b.cJ, b.order, b.keys)
+}
+
+// BalanceColumns is the paper's Algorithm 1 (CalcBestTransfer) as a
+// standalone primitive, used both by the in-process optimizer and by the
+// distributed runtime, where the two participating servers exchange
+// exactly this data: their speeds si/sj, the columns ri/rj (ri[k] =
+// requests of organization k currently executing on server i) and the
+// latency vectors cI/cJ (cI[k] = c_ki). It first consolidates every
+// organization's requests from j onto i, then walks organizations in
+// ascending order of c_kj − c_ki, moving the Lemma 1 optimal amount back
+// to j. The columns are modified in place; the final loads are returned.
+//
+// Requests of an organization k with cI[k] = +Inf (k is not allowed to
+// use server i) stay on j and only contribute to j's load; organizations
+// with cJ[k] = +Inf are never moved to j. order and keys are optional
+// scratch slices of length m.
+func BalanceColumns(si, sj float64, ri, rj, cI, cJ []float64, order []int, keys []float64) (li, lj float64) {
+	m := len(ri)
+	if len(order) != m {
+		order = make([]int, m)
+	}
+	if len(keys) != m {
+		keys = make([]float64, m)
+	}
+	for k := 0; k < m; k++ {
+		if math.IsInf(cI[k], 1) {
+			lj += rj[k]
+		} else {
+			ri[k] += rj[k]
+			rj[k] = 0
+		}
+		li += ri[k]
+	}
+
+	for k := 0; k < m; k++ {
+		order[k] = k
+		switch {
+		case math.IsInf(cJ[k], 1):
+			// k cannot use j at all: sorted last and never moved.
+			keys[k] = math.Inf(1)
+		case math.IsInf(cI[k], 1):
+			// k cannot use i; its requests stayed on j and ri[k] = 0, so
+			// the transfer below is a no-op. Sort first to keep keys
+			// finite and the early-exit monotonicity intact.
+			keys[k] = math.Inf(-1)
+		default:
+			keys[k] = cJ[k] - cI[k]
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return keys[order[x]] < keys[order[y]]
+	})
+
+	for _, k := range order {
+		key := keys[k]
+		if math.IsInf(key, 1) || math.IsNaN(key) {
+			break // c_kj = +Inf: k and everyone after cannot move to j
+		}
+		raw := ((sj*li - si*lj) - si*sj*key) / (si + sj)
+		if raw <= 0 {
+			// Keys are non-decreasing and li only shrinks, so no later
+			// organization can have a positive transfer either.
+			break
+		}
+		dr := math.Min(raw, ri[k])
+		if dr > 0 {
+			ri[k] -= dr
+			rj[k] += dr
+			li -= dr
+			lj += dr
+		}
+	}
+	return li, lj
+}
+
+// movedToward returns Σ_k max(0, new_kj − old_kj): the volume of requests
+// that Algorithm 1 effectively moved onto server j. Used by the
+// Proposition 1 error estimation (Δr_ij).
+func (b *pairBuffer) movedToward() float64 {
+	var mv float64
+	for k := range b.rj {
+		if d := b.rj[k] - b.oj[k]; d > 0 {
+			mv += d
+		}
+	}
+	return mv
+}
+
+// PairOutcome reports the effect of balancing one pair of servers.
+type PairOutcome struct {
+	// Gain is the decrease of ΣC_i (≥ 0 up to float error).
+	Gain float64
+	// Moved is the volume of requests that changed server.
+	Moved float64
+}
+
+// EvaluatePair simulates Algorithm 1 on servers (i, j) without mutating
+// the state and returns the achievable improvement — the paper's
+// impr(i, j) from Algorithm 2.
+func EvaluatePair(st *State, i, j int, buf *pairBuffer) PairOutcome {
+	if buf == nil {
+		buf = newPairBuffer(st.In.M())
+	}
+	before := st.localCost(i, j)
+	buf.load(st.Alloc, i, j)
+	li, lj := buf.balance(st.In, i, j)
+	after := pairCost(st.In, buf, i, j, li, lj)
+	var moved float64
+	for k := range buf.ri {
+		moved += math.Abs(buf.ri[k]-buf.oi[k]) + math.Abs(buf.rj[k]-buf.oj[k])
+	}
+	return PairOutcome{Gain: before - after, Moved: moved / 2}
+}
+
+// ApplyPair runs Algorithm 1 on servers (i, j) and commits the result to
+// the state, updating loads incrementally. It returns the realized
+// outcome.
+func ApplyPair(st *State, i, j int, buf *pairBuffer) PairOutcome {
+	if buf == nil {
+		buf = newPairBuffer(st.In.M())
+	}
+	before := st.localCost(i, j)
+	buf.load(st.Alloc, i, j)
+	li, lj := buf.balance(st.In, i, j)
+	after := pairCost(st.In, buf, i, j, li, lj)
+	var moved float64
+	for k := range buf.ri {
+		moved += math.Abs(buf.ri[k]-buf.oi[k]) + math.Abs(buf.rj[k]-buf.oj[k])
+		st.Alloc.R[k][i] = buf.ri[k]
+		st.Alloc.R[k][j] = buf.rj[k]
+	}
+	st.Loads[i] = li
+	st.Loads[j] = lj
+	return PairOutcome{Gain: before - after, Moved: moved / 2}
+}
+
+// pairCost computes the local cost of the buffered columns.
+func pairCost(in *model.Instance, b *pairBuffer, i, j int, li, lj float64) float64 {
+	cost := li*li/(2*in.Speed[i]) + lj*lj/(2*in.Speed[j])
+	for k := range b.ri {
+		if v := b.ri[k]; v != 0 {
+			cost += v * in.Latency[k][i]
+		}
+		if v := b.rj[k]; v != 0 {
+			cost += v * in.Latency[k][j]
+		}
+	}
+	return cost
+}

@@ -1,0 +1,70 @@
+// Package core implements the paper's primary contribution: the MinE
+// distributed load-balancing algorithm (paper Algorithms 1 and 2), built
+// on the optimal pairwise transfer of Lemma 1, together with the
+// Proposition 1 distance-to-optimum estimation and the negative-cycle
+// removal of Appendix A (via a min-cost-flow reduction).
+//
+// The algorithm iteratively improves an allocation: in every iteration
+// each server, in random order, picks the partner server offering the
+// largest improvement of ΣC_i and rebalances *all* organizations'
+// requests between the two servers. Pairwise stability implies global
+// optimality for this convex objective, which is why the procedure
+// converges to the optimum (§IV-A).
+package core
+
+import (
+	"delaylb/internal/model"
+)
+
+// State couples an instance with a mutable allocation and maintains the
+// server load vector incrementally, so pairwise rebalancing steps cost
+// O(m log m) instead of O(m²).
+type State struct {
+	In    *model.Instance
+	Alloc *model.Allocation
+	Loads []float64
+}
+
+// NewState wraps an instance and an allocation (not copied) into a State.
+func NewState(in *model.Instance, a *model.Allocation) *State {
+	st := &State{In: in, Alloc: a, Loads: make([]float64, in.M())}
+	a.LoadsInto(st.Loads)
+	return st
+}
+
+// NewIdentityState starts from the identity allocation (everyone local).
+func NewIdentityState(in *model.Instance) *State {
+	return NewState(in, model.Identity(in))
+}
+
+// Cost returns the current ΣC_i.
+func (st *State) Cost() float64 {
+	return model.TotalCostWithLoads(st.In, st.Alloc, st.Loads)
+}
+
+// Clone deep-copies the state (the instance is shared, it is read-only).
+func (st *State) Clone() *State {
+	return &State{
+		In:    st.In,
+		Alloc: st.Alloc.Clone(),
+		Loads: append([]float64(nil), st.Loads...),
+	}
+}
+
+// localCost returns the part of ΣC_i that depends only on columns i and j:
+// l_i²/2s_i + l_j²/2s_j + Σ_k (r_ki·c_ki + r_kj·c_kj). Pairwise steps
+// change only this quantity, so improvements are computed from it.
+func (st *State) localCost(i, j int) float64 {
+	in := st.In
+	li, lj := st.Loads[i], st.Loads[j]
+	cost := li*li/(2*in.Speed[i]) + lj*lj/(2*in.Speed[j])
+	for k := range st.Alloc.R {
+		if v := st.Alloc.R[k][i]; v != 0 {
+			cost += v * in.Latency[k][i]
+		}
+		if v := st.Alloc.R[k][j]; v != 0 {
+			cost += v * in.Latency[k][j]
+		}
+	}
+	return cost
+}

@@ -1,0 +1,185 @@
+// Package gossip implements the epidemic information dissemination the
+// distributed algorithm relies on (paper §IV): "The loads can be
+// disseminated by a gossiping algorithm. As gossiping algorithms have
+// logarithmic convergence time, if the gossiping is executed about
+// O(log m) times more frequently than our algorithm, each server has
+// accurate information about the loads."
+//
+// Two protocols are provided:
+//
+//   - Dissemination: versioned push–pull anti-entropy that spreads every
+//     server's announced load value to all peers in O(log m) rounds;
+//   - Averager: randomized pairwise averaging, converging geometrically
+//     to the global mean (used to estimate l_av, e.g. for the Theorem 1
+//     bounds).
+package gossip
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Entry is one (value, version) pair tracked per origin server.
+type Entry struct {
+	Value   float64
+	Version uint64
+	Known   bool
+}
+
+// Dissemination is a synchronous-round push–pull gossip network in which
+// every node maintains a table of the latest announced value of every
+// origin.
+type Dissemination struct {
+	m      int
+	tables [][]Entry
+	rng    *rand.Rand
+}
+
+// NewDissemination creates a gossip network of m nodes.
+func NewDissemination(m int, rng *rand.Rand) *Dissemination {
+	t := make([][]Entry, m)
+	for i := range t {
+		t[i] = make([]Entry, m)
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Dissemination{m: m, tables: t, rng: rng}
+}
+
+// Announce lets node i publish a new local value, bumping its version.
+func (d *Dissemination) Announce(i int, value float64) {
+	e := &d.tables[i][i]
+	e.Value = value
+	e.Version++
+	e.Known = true
+}
+
+// Value returns node i's current knowledge of origin's value.
+func (d *Dissemination) Value(i, origin int) (float64, bool) {
+	e := d.tables[i][origin]
+	return e.Value, e.Known
+}
+
+// Snapshot returns node i's view of all origins as a dense vector;
+// unknown entries are reported as the provided default.
+func (d *Dissemination) Snapshot(i int, def float64) []float64 {
+	out := make([]float64, d.m)
+	for o, e := range d.tables[i] {
+		if e.Known {
+			out[o] = e.Value
+		} else {
+			out[o] = def
+		}
+	}
+	return out
+}
+
+// Round performs one synchronous push–pull round: every node contacts one
+// uniformly random peer and the two merge tables, keeping the newest
+// version per origin.
+func (d *Dissemination) Round() {
+	for i := 0; i < d.m; i++ {
+		j := d.rng.Intn(d.m)
+		if j == i {
+			continue
+		}
+		merge(d.tables[i], d.tables[j])
+	}
+}
+
+func merge(a, b []Entry) {
+	for o := range a {
+		switch {
+		case !a[o].Known && !b[o].Known:
+		case a[o].Known && (!b[o].Known || b[o].Version < a[o].Version):
+			b[o] = a[o]
+		case b[o].Known && (!a[o].Known || a[o].Version < b[o].Version):
+			a[o] = b[o]
+		}
+	}
+}
+
+// Coverage returns the fraction of (node, origin) pairs for which the
+// node knows the origin's latest announced version.
+func (d *Dissemination) Coverage() float64 {
+	var known, total int
+	for i := 0; i < d.m; i++ {
+		for o := 0; o < d.m; o++ {
+			if !d.tables[o][o].Known {
+				continue // origin never announced
+			}
+			total++
+			if d.tables[i][o].Known && d.tables[i][o].Version == d.tables[o][o].Version {
+				known++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(known) / float64(total)
+}
+
+// RoundsToCoverage runs rounds until the coverage target is reached and
+// returns the number of rounds, or maxRounds if never reached.
+func (d *Dissemination) RoundsToCoverage(target float64, maxRounds int) int {
+	for r := 1; r <= maxRounds; r++ {
+		d.Round()
+		if d.Coverage() >= target {
+			return r
+		}
+	}
+	return maxRounds
+}
+
+// Averager is a randomized pairwise-averaging gossip: in each round,
+// nodes are matched in random pairs and each pair replaces both values by
+// their mean. The vector converges to the global average while the sum is
+// conserved exactly.
+type Averager struct {
+	Values []float64
+	rng    *rand.Rand
+}
+
+// NewAverager wraps the given initial values (copied).
+func NewAverager(values []float64, rng *rand.Rand) *Averager {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Averager{Values: append([]float64(nil), values...), rng: rng}
+}
+
+// Round performs one round of random pairwise averaging.
+func (a *Averager) Round() {
+	m := len(a.Values)
+	perm := a.rng.Perm(m)
+	for k := 0; k+1 < m; k += 2 {
+		i, j := perm[k], perm[k+1]
+		mean := (a.Values[i] + a.Values[j]) / 2
+		a.Values[i], a.Values[j] = mean, mean
+	}
+}
+
+// MaxError returns the maximum absolute deviation from the true mean.
+func (a *Averager) MaxError() float64 {
+	var sum float64
+	for _, v := range a.Values {
+		sum += v
+	}
+	mean := sum / float64(len(a.Values))
+	var worst float64
+	for _, v := range a.Values {
+		worst = math.Max(worst, math.Abs(v-mean))
+	}
+	return worst
+}
+
+// Sum returns the (conserved) total of the values.
+func (a *Averager) Sum() float64 {
+	var s float64
+	for _, v := range a.Values {
+		s += v
+	}
+	return s
+}

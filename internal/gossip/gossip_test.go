@@ -1,0 +1,125 @@
+package gossip
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDisseminationCompletes(t *testing.T) {
+	m := 128
+	d := NewDissemination(m, rand.New(rand.NewSource(1)))
+	for i := 0; i < m; i++ {
+		d.Announce(i, float64(i)*10)
+	}
+	rounds := d.RoundsToCoverage(1.0, 100)
+	// Push–pull gossip completes in O(log m) rounds; allow a generous
+	// constant.
+	if logBound := 4 * int(math.Ceil(math.Log2(float64(m)))); rounds > logBound {
+		t.Errorf("full dissemination took %d rounds, want ≤ %d", rounds, logBound)
+	}
+	for i := 0; i < m; i++ {
+		for o := 0; o < m; o++ {
+			v, ok := d.Value(i, o)
+			if !ok || v != float64(o)*10 {
+				t.Fatalf("node %d has wrong view of %d: %v (%v)", i, o, v, ok)
+			}
+		}
+	}
+}
+
+func TestDisseminationVersionsWin(t *testing.T) {
+	d := NewDissemination(8, rand.New(rand.NewSource(2)))
+	d.Announce(0, 1)
+	d.RoundsToCoverage(1.0, 100)
+	d.Announce(0, 2) // newer version
+	d.RoundsToCoverage(1.0, 100)
+	for i := 0; i < 8; i++ {
+		if v, _ := d.Value(i, 0); v != 2 {
+			t.Fatalf("node %d kept stale value %v", i, v)
+		}
+	}
+}
+
+func TestSnapshotDefaults(t *testing.T) {
+	d := NewDissemination(3, rand.New(rand.NewSource(3)))
+	d.Announce(0, 7)
+	s := d.Snapshot(0, -1)
+	if s[0] != 7 || s[1] != -1 || s[2] != -1 {
+		t.Errorf("snapshot = %v, want [7 -1 -1]", s)
+	}
+}
+
+func TestCoverageBeforeAnyAnnounce(t *testing.T) {
+	d := NewDissemination(5, rand.New(rand.NewSource(4)))
+	if c := d.Coverage(); c != 1 {
+		t.Errorf("coverage with no announcements = %v, want 1 (vacuous)", c)
+	}
+}
+
+func TestAveragerConvergesAndConservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	values := make([]float64, 200)
+	for i := range values {
+		values[i] = rng.Float64() * 1000
+	}
+	a := NewAverager(values, rand.New(rand.NewSource(6)))
+	sumBefore := a.Sum()
+	initialErr := a.MaxError()
+	for r := 0; r < 60; r++ {
+		a.Round()
+	}
+	if math.Abs(a.Sum()-sumBefore) > 1e-6*sumBefore {
+		t.Errorf("sum drifted: %v → %v", sumBefore, a.Sum())
+	}
+	if a.MaxError() > initialErr/1000 {
+		t.Errorf("error did not shrink enough: %v → %v", initialErr, a.MaxError())
+	}
+}
+
+func TestAveragerGeometricDecay(t *testing.T) {
+	values := make([]float64, 64)
+	values[0] = 64 // peak
+	a := NewAverager(values, rand.New(rand.NewSource(7)))
+	prev := a.MaxError()
+	decays := 0
+	for r := 0; r < 20; r++ {
+		a.Round()
+		cur := a.MaxError()
+		if cur < prev {
+			decays++
+		}
+		prev = cur
+	}
+	if decays < 10 {
+		t.Errorf("error decayed in only %d/20 rounds", decays)
+	}
+	if prev > 2 {
+		t.Errorf("residual error %v after 20 rounds, want < 2", prev)
+	}
+}
+
+func TestAveragerOddCount(t *testing.T) {
+	a := NewAverager([]float64{3, 6, 9}, rand.New(rand.NewSource(8)))
+	for r := 0; r < 50; r++ {
+		a.Round()
+	}
+	if math.Abs(a.Sum()-18) > 1e-9 {
+		t.Errorf("sum = %v, want 18", a.Sum())
+	}
+	if a.MaxError() > 0.5 {
+		t.Errorf("odd-count averaging stalled at error %v", a.MaxError())
+	}
+}
+
+func BenchmarkGossipRound1000(b *testing.B) {
+	d := NewDissemination(1000, rand.New(rand.NewSource(1)))
+	for i := 0; i < 1000; i++ {
+		d.Announce(i, float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Round()
+	}
+}

@@ -1,0 +1,88 @@
+package model
+
+// This file implements the cost functions of paper §II.
+//
+// The expected total completion time of organization i's requests is
+//
+//	C_i = Σ_j ( l_j/(2 s_j) + c_ij ) · r_ij            (paper eq. 1)
+//
+// and the system objective is ΣC_i = Σ_i C_i. Summing the congestion term
+// over all owners collapses to Σ_j l_j²/(2 s_j), which lets TotalCost run
+// in O(m²) instead of O(m³).
+
+// OrgCost returns C_i for organization i under the given allocation, using
+// the supplied precomputed load vector (as returned by Loads/LoadsInto).
+func OrgCost(in *Instance, a *Allocation, loads []float64, i int) float64 {
+	var c float64
+	row := a.R[i]
+	lat := in.Latency[i]
+	for j, r := range row {
+		if r == 0 {
+			continue
+		}
+		c += r * (loads[j]/(2*in.Speed[j]) + lat[j])
+	}
+	return c
+}
+
+// OrgCosts returns the vector of per-organization costs C_i.
+func OrgCosts(in *Instance, a *Allocation) []float64 {
+	loads := a.Loads()
+	out := make([]float64, in.M())
+	for i := range out {
+		out[i] = OrgCost(in, a, loads, i)
+	}
+	return out
+}
+
+// TotalCost returns the system objective ΣC_i.
+func TotalCost(in *Instance, a *Allocation) float64 {
+	loads := a.Loads()
+	return TotalCostWithLoads(in, a, loads)
+}
+
+// TotalCostWithLoads is TotalCost with a caller-provided load vector,
+// avoiding the recomputation when loads are maintained incrementally.
+func TotalCostWithLoads(in *Instance, a *Allocation, loads []float64) float64 {
+	var congestion float64
+	for j, l := range loads {
+		congestion += l * l / (2 * in.Speed[j])
+	}
+	return congestion + CommCost(in, a)
+}
+
+// CommCost returns the pure communication component Σ_ij c_ij r_ij.
+func CommCost(in *Instance, a *Allocation) float64 {
+	var t float64
+	for i, row := range a.R {
+		lat := in.Latency[i]
+		for j, r := range row {
+			if r != 0 && i != j {
+				t += r * lat[j]
+			}
+		}
+	}
+	return t
+}
+
+// CongestionCost returns the pure congestion component Σ_j l_j²/(2 s_j).
+func CongestionCost(in *Instance, a *Allocation) float64 {
+	var t float64
+	for j, l := range a.Loads() {
+		t += l * l / (2 * in.Speed[j])
+	}
+	return t
+}
+
+// LowerBoundCost returns a simple lower bound on the optimal ΣC_i: the
+// congestion cost of the ideal speed-proportional load split with zero
+// communication. For homogeneous systems this is the paper's bound
+// m·l_av²/(2s) used in the proof of Theorem 1.
+//
+// The bound follows from minimizing Σ l_j²/(2 s_j) subject to Σ l_j = N,
+// whose optimum (by Cauchy–Schwarz / KKT) is l_j ∝ s_j, giving
+// N²/(2 Σ_j s_j).
+func LowerBoundCost(in *Instance) float64 {
+	n := in.TotalLoad()
+	return n * n / (2 * in.TotalSpeed())
+}

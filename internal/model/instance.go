@@ -1,0 +1,187 @@
+// Package model defines the shared vocabulary of the delay-aware load
+// balancing system: problem instances (servers, speeds, initial loads,
+// pairwise latencies), request allocations, and the cost functions of
+// Skowron & Rzadca's model.
+//
+// Units follow the paper's conventions: time is measured in milliseconds,
+// a server of speed s processes s unit requests per millisecond, and the
+// latency matrix holds one-way communication delays in milliseconds.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Instance is a complete description of a load-balancing problem:
+// m organizations, each owning one server with a processing speed,
+// an initial load of unit-size requests, and a pairwise latency matrix.
+//
+// Invariants (checked by Validate):
+//   - len(Speed) == len(Load) == m, Latency is m×m,
+//   - Speed[i] > 0, Load[i] >= 0,
+//   - Latency[i][j] >= 0 and Latency[i][i] == 0.
+//
+// Latency[i][j] may be math.Inf(1) to forbid relaying from i to j
+// (the trust-restricted variant from paper §II).
+type Instance struct {
+	// Speed[i] is the processing speed s_i of server i, in requests/ms.
+	Speed []float64
+	// Load[i] is the initial number of requests n_i owned by organization i.
+	Load []float64
+	// Latency[i][j] is the one-way communication delay c_ij in ms; 0 on the
+	// diagonal.
+	Latency [][]float64
+}
+
+// M returns the number of organizations (= servers) in the instance.
+func (in *Instance) M() int { return len(in.Speed) }
+
+// NewInstance builds an instance from the given speeds, loads and latency
+// matrix, validating shape and value constraints.
+func NewInstance(speed, load []float64, latency [][]float64) (*Instance, error) {
+	in := &Instance{Speed: speed, Load: load, Latency: latency}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Uniform builds a homogeneous instance: m servers of speed s, each owning
+// load n, every off-diagonal latency equal to c.
+func Uniform(m int, s, n, c float64) *Instance {
+	speed := make([]float64, m)
+	load := make([]float64, m)
+	lat := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		speed[i] = s
+		load[i] = n
+		lat[i] = make([]float64, m)
+		for j := 0; j < m; j++ {
+			if i != j {
+				lat[i][j] = c
+			}
+		}
+	}
+	return &Instance{Speed: speed, Load: load, Latency: lat}
+}
+
+// Validate checks the structural invariants of the instance.
+func (in *Instance) Validate() error {
+	m := len(in.Speed)
+	if m == 0 {
+		return errors.New("model: instance has no servers")
+	}
+	if len(in.Load) != m {
+		return fmt.Errorf("model: len(Load)=%d, want %d", len(in.Load), m)
+	}
+	if len(in.Latency) != m {
+		return fmt.Errorf("model: latency matrix has %d rows, want %d", len(in.Latency), m)
+	}
+	for i := 0; i < m; i++ {
+		if in.Speed[i] <= 0 || math.IsNaN(in.Speed[i]) || math.IsInf(in.Speed[i], 0) {
+			return fmt.Errorf("model: speed[%d]=%v, must be positive and finite", i, in.Speed[i])
+		}
+		if in.Load[i] < 0 || math.IsNaN(in.Load[i]) || math.IsInf(in.Load[i], 0) {
+			return fmt.Errorf("model: load[%d]=%v, must be non-negative and finite", i, in.Load[i])
+		}
+		if len(in.Latency[i]) != m {
+			return fmt.Errorf("model: latency row %d has %d entries, want %d", i, len(in.Latency[i]), m)
+		}
+		for j := 0; j < m; j++ {
+			c := in.Latency[i][j]
+			if math.IsNaN(c) || c < 0 {
+				return fmt.Errorf("model: latency[%d][%d]=%v, must be >= 0", i, j, c)
+			}
+			if i == j && c != 0 {
+				return fmt.Errorf("model: latency[%d][%d]=%v, diagonal must be 0", i, j, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{
+		Speed:   append([]float64(nil), in.Speed...),
+		Load:    append([]float64(nil), in.Load...),
+		Latency: make([][]float64, len(in.Latency)),
+	}
+	for i, row := range in.Latency {
+		out.Latency[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// TotalLoad returns Σ_i n_i, the total number of requests in the system.
+func (in *Instance) TotalLoad() float64 {
+	var t float64
+	for _, n := range in.Load {
+		t += n
+	}
+	return t
+}
+
+// TotalSpeed returns Σ_i s_i, used by Proposition 1's error bound.
+func (in *Instance) TotalSpeed() float64 {
+	var t float64
+	for _, s := range in.Speed {
+		t += s
+	}
+	return t
+}
+
+// AverageLoad returns l_av = (Σ_i n_i)/m, the paper's lav parameter.
+func (in *Instance) AverageLoad() float64 {
+	return in.TotalLoad() / float64(in.M())
+}
+
+// AverageLatency returns the mean off-diagonal latency, ignoring
+// infinite (forbidden) links.
+func (in *Instance) AverageLatency() float64 {
+	var sum float64
+	var cnt int
+	m := in.M()
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j || math.IsInf(in.Latency[i][j], 1) {
+				continue
+			}
+			sum += in.Latency[i][j]
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return sum / float64(cnt)
+}
+
+// IsHomogeneous reports whether all speeds are equal and all off-diagonal
+// latencies are equal (the setting of paper §V-A) within tolerance eps.
+func (in *Instance) IsHomogeneous(eps float64) bool {
+	m := in.M()
+	for i := 1; i < m; i++ {
+		if math.Abs(in.Speed[i]-in.Speed[0]) > eps {
+			return false
+		}
+	}
+	var c float64
+	set := false
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			if !set {
+				c = in.Latency[i][j]
+				set = true
+			} else if math.Abs(in.Latency[i][j]-c) > eps {
+				return false
+			}
+		}
+	}
+	return true
+}

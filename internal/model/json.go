@@ -1,0 +1,55 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the stable on-disk representation of an Instance.
+type instanceJSON struct {
+	Speed   []float64   `json:"speed"`
+	Load    []float64   `json:"load"`
+	Latency [][]float64 `json:"latency"`
+}
+
+// WriteJSON serializes the instance to w as a single JSON object.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(instanceJSON{Speed: in.Speed, Load: in.Load, Latency: in.Latency})
+}
+
+// ReadInstanceJSON parses an instance previously produced by WriteJSON and
+// validates it.
+func ReadInstanceJSON(r io.Reader) (*Instance, error) {
+	var raw instanceJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("model: decoding instance: %w", err)
+	}
+	return NewInstance(raw.Speed, raw.Load, raw.Latency)
+}
+
+// allocationJSON is the stable on-disk representation of an Allocation.
+type allocationJSON struct {
+	R [][]float64 `json:"r"`
+}
+
+// WriteJSON serializes the allocation to w.
+func (a *Allocation) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(allocationJSON{R: a.R})
+}
+
+// ReadAllocationJSON parses an allocation previously produced by WriteJSON.
+func ReadAllocationJSON(r io.Reader) (*Allocation, error) {
+	var raw allocationJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("model: decoding allocation: %w", err)
+	}
+	m := len(raw.R)
+	for i, row := range raw.R {
+		if len(row) != m {
+			return nil, fmt.Errorf("model: allocation row %d has %d entries, want %d", i, len(row), m)
+		}
+	}
+	return &Allocation{R: raw.R}, nil
+}

@@ -1,0 +1,243 @@
+// Package netmodel generates the pairwise latency matrices used by the
+// experiments. It provides the two network families from the paper's
+// evaluation (§VI-A) — a homogeneous network with equal latencies and a
+// heterogeneous, PlanetLab-like network — plus a few extra topologies
+// used by ablation benches.
+//
+// The paper measured latencies between PlanetLab nodes via the iPlane
+// dataset and completed missing pairs "by calculating minimal distances".
+// That dataset is not redistributable, so PlanetLab here is a synthetic
+// substitute: nodes are placed in geographic clusters (continents), base
+// latency grows with distance, per-link lognormal jitter is applied, a
+// fraction of direct measurements is dropped, and the matrix is completed
+// by an all-pairs shortest-path (Floyd–Warshall) closure — the same
+// post-processing step the authors applied. The resulting distribution
+// has the same qualitative properties the experiments rely on: a wide
+// heterogeneous spread (a few ms intra-cluster to hundreds of ms
+// inter-continental) and rough metricity after closure.
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Homogeneous returns an m×m latency matrix with every off-diagonal entry
+// equal to c — the paper's homogeneous setting (c_ij = 20).
+func Homogeneous(m int, c float64) [][]float64 {
+	lat := newMatrix(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j {
+				lat[i][j] = c
+			}
+		}
+	}
+	return lat
+}
+
+// Euclidean places m nodes uniformly at random in a square of side `side`
+// (in "ms of latency") and sets c_ij to the Euclidean distance. The result
+// is a symmetric metric matrix.
+func Euclidean(m int, side float64, rng *rand.Rand) [][]float64 {
+	xs := make([]float64, m)
+	ys := make([]float64, m)
+	for i := 0; i < m; i++ {
+		xs[i] = side * rng.Float64()
+		ys[i] = side * rng.Float64()
+	}
+	lat := newMatrix(m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+			lat[i][j] = d
+			lat[j][i] = d
+		}
+	}
+	return lat
+}
+
+// Ring arranges m nodes on a cycle with perHop latency between neighbors
+// and shortest-path distances elsewhere. Used by topology ablations.
+func Ring(m int, perHop float64) [][]float64 {
+	lat := newMatrix(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			hops := math.Abs(float64(i - j))
+			if w := float64(m) - hops; w < hops {
+				hops = w
+			}
+			lat[i][j] = perHop * hops
+		}
+	}
+	return lat
+}
+
+// PlanetLabConfig tunes the synthetic PlanetLab generator. The zero value
+// is not useful; use DefaultPlanetLabConfig.
+type PlanetLabConfig struct {
+	// Clusters is the number of geographic clusters ("continents").
+	Clusters int
+	// IntraMean is the mean intra-cluster base latency in ms.
+	IntraMean float64
+	// InterMean is the mean inter-cluster base latency per unit of
+	// cluster-center distance, in ms.
+	InterMean float64
+	// JitterSigma is the σ of the lognormal multiplicative jitter applied
+	// to each directed link.
+	JitterSigma float64
+	// DropFraction of direct measurements is removed before the metric
+	// closure, mimicking the incomplete iPlane dataset.
+	DropFraction float64
+}
+
+// DefaultPlanetLabConfig returns parameters calibrated so that the latency
+// distribution resembles published PlanetLab RTT statistics: median around
+// 70–120 ms, intra-cluster links of 5–40 ms, heavy right tail up to a few
+// hundred ms.
+func DefaultPlanetLabConfig() PlanetLabConfig {
+	return PlanetLabConfig{
+		Clusters:     5,
+		IntraMean:    15,
+		InterMean:    80,
+		JitterSigma:  0.35,
+		DropFraction: 0.2,
+	}
+}
+
+// PlanetLab generates a heterogeneous latency matrix as described in the
+// package comment, using cfg and the provided RNG.
+func PlanetLab(m int, cfg PlanetLabConfig, rng *rand.Rand) [][]float64 {
+	if cfg.Clusters <= 0 {
+		cfg = DefaultPlanetLabConfig()
+	}
+	k := cfg.Clusters
+	// Cluster centers on a circle so that inter-center distances vary.
+	cx := make([]float64, k)
+	cy := make([]float64, k)
+	for c := 0; c < k; c++ {
+		ang := 2 * math.Pi * float64(c) / float64(k)
+		cx[c] = math.Cos(ang)
+		cy[c] = math.Sin(ang)
+	}
+	cluster := make([]int, m)
+	for i := 0; i < m; i++ {
+		cluster[i] = rng.Intn(k)
+	}
+	lat := newMatrix(m)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			var base float64
+			if cluster[i] == cluster[j] {
+				base = cfg.IntraMean * (0.3 + 1.4*rng.Float64())
+			} else {
+				d := math.Hypot(cx[cluster[i]]-cx[cluster[j]], cy[cluster[i]]-cy[cluster[j]])
+				base = cfg.IntraMean + cfg.InterMean*d*(0.7+0.6*rng.Float64())
+			}
+			// Lognormal multiplicative jitter, shared by both directions
+			// (RTT-derived latencies are symmetric).
+			jit := math.Exp(cfg.JitterSigma * rng.NormFloat64())
+			v := base * jit
+			lat[i][j] = v
+			lat[j][i] = v
+		}
+	}
+	if cfg.DropFraction > 0 {
+		dropAndClose(lat, cfg.DropFraction, rng)
+	}
+	return lat
+}
+
+// dropAndClose removes a fraction of direct links (setting them to +Inf)
+// and then restores a complete matrix via Floyd–Warshall closure, exactly
+// as the paper complemented its dataset. Links are dropped symmetrically
+// and the closure guarantees finiteness as long as the surviving graph is
+// connected; to keep it connected we never drop links of node 0.
+func dropAndClose(lat [][]float64, frac float64, rng *rand.Rand) {
+	m := len(lat)
+	for i := 1; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if rng.Float64() < frac {
+				lat[i][j] = math.Inf(1)
+				lat[j][i] = math.Inf(1)
+			}
+		}
+	}
+	FloydWarshall(lat)
+}
+
+// FloydWarshall replaces lat in place with its all-pairs shortest-path
+// closure. Entries may be +Inf (missing links). The diagonal is forced
+// to zero.
+func FloydWarshall(lat [][]float64) {
+	m := len(lat)
+	for i := 0; i < m; i++ {
+		lat[i][i] = 0
+	}
+	for k := 0; k < m; k++ {
+		lk := lat[k]
+		for i := 0; i < m; i++ {
+			lik := lat[i][k]
+			if math.IsInf(lik, 1) {
+				continue
+			}
+			li := lat[i]
+			for j := 0; j < m; j++ {
+				if via := lik + lk[j]; via < li[j] {
+					li[j] = via
+				}
+			}
+		}
+	}
+}
+
+// Symmetrize replaces each pair (c_ij, c_ji) by their average, producing a
+// symmetric matrix.
+func Symmetrize(lat [][]float64) {
+	m := len(lat)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := (lat[i][j] + lat[j][i]) / 2
+			lat[i][j] = v
+			lat[j][i] = v
+		}
+	}
+}
+
+// TriangleViolations counts ordered triples (i,k,j) with
+// c_ik + c_kj < c_ij − eps, i.e. violations of the triangle inequality.
+// After FloydWarshall the count is zero; the paper relies on this to rule
+// out relaying through intermediate servers (§II).
+func TriangleViolations(lat [][]float64, eps float64) int {
+	m := len(lat)
+	count := 0
+	for i := 0; i < m; i++ {
+		for k := 0; k < m; k++ {
+			if i == k {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if j == i || j == k {
+					continue
+				}
+				if lat[i][k]+lat[k][j] < lat[i][j]-eps {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// newMatrix allocates an m×m zero matrix backed by one contiguous slice.
+func newMatrix(m int) [][]float64 {
+	rows := make([][]float64, m)
+	buf := make([]float64, m*m)
+	for i := range rows {
+		rows[i], buf = buf[:m:m], buf[m:]
+	}
+	return rows
+}

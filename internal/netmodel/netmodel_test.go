@@ -1,0 +1,178 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHomogeneous(t *testing.T) {
+	lat := Homogeneous(5, 20)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 20.0
+			if i == j {
+				want = 0
+			}
+			if lat[i][j] != want {
+				t.Fatalf("lat[%d][%d] = %v, want %v", i, j, lat[i][j], want)
+			}
+		}
+	}
+}
+
+func TestEuclideanIsSymmetricMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lat := Euclidean(30, 100, rng)
+	for i := range lat {
+		if lat[i][i] != 0 {
+			t.Fatalf("diagonal not zero at %d", i)
+		}
+		for j := range lat {
+			if lat[i][j] != lat[j][i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if v := TriangleViolations(lat, 1e-9); v != 0 {
+		t.Errorf("Euclidean matrix has %d triangle violations, want 0", v)
+	}
+}
+
+func TestRingDistances(t *testing.T) {
+	lat := Ring(6, 10)
+	// Node 0 to node 3 is 3 hops either way.
+	if lat[0][3] != 30 {
+		t.Errorf("lat[0][3] = %v, want 30", lat[0][3])
+	}
+	// Node 0 to node 5 is 1 hop backwards.
+	if lat[0][5] != 10 {
+		t.Errorf("lat[0][5] = %v, want 10", lat[0][5])
+	}
+	if v := TriangleViolations(lat, 1e-9); v != 0 {
+		t.Errorf("ring has %d triangle violations, want 0", v)
+	}
+}
+
+func TestFloydWarshallClosesMatrix(t *testing.T) {
+	inf := math.Inf(1)
+	lat := [][]float64{
+		{0, 1, inf},
+		{1, 0, 2},
+		{inf, 2, 0},
+	}
+	FloydWarshall(lat)
+	if lat[0][2] != 3 {
+		t.Errorf("lat[0][2] = %v, want 3 (via node 1)", lat[0][2])
+	}
+	if v := TriangleViolations(lat, 1e-9); v != 0 {
+		t.Errorf("closure left %d triangle violations", v)
+	}
+}
+
+func TestFloydWarshallShortcut(t *testing.T) {
+	// Direct link 0→2 is longer than the two-hop path; closure must
+	// replace it, reflecting the paper's assumption that routing is
+	// network-layer optimal.
+	lat := [][]float64{
+		{0, 1, 10},
+		{1, 0, 1},
+		{10, 1, 0},
+	}
+	FloydWarshall(lat)
+	if lat[0][2] != 2 {
+		t.Errorf("lat[0][2] = %v, want 2", lat[0][2])
+	}
+}
+
+func TestPlanetLabProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := 60
+	lat := PlanetLab(m, DefaultPlanetLabConfig(), rng)
+	if len(lat) != m {
+		t.Fatalf("matrix has %d rows, want %d", len(lat), m)
+	}
+	var minOff, maxOff = math.Inf(1), 0.0
+	for i := 0; i < m; i++ {
+		if lat[i][i] != 0 {
+			t.Fatalf("diagonal not zero at %d", i)
+		}
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			v := lat[i][j]
+			if math.IsInf(v, 1) || math.IsNaN(v) || v <= 0 {
+				t.Fatalf("lat[%d][%d] = %v, want finite positive", i, j, v)
+			}
+			if v != lat[j][i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+			minOff = math.Min(minOff, v)
+			maxOff = math.Max(maxOff, v)
+		}
+	}
+	// Heterogeneity: the spread should span at least one order of
+	// magnitude, like real PlanetLab.
+	if maxOff/minOff < 5 {
+		t.Errorf("latency spread %.1f–%.1f too narrow for a PlanetLab-like net", minOff, maxOff)
+	}
+	// Metricity after closure.
+	if v := TriangleViolations(lat, 1e-9); v != 0 {
+		t.Errorf("PlanetLab matrix has %d triangle violations after closure", v)
+	}
+}
+
+func TestPlanetLabDeterministicUnderSeed(t *testing.T) {
+	a := PlanetLab(20, DefaultPlanetLabConfig(), rand.New(rand.NewSource(5)))
+	b := PlanetLab(20, DefaultPlanetLabConfig(), rand.New(rand.NewSource(5)))
+	for i := range a {
+		for j := range a {
+			if a[i][j] != b[i][j] {
+				t.Fatal("PlanetLab not deterministic for a fixed seed")
+			}
+		}
+	}
+}
+
+func TestPlanetLabZeroConfigFallsBack(t *testing.T) {
+	lat := PlanetLab(10, PlanetLabConfig{}, rand.New(rand.NewSource(2)))
+	if len(lat) != 10 {
+		t.Fatal("zero config should fall back to defaults")
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	lat := [][]float64{
+		{0, 2, 4},
+		{6, 0, 8},
+		{2, 0, 0},
+	}
+	Symmetrize(lat)
+	if lat[0][1] != 4 || lat[1][0] != 4 {
+		t.Errorf("symmetrize (0,1): got %v/%v, want 4/4", lat[0][1], lat[1][0])
+	}
+	if lat[0][2] != 3 || lat[2][0] != 3 {
+		t.Errorf("symmetrize (0,2): got %v/%v, want 3/3", lat[0][2], lat[2][0])
+	}
+}
+
+func TestTriangleViolationsDetects(t *testing.T) {
+	lat := [][]float64{
+		{0, 1, 10},
+		{1, 0, 1},
+		{10, 1, 0},
+	}
+	if v := TriangleViolations(lat, 1e-9); v == 0 {
+		t.Error("expected violations in a non-metric matrix")
+	}
+}
+
+func BenchmarkPlanetLab200(b *testing.B) {
+	cfg := DefaultPlanetLabConfig()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PlanetLab(200, cfg, rng)
+	}
+}

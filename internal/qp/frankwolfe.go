@@ -1,0 +1,100 @@
+package qp
+
+import (
+	"math"
+
+	"delaylb/internal/model"
+)
+
+// SolveFrankWolfe minimizes ΣC_i over the product of per-organization
+// simplices with the Frank–Wolfe (conditional gradient) method and exact
+// line search. Each iteration costs O(m²) and produces a duality gap
+//
+//	gap = ⟨∇F(ρ), ρ − v⟩ ≥ F(ρ) − F*,
+//
+// so the returned Result.Gap certifies how far the final cost can be from
+// the optimum. The run stops when gap ≤ Tol·max(1, cost).
+func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
+	opt = opt.withDefaults()
+	m := in.M()
+	var rho [][]float64
+	if opt.Initial != nil {
+		rho = cloneMatrix(opt.Initial)
+	} else {
+		rho = identityRho(m)
+	}
+	loads := make([]float64, m)
+	incoming := make([]float64, m) // Σ of n_k whose FW vertex is column j
+	best := make([]int, m)         // FW vertex column per row
+
+	res := &Result{}
+	for it := 1; it <= opt.MaxIters; it++ {
+		Loads(in, rho, loads)
+
+		// Linear minimization oracle per row: j* = argmin_j l_j/s_j + c_ij.
+		// The duality gap accumulates Σ_i n_i (⟨ρ_i, score_i⟩ − score_ij*).
+		var gap float64
+		for j := range incoming {
+			incoming[j] = 0
+		}
+		for i := 0; i < m; i++ {
+			ni := in.Load[i]
+			lat := in.Latency[i]
+			bestJ, bestScore := i, loads[i]/in.Speed[i] // c_ii = 0
+			if ni == 0 {
+				best[i] = bestJ
+				continue
+			}
+			var cur float64
+			for j := 0; j < m; j++ {
+				score := loads[j]/in.Speed[j] + lat[j]
+				if f := rho[i][j]; f > 0 {
+					cur += f * score
+				}
+				if score < bestScore {
+					bestScore, bestJ = score, j
+				}
+			}
+			best[i] = bestJ
+			incoming[bestJ] += ni
+			gap += ni * (cur - bestScore)
+		}
+
+		cost := Objective(in, rho)
+		res.Iters = it
+		res.Gap = gap
+		if gap <= opt.Tol*math.Max(1, cost) {
+			res.Converged = true
+			break
+		}
+
+		// Exact line search along d = v − ρ: with u_j = Σ_k n_k d_kj,
+		// φ'(0) = −gap and φ''  = Σ_j u_j²/s_j, so t* = gap/φ''.
+		var curvature float64
+		for j := 0; j < m; j++ {
+			u := incoming[j] - loads[j]
+			curvature += u * u / in.Speed[j]
+		}
+		t := 1.0
+		if curvature > 0 {
+			t = math.Min(1, gap/curvature)
+		}
+		if t <= 0 {
+			res.Converged = true
+			break
+		}
+		for i := 0; i < m; i++ {
+			if in.Load[i] == 0 {
+				continue
+			}
+			row := rho[i]
+			for j := range row {
+				row[j] *= 1 - t
+			}
+			row[best[i]] += t
+		}
+	}
+	res.Rho = rho
+	res.Cost = Objective(in, rho)
+	return res
+}

@@ -1,0 +1,145 @@
+package qp
+
+import (
+	"math"
+
+	"delaylb/internal/model"
+)
+
+// SolveProjectedGradient minimizes ΣC_i with projected gradient descent:
+// take a gradient step of size 1/L (L the exact largest Hessian
+// eigenvalue, see LipschitzConstant), project every row back onto its
+// simplex, then move along the resulting feasible direction with exact
+// line search. Stops when the relative objective improvement falls below
+// Tol.
+func SolveProjectedGradient(in *model.Instance, opt Options) *Result {
+	opt = opt.withDefaults()
+	m := in.M()
+	var rho [][]float64
+	if opt.Initial != nil {
+		rho = cloneMatrix(opt.Initial)
+	} else {
+		rho = identityRho(m)
+	}
+	loads := make([]float64, m)
+	grad := newMatrix(m)
+	trial := make([]float64, m)
+	scratch := make([]float64, m)
+	u := make([]float64, m)
+
+	// Per-row allowed masks (forbidden links must stay at 0).
+	masks := make([][]bool, m)
+	hasForbidden := false
+	for i := 0; i < m; i++ {
+		masks[i] = make([]bool, m)
+		for j := 0; j < m; j++ {
+			masks[i][j] = !math.IsInf(in.Latency[i][j], 1)
+			if !masks[i][j] {
+				hasForbidden = true
+			}
+		}
+	}
+
+	l := LipschitzConstant(in)
+	eta := 1.0
+	if l > 0 {
+		eta = 1 / l
+	}
+
+	res := &Result{}
+	cost := Objective(in, rho)
+	for it := 1; it <= opt.MaxIters; it++ {
+		res.Iters = it
+		Loads(in, rho, loads)
+		Gradient(in, loads, grad)
+
+		// Build the feasible direction d = Proj(ρ − η∇F) − ρ row by row,
+		// accumulating u_j = Σ_k n_k d_kj, φ'(0) = ⟨∇F, d⟩ and the
+		// communication part of the directional derivative.
+		for j := range u {
+			u[j] = 0
+		}
+		var dirDeriv float64
+		dirs := newMatrix(m)
+		for i := 0; i < m; i++ {
+			ni := in.Load[i]
+			if ni == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				if math.IsInf(grad[i][j], 1) {
+					trial[j] = math.Inf(-1) // forbidden: masked out below
+				} else {
+					trial[j] = rho[i][j] - eta*grad[i][j]
+				}
+			}
+			if hasForbidden {
+				ProjectSimplexMasked(trial, masks[i], scratch)
+			} else {
+				ProjectSimplex(trial, scratch)
+			}
+			di := dirs[i]
+			for j := 0; j < m; j++ {
+				d := trial[j] - rho[i][j]
+				di[j] = d
+				if d != 0 {
+					u[j] += ni * d
+					dirDeriv += grad[i][j] * d
+				}
+			}
+		}
+		if dirDeriv >= -opt.Tol*math.Max(1, math.Abs(cost)) {
+			res.Converged = true
+			break
+		}
+		var curvature float64
+		for j := 0; j < m; j++ {
+			curvature += u[j] * u[j] / in.Speed[j]
+		}
+		t := 1.0
+		if curvature > 0 {
+			t = math.Min(1, -dirDeriv/curvature)
+		}
+		for i := 0; i < m; i++ {
+			row := rho[i]
+			di := dirs[i]
+			for j := range row {
+				v := row[j] + t*di[j]
+				if v < 0 {
+					v = 0
+				}
+				row[j] = v
+			}
+		}
+		newCost := Objective(in, rho)
+		if cost-newCost <= opt.Tol*math.Max(1, math.Abs(cost)) {
+			cost = newCost
+			res.Converged = true
+			break
+		}
+		cost = newCost
+	}
+	res.Rho = rho
+	res.Cost = Objective(in, rho)
+	return res
+}
+
+// LipschitzConstant returns the largest eigenvalue of the objective's
+// Hessian. The Hessian is block diagonal over columns j, each block being
+// the rank-one matrix n·nᵀ/s_j, so λ_max = ‖n‖² / min_j s_j exactly.
+func LipschitzConstant(in *model.Instance) float64 {
+	var norm2 float64
+	for _, n := range in.Load {
+		norm2 += n * n
+	}
+	minS := math.Inf(1)
+	for _, s := range in.Speed {
+		if s < minS {
+			minS = s
+		}
+	}
+	if math.IsInf(minS, 1) || minS <= 0 {
+		return 0
+	}
+	return norm2 / minS
+}

@@ -1,0 +1,159 @@
+// Package qp implements the centralized optimization view of the load
+// balancing problem (paper §III): the explicit quadratic program
+//
+//	minimize  ΣC_i(ρ) = ρᵀQρ + bᵀρ
+//	s.t.      ρ_ij ≥ 0,  Σ_j ρ_ij = 1 for every organization i,
+//
+// where Q is the m²×m² upper-triangular positive-definite matrix of
+// paper Figure 1 and b_(i,j) = c_ij·n_i.
+//
+// The package provides the dense Q/b construction (for verification and
+// the Figure 1 artifact) and two matrix-free convex solvers that serve as
+// the paper's "standard solver" baseline:
+//
+//   - Frank–Wolfe (conditional gradient), whose duality gap upper-bounds
+//     the distance to the optimum — used to certify reference optima;
+//   - projected gradient with exact line search and Duchi-style
+//     Euclidean projection onto the per-row simplices.
+//
+// Both exploit that the objective's gradient is computable in O(m²):
+// ∂ΣC/∂ρ_ij = n_i (l_j/s_j + c_ij) with l_j = Σ_k n_k ρ_kj.
+package qp
+
+import (
+	"delaylb/internal/model"
+)
+
+// Objective evaluates ΣC_i at the relay-fraction matrix rho in O(m²).
+func Objective(in *model.Instance, rho [][]float64) float64 {
+	m := in.M()
+	var cost float64
+	loads := make([]float64, m)
+	for k := 0; k < m; k++ {
+		nk := in.Load[k]
+		if nk == 0 {
+			continue
+		}
+		for j, f := range rho[k] {
+			loads[j] += nk * f
+		}
+	}
+	for j, l := range loads {
+		cost += l * l / (2 * in.Speed[j])
+	}
+	for i := 0; i < m; i++ {
+		ni := in.Load[i]
+		if ni == 0 {
+			continue
+		}
+		lat := in.Latency[i]
+		for j, f := range rho[i] {
+			if f > 0 && i != j {
+				cost += ni * f * lat[j]
+			}
+		}
+	}
+	return cost
+}
+
+// Loads computes l_j = Σ_k n_k ρ_kj into dst (length m).
+func Loads(in *model.Instance, rho [][]float64, dst []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for k := range rho {
+		nk := in.Load[k]
+		if nk == 0 {
+			continue
+		}
+		for j, f := range rho[k] {
+			dst[j] += nk * f
+		}
+	}
+}
+
+// Gradient writes ∂ΣC/∂ρ_ij = n_i (l_j/s_j + c_ij) into grad, given the
+// current load vector. Forbidden links (c_ij = +Inf) get +Inf gradients.
+func Gradient(in *model.Instance, loads []float64, grad [][]float64) {
+	m := in.M()
+	for i := 0; i < m; i++ {
+		ni := in.Load[i]
+		lat := in.Latency[i]
+		g := grad[i]
+		for j := 0; j < m; j++ {
+			g[j] = ni * (loads[j]/in.Speed[j] + lat[j])
+		}
+	}
+}
+
+// identityRho returns the ρ matrix with ρ_ii = 1, the canonical feasible
+// starting point (each organization keeps its own requests).
+func identityRho(m int) [][]float64 {
+	rho := newMatrix(m)
+	for i := 0; i < m; i++ {
+		rho[i][i] = 1
+	}
+	return rho
+}
+
+// newMatrix allocates an m×m zero matrix backed by a contiguous slice.
+func newMatrix(m int) [][]float64 {
+	rows := make([][]float64, m)
+	buf := make([]float64, m*m)
+	for i := range rows {
+		rows[i], buf = buf[:m:m], buf[m:]
+	}
+	return rows
+}
+
+// cloneMatrix deep-copies a square matrix.
+func cloneMatrix(src [][]float64) [][]float64 {
+	out := newMatrix(len(src))
+	for i, row := range src {
+		copy(out[i], row)
+	}
+	return out
+}
+
+// Options configures the iterative solvers.
+type Options struct {
+	// MaxIters bounds the number of iterations (default 10 000).
+	MaxIters int
+	// Tol is the convergence tolerance. For Frank–Wolfe it bounds the
+	// duality gap relative to the current objective; for projected
+	// gradient it bounds the relative objective improvement per
+	// iteration (default 1e-9).
+	Tol float64
+	// Initial, if non-nil, is the starting ρ (copied, not mutated).
+	Initial [][]float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 10000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	return o
+}
+
+// Result reports the outcome of a solver run.
+type Result struct {
+	// Rho is the final relay-fraction matrix.
+	Rho [][]float64
+	// Cost is ΣC_i(Rho).
+	Cost float64
+	// Iters is the number of iterations performed.
+	Iters int
+	// Converged reports whether the tolerance was met before MaxIters.
+	Converged bool
+	// Gap is the final Frank–Wolfe duality gap (0 for projected
+	// gradient). Cost − Gap is a lower bound on the optimal cost.
+	Gap float64
+}
+
+// Allocation converts the result into a model.Allocation.
+func (r *Result) Allocation(in *model.Instance) *model.Allocation {
+	return model.FromFractions(in, r.Rho)
+}

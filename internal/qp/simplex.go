@@ -1,0 +1,79 @@
+package qp
+
+import (
+	"math"
+	"sort"
+)
+
+// ProjectSimplex overwrites x with its Euclidean projection onto the
+// standard simplex {y : y_i ≥ 0, Σy_i = 1}, using the O(n log n)
+// sort-and-threshold algorithm (Held/Wolfe/Crowder; popularized by
+// Duchi et al. 2008). scratch, if non-nil and large enough, is reused
+// for the sorted copy to avoid allocation.
+func ProjectSimplex(x []float64, scratch []float64) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		x[0] = 1
+		return
+	}
+	var u []float64
+	if cap(scratch) >= n {
+		u = scratch[:n]
+	} else {
+		u = make([]float64, n)
+	}
+	copy(u, x)
+	sort.Sort(sort.Reverse(sort.Float64Slice(u)))
+	var cum float64
+	rho := -1
+	var theta float64
+	for i := 0; i < n; i++ {
+		cum += u[i]
+		t := (cum - 1) / float64(i+1)
+		if u[i]-t > 0 {
+			rho = i
+			theta = t
+		}
+	}
+	if rho < 0 {
+		// Degenerate input (e.g. all -Inf/NaN won't reach here for
+		// finite x): fall back to uniform.
+		for i := range x {
+			x[i] = 1 / float64(n)
+		}
+		return
+	}
+	for i := range x {
+		x[i] = math.Max(0, x[i]-theta)
+	}
+}
+
+// ProjectSimplexMasked projects x onto the simplex restricted to the
+// coordinates where allowed[i] is true; disallowed coordinates are forced
+// to 0. It panics if no coordinate is allowed.
+func ProjectSimplexMasked(x []float64, allowed []bool, scratch []float64) {
+	n := len(x)
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if allowed[i] {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		panic("qp: no allowed coordinate in masked simplex projection")
+	}
+	sub := make([]float64, len(idx))
+	for k, i := range idx {
+		sub[k] = x[i]
+	}
+	ProjectSimplex(sub, scratch)
+	for i := range x {
+		x[i] = 0
+	}
+	for k, i := range idx {
+		x[i] = sub[k]
+	}
+}

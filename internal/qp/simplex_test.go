@@ -1,0 +1,169 @@
+package qp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func onSimplex(x []float64, tol float64) bool {
+	var sum float64
+	for _, v := range x {
+		if v < -tol {
+			return false
+		}
+		sum += v
+	}
+	return math.Abs(sum-1) <= tol
+}
+
+func TestProjectSimplexBasics(t *testing.T) {
+	x := []float64{0.2, 0.3, 0.5}
+	ProjectSimplex(x, nil)
+	if !onSimplex(x, 1e-12) {
+		t.Fatalf("simplex point moved: %v", x)
+	}
+	if math.Abs(x[0]-0.2) > 1e-12 || math.Abs(x[2]-0.5) > 1e-12 {
+		t.Errorf("projection of a simplex point should be identity, got %v", x)
+	}
+
+	x = []float64{10, 0, 0}
+	ProjectSimplex(x, nil)
+	want := []float64{1, 0, 0}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x = %v, want %v", x, want)
+		}
+	}
+
+	x = []float64{-5, -5}
+	ProjectSimplex(x, nil)
+	if !onSimplex(x, 1e-12) {
+		t.Errorf("projection of negative vector not on simplex: %v", x)
+	}
+	if math.Abs(x[0]-0.5) > 1e-12 {
+		t.Errorf("symmetric input should project to uniform, got %v", x)
+	}
+}
+
+func TestProjectSimplexSingleton(t *testing.T) {
+	x := []float64{-3}
+	ProjectSimplex(x, nil)
+	if x[0] != 1 {
+		t.Errorf("singleton projection = %v, want 1", x[0])
+	}
+}
+
+// Property: output on simplex, idempotent, and satisfies the KKT
+// characterization x_i = max(0, y_i − θ) for a single threshold θ.
+func TestProjectSimplexProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = 10 * (rng.Float64() - 0.5)
+		}
+		x := append([]float64(nil), y...)
+		ProjectSimplex(x, nil)
+		if !onSimplex(x, 1e-9) {
+			return false
+		}
+		// Idempotence.
+		x2 := append([]float64(nil), x...)
+		ProjectSimplex(x2, nil)
+		for i := range x {
+			if math.Abs(x[i]-x2[i]) > 1e-9 {
+				return false
+			}
+		}
+		// KKT: recover θ from any strictly positive coordinate; all
+		// coordinates must then satisfy the max(0, y−θ) form.
+		theta := math.Inf(-1)
+		for i := range x {
+			if x[i] > 1e-12 {
+				theta = y[i] - x[i]
+				break
+			}
+		}
+		for i := range x {
+			want := math.Max(0, y[i]-theta)
+			if math.Abs(x[i]-want) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the projection is the nearest simplex point — no random
+// feasible point may be closer to the input.
+func TestProjectSimplexNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(6)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = 6 * (rng.Float64() - 0.5)
+		}
+		x := append([]float64(nil), y...)
+		ProjectSimplex(x, nil)
+		distX := 0.0
+		for i := range y {
+			distX += (x[i] - y[i]) * (x[i] - y[i])
+		}
+		// Random feasible competitor.
+		z := make([]float64, n)
+		var sum float64
+		for i := range z {
+			z[i] = rng.Float64()
+			sum += z[i]
+		}
+		distZ := 0.0
+		for i := range z {
+			z[i] /= sum
+			distZ += (z[i] - y[i]) * (z[i] - y[i])
+		}
+		if distZ < distX-1e-9 {
+			t.Fatalf("found closer feasible point: %v < %v", distZ, distX)
+		}
+	}
+}
+
+func TestProjectSimplexMasked(t *testing.T) {
+	x := []float64{5, 5, 5, 5}
+	allowed := []bool{true, false, true, false}
+	ProjectSimplexMasked(x, allowed, nil)
+	if x[1] != 0 || x[3] != 0 {
+		t.Errorf("disallowed coordinates non-zero: %v", x)
+	}
+	if math.Abs(x[0]+x[2]-1) > 1e-12 {
+		t.Errorf("allowed coordinates do not sum to 1: %v", x)
+	}
+}
+
+func TestProjectSimplexMaskedPanicsWhenEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for all-false mask")
+		}
+	}()
+	ProjectSimplexMasked([]float64{1, 2}, []bool{false, false}, nil)
+}
+
+func BenchmarkProjectSimplex(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 300)
+	scratch := make([]float64, 300)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = rng.Float64() * 3
+		}
+		ProjectSimplex(x, scratch)
+	}
+}

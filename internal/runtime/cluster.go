@@ -1,0 +1,122 @@
+package runtime
+
+import (
+	"sync"
+
+	"delaylb/internal/model"
+)
+
+// Cluster runs every Server in its own goroutine, connected by buffered
+// in-memory channels — the concurrent counterpart of SimBus. Ticks are
+// broadcast by the caller; the cluster guarantees that each server's
+// handler runs single-threaded over its inbox.
+type Cluster struct {
+	in      *model.Instance
+	servers []*Server
+	inboxes []chan Message
+	wg      sync.WaitGroup
+	mu      []sync.Mutex // one per server: handler vs. snapshot
+	stopped chan struct{}
+}
+
+// NewCluster builds the goroutine cluster from an instance (identity
+// start), with the given proposal gain threshold and seed.
+func NewCluster(in *model.Instance, minGain float64, seed int64) *Cluster {
+	m := in.M()
+	c := &Cluster{
+		in:      in,
+		inboxes: make([]chan Message, m),
+		mu:      make([]sync.Mutex, m),
+		stopped: make(chan struct{}),
+	}
+	sim := NewSimBus(in, minGain, seed) // reuse server construction
+	c.servers = sim.Servers
+	for i := 0; i < m; i++ {
+		c.inboxes[i] = make(chan Message, 16*m)
+	}
+	for i := 0; i < m; i++ {
+		c.wg.Add(1)
+		go c.loop(i)
+	}
+	return c
+}
+
+func (c *Cluster) loop(i int) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stopped:
+			return
+		case msg := <-c.inboxes[i]:
+			c.mu[i].Lock()
+			out := c.servers[i].Handle(msg)
+			c.mu[i].Unlock()
+			for _, o := range out {
+				select {
+				case c.inboxes[o.To] <- o:
+				case <-c.stopped:
+					return
+				}
+			}
+		}
+	}
+}
+
+// TickAll sends one tick to every server (non-blocking for the caller as
+// long as inboxes have room).
+func (c *Cluster) TickAll() {
+	for i := range c.inboxes {
+		select {
+		case c.inboxes[i] <- Message{Kind: MsgTick, To: i}:
+		case <-c.stopped:
+			return
+		}
+	}
+}
+
+// Quiesce waits until all inboxes are empty (a heuristic settle point:
+// messages in flight between channel reads are not observable, so the
+// caller should tick-and-quiesce repeatedly rather than rely on a single
+// call).
+func (c *Cluster) Quiesce() {
+	for {
+		empty := true
+		for i := range c.inboxes {
+			if len(c.inboxes[i]) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return
+		}
+	}
+}
+
+// Allocation snapshots the current global allocation. Columns are read
+// under their per-server locks; the snapshot is per-column consistent
+// (an in-flight pair exchange may be half-visible, which only matters to
+// observers — the protocol itself never reads a foreign column).
+func (c *Cluster) Allocation() *model.Allocation {
+	m := len(c.servers)
+	a := model.NewAllocation(m)
+	for j, s := range c.servers {
+		c.mu[j].Lock()
+		for k, v := range s.col {
+			a.R[k][j] = v
+		}
+		c.mu[j].Unlock()
+	}
+	return a
+}
+
+// Cost evaluates the global ΣC_i of the snapshot.
+func (c *Cluster) Cost() float64 {
+	return model.TotalCost(c.in, c.Allocation())
+}
+
+// Stop terminates all server goroutines.
+func (c *Cluster) Stop() {
+	close(c.stopped)
+	c.wg.Wait()
+}

@@ -1,0 +1,69 @@
+// Package runtime turns the MinE optimizer into an actual distributed
+// system: each server runs as an independent event-driven node that (a)
+// gossips load/speed information, (b) proposes pairwise balances to the
+// locally most promising partner, and (c) executes the paper's
+// Algorithm 1 on the two participants' columns when a proposal is
+// accepted — exactly the protocol sketched in §IV ("the i-th server in
+// each step communicates with the locally optimal partner server").
+//
+// The node logic (Server.Handle) is a pure message-in/messages-out state
+// machine, so it runs identically under three buses:
+//
+//   - SimBus: deterministic, single-threaded delivery for tests and
+//     experiments;
+//   - Cluster: one goroutine per server over in-memory channels;
+//   - TCPCluster: servers connected by real TCP sockets with gob-encoded
+//     messages (see tcp.go).
+//
+// The runtime assumes symmetric latencies (c_ij = c_ji), which lets a
+// server use its own latency row as the c_ki column Algorithm 1 needs.
+package runtime
+
+// MsgKind enumerates the protocol messages.
+type MsgKind int
+
+const (
+	// MsgTick triggers one activity step at a server: a gossip exchange
+	// and, when idle, a balance proposal to the best-looking partner.
+	MsgTick MsgKind = iota
+	// MsgGossip carries a (load, speed, version) table; if Reply is set,
+	// the receiver answers with its own table (push–pull).
+	MsgGossip
+	// MsgPropose asks the receiver to rebalance with the sender.
+	// It carries the sender's column, speed and latency row.
+	MsgPropose
+	// MsgAccept answers a proposal with the sender's updated column.
+	MsgAccept
+	// MsgReject declines a proposal (receiver busy).
+	MsgReject
+)
+
+// GossipEntry is one row of the load/speed table spread by gossip.
+type GossipEntry struct {
+	Origin  int
+	Load    float64
+	Speed   float64
+	Version uint64
+	Known   bool
+}
+
+// Message is the single wire format of the protocol; unused fields stay
+// zero. Keeping one concrete struct makes gob encoding trivial.
+type Message struct {
+	Kind MsgKind
+	From int
+	To   int
+
+	// MsgGossip
+	Table []GossipEntry
+	Reply bool
+
+	// MsgPropose: proposer's state.
+	Col   []float64 // r_k,From for every organization k
+	Lat   []float64 // proposer's latency row (== its latency column)
+	Speed float64
+	Load  float64 // proposer's current server load
+
+	// MsgAccept: the proposer's new column after Algorithm 1.
+	NewCol []float64
+}

@@ -1,0 +1,235 @@
+package runtime
+
+import (
+	"math"
+	"math/rand"
+
+	"delaylb/internal/core"
+)
+
+// Server is one node of the distributed load balancer. All state is
+// private to the node: its column of the allocation (who executes on it),
+// its latency row, and gossiped knowledge about the other servers. It
+// must only be driven from a single goroutine.
+type Server struct {
+	ID int
+
+	speed  float64
+	latRow []float64 // c_{ID,k}; assumed symmetric so it doubles as c_{k,ID}
+	col    []float64 // col[k] = requests of organization k executing here
+
+	table   []GossipEntry // local view of everyone's (load, speed)
+	version uint64        // own announcement version
+
+	busy    bool // a proposal is in flight
+	pending int  // partner of the in-flight proposal
+
+	minGain float64
+	rng     *rand.Rand
+
+	// scratch buffers for Algorithm 1
+	order []int
+	keys  []float64
+}
+
+// NewServer creates a node. col is the server's initial column (e.g. the
+// identity allocation: own load on itself); latRow must be the symmetric
+// latency row of the node. minGain is the improvement threshold below
+// which no proposal is sent.
+func NewServer(id, m int, speed float64, latRow, col []float64, minGain float64, rng *rand.Rand) *Server {
+	s := &Server{
+		ID:      id,
+		speed:   speed,
+		latRow:  append([]float64(nil), latRow...),
+		col:     append([]float64(nil), col...),
+		table:   make([]GossipEntry, m),
+		minGain: minGain,
+		rng:     rng,
+		order:   make([]int, m),
+		keys:    make([]float64, m),
+	}
+	s.announce()
+	return s
+}
+
+// Column returns a copy of the server's current column.
+func (s *Server) Column() []float64 {
+	return append([]float64(nil), s.col...)
+}
+
+// load is the server's true current load: the sum of its column.
+func (s *Server) load() float64 {
+	var l float64
+	for _, v := range s.col {
+		l += v
+	}
+	return l
+}
+
+// announce refreshes the server's own gossip entry.
+func (s *Server) announce() {
+	s.version++
+	s.table[s.ID] = GossipEntry{
+		Origin:  s.ID,
+		Load:    s.load(),
+		Speed:   s.speed,
+		Version: s.version,
+		Known:   true,
+	}
+}
+
+// Handle processes one message and returns the messages to send.
+func (s *Server) Handle(msg Message) []Message {
+	switch msg.Kind {
+	case MsgTick:
+		return s.onTick()
+	case MsgGossip:
+		return s.onGossip(msg)
+	case MsgPropose:
+		return s.onPropose(msg)
+	case MsgAccept:
+		return s.onAccept(msg)
+	case MsgReject:
+		s.busy = false
+		return nil
+	default:
+		return nil
+	}
+}
+
+func (s *Server) onTick() []Message {
+	s.announce()
+	var out []Message
+	m := len(s.table)
+	// Push–pull gossip with one random peer.
+	if peer := s.rng.Intn(m); peer != s.ID {
+		out = append(out, Message{
+			Kind:  MsgGossip,
+			From:  s.ID,
+			To:    peer,
+			Table: append([]GossipEntry(nil), s.table...),
+			Reply: true,
+		})
+	}
+	if s.busy {
+		return out
+	}
+	partner := s.bestPartner()
+	if partner < 0 {
+		// No partner looks profitable through the load-only proxy. Third-
+		// party rerouting gains (invisible to the proxy) may remain, and
+		// Algorithm 1 never makes things worse, so explore: propose to a
+		// random reachable peer. This makes the steady state randomized
+		// pairwise balancing, whose fixed point is pairwise stability —
+		// the global optimum (§IV-A).
+		cand := s.rng.Intn(m)
+		if cand != s.ID && !math.IsInf(s.latRow[cand], 1) {
+			partner = cand
+		}
+	}
+	if partner >= 0 {
+		s.busy = true
+		s.pending = partner
+		out = append(out, Message{
+			Kind:  MsgPropose,
+			From:  s.ID,
+			To:    partner,
+			Col:   s.Column(),
+			Lat:   append([]float64(nil), s.latRow...),
+			Speed: s.speed,
+			Load:  s.load(),
+		})
+	}
+	return out
+}
+
+// bestPartner scores all peers with the O(1) aggregate-transfer proxy
+// over gossiped loads and speeds (see core.StrategyProxy) and returns
+// the best, or −1 when no transfer looks profitable.
+func (s *Server) bestPartner() int {
+	li := s.load()
+	si := s.speed
+	bestJ, bestGain := -1, s.minGain
+	for j, e := range s.table {
+		if j == s.ID || !e.Known || math.IsInf(s.latRow[j], 1) {
+			continue
+		}
+		lj, sj, c := e.Load, e.Speed, s.latRow[j]
+		gain := 0.0
+		if d := ((sj*li - si*lj) - si*sj*c) / (si + sj); d > 0 {
+			dd := math.Min(d, li)
+			gain = quadGain(si, sj, li, lj, c, dd)
+		}
+		if d := ((si*lj - sj*li) - si*sj*c) / (si + sj); d > 0 {
+			dd := math.Min(d, lj)
+			if g := quadGain(sj, si, lj, li, c, dd); g > gain {
+				gain = g
+			}
+		}
+		if gain > bestGain {
+			bestGain, bestJ = gain, j
+		}
+	}
+	return bestJ
+}
+
+func quadGain(si, sj, li, lj, c, d float64) float64 {
+	before := li*li/(2*si) + lj*lj/(2*sj)
+	after := (li-d)*(li-d)/(2*si) + (lj+d)*(lj+d)/(2*sj) + c*d
+	return before - after
+}
+
+func (s *Server) onGossip(msg Message) []Message {
+	for _, e := range msg.Table {
+		if !e.Known || e.Origin < 0 || e.Origin >= len(s.table) || e.Origin == s.ID {
+			continue
+		}
+		if cur := s.table[e.Origin]; !cur.Known || cur.Version < e.Version {
+			s.table[e.Origin] = e
+		}
+	}
+	if msg.Reply {
+		return []Message{{
+			Kind:  MsgGossip,
+			From:  s.ID,
+			To:    msg.From,
+			Table: append([]GossipEntry(nil), s.table...),
+		}}
+	}
+	return nil
+}
+
+// onPropose runs Algorithm 1 between the proposer (acting as "server i")
+// and this node ("server j"), adopts its own new column and ships the
+// proposer's new column back.
+func (s *Server) onPropose(msg Message) []Message {
+	if s.busy {
+		return []Message{{Kind: MsgReject, From: s.ID, To: msg.From}}
+	}
+	ri := append([]float64(nil), msg.Col...)
+	rj := append([]float64(nil), s.col...)
+	core.BalanceColumns(msg.Speed, s.speed, ri, rj, msg.Lat, s.latRow, s.order, s.keys)
+	s.col = rj
+	s.announce()
+	// Track the proposer's new load in the local table.
+	var li float64
+	for _, v := range ri {
+		li += v
+	}
+	if e := &s.table[msg.From]; e.Known {
+		e.Load = li
+		e.Version++
+	} else {
+		*e = GossipEntry{Origin: msg.From, Load: li, Speed: msg.Speed, Version: 1, Known: true}
+	}
+	return []Message{{Kind: MsgAccept, From: s.ID, To: msg.From, NewCol: ri}}
+}
+
+func (s *Server) onAccept(msg Message) []Message {
+	if msg.From == s.pending {
+		s.col = append(s.col[:0], msg.NewCol...)
+		s.announce()
+	}
+	s.busy = false
+	return nil
+}

@@ -1,0 +1,172 @@
+package runtime
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"delaylb/internal/model"
+)
+
+// TCPNode hosts one Server behind a real TCP listener, exchanging
+// gob-encoded Messages with its peers — the deployment shape of the
+// distributed algorithm. Peers are addressed by an address book mapping
+// server id → host:port.
+type TCPNode struct {
+	Server *Server
+
+	listener net.Listener
+	book     map[int]string
+	mu       sync.Mutex
+	conns    map[int]*gob.Encoder
+	rawConns []net.Conn
+	wg       sync.WaitGroup
+	closed   chan struct{}
+}
+
+// NewTCPNode starts a node listening on addr ("127.0.0.1:0" for an
+// ephemeral port). Call Addr to learn the bound address, SetBook to
+// install the address book once all peers are up, then Tick to drive it.
+func NewTCPNode(srv *Server, addr string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: listen %s: %w", addr, err)
+	}
+	n := &TCPNode{
+		Server:   srv,
+		listener: ln,
+		conns:    make(map[int]*gob.Encoder),
+		closed:   make(chan struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's bound listen address.
+func (n *TCPNode) Addr() string { return n.listener.Addr().String() }
+
+// SetBook installs the id → address mapping.
+func (n *TCPNode) SetBook(book map[int]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.book = make(map[int]string, len(book))
+	for id, a := range book {
+		n.book[id] = a
+	}
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		n.rawConns = append(n.rawConns, conn)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		n.Deliver(msg)
+	}
+}
+
+// Deliver hands a message to the server (serialized by the node lock)
+// and ships the responses.
+func (n *TCPNode) Deliver(msg Message) {
+	n.mu.Lock()
+	out := n.Server.Handle(msg)
+	n.mu.Unlock()
+	for _, o := range out {
+		if err := n.send(o); err != nil {
+			return // peer gone; drop (the protocol is retry-tolerant)
+		}
+	}
+}
+
+// Tick triggers one activity step, as the cluster drivers do.
+func (n *TCPNode) Tick() {
+	n.Deliver(Message{Kind: MsgTick, To: n.Server.ID})
+}
+
+func (n *TCPNode) send(msg Message) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	enc, ok := n.conns[msg.To]
+	if !ok {
+		addr, known := n.book[msg.To]
+		if !known {
+			return fmt.Errorf("runtime: no address for server %d", msg.To)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return err
+		}
+		n.rawConns = append(n.rawConns, conn)
+		enc = gob.NewEncoder(conn)
+		n.conns[msg.To] = enc
+	}
+	if err := enc.Encode(msg); err != nil {
+		delete(n.conns, msg.To)
+		return err
+	}
+	return nil
+}
+
+// Column snapshots the server's column under the node lock.
+func (n *TCPNode) Column() []float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.Server.Column()
+}
+
+// Close shuts down the listener and all connections.
+func (n *TCPNode) Close() {
+	close(n.closed)
+	n.listener.Close()
+	n.mu.Lock()
+	for _, c := range n.rawConns {
+		c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// NewTCPClusterFromInstance spins up one TCPNode per server of the
+// instance on loopback ephemeral ports, wires the address books, and
+// returns the nodes. Callers drive them with Tick and must Close each.
+func NewTCPClusterFromInstance(in *model.Instance, minGain float64, seed int64) ([]*TCPNode, error) {
+	sim := NewSimBus(in, minGain, seed)
+	nodes := make([]*TCPNode, 0, in.M())
+	for _, srv := range sim.Servers {
+		node, err := NewTCPNode(srv, "127.0.0.1:0")
+		if err != nil {
+			for _, p := range nodes {
+				p.Close()
+			}
+			return nil, err
+		}
+		nodes = append(nodes, node)
+	}
+	book := make(map[int]string, len(nodes))
+	for i, n := range nodes {
+		book[i] = n.Addr()
+	}
+	for _, n := range nodes {
+		n.SetBook(book)
+	}
+	return nodes, nil
+}

@@ -1,0 +1,70 @@
+package sweep
+
+import (
+	"math/rand"
+
+	"delaylb/internal/coords"
+	"delaylb/internal/core"
+	"delaylb/internal/dynamic"
+	"delaylb/internal/model"
+	"delaylb/internal/workload"
+)
+
+// LatencyEstimationResult quantifies what the paper's "pairwise
+// latencies are known" assumption costs when the latencies instead come
+// from a Vivaldi coordinate embedding (the monitoring substrate the
+// paper cites as [9]/[32]).
+type LatencyEstimationResult struct {
+	// MedianRelErr is the embedding's median relative latency error.
+	MedianRelErr float64
+	// TrueOptCost is ΣC_i of the optimum computed with true latencies.
+	TrueOptCost float64
+	// EstPlanCost is the true ΣC_i of the plan computed with estimated
+	// latencies — what the system actually pays when optimizing over
+	// the embedding.
+	EstPlanCost float64
+	// Penalty = EstPlanCost/TrueOptCost − 1.
+	Penalty float64
+}
+
+// LatencyEstimationAblation trains Vivaldi on the true matrix, runs MinE
+// over the estimated matrix, and evaluates the resulting allocation
+// under the true latencies.
+func LatencyEstimationAblation(m int, samplesPerNode int, seed int64) LatencyEstimationResult {
+	rng := rand.New(rand.NewSource(seed))
+	in := BuildInstance(m, NetPlanetLab, SpeedUniform, workload.KindExponential, 100, rng)
+
+	space := coords.NewSpace(m, 3, rand.New(rand.NewSource(seed+1)))
+	space.Train(in.Latency, samplesPerNode)
+	est := space.EstimateMatrix()
+
+	estIn := &model.Instance{Speed: in.Speed, Load: in.Load, Latency: est}
+	planAlloc, _ := core.Run(estIn, core.Config{Rng: rand.New(rand.NewSource(seed + 2))})
+
+	trueOpt := core.ReferenceOptimum(in, rand.New(rand.NewSource(seed+3)))
+	planCost := model.TotalCost(in, planAlloc) // evaluated under TRUE latencies
+
+	res := LatencyEstimationResult{
+		MedianRelErr: space.MedianRelativeError(in.Latency),
+		TrueOptCost:  trueOpt,
+		EstPlanCost:  planCost,
+	}
+	if trueOpt > 0 {
+		res.Penalty = planCost/trueOpt - 1
+	}
+	return res
+}
+
+// DynamicTrackingAblation runs the dynamic-workload tracking experiment
+// (see internal/dynamic) on a standard evaluation instance.
+func DynamicTrackingAblation(m, epochs int, churn float64, seed int64) ([]dynamic.EpochStats, dynamic.Summary) {
+	rng := rand.New(rand.NewSource(seed))
+	in := BuildInstance(m, NetPlanetLab, SpeedUniform, workload.KindExponential, 100, rng)
+	stats := dynamic.Track(in, dynamic.Config{
+		Epochs:    epochs,
+		Churn:     churn,
+		SpikeProb: 0.05,
+		Seed:      seed + 1,
+	})
+	return stats, dynamic.Summarize(stats)
+}

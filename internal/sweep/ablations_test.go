@@ -1,0 +1,39 @@
+package sweep
+
+import "testing"
+
+func TestLatencyEstimationAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation experiment: skipped in -short mode")
+	}
+	res := LatencyEstimationAblation(25, 200, 1)
+	if res.MedianRelErr <= 0 || res.MedianRelErr > 0.5 {
+		t.Errorf("median embedding error %v outside plausible range", res.MedianRelErr)
+	}
+	if res.EstPlanCost < res.TrueOptCost*(1-1e-6) {
+		t.Errorf("plan under estimated latencies (%v) beats the true optimum (%v)",
+			res.EstPlanCost, res.TrueOptCost)
+	}
+	// Optimizing over a decent embedding should cost only a modest
+	// premium under the true latencies.
+	if res.Penalty > 0.25 {
+		t.Errorf("estimation penalty %.1f%%, want ≤ 25%%", 100*res.Penalty)
+	}
+}
+
+func TestDynamicTrackingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation experiment: skipped in -short mode")
+	}
+	stats, sum := DynamicTrackingAblation(15, 4, 0.15, 2)
+	if len(stats) != 4 {
+		t.Fatalf("got %d epochs", len(stats))
+	}
+	if sum.AvgWarmIters > sum.AvgColdIters+0.51 {
+		t.Errorf("warm %.2f iters vs cold %.2f — tracking advantage lost",
+			sum.AvgWarmIters, sum.AvgColdIters)
+	}
+	if sum.StalenessAvg < 0 {
+		t.Errorf("negative staleness %v", sum.StalenessAvg)
+	}
+}

@@ -1,0 +1,72 @@
+// Package sweep is the experiment harness: it rebuilds the instances of
+// the paper's evaluation (§VI-A settings), runs the algorithms, and
+// aggregates the rows of every table and figure. cmd/tables and the
+// repository-level benchmarks are thin wrappers around this package.
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"delaylb/internal/model"
+	"delaylb/internal/netmodel"
+	"delaylb/internal/workload"
+)
+
+// NetworkKind selects one of the two network families of §VI-A.
+type NetworkKind string
+
+const (
+	// NetHomogeneous: all pairwise latencies equal to 20 ms.
+	NetHomogeneous NetworkKind = "c=20"
+	// NetPlanetLab: the synthetic PlanetLab-like heterogeneous network.
+	NetPlanetLab NetworkKind = "PL"
+)
+
+// SpeedKind selects the server speed family of Table III.
+type SpeedKind string
+
+const (
+	// SpeedConst: every server has speed 1 ("const s_i").
+	SpeedConst SpeedKind = "const"
+	// SpeedUniform: speeds uniform on [1, 5] ("uniform s_i").
+	SpeedUniform SpeedKind = "uniform"
+)
+
+// BuildInstance assembles one experiment instance: m servers, the given
+// network, speed family and load distribution with the given average
+// (for the peak distribution avg is the total peak size).
+func BuildInstance(m int, net NetworkKind, sk SpeedKind, dist workload.Kind, avg float64, rng *rand.Rand) *model.Instance {
+	var lat [][]float64
+	switch net {
+	case NetHomogeneous:
+		lat = netmodel.Homogeneous(m, 20)
+	case NetPlanetLab:
+		lat = netmodel.PlanetLab(m, netmodel.DefaultPlanetLabConfig(), rng)
+	default:
+		panic(fmt.Sprintf("sweep: unknown network kind %q", net))
+	}
+	var speeds []float64
+	switch sk {
+	case SpeedConst:
+		speeds = workload.ConstSpeeds(m, 1)
+	case SpeedUniform:
+		speeds = workload.UniformSpeeds(m, 1, 5, rng)
+	default:
+		panic(fmt.Sprintf("sweep: unknown speed kind %q", sk))
+	}
+	return &model.Instance{
+		Speed:   speeds,
+		Load:    workload.Loads(dist, m, avg, rng),
+		Latency: lat,
+	}
+}
+
+// SizeGroup formats a network size the way the paper's tables group them
+// ("m ≤ 50" pools 20, 30 and 50).
+func SizeGroup(m int) string {
+	if m <= 50 {
+		return "m<=50"
+	}
+	return fmt.Sprintf("m=%d", m)
+}

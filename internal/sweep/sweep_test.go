@@ -1,0 +1,262 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+
+	"delaylb/internal/workload"
+)
+
+func TestBuildInstanceShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, net := range []NetworkKind{NetHomogeneous, NetPlanetLab} {
+		for _, sk := range []SpeedKind{SpeedConst, SpeedUniform} {
+			in := BuildInstance(30, net, sk, workload.KindUniform, 50, rng)
+			if err := in.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", net, sk, err)
+			}
+			if in.M() != 30 {
+				t.Fatalf("m = %d, want 30", in.M())
+			}
+		}
+	}
+}
+
+func TestBuildInstanceHomogeneousLatency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := BuildInstance(10, NetHomogeneous, SpeedConst, workload.KindUniform, 50, rng)
+	if in.Latency[0][1] != 20 {
+		t.Errorf("homogeneous latency = %v, want 20", in.Latency[0][1])
+	}
+	if in.Speed[0] != 1 || in.Speed[9] != 1 {
+		t.Errorf("const speeds = %v", in.Speed[:3])
+	}
+}
+
+func TestBuildInstancePanicsOnBadKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range []func(){
+		func() { BuildInstance(5, NetworkKind("x"), SpeedConst, workload.KindUniform, 1, rng) },
+		func() { BuildInstance(5, NetHomogeneous, SpeedKind("x"), workload.KindUniform, 1, rng) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSizeGroup(t *testing.T) {
+	cases := map[int]string{20: "m<=50", 50: "m<=50", 100: "m=100", 300: "m=300"}
+	for m, want := range cases {
+		if got := SizeGroup(m); got != want {
+			t.Errorf("SizeGroup(%d) = %q, want %q", m, got, want)
+		}
+	}
+}
+
+// A reduced Table I run must reproduce the paper's qualitative findings:
+// convergence within a dozen iterations, and peak loads converging slower
+// than uniform loads.
+func TestConvergenceTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment: skipped in -short mode")
+	}
+	cfg := ConvergenceConfig{
+		Sizes:     []int{20, 50},
+		Dists:     []workload.Kind{workload.KindUniform, workload.KindPeak},
+		AvgLoads:  []float64{50},
+		PeakTotal: 100000,
+		Networks:  []NetworkKind{NetHomogeneous, NetPlanetLab},
+		Tol:       0.02,
+		Repeats:   2,
+		Seed:      1,
+		MaxIters:  100,
+	}
+	rows := ConvergenceTable(cfg)
+	if len(rows) != 2 { // one group (m<=50) × two distributions
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	var uniform, peak ConvergenceRow
+	for _, r := range rows {
+		switch r.Dist {
+		case workload.KindUniform:
+			uniform = r
+		case workload.KindPeak:
+			peak = r
+		}
+	}
+	if uniform.Summary.Max > 12 {
+		t.Errorf("uniform loads took up to %v iterations, paper reports ≤ 3", uniform.Summary.Max)
+	}
+	if peak.Summary.Max > 20 {
+		t.Errorf("peak loads took up to %v iterations, paper reports ≤ 6-8", peak.Summary.Max)
+	}
+	if peak.Summary.Avg < uniform.Summary.Avg {
+		t.Errorf("peak (%v) should converge slower than uniform (%v)",
+			peak.Summary.Avg, uniform.Summary.Avg)
+	}
+}
+
+// Table II (0.1%) must need at least as many iterations as Table I (2%).
+func TestTighterToleranceNeedsMoreIterations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment: skipped in -short mode")
+	}
+	base := ConvergenceConfig{
+		Sizes:    []int{30},
+		Dists:    []workload.Kind{workload.KindExponential},
+		AvgLoads: []float64{50},
+		Networks: []NetworkKind{NetPlanetLab},
+		Repeats:  3,
+		Seed:     2,
+		MaxIters: 100,
+	}
+	loose := base
+	loose.Tol = 0.02
+	tight := base
+	tight.Tol = 0.001
+	looseRows := ConvergenceTable(loose)
+	tightRows := ConvergenceTable(tight)
+	if tightRows[0].Summary.Avg < looseRows[0].Summary.Avg {
+		t.Errorf("0.1%% target took %v iters, 2%% took %v — tighter must not be faster",
+			tightRows[0].Summary.Avg, looseRows[0].Summary.Avg)
+	}
+}
+
+// Table III shape: PoA ≥ 1 everywhere, small overall, and (the paper's
+// headline) larger for constant speeds on the homogeneous network at
+// medium load than for uniform speeds on PlanetLab.
+func TestSelfishnessTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment: skipped in -short mode")
+	}
+	cfg := SelfishnessConfig{
+		Sizes:      []int{20, 30},
+		SpeedKinds: []SpeedKind{SpeedConst, SpeedUniform},
+		LavBuckets: []LavBucket{
+			{Label: "lav=50", Loads: []float64{50}},
+			{Label: "lav>=200", Loads: []float64{200}},
+		},
+		Networks: []NetworkKind{NetHomogeneous, NetPlanetLab},
+		Repeats:  2,
+		Seed:     3,
+	}
+	rows := SelfishnessTable(cfg)
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	get := func(sk SpeedKind, lav string, net NetworkKind) SelfishnessRow {
+		for _, r := range rows {
+			if r.SpeedKind == sk && r.LavLabel == lav && r.Network == net {
+				return r
+			}
+		}
+		t.Fatalf("row %v/%v/%v missing", sk, lav, net)
+		return SelfishnessRow{}
+	}
+	for _, r := range rows {
+		if r.Summary.Min < 1-1e-6 {
+			t.Errorf("row %+v has ratio < 1", r)
+		}
+		if r.Summary.Max > 1.25 {
+			t.Errorf("row %+v exceeds the paper's ≈1.15 ceiling by a wide margin", r)
+		}
+	}
+	// The paper's highest cost: const speeds, homogeneous net, medium lav.
+	hot := get(SpeedConst, "lav=50", NetHomogeneous)
+	cold := get(SpeedUniform, "lav>=200", NetPlanetLab)
+	if hot.Summary.Avg < cold.Summary.Avg {
+		t.Errorf("const/c=20/lav=50 (%v) should cost more than uniform/PL/lav≥200 (%v)",
+			hot.Summary.Avg, cold.Summary.Avg)
+	}
+}
+
+// Figure 2 shape: cost decreases monotonically and the bulk of the
+// improvement lands in the first few iterations (exponential decrease).
+func TestFigure2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment: skipped in -short mode")
+	}
+	cfg := Figure2Config{
+		Sizes:      []int{200},
+		PeakTotal:  100000,
+		Iterations: 15,
+		Seed:       4,
+		Strategy:   0, // exact is fine at this reduced size
+	}
+	series := Figure2(cfg)
+	if len(series) != 1 {
+		t.Fatalf("got %d series", len(series))
+	}
+	costs := series[0].Costs
+	for k := 1; k < len(costs); k++ {
+		if costs[k] > costs[k-1]*(1+1e-9) {
+			t.Fatalf("cost increased at iteration %d", k)
+		}
+	}
+	total := costs[0] - costs[len(costs)-1]
+	first3 := costs[0] - costs[3]
+	if total <= 0 {
+		t.Fatal("no improvement at all")
+	}
+	if first3/total < 0.9 {
+		t.Errorf("first 3 iterations captured only %.0f%% of the improvement, want ≥ 90%%",
+			100*first3/total)
+	}
+}
+
+// Table IV shape via the harness: flat below the knee, rising after, σ
+// growing, ANOVA mostly accepting at light loads.
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment: skipped in -short mode")
+	}
+	cfg := DefaultTable4Config()
+	cfg.Probes = 100 // keep the test quick; cmd/tables uses 300
+	res := Table4(cfg)
+	if len(res.Rows) != len(cfg.ThroughputsKBps) {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	byTb := map[float64]Table4Row{}
+	for _, r := range res.Rows {
+		byTb[r.ThroughputKBps] = r
+	}
+	if mu := byTb[100].Mu; mu > 0.05 || mu < -0.05 {
+		t.Errorf("μ(100 KB/s) = %v, want ≈0", mu)
+	}
+	if byTb[500].Mu < 0.05 {
+		t.Errorf("μ(500 KB/s) = %v, want clearly positive", byTb[500].Mu)
+	}
+	if byTb[2000].Sigma < byTb[100].Sigma {
+		t.Errorf("σ should grow with load: σ(2MB/s)=%v < σ(100KB/s)=%v",
+			byTb[2000].Sigma, byTb[100].Sigma)
+	}
+	if res.ANOVAAcceptFrac < 0.8 {
+		t.Errorf("ANOVA accepted for %.0f%% of pairs, want ≥ 80%%", 100*res.ANOVAAcceptFrac)
+	}
+}
+
+// §VI-B ablation: cycle removal must not change the iteration counts.
+func TestCycleAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment: skipped in -short mode")
+	}
+	res := CycleAblation([]int{20, 40}, 2, 5)
+	if len(res.ItersWith) != len(res.ItersWithout) || len(res.ItersWith) == 0 {
+		t.Fatal("mismatched ablation outputs")
+	}
+	// The paper found identical counts in all experiments; we tolerate a
+	// 1-iteration wobble from float noise but flag systematic drift.
+	for k := range res.ItersWith {
+		d := res.ItersWith[k] - res.ItersWithout[k]
+		if d < -1 || d > 1 {
+			t.Errorf("run %d: %d iters with removal vs %d without",
+				k, res.ItersWith[k], res.ItersWithout[k])
+		}
+	}
+}

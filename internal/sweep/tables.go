@@ -1,0 +1,256 @@
+package sweep
+
+import (
+	"math/rand"
+	"sort"
+
+	"delaylb/internal/core"
+	"delaylb/internal/game"
+	"delaylb/internal/model"
+	"delaylb/internal/stats"
+	"delaylb/internal/workload"
+)
+
+// ConvergenceConfig drives Tables I and II: how many iterations the
+// distributed algorithm needs to reach a relative error target.
+type ConvergenceConfig struct {
+	// Sizes are the network sizes; the paper uses 20,30,50,100,200,300.
+	Sizes []int
+	// Dists are the load distributions (uniform, exp, peak).
+	Dists []workload.Kind
+	// AvgLoads are the average loads for uniform/exp (paper: 10, 20,
+	// 50, 200, 1000); ignored for peak.
+	AvgLoads []float64
+	// PeakTotal is the single-server load of the peak distribution
+	// (paper: 100 000).
+	PeakTotal float64
+	// Networks lists the network families to pool (the paper found no
+	// influence and pools them too).
+	Networks []NetworkKind
+	// Tol is the relative-error target: 0.02 for Table I, 0.001 for
+	// Table II.
+	Tol float64
+	// Repeats is the number of seeds per configuration.
+	Repeats int
+	// Seed is the base RNG seed.
+	Seed int64
+	// MaxIters caps a single run (safety).
+	MaxIters int
+	// Strategy overrides partner selection; default exact (the paper's
+	// Algorithm 2). Hybrid is recommended above m ≈ 200 for speed.
+	Strategy core.Strategy
+	// RemoveCyclesEvery mirrors §VI-B's ablation (0 = never).
+	RemoveCyclesEvery int
+}
+
+// DefaultTable1Config returns a laptop-scale version of the paper's
+// Table I sweep (full scale via cmd/tables -full).
+func DefaultTable1Config() ConvergenceConfig {
+	return ConvergenceConfig{
+		Sizes:     []int{20, 30, 50, 100},
+		Dists:     []workload.Kind{workload.KindUniform, workload.KindExponential, workload.KindPeak},
+		AvgLoads:  []float64{10, 50, 200},
+		PeakTotal: 100000,
+		Networks:  []NetworkKind{NetHomogeneous, NetPlanetLab},
+		Tol:       0.02,
+		Repeats:   3,
+		Seed:      1,
+		MaxIters:  200,
+	}
+}
+
+// DefaultTable2Config is Table I at the 0.1% precision of Table II.
+func DefaultTable2Config() ConvergenceConfig {
+	cfg := DefaultTable1Config()
+	cfg.Tol = 0.001
+	return cfg
+}
+
+// ConvergenceRow is one aggregated row of Table I/II.
+type ConvergenceRow struct {
+	Group   string // "m<=50", "m=100", …
+	Dist    workload.Kind
+	Summary stats.Summary // over iteration counts
+}
+
+// ConvergenceTable measures, for every configuration, the number of
+// iterations the distributed algorithm needs so that ΣC_i is within
+// cfg.Tol of the optimum (approximated, as in the paper, by running the
+// algorithm to pairwise stability), then aggregates rows grouped the way
+// the paper prints them.
+func ConvergenceTable(cfg ConvergenceConfig) []ConvergenceRow {
+	samples := map[[2]string][]float64{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, m := range cfg.Sizes {
+		for _, dist := range cfg.Dists {
+			avgs := cfg.AvgLoads
+			if dist == workload.KindPeak {
+				avgs = []float64{cfg.PeakTotal}
+			}
+			for _, avg := range avgs {
+				for _, net := range cfg.Networks {
+					for rep := 0; rep < cfg.Repeats; rep++ {
+						in := BuildInstance(m, net, SpeedUniform, dist, avg, rng)
+						iters := itersToTarget(in, cfg, rng.Int63())
+						key := [2]string{SizeGroup(m), string(dist)}
+						samples[key] = append(samples[key], float64(iters))
+					}
+				}
+			}
+		}
+	}
+	return collectRows(samples)
+}
+
+// itersToTarget runs the reference optimum and then counts iterations
+// until the target band is reached.
+func itersToTarget(in *model.Instance, cfg ConvergenceConfig, seed int64) int {
+	maxIters := cfg.MaxIters
+	if maxIters <= 0 {
+		maxIters = 200
+	}
+	refAlloc, _ := core.Run(in, core.Config{
+		Strategy:          cfg.Strategy,
+		MaxIters:          maxIters * 5,
+		Rng:               rand.New(rand.NewSource(seed)),
+		RemoveCyclesEvery: cfg.RemoveCyclesEvery,
+	})
+	ref := model.TotalCost(in, refAlloc)
+	_, tr := core.Run(in, core.Config{
+		Strategy:          cfg.Strategy,
+		MaxIters:          maxIters,
+		Reference:         ref,
+		TargetRel:         cfg.Tol,
+		Rng:               rand.New(rand.NewSource(seed + 7)),
+		RemoveCyclesEvery: cfg.RemoveCyclesEvery,
+	})
+	return tr.Iters
+}
+
+func collectRows(samples map[[2]string][]float64) []ConvergenceRow {
+	keys := make([][2]string, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a][0] != keys[b][0] {
+			return keys[a][0] < keys[b][0]
+		}
+		return keys[a][1] < keys[b][1]
+	})
+	rows := make([]ConvergenceRow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, ConvergenceRow{
+			Group:   k[0],
+			Dist:    workload.Kind(k[1]),
+			Summary: stats.Summarize(samples[k]),
+		})
+	}
+	return rows
+}
+
+// SelfishnessConfig drives Table III: the experimental cost of
+// selfishness.
+type SelfishnessConfig struct {
+	Sizes      []int
+	SpeedKinds []SpeedKind
+	// LavBuckets maps the paper's row labels to the average loads pooled
+	// into them.
+	LavBuckets []LavBucket
+	Networks   []NetworkKind
+	Repeats    int
+	Seed       int64
+}
+
+// LavBucket is one load row of Table III.
+type LavBucket struct {
+	Label string
+	Loads []float64
+}
+
+// DefaultTable3Config returns a laptop-scale version of Table III.
+func DefaultTable3Config() SelfishnessConfig {
+	return SelfishnessConfig{
+		Sizes:      []int{20, 30, 50},
+		SpeedKinds: []SpeedKind{SpeedConst, SpeedUniform},
+		LavBuckets: []LavBucket{
+			{Label: "lav<=30", Loads: []float64{10, 20}},
+			{Label: "lav=50", Loads: []float64{50}},
+			{Label: "lav>=200", Loads: []float64{200, 1000}},
+		},
+		Networks: []NetworkKind{NetHomogeneous, NetPlanetLab},
+		Repeats:  3,
+		Seed:     1,
+	}
+}
+
+// SelfishnessRow is one aggregated row of Table III: ratios of total
+// processing times, Nash / optimum.
+type SelfishnessRow struct {
+	SpeedKind SpeedKind
+	LavLabel  string
+	Network   NetworkKind
+	Summary   stats.Summary // over PoA ratios
+}
+
+// SelfishnessTable approximates the Nash equilibrium by best-response
+// dynamics with the paper's 1% termination rule, computes the optimum
+// with MinE, and aggregates the ratio per (speed kind, lav bucket,
+// network) — the exact grouping of Table III.
+func SelfishnessTable(cfg SelfishnessConfig) []SelfishnessRow {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type key struct {
+		sk  SpeedKind
+		lav string
+		net NetworkKind
+	}
+	samples := map[key][]float64{}
+	for _, sk := range cfg.SpeedKinds {
+		for _, bucket := range cfg.LavBuckets {
+			for _, net := range cfg.Networks {
+				for _, m := range cfg.Sizes {
+					for _, lav := range bucket.Loads {
+						for rep := 0; rep < cfg.Repeats; rep++ {
+							// Table III pools uniform and exponential loads.
+							dist := workload.KindUniform
+							if rep%2 == 1 {
+								dist = workload.KindExponential
+							}
+							in := BuildInstance(m, net, sk, dist, lav, rng)
+							if in.TotalLoad() == 0 {
+								continue
+							}
+							res := game.MeasurePoA(in, game.Config{}, rand.New(rand.NewSource(rng.Int63())))
+							k := key{sk, bucket.Label, net}
+							samples[k] = append(samples[k], res.Ratio)
+						}
+					}
+				}
+			}
+		}
+	}
+	keys := make([]key, 0, len(samples))
+	for k := range samples {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		ka, kb := keys[a], keys[b]
+		if ka.sk != kb.sk {
+			return ka.sk < kb.sk
+		}
+		if ka.lav != kb.lav {
+			return ka.lav < kb.lav
+		}
+		return ka.net < kb.net
+	})
+	rows := make([]SelfishnessRow, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, SelfishnessRow{
+			SpeedKind: k.sk,
+			LavLabel:  k.lav,
+			Network:   k.net,
+			Summary:   stats.Summarize(samples[k]),
+		})
+	}
+	return rows
+}

@@ -1,0 +1,116 @@
+// Package workload generates the initial load vectors and server speed
+// vectors used throughout the evaluation, matching the settings of paper
+// §VI-A: uniform and exponential load distributions with configurable
+// averages, the peak distribution (the entire load owned by one server),
+// and server speeds drawn uniformly from [1, 5].
+//
+// All generators take an explicit *rand.Rand so experiments are exactly
+// reproducible from a seed. Loads are rounded to whole requests, matching
+// the paper's "number of requests" semantics; the balancing model itself
+// remains fractional.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// UniformLoads returns m loads drawn uniformly from [0, 2·avg] and rounded
+// to integers, so the expected average load is avg.
+func UniformLoads(m int, avg float64, rng *rand.Rand) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = math.Round(2 * avg * rng.Float64())
+	}
+	return out
+}
+
+// ExponentialLoads returns m loads drawn from an exponential distribution
+// with mean avg, rounded to integers. The exponential distribution models
+// the skewed, bursty demand of real request streams.
+func ExponentialLoads(m int, avg float64, rng *rand.Rand) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = math.Round(avg * rng.ExpFloat64())
+	}
+	return out
+}
+
+// PeakLoads returns the paper's peak distribution: `total` requests owned
+// by a single random server, all others empty (§VI-A uses total=100 000).
+func PeakLoads(m int, total float64, rng *rand.Rand) []float64 {
+	out := make([]float64, m)
+	out[rng.Intn(m)] = total
+	return out
+}
+
+// ZipfLoads returns m loads following a Zipf popularity curve with
+// exponent sexp >= 1 and the given average. This distribution is not in
+// the paper; it extends the evaluation to CDN-style popularity skew.
+func ZipfLoads(m int, avg, sexp float64, rng *rand.Rand) []float64 {
+	// Compute unnormalized Zipf weights over ranks, shuffle the rank
+	// assignment so the heavy organizations are in random positions.
+	weights := make([]float64, m)
+	var sum float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), sexp)
+		sum += weights[i]
+	}
+	perm := rng.Perm(m)
+	out := make([]float64, m)
+	total := avg * float64(m)
+	for i, p := range perm {
+		out[p] = math.Round(total * weights[i] / sum)
+	}
+	return out
+}
+
+// UniformSpeeds returns m speeds drawn uniformly from [lo, hi]; the paper
+// uses [1, 5].
+func UniformSpeeds(m int, lo, hi float64, rng *rand.Rand) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return out
+}
+
+// ConstSpeeds returns m copies of speed s — the paper's "const s_i"
+// setting in Table III.
+func ConstSpeeds(m int, s float64) []float64 {
+	out := make([]float64, m)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+// Kind names a load distribution for experiment configuration.
+type Kind string
+
+// The load distribution families of the paper's evaluation plus the Zipf
+// extension.
+const (
+	KindUniform     Kind = "uniform"
+	KindExponential Kind = "exp"
+	KindPeak        Kind = "peak"
+	KindZipf        Kind = "zipf"
+)
+
+// Loads dispatches to the generator named by kind. For KindPeak, avg is
+// interpreted as the total peak size. For KindZipf the exponent is fixed
+// at 1.2.
+func Loads(kind Kind, m int, avg float64, rng *rand.Rand) []float64 {
+	switch kind {
+	case KindUniform:
+		return UniformLoads(m, avg, rng)
+	case KindExponential:
+		return ExponentialLoads(m, avg, rng)
+	case KindPeak:
+		return PeakLoads(m, avg, rng)
+	case KindZipf:
+		return ZipfLoads(m, avg, 1.2, rng)
+	default:
+		panic("workload: unknown kind " + string(kind))
+	}
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestUniformLoadsStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	loads := UniformLoads(20000, 50, rng)
+	for _, l := range loads {
+		if l < 0 || l > 100 {
+			t.Fatalf("load %v outside [0, 100]", l)
+		}
+		if l != math.Round(l) {
+			t.Fatalf("load %v not integral", l)
+		}
+	}
+	if m := mean(loads); math.Abs(m-50) > 2 {
+		t.Errorf("mean = %v, want ≈50", m)
+	}
+}
+
+func TestExponentialLoadsStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	loads := ExponentialLoads(50000, 200, rng)
+	for _, l := range loads {
+		if l < 0 {
+			t.Fatalf("negative load %v", l)
+		}
+	}
+	if m := mean(loads); math.Abs(m-200) > 5 {
+		t.Errorf("mean = %v, want ≈200", m)
+	}
+	// Exponential should be right-skewed: some loads well above 3× mean.
+	var big int
+	for _, l := range loads {
+		if l > 600 {
+			big++
+		}
+	}
+	if big == 0 {
+		t.Error("no loads above 3× mean; distribution does not look exponential")
+	}
+}
+
+func TestPeakLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	loads := PeakLoads(100, 100000, rng)
+	var nonzero int
+	var total float64
+	for _, l := range loads {
+		if l != 0 {
+			nonzero++
+		}
+		total += l
+	}
+	if nonzero != 1 {
+		t.Errorf("peak distribution has %d nonzero entries, want 1", nonzero)
+	}
+	if total != 100000 {
+		t.Errorf("total = %v, want 100000", total)
+	}
+}
+
+func TestZipfLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	loads := ZipfLoads(200, 100, 1.2, rng)
+	var total float64
+	maxLoad := 0.0
+	for _, l := range loads {
+		if l < 0 {
+			t.Fatalf("negative load %v", l)
+		}
+		total += l
+		maxLoad = math.Max(maxLoad, l)
+	}
+	// Rounding keeps the total near avg·m.
+	if math.Abs(total-100*200) > 0.02*100*200 {
+		t.Errorf("total = %v, want ≈20000", total)
+	}
+	// Skew: the largest owner should hold far more than the average.
+	if maxLoad < 5*100 {
+		t.Errorf("max load %v too small for a Zipf curve", maxLoad)
+	}
+}
+
+func TestUniformSpeedsRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	speeds := UniformSpeeds(10000, 1, 5, rng)
+	for _, s := range speeds {
+		if s < 1 || s > 5 {
+			t.Fatalf("speed %v outside [1,5]", s)
+		}
+	}
+	if m := mean(speeds); math.Abs(m-3) > 0.1 {
+		t.Errorf("mean speed = %v, want ≈3", m)
+	}
+}
+
+func TestConstSpeeds(t *testing.T) {
+	speeds := ConstSpeeds(5, 2.5)
+	for _, s := range speeds {
+		if s != 2.5 {
+			t.Fatalf("speed %v, want 2.5", s)
+		}
+	}
+}
+
+func TestLoadsDispatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, kind := range []Kind{KindUniform, KindExponential, KindPeak, KindZipf} {
+		loads := Loads(kind, 50, 20, rng)
+		if len(loads) != 50 {
+			t.Errorf("%s: got %d loads, want 50", kind, len(loads))
+		}
+	}
+}
+
+func TestLoadsDispatchPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown kind")
+		}
+	}()
+	Loads(Kind("bogus"), 5, 1, rand.New(rand.NewSource(1)))
+}
+
+func TestGeneratorsDeterministicUnderSeed(t *testing.T) {
+	a := UniformLoads(100, 50, rand.New(rand.NewSource(9)))
+	b := UniformLoads(100, 50, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("UniformLoads not deterministic under fixed seed")
+		}
+	}
+}
