@@ -22,8 +22,8 @@ import (
 	"delaylb/internal/core"
 	"delaylb/internal/model"
 	"delaylb/internal/qp"
-	"delaylb/internal/sweep"
 	"delaylb/internal/workload"
+	"delaylb/sweep"
 )
 
 func BenchmarkTable1Convergence(b *testing.B) {

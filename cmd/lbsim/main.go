@@ -1,5 +1,6 @@
 // Command lbsim runs a single load-balancing experiment and prints the
-// cost trajectory — a workbench for exploring the model.
+// cost trajectory — a workbench for exploring the model, built entirely
+// on the public Scenario / solver-registry / Session API.
 //
 // Examples:
 //
@@ -10,90 +11,117 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
+	"io"
 	"os"
 	"time"
 
-	"delaylb/internal/core"
-	"delaylb/internal/game"
-	"delaylb/internal/model"
-	"delaylb/internal/qp"
-	"delaylb/internal/runtime"
-	"delaylb/internal/sweep"
-	"delaylb/internal/workload"
+	"delaylb"
 )
 
+// config is the parsed flag set — kept as a plain struct so tests can
+// exercise every flag combination without a process boundary.
+type config struct {
+	M      int
+	Net    string
+	Dist   string
+	Speeds string
+	Algo   string
+	Avg    float64
+	Rounds int
+	Seed   int64
+}
+
 func main() {
-	m := flag.Int("m", 50, "number of servers")
-	netKind := flag.String("net", "pl", "network: pl | c20")
-	dist := flag.String("dist", "exp", "load distribution: uniform | exp | peak | zipf")
-	avg := flag.Float64("avg", 100, "average load (peak: total)")
-	speeds := flag.String("speeds", "uniform", "speeds: uniform | const")
-	algo := flag.String("algo", "mine", "algorithm: mine | hybrid | proxy | frankwolfe | projgrad | nash | runtime")
-	rounds := flag.Int("rounds", 30, "rounds for -algo runtime")
-	seed := flag.Int64("seed", 1, "RNG seed")
+	var cfg config
+	flag.IntVar(&cfg.M, "m", 50, "number of servers")
+	flag.StringVar(&cfg.Net, "net", "pl", "network: pl | c20 | euclidean")
+	flag.StringVar(&cfg.Dist, "dist", "exp", "load distribution: uniform | exp | peak | zipf")
+	flag.Float64Var(&cfg.Avg, "avg", 100, "average load (peak: total)")
+	flag.StringVar(&cfg.Speeds, "speeds", "uniform", "speeds: uniform | const")
+	flag.StringVar(&cfg.Algo, "algo", "mine", "algorithm: mine | hybrid | proxy | frankwolfe | projgrad | nash | runtime")
+	flag.IntVar(&cfg.Rounds, "rounds", 30, "rounds for -algo runtime")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "RNG seed")
 	flag.Parse()
 
-	net := sweep.NetPlanetLab
-	if *netKind == "c20" {
-		net = sweep.NetHomogeneous
-	}
-	sk := sweep.SpeedUniform
-	if *speeds == "const" {
-		sk = sweep.SpeedConst
-	}
-	rng := rand.New(rand.NewSource(*seed))
-	in := sweep.BuildInstance(*m, net, sk, workload.Kind(*dist), *avg, rng)
-
-	idCost := model.TotalCost(in, model.Identity(in))
-	fmt.Printf("m=%d net=%s dist=%s avg=%g seed=%d\n", *m, *netKind, *dist, *avg, *seed)
-	fmt.Printf("initial (identity) ΣC_i = %.4g\n", idCost)
-
-	start := time.Now()
-	switch *algo {
-	case "mine", "hybrid", "proxy":
-		strat := core.StrategyExact
-		if *algo == "hybrid" {
-			strat = core.StrategyHybrid
-		} else if *algo == "proxy" {
-			strat = core.StrategyProxy
-		}
-		alloc, tr := core.Run(in, core.Config{Strategy: strat, Rng: rng})
-		for it, c := range tr.Costs {
-			fmt.Printf("  iter %2d  ΣC_i = %.6g\n", it, c)
-		}
-		fmt.Printf("final ΣC_i = %.6g after %d iterations (%s, reason: %s)\n",
-			model.TotalCost(in, alloc), tr.Iters, time.Since(start).Round(time.Millisecond), tr.Reason)
-	case "frankwolfe", "projgrad":
-		var res *qp.Result
-		if *algo == "frankwolfe" {
-			res = qp.SolveFrankWolfe(in, qp.Options{Tol: 1e-8})
-		} else {
-			res = qp.SolveProjectedGradient(in, qp.Options{Tol: 1e-10})
-		}
-		fmt.Printf("final ΣC_i = %.6g after %d iterations (%s, converged=%v, gap=%.3g)\n",
-			res.Cost, res.Iters, time.Since(start).Round(time.Millisecond), res.Converged, res.Gap)
-	case "nash":
-		nash, tr := game.BestResponseDynamics(in, game.Config{})
-		nashCost := model.TotalCost(in, nash)
-		opt := core.ReferenceOptimum(in, rand.New(rand.NewSource(*seed+1)))
-		for sweepIdx, c := range tr.Costs {
-			fmt.Printf("  sweep %2d  ΣC_i = %.6g\n", sweepIdx+1, c)
-		}
-		fmt.Printf("Nash ΣC_i = %.6g in %d sweeps; optimum = %.6g; cost of selfishness = %.4f (ε=%.3g)\n",
-			nashCost, tr.Sweeps, opt, nashCost/opt, game.EpsilonNash(in, nash))
-	case "runtime":
-		bus := runtime.NewSimBus(in, 1e-6*idCost, *seed)
-		for r := 1; r <= *rounds; r++ {
-			bus.Tick()
-			fmt.Printf("  round %2d  ΣC_i = %.6g  (messages so far: %d)\n", r, bus.Cost(in), bus.Delivered)
-		}
-		fmt.Printf("final ΣC_i = %.6g, %.1f messages/server\n",
-			bus.Cost(in), float64(bus.Delivered)/float64(*m))
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -algo %q\n", *algo)
+	if err := run(context.Background(), cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+}
+
+// run maps the flags onto a Scenario, builds the system and dispatches on
+// the algorithm name.
+func run(ctx context.Context, cfg config, w io.Writer) error {
+	sc, err := delaylb.ParseScenario(cfg.M, cfg.Net, cfg.Dist, cfg.Speeds, cfg.Avg, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return err
+	}
+
+	idCost := sys.Identity().Cost
+	fmt.Fprintf(w, "%s\n", sc)
+	fmt.Fprintf(w, "initial (identity) ΣC_i = %.4g\n", idCost)
+
+	start := time.Now()
+	switch cfg.Algo {
+	case "mine", "hybrid", "proxy", "frankwolfe", "projgrad":
+		progress := func(iter int, cost float64) bool {
+			fmt.Fprintf(w, "  iter %2d  ΣC_i = %.6g\n", iter, cost)
+			return true
+		}
+		opts := []delaylb.Option{
+			delaylb.WithSolver(cfg.Algo),
+			delaylb.WithSeed(cfg.Seed),
+			delaylb.WithProgress(progress),
+		}
+		if cfg.Algo == "frankwolfe" {
+			opts = append(opts, delaylb.WithTolerance(1e-8))
+		} else if cfg.Algo == "projgrad" {
+			opts = append(opts, delaylb.WithTolerance(1e-10))
+		}
+		res, err := sys.OptimizeContext(ctx, opts...)
+		if err != nil {
+			return err
+		}
+		gap := ""
+		if res.Gap > 0 {
+			gap = fmt.Sprintf(", gap=%.3g", res.Gap)
+		}
+		fmt.Fprintf(w, "final ΣC_i = %.6g after %d iterations (%s, reason: %s%s)\n",
+			res.Cost, res.Iterations, time.Since(start).Round(time.Millisecond), res.Reason, gap)
+	case "nash":
+		nash, err := sys.NashEquilibriumContext(ctx, delaylb.WithProgress(func(sweep int, cost float64) bool {
+			fmt.Fprintf(w, "  sweep %2d  ΣC_i = %.6g\n", sweep, cost)
+			return true
+		}))
+		if err != nil {
+			return err
+		}
+		opt, err := sys.OptimizeContext(ctx, delaylb.WithSeed(cfg.Seed+1))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Nash ΣC_i = %.6g in %d sweeps; optimum = %.6g; cost of selfishness = %.4f (ε=%.3g)\n",
+			nash.Cost, nash.Iterations, opt.Cost, nash.Cost/opt.Cost, sys.EpsilonNash(nash))
+	case "runtime":
+		sess := sys.NewSession(delaylb.WithSeed(cfg.Seed))
+		res, err := sess.RunCluster(ctx, cfg.Rounds, func(round int, cost float64) bool {
+			fmt.Fprintf(w, "  round %2d  ΣC_i = %.6g\n", round, cost)
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "final ΣC_i = %.6g after %d concurrent rounds (%s)\n",
+			res.Cost, res.Iterations, time.Since(start).Round(time.Millisecond))
+	default:
+		return fmt.Errorf("unknown -algo %q (solvers: %v, plus \"runtime\")", cfg.Algo, delaylb.SolverNames())
+	}
+	return nil
 }

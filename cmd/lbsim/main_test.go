@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"delaylb"
+)
+
+// TestScenarioMappingAllNetDistCombos drives the flag→scenario mapping
+// through every -net/-dist pair and checks the resulting Scenario fields.
+func TestScenarioMappingAllNetDistCombos(t *testing.T) {
+	nets := map[string]delaylb.NetworkKind{
+		"pl":        delaylb.NetPlanetLab,
+		"planetlab": delaylb.NetPlanetLab,
+		"c20":       delaylb.NetHomogeneous,
+		"euclidean": delaylb.NetEuclidean,
+	}
+	dists := map[string]delaylb.LoadKind{
+		"uniform": delaylb.LoadUniform,
+		"exp":     delaylb.LoadExponential,
+		"peak":    delaylb.LoadPeak,
+		"zipf":    delaylb.LoadZipf,
+	}
+	for netFlag, wantNet := range nets {
+		for distFlag, wantDist := range dists {
+			sc, err := delaylb.ParseScenario(8, netFlag, distFlag, "uniform", 40, 3)
+			if err != nil {
+				t.Fatalf("ParseScenario(%q, %q): %v", netFlag, distFlag, err)
+			}
+			if sc.Network != wantNet || sc.LoadDist != wantDist {
+				t.Errorf("ParseScenario(%q, %q) = (%s, %s), want (%s, %s)",
+					netFlag, distFlag, sc.Network, sc.LoadDist, wantNet, wantDist)
+			}
+			if sc.AvgLoad != 40 || sc.Seed != 3 || sc.Servers != 8 {
+				t.Errorf("ParseScenario(%q, %q) dropped numeric params: %+v", netFlag, distFlag, sc)
+			}
+			if _, err := sc.Build(); err != nil {
+				t.Errorf("scenario %s does not build: %v", sc, err)
+			}
+		}
+	}
+}
+
+func TestScenarioMappingSpeeds(t *testing.T) {
+	for flag, want := range map[string]delaylb.SpeedKind{
+		"uniform": delaylb.SpeedUniform,
+		"const":   delaylb.SpeedConst,
+	} {
+		sc, err := delaylb.ParseScenario(5, "pl", "exp", flag, 10, 1)
+		if err != nil {
+			t.Fatalf("speeds %q: %v", flag, err)
+		}
+		if sc.Speeds != want {
+			t.Errorf("speeds %q mapped to %s, want %s", flag, sc.Speeds, want)
+		}
+	}
+}
+
+func TestScenarioMappingRejectsUnknownNames(t *testing.T) {
+	if _, err := delaylb.ParseScenario(5, "tokenring", "exp", "uniform", 10, 1); err == nil {
+		t.Error("unknown network accepted")
+	}
+	if _, err := delaylb.ParseScenario(5, "pl", "gamma", "uniform", 10, 1); err == nil {
+		t.Error("unknown distribution accepted")
+	}
+	if _, err := delaylb.ParseScenario(5, "pl", "exp", "turbo", 10, 1); err == nil {
+		t.Error("unknown speed kind accepted")
+	}
+	if _, err := delaylb.ParseScenario(0, "pl", "exp", "uniform", 10, 1); err == nil {
+		t.Error("zero servers accepted")
+	}
+}
+
+// TestRunEveryAlgo exercises the full command path for every -algo value
+// on every network, on a small instance so the whole matrix stays fast.
+func TestRunEveryAlgo(t *testing.T) {
+	algos := []string{"mine", "hybrid", "proxy", "frankwolfe", "projgrad", "nash", "runtime"}
+	for _, net := range []string{"pl", "c20", "euclidean"} {
+		for _, algo := range algos {
+			var sb strings.Builder
+			cfg := config{M: 8, Net: net, Dist: "exp", Speeds: "uniform",
+				Algo: algo, Avg: 50, Rounds: 5, Seed: 2}
+			if err := run(context.Background(), cfg, &sb); err != nil {
+				t.Fatalf("run(net=%s, algo=%s): %v", net, algo, err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, "final") && !strings.Contains(out, "Nash") {
+				t.Errorf("run(net=%s, algo=%s) produced no result line:\n%s", net, algo, out)
+			}
+		}
+	}
+}
+
+// avg and seed must pass through verbatim: 0 is a meaningful value for
+// both, not a sentinel for "use the default".
+func TestScenarioMappingKeepsZeroAvgAndSeed(t *testing.T) {
+	sc, err := delaylb.ParseScenario(4, "pl", "uniform", "uniform", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.AvgLoad != 0 || sc.Seed != 0 {
+		t.Errorf("avg/seed 0 rewritten to %g/%d", sc.AvgLoad, sc.Seed)
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.AverageLoad() != 0 {
+		t.Errorf("avg 0 scenario built loads averaging %g", sys.AverageLoad())
+	}
+}
+
+func TestRunRejectsUnknownAlgo(t *testing.T) {
+	var sb strings.Builder
+	cfg := config{M: 5, Net: "pl", Dist: "exp", Speeds: "uniform", Algo: "simplex", Avg: 10, Seed: 1}
+	if err := run(context.Background(), cfg, &sb); err == nil {
+		t.Fatal("unknown algo accepted")
+	}
+}

@@ -2,71 +2,69 @@ package main
 
 import (
 	"fmt"
-	"math/rand"
-	"os"
+	"io"
 
-	"delaylb/internal/game"
-	"delaylb/internal/model"
-	"delaylb/internal/qp"
-	"delaylb/internal/sweep"
+	"delaylb"
+	"delaylb/sweep"
 )
 
-func newRng() *rand.Rand { return rand.New(rand.NewSource(1)) }
-
-// printQ writes the Figure 1 sparsity pattern of the dense Q matrix.
-func printQ(in *model.Instance) error {
-	return qp.FprintStructure(os.Stdout, in)
-}
+// defaultPoALavs are the load-to-latency sweep points of the PoA
+// ablation (tests use a shorter list).
+var defaultPoALavs = []float64{50, 100, 200, 500, 1000, 5000}
 
 // runPoAAblation sweeps the load-to-latency ratio on homogeneous
 // networks and compares the measured price of anarchy with the Theorem 1
 // analytic band.
-func runPoAAblation() {
-	fmt.Println("== Ablation: Theorem 1 band vs measured PoA (homogeneous, m=10, c=5, s=1) ==")
-	fmt.Printf("%8s %9s %9s %9s %9s\n", "lav", "lower", "measured", "upper", "in-band")
+func runPoAAblation(w io.Writer, lavs []float64) {
+	fmt.Fprintln(w, "== Ablation: Theorem 1 band vs measured PoA (homogeneous, m=10, c=5, s=1) ==")
+	fmt.Fprintf(w, "%8s %9s %9s %9s %9s\n", "lav", "lower", "measured", "upper", "in-band")
 	const (
 		m = 10
 		c = 5.0
 		s = 1.0
 	)
-	for _, lav := range []float64{50, 100, 200, 500, 1000, 5000} {
-		in := model.Uniform(m, s, lav, c)
-		res := game.MeasurePoA(in, game.Config{ChangeTol: 1e-4}, rand.New(rand.NewSource(1)))
-		lower, upper := game.TheoremOneBounds(c, s, lav)
-		in1 := res.Ratio >= lower-0.01 && res.Ratio <= upper+0.01
-		fmt.Printf("%8.0f %9.4f %9.4f %9.4f %9v\n", lav, lower, res.Ratio, upper, in1)
+	for _, lav := range lavs {
+		sys := delaylb.Homogeneous(m, s, lav, c)
+		poa, err := sys.PriceOfAnarchy(delaylb.WithTolerance(1e-4), delaylb.WithSeed(1))
+		if err != nil {
+			fmt.Fprintf(w, "%8.0f measurement failed: %v\n", lav, err)
+			continue
+		}
+		lower, upper := sys.TheoreticalPoABounds()
+		inBand := poa >= lower-0.01 && poa <= upper+0.01
+		fmt.Fprintf(w, "%8.0f %9.4f %9.4f %9.4f %9v\n", lav, lower, poa, upper, inBand)
 	}
-	fmt.Println("(Theorem 1 holds for lav ≫ 2cs = 10; the lowest row sits outside the")
-	fmt.Println(" asymptotic regime, where the O((cs/lav)²) terms of the band dominate.)")
-	fmt.Println()
+	fmt.Fprintln(w, "(Theorem 1 holds for lav ≫ 2cs = 10; the lowest row sits outside the")
+	fmt.Fprintln(w, " asymptotic regime, where the O((cs/lav)²) terms of the band dominate.)")
+	fmt.Fprintln(w)
 }
 
 // runDynamicAblation demonstrates the §I/§IX claim that fast convergence
 // makes the algorithm usable under dynamically changing loads: warm
 // restarts from the previous allocation re-reach the 2% band in fewer
 // iterations than cold restarts.
-func runDynamicAblation(seed int64) {
-	fmt.Println("== Ablation: tracking dynamically changing loads (m=30, ±15% churn + spikes) ==")
+func runDynamicAblation(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "== Ablation: tracking dynamically changing loads (m=30, ±15% churn + spikes) ==")
 	stats, sum := sweep.DynamicTrackingAblation(30, 8, 0.15, seed)
-	fmt.Printf("%6s %10s %10s %14s\n", "epoch", "warm-iters", "cold-iters", "staleness")
+	fmt.Fprintf(w, "%6s %10s %10s %14s\n", "epoch", "warm-iters", "cold-iters", "staleness")
 	for _, e := range stats {
 		staleness := 0.0
 		if e.OptCost > 0 {
 			staleness = e.WarmStartCost/e.OptCost - 1
 		}
-		fmt.Printf("%6d %10d %10d %13.1f%%\n", e.Epoch, e.WarmIters, e.ColdIters, 100*staleness)
+		fmt.Fprintf(w, "%6d %10d %10d %13.1f%%\n", e.Epoch, e.WarmIters, e.ColdIters, 100*staleness)
 	}
-	fmt.Printf("average: warm %.2f vs cold %.2f iterations to 2%%\n\n",
+	fmt.Fprintf(w, "average: warm %.2f vs cold %.2f iterations to 2%%\n\n",
 		sum.AvgWarmIters, sum.AvgColdIters)
 }
 
 // runCoordsAblation quantifies the cost of replacing the paper's
 // "latencies are known" assumption with a Vivaldi embedding.
-func runCoordsAblation(seed int64) {
-	fmt.Println("== Ablation: optimizing over Vivaldi-estimated latencies (m=40) ==")
+func runCoordsAblation(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "== Ablation: optimizing over Vivaldi-estimated latencies (m=40) ==")
 	res := sweep.LatencyEstimationAblation(40, 300, seed)
-	fmt.Printf("embedding median relative error: %.1f%%\n", 100*res.MedianRelErr)
-	fmt.Printf("true optimum ΣC_i:               %.4g\n", res.TrueOptCost)
-	fmt.Printf("plan from estimated latencies:   %.4g (+%.2f%%)\n\n",
+	fmt.Fprintf(w, "embedding median relative error: %.1f%%\n", 100*res.MedianRelErr)
+	fmt.Fprintf(w, "true optimum ΣC_i:               %.4g\n", res.TrueOptCost)
+	fmt.Fprintf(w, "plan from estimated latencies:   %.4g (+%.2f%%)\n\n",
 		res.EstPlanCost, 100*res.Penalty)
 }

@@ -20,61 +20,64 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
-	"delaylb/internal/core"
-	"delaylb/internal/sweep"
-	"delaylb/internal/workload"
+	"delaylb/sweep"
 )
 
 func main() {
 	table := flag.Int("table", 0, "regenerate Table 1–4")
 	fig := flag.Int("fig", 0, "regenerate Figure 1 or 2")
-	ablation := flag.String("ablation", "", "run an ablation: cycles | poa")
+	ablation := flag.String("ablation", "", "run an ablation: cycles | poa | dynamic | coords")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	all := flag.Bool("all", false, "regenerate everything")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	flag.Parse()
 
+	w := io.Writer(os.Stdout)
 	ran := false
 	if *all || *table == 1 {
-		runConvergence(1, *full, *seed)
+		runConvergence(w, 1, *full, *seed)
 		ran = true
 	}
 	if *all || *table == 2 {
-		runConvergence(2, *full, *seed)
+		runConvergence(w, 2, *full, *seed)
 		ran = true
 	}
 	if *all || *table == 3 {
-		runTable3(*full, *seed)
+		runTable3(w, *full, *seed)
 		ran = true
 	}
 	if *all || *table == 4 {
-		runTable4(*seed)
+		runTable4(w, *seed)
 		ran = true
 	}
 	if *all || *fig == 1 {
-		runFigure1()
+		if err := runFigure1(w); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		ran = true
 	}
 	if *all || *fig == 2 {
-		runFigure2(*full, *seed)
+		runFigure2(w, *full, *seed)
 		ran = true
 	}
 	if *all || *ablation == "cycles" {
-		runCycleAblation(*seed)
+		runCycleAblation(w, *seed)
 		ran = true
 	}
 	if *all || *ablation == "poa" {
-		runPoAAblation()
+		runPoAAblation(w, defaultPoALavs)
 		ran = true
 	}
 	if *all || *ablation == "dynamic" {
-		runDynamicAblation(*seed)
+		runDynamicAblation(w, *seed)
 		ran = true
 	}
 	if *all || *ablation == "coords" {
-		runCoordsAblation(*seed)
+		runCoordsAblation(w, *seed)
 		ran = true
 	}
 	if !ran {
@@ -83,7 +86,7 @@ func main() {
 	}
 }
 
-func runConvergence(which int, full bool, seed int64) {
+func runConvergence(w io.Writer, which int, full bool, seed int64) {
 	var cfg sweep.ConvergenceConfig
 	if which == 1 {
 		cfg = sweep.DefaultTable1Config()
@@ -97,87 +100,86 @@ func runConvergence(which int, full bool, seed int64) {
 		cfg.Repeats = 5
 		// Exact partner selection is O(m² log m) per server step; switch
 		// to the short-listed hybrid above m≈100 as documented.
-		cfg.Strategy = core.StrategyHybrid
+		cfg.Strategy = sweep.StrategyHybrid
 	}
 	tol := "2%"
 	if which == 2 {
 		tol = "0.1%"
 	}
-	fmt.Printf("== Table %s: iterations of the distributed algorithm to ≤ %s relative error ==\n",
+	fmt.Fprintf(w, "== Table %s: iterations of the distributed algorithm to ≤ %s relative error ==\n",
 		roman(which), tol)
-	fmt.Printf("%-8s %-8s %9s %6s %9s %4s\n", "size", "dist", "average", "max", "st.dev", "n")
+	fmt.Fprintf(w, "%-8s %-8s %9s %6s %9s %4s\n", "size", "dist", "average", "max", "st.dev", "n")
 	for _, row := range sweep.ConvergenceTable(cfg) {
-		fmt.Printf("%-8s %-8s %9.2f %6.0f %9.2f %4d\n",
+		fmt.Fprintf(w, "%-8s %-8s %9.2f %6.0f %9.2f %4d\n",
 			row.Group, row.Dist, row.Summary.Avg, row.Summary.Max, row.Summary.Std, row.Summary.N)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func runTable3(full bool, seed int64) {
+func runTable3(w io.Writer, full bool, seed int64) {
 	cfg := sweep.DefaultTable3Config()
 	cfg.Seed = seed
 	if full {
 		cfg.Sizes = []int{20, 30, 50, 100}
 		cfg.Repeats = 5
 	}
-	fmt.Println("== Table III: cost of selfishness (ΣC_i at Nash / ΣC_i at optimum) ==")
-	fmt.Printf("%-9s %-9s %-6s %8s %8s %8s %4s\n", "speeds", "lav", "net", "avg", "max", "st.dev", "n")
+	fmt.Fprintln(w, "== Table III: cost of selfishness (ΣC_i at Nash / ΣC_i at optimum) ==")
+	fmt.Fprintf(w, "%-9s %-9s %-6s %8s %8s %8s %4s\n", "speeds", "lav", "net", "avg", "max", "st.dev", "n")
 	for _, row := range sweep.SelfishnessTable(cfg) {
-		fmt.Printf("%-9s %-9s %-6s %8.3f %8.3f %8.3f %4d\n",
+		fmt.Fprintf(w, "%-9s %-9s %-6s %8.3f %8.3f %8.3f %4d\n",
 			row.SpeedKind, row.LavLabel, row.Network,
 			row.Summary.Avg, row.Summary.Max, row.Summary.Std, row.Summary.N)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func runTable4(seed int64) {
+func runTable4(w io.Writer, seed int64) {
 	cfg := sweep.DefaultTable4Config()
 	cfg.Seed = seed
-	fmt.Println("== Table IV: relative RTT deviation vs per-flow background throughput ==")
+	fmt.Fprintln(w, "== Table IV: relative RTT deviation vs per-flow background throughput ==")
 	res := sweep.Table4(cfg)
-	fmt.Printf("%12s %8s %8s\n", "tb", "μ", "σ")
+	fmt.Fprintf(w, "%12s %8s %8s\n", "tb", "μ", "σ")
 	for _, row := range res.Rows {
 		label := fmt.Sprintf("%.0f KB/s", row.ThroughputKBps)
 		if row.ThroughputKBps >= 1000 {
 			label = fmt.Sprintf("%.1f MB/s", row.ThroughputKBps/1000)
 		}
-		fmt.Printf("%12s %8.2f %8.2f\n", label, row.Mu, row.Sigma)
+		fmt.Fprintf(w, "%12s %8.2f %8.2f\n", label, row.Mu, row.Sigma)
 	}
-	fmt.Printf("ANOVA: null (RTT independent of tb ≤ 50 KB/s) accepted for %.0f%% of pairs\n\n",
+	fmt.Fprintf(w, "ANOVA: null (RTT independent of tb ≤ 50 KB/s) accepted for %.0f%% of pairs\n\n",
 		100*res.ANOVAAcceptFrac)
 }
 
-func runFigure1() {
-	fmt.Println("== Figure 1: structure of matrix Q (m = 4) ==")
-	in := sweep.BuildInstance(4, sweep.NetHomogeneous, sweep.SpeedConst, workload.KindUniform, 10, newRng())
-	if err := printQ(in); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+func runFigure1(w io.Writer) error {
+	fmt.Fprintln(w, "== Figure 1: structure of matrix Q (m = 4) ==")
+	if err := sweep.Figure1Structure(w, 4); err != nil {
+		return err
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
+	return nil
 }
 
-func runFigure2(full bool, seed int64) {
+func runFigure2(w io.Writer, full bool, seed int64) {
 	cfg := sweep.DefaultFigure2Config()
 	cfg.Seed = seed
 	if full {
 		cfg.Sizes = []int{500, 1000, 2000, 3000, 5000}
 	}
-	fmt.Println("== Figure 2: ΣC_i per iteration, peak load 100000, PlanetLab-like net ==")
+	fmt.Fprintln(w, "== Figure 2: ΣC_i per iteration, peak load 100000, PlanetLab-like net ==")
 	for _, s := range sweep.Figure2(cfg) {
-		fmt.Printf("#servers = %d\n", s.M)
+		fmt.Fprintf(w, "#servers = %d\n", s.M)
 		for it, c := range s.Costs {
-			fmt.Printf("  iter %2d  ΣC_i = %.4g\n", it, c)
+			fmt.Fprintf(w, "  iter %2d  ΣC_i = %.4g\n", it, c)
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func runCycleAblation(seed int64) {
-	fmt.Println("== Ablation (§VI-B): convergence with vs without negative-cycle removal ==")
+func runCycleAblation(w io.Writer, seed int64) {
+	fmt.Fprintln(w, "== Ablation (§VI-B): convergence with vs without negative-cycle removal ==")
 	res := sweep.CycleAblation([]int{20, 50, 100}, 3, seed)
-	fmt.Printf("runs: %d, iteration counts identical: %v\n", len(res.ItersWith), res.Identical)
-	fmt.Printf("%-10s %v\n%-10s %v\n\n", "without:", res.ItersWithout, "with:", res.ItersWith)
+	fmt.Fprintf(w, "runs: %d, iteration counts identical: %v\n", len(res.ItersWith), res.Identical)
+	fmt.Fprintf(w, "%-10s %v\n%-10s %v\n\n", "without:", res.ItersWithout, "with:", res.ItersWith)
 }
 
 func roman(n int) string {

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFigure1WritesStructure(t *testing.T) {
+	var sb strings.Builder
+	if err := runFigure1(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 1") || len(out) < 100 {
+		t.Errorf("Figure 1 output suspiciously short:\n%s", out)
+	}
+}
+
+func TestRunPoAAblationInBand(t *testing.T) {
+	var sb strings.Builder
+	runPoAAblation(&sb, []float64{500})
+	out := sb.String()
+	if !strings.Contains(out, "500") {
+		t.Fatalf("missing sweep row:\n%s", out)
+	}
+	// lav=500 sits deep in the asymptotic regime; the measurement must
+	// land inside the Theorem 1 band.
+	if !strings.Contains(out, "true") {
+		t.Errorf("measured PoA out of the Theorem 1 band:\n%s", out)
+	}
+}
+
+func TestRoman(t *testing.T) {
+	if roman(1) != "I" || roman(2) != "II" {
+		t.Error("roman numeral labels wrong")
+	}
+}

@@ -14,6 +14,20 @@
 // exact best-response dynamics) — and quantifies the price of anarchy
 // between the two.
 //
+// The package is organized around three coordinated surfaces:
+//
+//   - Solvers: every algorithm (the paper's distributed MinE, the §III
+//     convex baselines, best-response dynamics) implements the Solver
+//     interface and is reachable by name through a registry. All solves
+//     accept a context.Context for cancellation and an optional
+//     per-iteration progress callback.
+//   - Scenarios: a composable, deterministic Scenario builder assembles
+//     the evaluation's instance families (network kind × load
+//     distribution × speed model × size × seed).
+//   - Sessions: a stateful Session holds a current allocation and
+//     re-optimizes incrementally (warm starts) as loads and latencies
+//     change, or runs the concurrent message-passing cluster.
+//
 // Quick start:
 //
 //	sys, err := delaylb.New(speeds, loads, latencies)
@@ -22,10 +36,12 @@
 //	poa := nash.Cost / res.Cost             // cost of selfishness
 //
 // See the examples directory for full programs and DESIGN.md for the
-// mapping between the paper's evaluation and this repository.
+// architecture and the mapping between the paper's evaluation and this
+// repository.
 package delaylb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -34,7 +50,6 @@ import (
 	"delaylb/internal/discrete"
 	"delaylb/internal/game"
 	"delaylb/internal/model"
-	"delaylb/internal/qp"
 	"delaylb/internal/runtime"
 )
 
@@ -71,6 +86,13 @@ func (s *System) AverageLoad() float64 { return s.in.AverageLoad() }
 // AverageLatency returns the mean off-diagonal latency.
 func (s *System) AverageLatency() float64 { return s.in.AverageLatency() }
 
+// Identity returns the no-relaying baseline: every organization serves
+// its own requests locally. Its Cost is the natural reference point for
+// how much balancing helps.
+func (s *System) Identity() *Result {
+	return resultFromAllocation(s.in, model.Identity(s.in))
+}
+
 // Result is the outcome of an optimization or equilibrium computation.
 type Result struct {
 	// Requests[i][j] is r_ij: the number of organization i's requests
@@ -93,6 +115,13 @@ type Result struct {
 	// CostTrace holds ΣC_i per iteration (index 0 = initial state) when
 	// the producing algorithm records it.
 	CostTrace []float64
+	// Gap is the final Frank–Wolfe duality gap (0 for other solvers);
+	// Cost − Gap lower-bounds the optimal cost.
+	Gap float64
+	// Reason says why the solve stopped: "stable", "tolerance",
+	// "max-iters", "callback", "target" or "canceled" for solver runs;
+	// "rounds" for a Session.RunCluster that completed its tick budget.
+	Reason string
 }
 
 func resultFromAllocation(in *model.Instance, a *model.Allocation) *Result {
@@ -105,119 +134,130 @@ func resultFromAllocation(in *model.Instance, a *model.Allocation) *Result {
 	}
 }
 
-// options collects the tuning knobs shared by the entry points.
+// options collects the solver selection plus the SolveOptions handed to
+// the chosen registry entry.
 type options struct {
-	seed       int64
-	maxIters   int
-	strategy   core.Strategy
-	cycleEvery int
-	solver     string // "mine" (default), "frankwolfe", "projgrad"
-	tolerance  float64
+	SolveOptions
+	solver string
 }
 
-// Option customizes Optimize / NashEquilibrium / SimulateDistributed.
+// Option customizes Optimize / NashEquilibrium / Reoptimize /
+// SimulateDistributed.
 type Option func(*options)
 
 // WithSeed fixes the random seed (default 1); runs are deterministic for
 // a fixed seed.
-func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+func WithSeed(seed int64) Option { return func(o *options) { o.Seed = seed } }
 
 // WithMaxIterations caps the iteration count.
-func WithMaxIterations(n int) Option { return func(o *options) { o.maxIters = n } }
+func WithMaxIterations(n int) Option { return func(o *options) { o.MaxIterations = n } }
 
 // WithStrategy picks the MinE partner-selection strategy: "exact" (the
 // paper's Algorithm 2, default), "hybrid" (short-listed exact) or
 // "proxy" (O(1) scoring, for networks of thousands of servers).
-func WithStrategy(name string) Option {
-	return func(o *options) {
-		switch name {
-		case "proxy":
-			o.strategy = core.StrategyProxy
-		case "hybrid":
-			o.strategy = core.StrategyHybrid
-		default:
-			o.strategy = core.StrategyExact
-		}
-	}
-}
+func WithStrategy(name string) Option { return func(o *options) { o.Strategy = name } }
 
 // WithCycleRemoval runs the Appendix A negative-cycle removal every n
 // iterations (0 = never; the paper shows it is rarely needed).
-func WithCycleRemoval(n int) Option { return func(o *options) { o.cycleEvery = n } }
+func WithCycleRemoval(n int) Option { return func(o *options) { o.CycleRemovalEvery = n } }
 
-// WithSolver selects the cooperative solver: "mine" (the distributed
-// algorithm, default), "frankwolfe" or "projgrad" (the §III baselines).
+// WithSolver selects the solver by registry name. Built-ins: "mine" (the
+// distributed algorithm, default), "hybrid", "proxy" (MinE with the
+// non-exact partner selections), "frankwolfe", "projgrad" (the §III
+// baselines) and "nash" (best-response dynamics). Solvers added via
+// RegisterSolver are selectable the same way.
 func WithSolver(name string) Option { return func(o *options) { o.solver = name } }
 
 // WithTolerance sets the convergence tolerance of the QP baselines and
 // of best-response dynamics (default solver-specific).
-func WithTolerance(tol float64) Option { return func(o *options) { o.tolerance = tol } }
+func WithTolerance(tol float64) Option { return func(o *options) { o.Tolerance = tol } }
+
+// WithProgress registers a per-iteration callback (1-based iteration,
+// current ΣC_i); returning false stops the solve early without error,
+// leaving Reason == "callback" and Converged == false on the result.
+func WithProgress(fn func(iteration int, cost float64) bool) Option {
+	return func(o *options) { o.Progress = fn }
+}
+
+// WithWarmStart starts the solve from the given requests matrix instead
+// of the identity allocation. Rows are rescaled to the system's loads
+// (see SolveOptions.WarmStart). Session.Reoptimize applies this
+// automatically.
+func WithWarmStart(requests [][]float64) Option {
+	return func(o *options) { o.WarmStart = requests }
+}
 
 func buildOptions(opts []Option) options {
-	o := options{seed: 1, solver: "mine"}
+	o := options{solver: "mine"}
+	o.Seed = 1
 	for _, f := range opts {
 		f(&o)
 	}
 	return o
 }
 
-// Optimize computes the cooperative optimum of ΣC_i. The default solver
-// is the paper's distributed MinE algorithm run to pairwise stability;
-// WithSolver selects the centralized convex baselines instead.
+// Optimize computes the cooperative optimum of ΣC_i with a background
+// context. The default solver is the paper's distributed MinE algorithm
+// run to pairwise stability; WithSolver selects any other registered
+// solver by name.
 func (s *System) Optimize(opts ...Option) (*Result, error) {
+	return s.OptimizeContext(context.Background(), opts...)
+}
+
+// OptimizeContext is Optimize with a caller-supplied context. The context
+// is polled between iterations: on cancellation the partial best-so-far
+// Result is returned alongside ctx.Err().
+func (s *System) OptimizeContext(ctx context.Context, opts ...Option) (*Result, error) {
 	o := buildOptions(opts)
-	switch o.solver {
-	case "mine":
-		alloc, tr := core.Run(s.in, core.Config{
-			Strategy:          o.strategy,
-			MaxIters:          o.maxIters,
-			RemoveCyclesEvery: o.cycleEvery,
-			Rng:               rand.New(rand.NewSource(o.seed)),
-		})
-		res := resultFromAllocation(s.in, alloc)
-		res.Iterations = tr.Iters
-		res.Converged = tr.Converged
-		res.CostTrace = tr.Costs
-		return res, nil
-	case "frankwolfe", "projgrad":
-		qopt := qp.Options{MaxIters: o.maxIters, Tol: o.tolerance}
-		var qres *qp.Result
-		if o.solver == "frankwolfe" {
-			qres = qp.SolveFrankWolfe(s.in, qopt)
-		} else {
-			qres = qp.SolveProjectedGradient(s.in, qopt)
-		}
-		res := resultFromAllocation(s.in, qres.Allocation(s.in))
-		res.Iterations = qres.Iters
-		res.Converged = qres.Converged
-		return res, nil
-	default:
-		return nil, fmt.Errorf("delaylb: unknown solver %q", o.solver)
+	solver, err := resolveSolver(o.solver)
+	if err != nil {
+		return nil, err
 	}
+	return solver.Solve(ctx, s, o.SolveOptions)
 }
 
 // NashEquilibrium runs best-response dynamics until the paper's §VI-C
 // termination rule (every organization changes < 1% for two consecutive
 // sweeps) and returns the approximate equilibrium.
 func (s *System) NashEquilibrium(opts ...Option) (*Result, error) {
+	return s.NashEquilibriumContext(context.Background(), opts...)
+}
+
+// NashEquilibriumContext is NashEquilibrium with a caller-supplied
+// context; on cancellation the partial result is returned with ctx.Err().
+func (s *System) NashEquilibriumContext(ctx context.Context, opts ...Option) (*Result, error) {
 	o := buildOptions(opts)
-	cfg := game.Config{MaxSweeps: o.maxIters, ChangeTol: o.tolerance}
-	nash, tr := game.BestResponseDynamics(s.in, cfg)
-	if !tr.Converged {
+	solver, err := resolveSolver("nash")
+	if err != nil {
+		return nil, err
+	}
+	res, err := solver.Solve(ctx, s, o.SolveOptions)
+	if err != nil {
+		return res, err
+	}
+	// A deliberate Progress stop returns the partial state without error;
+	// its Converged == false and Reason == "callback" say what it is.
+	if !res.Converged && res.Reason != "callback" {
 		return nil, errors.New("delaylb: best-response dynamics did not converge")
 	}
-	res := resultFromAllocation(s.in, nash)
-	res.Iterations = tr.Sweeps
-	res.Converged = tr.Converged
-	res.CostTrace = tr.Costs
 	return res, nil
 }
 
+// EpsilonNash returns the largest relative gain any organization could
+// still obtain by unilaterally deviating from the given allocation to its
+// best response: 0 means an exact Nash equilibrium.
+func (s *System) EpsilonNash(res *Result) float64 {
+	return game.EpsilonNash(s.in, &model.Allocation{R: res.Requests})
+}
+
 // PriceOfAnarchy measures the cost of selfishness: ΣC_i at the Nash
-// equilibrium divided by the cooperative optimum (≥ 1).
+// equilibrium divided by the cooperative optimum (≥ 1). WithMaxIterations
+// bounds the best-response sweeps and WithTolerance sets the per-sweep
+// change tolerance of the §VI-C termination rule.
 func (s *System) PriceOfAnarchy(opts ...Option) (float64, error) {
 	o := buildOptions(opts)
-	res := game.MeasurePoA(s.in, game.Config{}, rand.New(rand.NewSource(o.seed)))
+	cfg := game.Config{MaxSweeps: o.MaxIterations, ChangeTol: o.Tolerance}
+	res := game.MeasurePoA(s.in, cfg, rand.New(rand.NewSource(o.Seed)))
 	return res.Ratio, nil
 }
 
@@ -251,7 +291,7 @@ func (s *System) OptimizeReplicated(r int, opts ...Option) (*Result, error) {
 		return nil, fmt.Errorf("delaylb: replication factor %d out of range [1, %d]", r, s.M())
 	}
 	o := buildOptions(opts)
-	rho := discrete.SolveReplicated(s.in, r, o.maxIters, o.tolerance)
+	rho := discrete.SolveReplicated(s.in, r, o.MaxIterations, o.Tolerance)
 	return resultFromAllocation(s.in, model.FromFractions(s.in, rho)), nil
 }
 
@@ -289,7 +329,7 @@ func (s *System) RoundTasks(res *Result, tasks []Task) ([]int, *Result) {
 func (s *System) SimulateDistributed(rounds int, opts ...Option) (*Result, int) {
 	o := buildOptions(opts)
 	minGain := 1e-6 * (1 + model.TotalCost(s.in, model.Identity(s.in)))
-	bus := runtime.NewSimBus(s.in, minGain, o.seed)
+	bus := runtime.NewSimBus(s.in, minGain, o.Seed)
 	bus.Run(s.in, rounds, 1e-9)
 	res := resultFromAllocation(s.in, bus.Allocation())
 	res.Converged = true

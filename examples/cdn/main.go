@@ -21,12 +21,15 @@ func main() {
 		seed     = 7
 	)
 
-	// PlanetLab-like geography: clustered latencies, 5–300 ms.
-	sys, err := delaylb.New(
-		delaylb.UniformSpeeds(m, 1, 5, seed),
-		delaylb.ZipfLoads(m, avgLoad, seed+1), // popularity skew
-		delaylb.PlanetLabLatencies(m, seed+2),
-	)
+	// PlanetLab-like geography (clustered latencies, 5–300 ms), Zipf
+	// popularity skew, heterogeneous edge hardware — one declarative,
+	// deterministic scenario.
+	sys, err := delaylb.NewScenario(m).
+		WithNetwork(delaylb.NetPlanetLab).
+		WithLoads(delaylb.LoadZipf, avgLoad).
+		WithSpeeds(delaylb.SpeedUniform, 1, 5).
+		WithSeed(seed).
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 // Cloud burst scenario (paper §I): one datacenter of a 30-site cloud
 // federation experiences a demand peak and offloads it through the
-// distributed message-passing runtime — no central coordinator, servers
-// gossip loads and negotiate pairwise transfers.
+// concurrent message-passing runtime — no central coordinator, servers
+// gossip loads and negotiate pairwise transfers, each site running in
+// its own goroutine.
 //
 //	go run ./examples/cloudburst
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,11 +22,11 @@ func main() {
 		seed = 11
 	)
 
-	sys, err := delaylb.New(
-		delaylb.UniformSpeeds(m, 1, 5, seed),
-		delaylb.PeakLoads(m, peak, seed+1),
-		delaylb.PlanetLabLatencies(m, seed+2),
-	)
+	sys, err := delaylb.NewScenario(m).
+		WithLoads(delaylb.LoadPeak, peak).
+		WithSpeeds(delaylb.SpeedUniform, 1, 5).
+		WithSeed(seed).
+		Build()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,19 +38,32 @@ func main() {
 	}
 	fmt.Printf("centralized optimum: ΣC_i = %.4g ms\n", opt.Cost)
 
-	// Distributed runtime: every site is an autonomous agent; per round
-	// each gossips its load to one random peer and proposes one pairwise
-	// rebalance (paper Algorithms 1–2 over messages).
-	for _, rounds := range []int{1, 2, 3, 5, 10, 20, 40} {
-		res, delivered := sys.SimulateDistributed(rounds, delaylb.WithSeed(seed))
-		gap := 100 * (res.Cost - opt.Cost) / opt.Cost
-		fmt.Printf("  after %2d rounds: ΣC_i = %.4g ms (%+.2f%% vs optimum, %.1f msgs/server)\n",
-			rounds, res.Cost, gap, float64(delivered)/float64(m))
+	// Concurrent runtime via a Session: every site is an autonomous
+	// goroutine agent; per round each gossips its load to one random
+	// peer and proposes one pairwise rebalance (paper Algorithms 1–2
+	// over messages).
+	sess := sys.NewSession(delaylb.WithSeed(seed))
+	res, err := sess.RunCluster(context.Background(), 40, func(round int, cost float64) bool {
+		switch round {
+		case 1, 2, 3, 5, 10, 20, 40:
+			gap := 100 * (cost - opt.Cost) / opt.Cost
+			fmt.Printf("  after %2d rounds: ΣC_i = %.4g ms (%+.2f%% vs optimum)\n",
+				round, cost, gap)
+		}
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
+
+	// The deterministic single-threaded bus reaches the same place — the
+	// reference execution of the very same protocol.
+	sim, delivered := sys.SimulateDistributed(40, delaylb.WithSeed(seed))
+	fmt.Printf("deterministic replay: ΣC_i = %.4g ms, %.1f messages/server\n",
+		sim.Cost, float64(delivered)/float64(m))
 
 	// The Proposition 1 error bound tells an operator when to stop
 	// without knowing the optimum.
-	res, _ := sys.SimulateDistributed(40, delaylb.WithSeed(seed))
 	bound := sys.DistanceBound(res)
 	fmt.Printf("\nProposition 1 distance bound at the reached state: ≤ %.3g requests misplaced\n", bound)
 	fmt.Printf("(conservative by design — a (4m+1)·Σs_i factor over the pending transfers;\n")

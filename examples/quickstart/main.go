@@ -1,10 +1,12 @@
 // Quickstart: build a small federation of servers, compute the
-// cooperative optimum, the selfish equilibrium, and compare.
+// cooperative optimum, the selfish equilibrium, compare — then keep the
+// balancer running as a Session while the workload changes.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,11 +59,40 @@ func main() {
 	fmt.Printf("cost of selfishness: %.4f (the paper reports < 1.15 across all settings)\n",
 		nash.Cost/opt.Cost)
 
-	// The baseline QP solver certifies the same optimum.
+	// Any registered solver certifies the same optimum — here the
+	// Frank–Wolfe baseline through the registry.
 	fw, err := sys.Optimize(delaylb.WithSolver("frankwolfe"), delaylb.WithTolerance(1e-9))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nFrank–Wolfe cross-check: ΣC_i = %.0f ms (matches MinE within %.4f%%)\n",
 		fw.Cost, 100*(fw.Cost-opt.Cost)/opt.Cost)
+
+	// Online serving: keep the balancer alive as a Session. Demand at
+	// organization 1 spikes 6×; the session rescales its routing table
+	// to the new loads and re-optimizes from that warm start, already
+	// close to the new optimum before the first iteration.
+	ctx := context.Background()
+	sess := sys.NewSession()
+	if _, err := sess.Reoptimize(ctx); err != nil {
+		log.Fatal(err)
+	}
+	loads[1] *= 6
+	if err := sess.UpdateLoads(loads); err != nil {
+		log.Fatal(err)
+	}
+	staleCost := sess.Cost() // carried-over plan, before re-balancing
+	again, err := sess.Reoptimize(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cold, err := sess.System().Optimize() // from scratch, for comparison
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nonline update: org 1 spiked to %.0f requests\n", loads[1])
+	fmt.Printf("  carried-over plan: ΣC_i = %.0f ms (%.1f%% above the new optimum of %.0f ms)\n",
+		staleCost, 100*(staleCost-again.Cost)/again.Cost, again.Cost)
+	fmt.Printf("  warm re-solve starts at %.0f ms; a cold solve starts at %.0f ms\n",
+		again.CostTrace[0], cold.CostTrace[0])
 }

@@ -1,0 +1,3 @@
+module delaylb
+
+go 1.24

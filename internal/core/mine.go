@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -55,6 +56,10 @@ type Config struct {
 	// 1-based iteration number and current cost; returning false stops
 	// the run early.
 	OnIteration func(iter int, cost float64) bool
+	// Ctx, if non-nil, is polled between server steps; once it is
+	// canceled the run stops with StopCanceled and Converged == false,
+	// leaving the allocation at its best-so-far state.
+	Ctx context.Context
 }
 
 // StopReason says why a MinE run ended.
@@ -70,6 +75,8 @@ const (
 	StopMaxIters StopReason = "max-iters"
 	// StopCallback: the OnIteration callback requested a stop.
 	StopCallback StopReason = "callback"
+	// StopCanceled: the Config.Ctx context was canceled mid-run.
+	StopCanceled StopReason = "canceled"
 )
 
 // Trace records the trajectory of a MinE run: Costs[0] is the initial
@@ -114,6 +121,10 @@ func RunState(st *State, cfg Config) *Trace {
 		var movedTotal float64
 		accepted := 0
 		for _, id := range cfg.Rng.Perm(m) {
+			if model.Canceled(cfg.Ctx) {
+				tr.Reason = StopCanceled
+				return tr
+			}
 			partner, gain := sel.pick(id)
 			if partner < 0 || gain <= cfg.MinGain {
 				continue

@@ -13,6 +13,7 @@
 package game
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -112,6 +113,13 @@ type Config struct {
 	// Rng randomizes the sweep order each round; nil keeps index order
 	// (the paper does not specify; index order is deterministic).
 	Rng *rand.Rand
+	// OnSweep, if non-nil, is called after each sweep with the 1-based
+	// sweep number and current ΣC_i; returning false stops the dynamics
+	// early with Converged == true (a deliberate stop).
+	OnSweep func(sweep int, cost float64) bool
+	// Ctx, if non-nil, is polled between sweeps; once canceled the
+	// dynamics stop with Converged == false at the best-so-far state.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +161,9 @@ func BestResponseDynamics(in *model.Instance, cfg Config) (*model.Allocation, *T
 		order[i] = i
 	}
 	for sweep := 1; sweep <= cfg.MaxSweeps; sweep++ {
+		if model.Canceled(cfg.Ctx) {
+			return a, tr
+		}
 		if cfg.Rng != nil {
 			cfg.Rng.Shuffle(m, func(x, y int) { order[x], order[y] = order[y], order[x] })
 		}
@@ -175,6 +186,10 @@ func BestResponseDynamics(in *model.Instance, cfg Config) (*model.Allocation, *T
 		}
 		tr.Sweeps = sweep
 		tr.Costs = append(tr.Costs, model.TotalCostWithLoads(in, a, loads))
+		if cfg.OnSweep != nil && !cfg.OnSweep(sweep, tr.Costs[len(tr.Costs)-1]) {
+			tr.Converged = true
+			break
+		}
 		if maxChange < cfg.ChangeTol {
 			stable++
 			if stable >= cfg.StableSweeps {

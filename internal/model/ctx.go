@@ -1,0 +1,18 @@
+package model
+
+import "context"
+
+// Canceled reports whether a (possibly nil) context has been canceled —
+// the shared nil-safe poll every iterative algorithm uses between
+// iterations to honour the public cancellation contract.
+func Canceled(ctx context.Context) bool {
+	if ctx == nil {
+		return false
+	}
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}

@@ -29,6 +29,9 @@ func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
 
 	res := &Result{}
 	for it := 1; it <= opt.MaxIters; it++ {
+		if model.Canceled(opt.Ctx) {
+			break
+		}
 		Loads(in, rho, loads)
 
 		// Linear minimization oracle per row: j* = argmin_j l_j/s_j + c_ij.
@@ -64,6 +67,10 @@ func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
 		res.Iters = it
 		res.Gap = gap
 		if gap <= opt.Tol*math.Max(1, cost) {
+			res.Converged = true
+			break
+		}
+		if opt.OnIteration != nil && !opt.OnIteration(it, cost) {
 			res.Converged = true
 			break
 		}

@@ -49,6 +49,9 @@ func SolveProjectedGradient(in *model.Instance, opt Options) *Result {
 	res := &Result{}
 	cost := Objective(in, rho)
 	for it := 1; it <= opt.MaxIters; it++ {
+		if model.Canceled(opt.Ctx) {
+			break
+		}
 		res.Iters = it
 		Loads(in, rho, loads)
 		Gradient(in, loads, grad)
@@ -118,6 +121,10 @@ func SolveProjectedGradient(in *model.Instance, opt Options) *Result {
 			break
 		}
 		cost = newCost
+		if opt.OnIteration != nil && !opt.OnIteration(it, cost) {
+			res.Converged = true
+			break
+		}
 	}
 	res.Rho = rho
 	res.Cost = Objective(in, rho)

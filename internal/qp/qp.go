@@ -21,6 +21,8 @@
 package qp
 
 import (
+	"context"
+
 	"delaylb/internal/model"
 )
 
@@ -126,6 +128,13 @@ type Options struct {
 	Tol float64
 	// Initial, if non-nil, is the starting ρ (copied, not mutated).
 	Initial [][]float64
+	// OnIteration, if non-nil, is called after each iteration with the
+	// 1-based iteration number and current objective; returning false
+	// stops the run early with Converged == true (a deliberate stop).
+	OnIteration func(iter int, cost float64) bool
+	// Ctx, if non-nil, is polled between iterations; once canceled the
+	// run stops with Converged == false, returning the best-so-far ρ.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {

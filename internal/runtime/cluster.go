@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	stdruntime "runtime"
 	"sync"
+	"sync/atomic"
 
 	"delaylb/internal/model"
 )
@@ -17,11 +19,25 @@ type Cluster struct {
 	wg      sync.WaitGroup
 	mu      []sync.Mutex // one per server: handler vs. snapshot
 	stopped chan struct{}
+	// inflight counts messages that are enqueued or being handled: it is
+	// incremented before a message enters an inbox and decremented only
+	// after its handler has run AND the handler's own sends have been
+	// enqueued (and counted). It therefore reaches zero exactly when the
+	// cluster is quiescent — unlike inspecting channel lengths, which
+	// misses messages held between a channel read and the resulting
+	// sends.
+	inflight atomic.Int64
 }
 
 // NewCluster builds the goroutine cluster from an instance (identity
 // start), with the given proposal gain threshold and seed.
 func NewCluster(in *model.Instance, minGain float64, seed int64) *Cluster {
+	return NewClusterFromAllocation(in, model.Identity(in), minGain, seed)
+}
+
+// NewClusterFromAllocation builds the goroutine cluster starting from an
+// arbitrary feasible allocation (see NewSimBusFromAllocation).
+func NewClusterFromAllocation(in *model.Instance, a *model.Allocation, minGain float64, seed int64) *Cluster {
 	m := in.M()
 	c := &Cluster{
 		in:      in,
@@ -29,7 +45,7 @@ func NewCluster(in *model.Instance, minGain float64, seed int64) *Cluster {
 		mu:      make([]sync.Mutex, m),
 		stopped: make(chan struct{}),
 	}
-	sim := NewSimBus(in, minGain, seed) // reuse server construction
+	sim := NewSimBusFromAllocation(in, a, minGain, seed) // reuse server construction
 	c.servers = sim.Servers
 	for i := 0; i < m; i++ {
 		c.inboxes[i] = make(chan Message, 16*m)
@@ -52,13 +68,26 @@ func (c *Cluster) loop(i int) {
 			out := c.servers[i].Handle(msg)
 			c.mu[i].Unlock()
 			for _, o := range out {
-				select {
-				case c.inboxes[o.To] <- o:
-				case <-c.stopped:
+				if !c.send(o) {
+					c.inflight.Add(-1) // shutting down; counts no longer observed
 					return
 				}
 			}
+			c.inflight.Add(-1) // msg handled, successors registered
 		}
+	}
+}
+
+// send registers a message as in flight and enqueues it, reporting false
+// when the cluster is stopping.
+func (c *Cluster) send(msg Message) bool {
+	c.inflight.Add(1)
+	select {
+	case c.inboxes[msg.To] <- msg:
+		return true
+	case <-c.stopped:
+		c.inflight.Add(-1)
+		return false
 	}
 }
 
@@ -66,29 +95,23 @@ func (c *Cluster) loop(i int) {
 // long as inboxes have room).
 func (c *Cluster) TickAll() {
 	for i := range c.inboxes {
-		select {
-		case c.inboxes[i] <- Message{Kind: MsgTick, To: i}:
-		case <-c.stopped:
+		if !c.send(Message{Kind: MsgTick, To: i}) {
 			return
 		}
 	}
 }
 
-// Quiesce waits until all inboxes are empty (a heuristic settle point:
-// messages in flight between channel reads are not observable, so the
-// caller should tick-and-quiesce repeatedly rather than rely on a single
-// call).
+// Quiesce blocks until no message is enqueued or being handled — every
+// tick cascade, including sends a handler was about to make when a
+// channel was last inspected, has fully drained. It yields the processor
+// while waiting so the server goroutines can make progress.
 func (c *Cluster) Quiesce() {
-	for {
-		empty := true
-		for i := range c.inboxes {
-			if len(c.inboxes[i]) > 0 {
-				empty = false
-				break
-			}
-		}
-		if empty {
+	for c.inflight.Load() != 0 {
+		select {
+		case <-c.stopped:
 			return
+		default:
+			stdruntime.Gosched()
 		}
 	}
 }

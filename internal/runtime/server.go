@@ -23,6 +23,7 @@ type Server struct {
 
 	busy    bool // a proposal is in flight
 	pending int  // partner of the in-flight proposal
+	holdoff int  // ticks to skip proposing after a rejection
 
 	minGain float64
 	rng     *rand.Rand
@@ -91,6 +92,15 @@ func (s *Server) Handle(msg Message) []Message {
 		return s.onAccept(msg)
 	case MsgReject:
 		s.busy = false
+		// Randomized backoff: when two servers are each other's best
+		// partner they propose to each other in the same concurrent round,
+		// both find the other busy, and both reject — deterministically,
+		// every round (a livelock the sequential SimBus can never reach,
+		// because there an exchange completes before the next server
+		// ticks). Skipping the next proposal with probability 1/2 breaks
+		// the symmetry: one side stays receptive and the other's proposal
+		// goes through.
+		s.holdoff = s.rng.Intn(2)
 		return nil
 	default:
 		return nil
@@ -112,6 +122,10 @@ func (s *Server) onTick() []Message {
 		})
 	}
 	if s.busy {
+		return out
+	}
+	if s.holdoff > 0 {
+		s.holdoff--
 		return out
 	}
 	partner := s.bestPartner()

@@ -24,12 +24,22 @@ type SimBus struct {
 // identity allocation. minGain is the improvement threshold for
 // proposals (e.g. 1e-6 of the initial cost).
 func NewSimBus(in *model.Instance, minGain float64, seed int64) *SimBus {
+	return NewSimBusFromAllocation(in, model.Identity(in), minGain, seed)
+}
+
+// NewSimBusFromAllocation builds the node set starting from an arbitrary
+// feasible allocation: server i's initial column is a's column i. Used by
+// sessions to resume the protocol from a previously balanced state
+// instead of re-converging from scratch.
+func NewSimBusFromAllocation(in *model.Instance, a *model.Allocation, minGain float64, seed int64) *SimBus {
 	m := in.M()
 	rng := rand.New(rand.NewSource(seed))
 	bus := &SimBus{rng: rng}
 	for i := 0; i < m; i++ {
 		col := make([]float64, m)
-		col[i] = in.Load[i]
+		for k := 0; k < m; k++ {
+			col[k] = a.R[k][i]
+		}
 		bus.Servers = append(bus.Servers, NewServer(
 			i, m, in.Speed[i], in.Latency[i], col, minGain,
 			rand.New(rand.NewSource(seed+int64(i)+1)),

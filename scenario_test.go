@@ -1,0 +1,124 @@
+package delaylb
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScenarioDeterministic(t *testing.T) {
+	sc := NewScenario(12).WithLoads(LoadZipf, 80).WithSeed(42)
+	a, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if a.in.Speed[i] != b.in.Speed[i] || a.in.Load[i] != b.in.Load[i] {
+			t.Fatal("scenario not deterministic in speeds/loads")
+		}
+		for j := 0; j < 12; j++ {
+			if a.in.Latency[i][j] != b.in.Latency[i][j] {
+				t.Fatal("scenario not deterministic in latencies")
+			}
+		}
+	}
+	// A different seed must give a different instance.
+	c, err := sc.WithSeed(43).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 12 && same; i++ {
+		if a.in.Load[i] != c.in.Load[i] || a.in.Speed[i] != c.in.Speed[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds built identical loads and speeds")
+	}
+}
+
+func TestScenarioEveryFamilyCombinationBuilds(t *testing.T) {
+	for _, net := range []NetworkKind{NetPlanetLab, NetHomogeneous, NetEuclidean} {
+		for _, dist := range []LoadKind{LoadUniform, LoadExponential, LoadPeak, LoadZipf} {
+			for _, sk := range []SpeedKind{SpeedUniform, SpeedConst} {
+				sc := NewScenario(6).WithNetwork(net).WithLoads(dist, 30).WithSpeeds(sk, 1, 4)
+				sys, err := sc.Build()
+				if err != nil {
+					t.Fatalf("%s: %v", sc, err)
+				}
+				if sys.M() != 6 {
+					t.Fatalf("%s: built %d servers", sc, sys.M())
+				}
+				if _, err := sys.Optimize(WithMaxIterations(5)); err != nil {
+					t.Fatalf("%s: optimize failed: %v", sc, err)
+				}
+			}
+		}
+	}
+}
+
+func TestScenarioHomogeneousLatencyParameter(t *testing.T) {
+	sys, err := NewScenario(5).WithNetwork(NetHomogeneous).WithLatency(35).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.AverageLatency(); math.Abs(got-35) > 1e-12 {
+		t.Errorf("homogeneous latency %v, want 35", got)
+	}
+}
+
+func TestScenarioValueSemanticsCompose(t *testing.T) {
+	base := NewScenario(10)
+	peak := base.WithLoads(LoadPeak, 5000)
+	if base.LoadDist != LoadExponential {
+		t.Error("WithLoads mutated the base scenario — builder must have value semantics")
+	}
+	if peak.LoadDist != LoadPeak || peak.AvgLoad != 5000 {
+		t.Error("WithLoads lost its settings")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cases := []Scenario{
+		NewScenario(0),
+		NewScenario(5).WithNetwork("mesh"),
+		NewScenario(5).WithNetwork(NetHomogeneous).WithLatency(0),
+		{Servers: 5, Network: NetPlanetLab, LoadDist: "gamma", Speeds: SpeedConst, SpeedMin: 1},
+		NewScenario(5).WithSpeeds(SpeedUniform, 5, 1),
+		NewScenario(5).WithSpeeds(SpeedConst, 0, 0),
+		NewScenario(5).WithLoads(LoadUniform, -3),
+	}
+	for i, sc := range cases {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("case %d (%+v): invalid scenario accepted", i, sc)
+		}
+		if _, err := sc.Build(); err == nil {
+			t.Errorf("case %d: Build accepted invalid scenario", i)
+		}
+	}
+	if err := NewScenario(1).Validate(); err != nil {
+		t.Errorf("minimal valid scenario rejected: %v", err)
+	}
+}
+
+func TestScenarioPeakPutsTotalOnOneServer(t *testing.T) {
+	sys, err := NewScenario(9).WithLoads(LoadPeak, 1234).WithSeed(4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	var total float64
+	for _, l := range sys.in.Load {
+		if l > 0 {
+			nonzero++
+		}
+		total += l
+	}
+	if nonzero != 1 || total != 1234 {
+		t.Errorf("peak scenario: %d loaded servers carrying %v total, want 1 carrying 1234", nonzero, total)
+	}
+}

@@ -1,0 +1,240 @@
+package delaylb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"delaylb/internal/dynamic"
+	"delaylb/internal/model"
+	"delaylb/internal/runtime"
+)
+
+// Session is the online serving surface of the package: a long-lived,
+// mutable counterpart to the immutable System. It holds the current
+// allocation and re-optimizes incrementally as the workload evolves —
+// the §IX claim that fast MinE convergence enables balancing "in
+// networks with dynamically changing loads", turned into an API.
+//
+// The intended loop is
+//
+//	sess := sys.NewSession()
+//	res, _ := sess.Reoptimize(ctx)          // initial solve
+//	for { // serving loop
+//		sess.UpdateLoads(observedLoads)      // demand changed
+//		res, _ = sess.Reoptimize(ctx)        // warm re-solve, few iters
+//	}
+//
+// UpdateLoads carries the previous allocation over by preserving each
+// organization's relay fractions (what a running system does naturally
+// when demand changes under a persisted routing table), so Reoptimize
+// starts warm and typically re-enters the paper's 2% optimality band in
+// a fraction of the iterations a cold solve needs.
+//
+// A Session is safe for concurrent use. The lock is released while a
+// solve or cluster run is in flight, so observers — including the
+// Progress/onRound callbacks themselves — may call Session methods at
+// any time; a result computed against a state that was updated mid-run
+// is returned but not adopted.
+type Session struct {
+	mu    sync.Mutex
+	in    *model.Instance
+	alloc *model.Allocation
+	base  []Option // defaults captured at NewSession, prepended per call
+	epoch int      // counts load/latency updates
+}
+
+// NewSession starts a session from the system's instance and the identity
+// allocation (every organization serving itself). The given options
+// become the session's defaults for every Reoptimize/RunCluster call;
+// per-call options override them.
+func (s *System) NewSession(opts ...Option) *Session {
+	return &Session{
+		in:    s.in.Clone(),
+		alloc: model.Identity(s.in),
+		base:  opts,
+	}
+}
+
+// System returns an immutable snapshot of the session's current instance,
+// usable with every one-shot entry point (Optimize, NashEquilibrium, …).
+func (s *Session) System() *System {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &System{in: s.in.Clone()}
+}
+
+// Epoch returns how many UpdateLoads/UpdateLatency calls the session has
+// absorbed.
+func (s *Session) Epoch() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Loads returns a copy of the current per-organization loads.
+func (s *Session) Loads() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.in.Load...)
+}
+
+// Result snapshots the current allocation as a Result (no solving). The
+// snapshot is a copy: mutating it cannot corrupt the session.
+func (s *Session) Result() *Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return resultFromAllocation(s.in, s.alloc.Clone())
+}
+
+// Cost returns ΣC_i of the current allocation under the current loads
+// and latencies.
+func (s *Session) Cost() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return model.TotalCost(s.in, s.alloc)
+}
+
+// UpdateLoads replaces the per-organization loads. The current allocation
+// is carried over by rescaling each organization's row to its new load
+// (preserving relay fractions), so it stays feasible and close to optimal
+// under moderate churn — the warm start the next Reoptimize exploits.
+func (s *Session) UpdateLoads(loads []float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(loads) != s.in.M() {
+		return fmt.Errorf("delaylb: UpdateLoads got %d loads, want %d", len(loads), s.in.M())
+	}
+	next := s.in.Clone()
+	next.Load = append([]float64(nil), loads...)
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	s.alloc = dynamic.Rescale(s.alloc, s.in, next)
+	s.in = next
+	s.epoch++
+	return nil
+}
+
+// UpdateLatency replaces the pairwise latency matrix (the network
+// changed: a link degraded, a route moved). The allocation is unchanged —
+// it remains feasible because loads did not move — but its cost, and the
+// optimum, shift; call Reoptimize to adapt.
+func (s *Session) UpdateLatency(latency [][]float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next := &model.Instance{
+		Speed:   append([]float64(nil), s.in.Speed...),
+		Load:    append([]float64(nil), s.in.Load...),
+		Latency: make([][]float64, len(latency)),
+	}
+	if len(latency) != s.in.M() {
+		return fmt.Errorf("delaylb: UpdateLatency got %d rows, want %d", len(latency), s.in.M())
+	}
+	for i, row := range latency {
+		next.Latency[i] = append([]float64(nil), row...)
+	}
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	s.in = next
+	s.epoch++
+	return nil
+}
+
+// Reoptimize re-solves from the current allocation (warm start) with the
+// session's default options plus any per-call overrides, adopts the
+// resulting allocation, and returns it. On context cancellation the
+// best-so-far partial result is adopted and returned alongside ctx.Err()
+// — an online balancer prefers a partially improved plan over none.
+//
+// The session lock is NOT held while the solver runs, so observers (and
+// the Progress callback itself) may use the Session concurrently. If an
+// UpdateLoads/UpdateLatency lands mid-solve the stale result is returned
+// but not adopted — call Reoptimize again for the new epoch.
+func (s *Session) Reoptimize(ctx context.Context, opts ...Option) (*Result, error) {
+	s.mu.Lock()
+	o := buildOptions(append(append([]Option(nil), s.base...), opts...))
+	o.WarmStart = s.alloc.R
+	in := s.in
+	epoch := s.epoch
+	s.mu.Unlock()
+	solver, err := resolveSolver(o.solver)
+	if err != nil {
+		return nil, err
+	}
+	// Safe outside the lock: instances and allocation matrices are
+	// replaced wholesale on update, never mutated in place.
+	res, err := solver.Solve(ctx, &System{in: in}, o.SolveOptions)
+	if res != nil && res.Requests != nil {
+		s.mu.Lock()
+		if s.epoch == epoch {
+			if a, aerr := warmAllocation(in, res.Requests); aerr == nil {
+				s.alloc = a
+			}
+		}
+		s.mu.Unlock()
+	}
+	return res, err
+}
+
+// RunCluster runs the concurrent message-passing runtime (one goroutine
+// per server, buffered channels, gossip + pairwise balance proposals) for
+// the given number of tick rounds, starting from the session's current
+// allocation. After each round the cluster is quiesced and onRound, if
+// non-nil, is invoked with the round number and current ΣC_i; returning
+// false stops early (Reason "callback"). The reached allocation is
+// adopted into the session unless an update landed mid-run.
+//
+// The session lock is not held while the cluster runs; see Reoptimize.
+// Unlike SimulateDistributed this exercises true concurrency — message
+// interleavings vary across runs — so treat per-round costs as
+// monotone-ish, not bit-reproducible.
+func (s *Session) RunCluster(ctx context.Context, rounds int, onRound func(round int, cost float64) bool, opts ...Option) (*Result, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("delaylb: RunCluster needs rounds >= 1, got %d", rounds)
+	}
+	s.mu.Lock()
+	o := buildOptions(append(append([]Option(nil), s.base...), opts...))
+	in := s.in
+	start := s.alloc
+	epoch := s.epoch
+	s.mu.Unlock()
+	minGain := 1e-6 * (1 + model.TotalCost(in, model.Identity(in)))
+	cl := runtime.NewClusterFromAllocation(in, start, minGain, o.Seed)
+	defer cl.Stop()
+	done := 0
+	stopped := false
+	for r := 1; r <= rounds; r++ {
+		if ctx.Err() != nil {
+			break
+		}
+		cl.TickAll()
+		cl.Quiesce()
+		done = r
+		if onRound != nil && !onRound(r, cl.Cost()) {
+			stopped = true
+			break
+		}
+	}
+	reached := cl.Allocation()
+	s.mu.Lock()
+	if s.epoch == epoch {
+		s.alloc = reached
+	}
+	s.mu.Unlock()
+	// The result gets its own copy so callers cannot mutate the adopted
+	// allocation through it.
+	res := resultFromAllocation(in, reached.Clone())
+	res.Iterations = done
+	switch {
+	case ctx.Err() != nil:
+		res.Reason = "canceled"
+	case stopped:
+		res.Reason = "callback"
+	default:
+		res.Converged = true
+		res.Reason = "rounds"
+	}
+	return res, ctx.Err()
+}

@@ -1,0 +1,113 @@
+package delaylb
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SolveOptions carries the tuning knobs a Solver receives. The zero value
+// asks for solver-specific defaults everywhere; the functional Options
+// (WithSeed, WithMaxIterations, …) are the usual way to populate it.
+type SolveOptions struct {
+	// Seed drives any randomized tie-breaking (default 1); runs are
+	// deterministic for a fixed seed.
+	Seed int64
+	// MaxIterations caps the iteration (or best-response sweep) count;
+	// 0 means the solver's default.
+	MaxIterations int
+	// Tolerance is the convergence tolerance; 0 means the solver's
+	// default.
+	Tolerance float64
+	// Strategy selects the MinE partner-selection rule for the "mine"
+	// solver: "exact" (default), "hybrid" or "proxy". The "hybrid" and
+	// "proxy" registry entries ignore it and force their own rule.
+	Strategy string
+	// CycleRemovalEvery runs the Appendix A negative-cycle removal every
+	// n iterations (0 = never).
+	CycleRemovalEvery int
+	// Progress, if non-nil, is invoked between iterations with the
+	// 1-based iteration number and the current ΣC_i; returning false
+	// stops the solve early (the partial result is returned without
+	// error, marked Reason "callback" and Converged false).
+	Progress func(iteration int, cost float64) bool
+	// WarmStart, if non-nil, is a requests matrix r_ij the solver should
+	// start from instead of the identity allocation. Rows are rescaled to
+	// the instance's loads, so an allocation computed for slightly
+	// different loads (a Session after UpdateLoads) remains usable. The
+	// "nash" solver ignores it: best-response dynamics are defined from
+	// the identity start.
+	WarmStart [][]float64
+}
+
+// Solver is a cooperative-optimum or equilibrium algorithm reachable
+// through the registry. Solve must honour ctx between iterations: on
+// cancellation it returns the partial best-so-far Result alongside
+// ctx.Err(), so callers can keep serving a stale-but-feasible plan.
+// Implementations must be safe for concurrent use by multiple goroutines
+// (the built-ins are stateless values).
+type Solver interface {
+	// Name is the registry key ("mine", "frankwolfe", …).
+	Name() string
+	// Solve computes an allocation for the system under the options.
+	Solve(ctx context.Context, sys *System, opts SolveOptions) (*Result, error)
+}
+
+var (
+	solversMu sync.RWMutex
+	solvers   = map[string]Solver{}
+)
+
+// RegisterSolver adds a solver to the registry under s.Name(), making it
+// reachable via WithSolver(name) and Session.Reoptimize. It returns an
+// error on an empty name or a duplicate registration.
+func RegisterSolver(s Solver) error {
+	if s == nil || s.Name() == "" {
+		return fmt.Errorf("delaylb: RegisterSolver requires a named solver")
+	}
+	solversMu.Lock()
+	defer solversMu.Unlock()
+	if _, dup := solvers[s.Name()]; dup {
+		return fmt.Errorf("delaylb: solver %q already registered", s.Name())
+	}
+	solvers[s.Name()] = s
+	return nil
+}
+
+// LookupSolver returns the registered solver with the given name.
+func LookupSolver(name string) (Solver, bool) {
+	solversMu.RLock()
+	defer solversMu.RUnlock()
+	s, ok := solvers[name]
+	return s, ok
+}
+
+// SolverNames lists the registered solver names, sorted.
+func SolverNames() []string {
+	solversMu.RLock()
+	defer solversMu.RUnlock()
+	names := make([]string, 0, len(solvers))
+	for n := range solvers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// mustRegisterSolver registers the built-ins at init time.
+func mustRegisterSolver(s Solver) {
+	if err := RegisterSolver(s); err != nil {
+		panic(err)
+	}
+}
+
+// resolveSolver maps a WithSolver name to a registry entry, with an error
+// naming the known solvers on a miss.
+func resolveSolver(name string) (Solver, error) {
+	s, ok := LookupSolver(name)
+	if !ok {
+		return nil, fmt.Errorf("delaylb: unknown solver %q (registered: %v)", name, SolverNames())
+	}
+	return s, nil
+}

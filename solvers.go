@@ -1,0 +1,221 @@
+package delaylb
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"delaylb/internal/core"
+	"delaylb/internal/game"
+	"delaylb/internal/model"
+	"delaylb/internal/qp"
+)
+
+// This file implements the built-in solvers behind the registry:
+//
+//	mine        the paper's distributed MinE algorithm (honours Strategy)
+//	hybrid      MinE with the short-listed hybrid partner selection
+//	proxy       MinE with the O(1) proxy partner selection
+//	frankwolfe  Frank–Wolfe conditional gradient (§III baseline)
+//	projgrad    projected gradient with exact line search (§III baseline)
+//	nash        best-response dynamics to the selfish equilibrium (§V)
+
+func init() {
+	mustRegisterSolver(mineSolver{name: "mine"})
+	mustRegisterSolver(mineSolver{name: "hybrid", strategy: core.StrategyHybrid, forced: true})
+	mustRegisterSolver(mineSolver{name: "proxy", strategy: core.StrategyProxy, forced: true})
+	mustRegisterSolver(qpSolver{name: "frankwolfe"})
+	mustRegisterSolver(qpSolver{name: "projgrad"})
+	mustRegisterSolver(nashSolver{})
+}
+
+// warmAllocation turns a WarmStart requests matrix into an allocation
+// consistent with the instance's current loads: each row is scaled so it
+// sums to n_i (rows that carried no mass restart from identity). A nil
+// warm start yields the identity allocation; a warm start of the wrong
+// shape is an error — silently solving cold would hide the mistake.
+func warmAllocation(in *model.Instance, warm [][]float64) (*model.Allocation, error) {
+	if warm == nil {
+		return model.Identity(in), nil
+	}
+	m := in.M()
+	if len(warm) != m {
+		return nil, fmt.Errorf("delaylb: warm start has %d rows, want %d", len(warm), m)
+	}
+	a := model.NewAllocation(m)
+	for i := 0; i < m; i++ {
+		if len(warm[i]) != m {
+			return nil, fmt.Errorf("delaylb: warm start row %d has %d entries, want %d", i, len(warm[i]), m)
+		}
+		var sum float64
+		for _, v := range warm[i] {
+			sum += v
+		}
+		if sum > 0 {
+			scale := in.Load[i] / sum
+			for j := 0; j < m; j++ {
+				a.R[i][j] = warm[i][j] * scale
+			}
+		} else {
+			a.R[i][i] = in.Load[i]
+		}
+	}
+	return a, nil
+}
+
+// callbackTracker wraps a Progress callback so adapters whose underlying
+// engines fold a deliberate callback stop into their generic "converged"
+// flag can still report Reason == "callback" accurately.
+func callbackTracker(progress func(int, float64) bool) (wrapped func(int, float64) bool, stopped *bool) {
+	stopped = new(bool)
+	if progress == nil {
+		return nil, stopped
+	}
+	wrapped = func(iter int, cost float64) bool {
+		if !progress(iter, cost) {
+			*stopped = true
+			return false
+		}
+		return true
+	}
+	return wrapped, stopped
+}
+
+// finishSolve applies the shared cancellation contract: a canceled
+// context turns the result into a partial one and surfaces ctx.Err().
+func finishSolve(ctx context.Context, res *Result) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		res.Converged = false
+		res.Reason = "canceled"
+		return res, err
+	}
+	return res, nil
+}
+
+// mineSolver runs the paper's distributed MinE algorithm (Algorithms 1–2).
+type mineSolver struct {
+	name     string
+	strategy core.Strategy
+	forced   bool // true for "hybrid"/"proxy": ignore opts.Strategy
+}
+
+func (ms mineSolver) Name() string { return ms.name }
+
+func (ms mineSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) (*Result, error) {
+	strat := ms.strategy
+	if !ms.forced {
+		switch opts.Strategy {
+		case "proxy":
+			strat = core.StrategyProxy
+		case "hybrid":
+			strat = core.StrategyHybrid
+		default:
+			strat = core.StrategyExact
+		}
+	}
+	start, err := warmAllocation(sys.in, opts.WarmStart)
+	if err != nil {
+		return nil, err
+	}
+	st := core.NewState(sys.in, start)
+	tr := core.RunState(st, core.Config{
+		Strategy:          strat,
+		MaxIters:          opts.MaxIterations,
+		RemoveCyclesEvery: opts.CycleRemovalEvery,
+		Rng:               rand.New(rand.NewSource(seedOrDefault(opts.Seed))),
+		OnIteration:       opts.Progress,
+		Ctx:               ctx,
+	})
+	res := resultFromAllocation(sys.in, st.Alloc)
+	res.Iterations = tr.Iters
+	res.Converged = tr.Converged
+	res.CostTrace = tr.Costs
+	res.Reason = string(tr.Reason)
+	if tr.Reason == core.StopCallback {
+		// Public contract: a deliberate callback stop is not convergence.
+		res.Converged = false
+	}
+	return finishSolve(ctx, res)
+}
+
+// qpSolver wraps the centralized convex baselines of §III.
+type qpSolver struct {
+	name string // "frankwolfe" or "projgrad"
+}
+
+func (qs qpSolver) Name() string { return qs.name }
+
+func (qs qpSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) (*Result, error) {
+	progress, stopped := callbackTracker(opts.Progress)
+	qopt := qp.Options{
+		MaxIters:    opts.MaxIterations,
+		Tol:         opts.Tolerance,
+		OnIteration: progress,
+		Ctx:         ctx,
+	}
+	if opts.WarmStart != nil {
+		start, err := warmAllocation(sys.in, opts.WarmStart)
+		if err != nil {
+			return nil, err
+		}
+		qopt.Initial = start.Fractions(sys.in)
+	}
+	var qres *qp.Result
+	if qs.name == "frankwolfe" {
+		qres = qp.SolveFrankWolfe(sys.in, qopt)
+	} else {
+		qres = qp.SolveProjectedGradient(sys.in, qopt)
+	}
+	res := resultFromAllocation(sys.in, qres.Allocation(sys.in))
+	res.Iterations = qres.Iters
+	res.Converged = qres.Converged
+	res.Gap = qres.Gap
+	switch {
+	case *stopped:
+		res.Reason = "callback"
+		res.Converged = false
+	case qres.Converged:
+		res.Reason = "tolerance"
+	default:
+		res.Reason = "max-iters"
+	}
+	return finishSolve(ctx, res)
+}
+
+// nashSolver runs sequential best-response dynamics to the (approximate)
+// selfish equilibrium — not a cooperative optimum, but reachable through
+// the same registry so sessions and commands can switch regimes by name.
+type nashSolver struct{}
+
+func (nashSolver) Name() string { return "nash" }
+
+func (nashSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) (*Result, error) {
+	progress, stopped := callbackTracker(opts.Progress)
+	nash, tr := game.BestResponseDynamics(sys.in, game.Config{
+		MaxSweeps: opts.MaxIterations,
+		ChangeTol: opts.Tolerance,
+		OnSweep:   progress,
+		Ctx:       ctx,
+	})
+	res := resultFromAllocation(sys.in, nash)
+	res.Iterations = tr.Sweeps
+	res.Converged = tr.Converged
+	res.CostTrace = tr.Costs
+	switch {
+	case *stopped:
+		res.Reason = "callback"
+		res.Converged = false
+	case tr.Converged:
+		res.Reason = "stable"
+	default:
+		res.Reason = "max-iters"
+	}
+	return finishSolve(ctx, res)
+}
+
+func seedOrDefault(seed int64) int64 {
+	if seed == 0 {
+		return 1
+	}
+	return seed
+}

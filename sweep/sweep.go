@@ -2,18 +2,38 @@
 // the paper's evaluation (§VI-A settings), runs the algorithms, and
 // aggregates the rows of every table and figure. cmd/tables and the
 // repository-level benchmarks are thin wrappers around this package.
+//
+// The package is public so downstream users can rerun and extend the
+// evaluation; for one-off instances prefer the root package's Scenario
+// builder, which constructs the same families from a declarative,
+// seed-deterministic description.
 package sweep
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
+	"delaylb/internal/core"
 	"delaylb/internal/model"
 	"delaylb/internal/netmodel"
+	"delaylb/internal/qp"
 	"delaylb/internal/workload"
 )
 
-// NetworkKind selects one of the two network families of §VI-A.
+// Partner-selection strategies for ConvergenceConfig/Figure2Config,
+// re-exported so harness users need not import internal packages.
+const (
+	StrategyExact  = core.StrategyExact
+	StrategyHybrid = core.StrategyHybrid
+	StrategyProxy  = core.StrategyProxy
+)
+
+// NetworkKind selects one of the two network families of §VI-A. Its
+// values are the paper's own table labels ("PL", "c=20") and are distinct
+// from the root package's delaylb.NetworkKind scenario names — this enum
+// keys experiment rows, delaylb.Scenario is the supported way to build
+// instances.
 type NetworkKind string
 
 const (
@@ -60,6 +80,14 @@ func BuildInstance(m int, net NetworkKind, sk SpeedKind, dist workload.Kind, avg
 		Load:    workload.Loads(dist, m, avg, rng),
 		Latency: lat,
 	}
+}
+
+// Figure1Structure writes the Figure 1 artifact — the sparsity pattern of
+// the dense Q matrix of the §III quadratic program — for an m-server
+// homogeneous instance.
+func Figure1Structure(w io.Writer, m int) error {
+	in := BuildInstance(m, NetHomogeneous, SpeedConst, workload.KindUniform, 10, rand.New(rand.NewSource(1)))
+	return qp.FprintStructure(w, in)
 }
 
 // SizeGroup formats a network size the way the paper's tables group them
