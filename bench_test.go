@@ -1,4 +1,4 @@
-package delaylb
+package delaylb_test
 
 // Benchmark harness: one benchmark per table and figure of the paper's
 // evaluation, plus the ablations DESIGN.md calls out. Each benchmark
@@ -14,25 +14,40 @@ package delaylb
 //	BenchmarkFigure2LargeNetwork → cost-decrease factor after 5 iters
 //	BenchmarkSolverVsDistributed → wall-clock of each solver (§III claim)
 //	BenchmarkAblation*           → design-choice comparisons
+//
+// This file lives in the external test package delaylb_test: it imports
+// both the root package and sweep, and sweep itself imports delaylb for
+// the Scenario cell builder — an import cycle if this harness sat inside
+// package delaylb.
 
 import (
 	"math/rand"
 	"testing"
 
+	"delaylb"
 	"delaylb/internal/core"
 	"delaylb/internal/model"
 	"delaylb/internal/qp"
-	"delaylb/internal/workload"
 	"delaylb/sweep"
 )
+
+// benchInstance builds a §VI-A instance through the public Scenario
+// builder — the same path every sweep cell takes.
+func benchInstance(b *testing.B, sc delaylb.Scenario) *model.Instance {
+	in, err := sc.Instance()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
 
 func BenchmarkTable1Convergence(b *testing.B) {
 	cfg := sweep.ConvergenceConfig{
 		Sizes:     []int{20, 50},
-		Dists:     []workload.Kind{workload.KindUniform, workload.KindExponential, workload.KindPeak},
+		Dists:     []delaylb.LoadKind{delaylb.LoadUniform, delaylb.LoadExponential, delaylb.LoadPeak},
 		AvgLoads:  []float64{50},
 		PeakTotal: 100000,
-		Networks:  []sweep.NetworkKind{sweep.NetHomogeneous, sweep.NetPlanetLab},
+		Networks:  []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab},
 		Tol:       0.02,
 		Repeats:   1,
 		Seed:      1,
@@ -53,10 +68,10 @@ func BenchmarkTable1Convergence(b *testing.B) {
 func BenchmarkTable2Convergence(b *testing.B) {
 	cfg := sweep.ConvergenceConfig{
 		Sizes:     []int{20, 50},
-		Dists:     []workload.Kind{workload.KindUniform, workload.KindExponential, workload.KindPeak},
+		Dists:     []delaylb.LoadKind{delaylb.LoadUniform, delaylb.LoadExponential, delaylb.LoadPeak},
 		AvgLoads:  []float64{50},
 		PeakTotal: 100000,
-		Networks:  []sweep.NetworkKind{sweep.NetHomogeneous, sweep.NetPlanetLab},
+		Networks:  []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab},
 		Tol:       0.001,
 		Repeats:   1,
 		Seed:      1,
@@ -77,12 +92,12 @@ func BenchmarkTable2Convergence(b *testing.B) {
 func BenchmarkTable3Selfishness(b *testing.B) {
 	cfg := sweep.SelfishnessConfig{
 		Sizes:      []int{20},
-		SpeedKinds: []sweep.SpeedKind{sweep.SpeedConst, sweep.SpeedUniform},
+		SpeedKinds: []delaylb.SpeedKind{delaylb.SpeedConst, delaylb.SpeedUniform},
 		LavBuckets: []sweep.LavBucket{
 			{Label: "lav=50", Loads: []float64{50}},
 			{Label: "lav>=200", Loads: []float64{200}},
 		},
-		Networks: []sweep.NetworkKind{sweep.NetHomogeneous, sweep.NetPlanetLab},
+		Networks: []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab},
 		Repeats:  1,
 		Seed:     1,
 	}
@@ -114,8 +129,7 @@ func BenchmarkTable4RTT(b *testing.B) {
 }
 
 func BenchmarkFigure1QStructure(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	in := sweep.BuildInstance(8, sweep.NetPlanetLab, sweep.SpeedUniform, workload.KindUniform, 50, rng)
+	in := benchInstance(b, delaylb.NewScenario(8).WithLoads(delaylb.LoadUniform, 50).WithSeed(1))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q := qp.BuildQ(in)
@@ -150,8 +164,7 @@ func BenchmarkFigure2LargeNetwork(b *testing.B) {
 // §III/§IV claim: the distributed algorithm beats the standard convex
 // solvers in wall-clock even on one CPU.
 func BenchmarkSolverVsDistributed(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	in := sweep.BuildInstance(50, sweep.NetPlanetLab, sweep.SpeedUniform, workload.KindExponential, 100, rng)
+	in := benchInstance(b, delaylb.NewScenario(50).WithLoads(delaylb.LoadExponential, 100).WithSeed(1))
 	b.Run("MinE", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			core.Run(in, core.Config{Rng: rand.New(rand.NewSource(int64(i)))})
@@ -169,10 +182,38 @@ func BenchmarkSolverVsDistributed(b *testing.B) {
 	})
 }
 
+// The concurrent sweep engine itself: the reduced Table I grid at one
+// worker vs all CPUs. The two must agree byte-for-byte (runner_test.go);
+// this pair measures what the parallelism buys in wall-clock.
+func BenchmarkSweepEngine(b *testing.B) {
+	cfg := sweep.ConvergenceConfig{
+		Sizes:     []int{20, 30, 50},
+		Dists:     []delaylb.LoadKind{delaylb.LoadUniform, delaylb.LoadExponential},
+		AvgLoads:  []float64{50},
+		PeakTotal: 100000,
+		Networks:  []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab},
+		Tol:       0.02,
+		Repeats:   2,
+		Seed:      1,
+		MaxIters:  100,
+	}
+	b.Run("Workers1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c := cfg
+			c.Workers = 1
+			sweep.ConvergenceTable(c)
+		}
+	})
+	b.Run("WorkersAll", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep.ConvergenceTable(cfg)
+		}
+	})
+}
+
 // Ablation: partner-selection strategies (exact vs hybrid vs proxy).
 func BenchmarkAblationPartnerStrategy(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	in := sweep.BuildInstance(100, sweep.NetPlanetLab, sweep.SpeedUniform, workload.KindExponential, 100, rng)
+	in := benchInstance(b, delaylb.NewScenario(100).WithLoads(delaylb.LoadExponential, 100).WithSeed(1))
 	for name, s := range map[string]core.Strategy{
 		"Exact":  core.StrategyExact,
 		"Hybrid": core.StrategyHybrid,
@@ -191,8 +232,7 @@ func BenchmarkAblationPartnerStrategy(b *testing.B) {
 
 // Ablation: §VI-B — negative-cycle removal does not change convergence.
 func BenchmarkAblationCycleRemoval(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	in := sweep.BuildInstance(50, sweep.NetPlanetLab, sweep.SpeedUniform, workload.KindExponential, 100, rng)
+	in := benchInstance(b, delaylb.NewScenario(50).WithLoads(delaylb.LoadExponential, 100).WithSeed(1))
 	for name, every := range map[string]int{"Never": 0, "Every2": 2} {
 		b.Run(name, func(b *testing.B) {
 			var iters float64
@@ -210,8 +250,7 @@ func BenchmarkAblationCycleRemoval(b *testing.B) {
 
 // Ablation: error-bound computation cost (Proposition 1 is O(m³ log m)).
 func BenchmarkAblationErrorBound(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	in := sweep.BuildInstance(40, sweep.NetPlanetLab, sweep.SpeedUniform, workload.KindExponential, 100, rng)
+	in := benchInstance(b, delaylb.NewScenario(40).WithLoads(delaylb.LoadExponential, 100).WithSeed(1))
 	st := core.NewIdentityState(in)
 	core.RunState(st, core.Config{MaxIters: 2, Rng: rand.New(rand.NewSource(2))})
 	b.ResetTimer()
@@ -222,16 +261,16 @@ func BenchmarkAblationErrorBound(b *testing.B) {
 
 // End-to-end: the public API's cooperative path at a realistic size.
 func BenchmarkPublicOptimize100(b *testing.B) {
-	sys, err := New(
-		UniformSpeeds(100, 1, 5, 1),
-		ExponentialLoads(100, 100, 2),
-		PlanetLabLatencies(100, 3),
+	sys, err := delaylb.New(
+		delaylb.UniformSpeeds(100, 1, 5, 1),
+		delaylb.ExponentialLoads(100, 100, 2),
+		delaylb.PlanetLabLatencies(100, 3),
 	)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Optimize(WithStrategy("hybrid"), WithSeed(int64(i))); err != nil {
+		if _, err := sys.Optimize(delaylb.WithStrategy("hybrid"), delaylb.WithSeed(int64(i))); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -239,10 +278,10 @@ func BenchmarkPublicOptimize100(b *testing.B) {
 
 // End-to-end: Nash equilibrium at a realistic size.
 func BenchmarkPublicNash100(b *testing.B) {
-	sys, err := New(
-		UniformSpeeds(100, 1, 5, 1),
-		ExponentialLoads(100, 100, 2),
-		PlanetLabLatencies(100, 3),
+	sys, err := delaylb.New(
+		delaylb.UniformSpeeds(100, 1, 5, 1),
+		delaylb.ExponentialLoads(100, 100, 2),
+		delaylb.PlanetLabLatencies(100, 3),
 	)
 	if err != nil {
 		b.Fatal(err)

@@ -1,5 +1,8 @@
 // Command tables regenerates the tables and figures of the paper's
-// evaluation on the simulated substrate.
+// evaluation on the simulated substrate, fanning experiment cells out
+// over a bounded worker pool (results are identical for every worker
+// count — each cell derives a private RNG from the base seed and its
+// cell index).
 //
 // Usage:
 //
@@ -15,6 +18,8 @@
 //
 // Add -full for the paper-scale parameters (slower); the default
 // configuration is laptop-scale and preserves every qualitative shape.
+// -workers N bounds the pool (default: all CPUs), -seed picks the base
+// seed, and -out results.json (or .csv) persists the aggregate rows.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"delaylb/sweep"
 )
@@ -33,24 +39,37 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	all := flag.Bool("all", false, "regenerate everything")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs); does not affect results")
+	out := flag.String("out", "", "persist aggregate rows to this .json or .csv file")
 	flag.Parse()
 
+	// Reject a bad -out up front: discovering a typo'd extension only
+	// after a -full sweep would throw hours of computation away.
+	if *out != "" {
+		if err := (&sweep.Report{}).WriteNamed(io.Discard, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
 	w := io.Writer(os.Stdout)
+	report := &sweep.Report{Seed: *seed, Workers: *workers}
+	start := time.Now()
 	ran := false
 	if *all || *table == 1 {
-		runConvergence(w, 1, *full, *seed)
+		report.Table1 = runConvergence(w, 1, *full, *seed, *workers)
 		ran = true
 	}
 	if *all || *table == 2 {
-		runConvergence(w, 2, *full, *seed)
+		report.Table2 = runConvergence(w, 2, *full, *seed, *workers)
 		ran = true
 	}
 	if *all || *table == 3 {
-		runTable3(w, *full, *seed)
+		report.Table3 = runTable3(w, *full, *seed, *workers)
 		ran = true
 	}
 	if *all || *table == 4 {
-		runTable4(w, *seed)
+		report.Table4 = runTable4(w, *seed)
 		ran = true
 	}
 	if *all || *fig == 1 {
@@ -61,7 +80,7 @@ func main() {
 		ran = true
 	}
 	if *all || *fig == 2 {
-		runFigure2(w, *full, *seed)
+		report.Figure2 = runFigure2(w, *full, *seed, *workers)
 		ran = true
 	}
 	if *all || *ablation == "cycles" {
@@ -84,107 +103,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-}
-
-func runConvergence(w io.Writer, which int, full bool, seed int64) {
-	var cfg sweep.ConvergenceConfig
-	if which == 1 {
-		cfg = sweep.DefaultTable1Config()
-	} else {
-		cfg = sweep.DefaultTable2Config()
-	}
-	cfg.Seed = seed
-	if full {
-		cfg.Sizes = []int{20, 30, 50, 100, 200, 300}
-		cfg.AvgLoads = []float64{10, 20, 50, 200, 1000}
-		cfg.Repeats = 5
-		// Exact partner selection is O(m² log m) per server step; switch
-		// to the short-listed hybrid above m≈100 as documented.
-		cfg.Strategy = sweep.StrategyHybrid
-	}
-	tol := "2%"
-	if which == 2 {
-		tol = "0.1%"
-	}
-	fmt.Fprintf(w, "== Table %s: iterations of the distributed algorithm to ≤ %s relative error ==\n",
-		roman(which), tol)
-	fmt.Fprintf(w, "%-8s %-8s %9s %6s %9s %4s\n", "size", "dist", "average", "max", "st.dev", "n")
-	for _, row := range sweep.ConvergenceTable(cfg) {
-		fmt.Fprintf(w, "%-8s %-8s %9.2f %6.0f %9.2f %4d\n",
-			row.Group, row.Dist, row.Summary.Avg, row.Summary.Max, row.Summary.Std, row.Summary.N)
-	}
-	fmt.Fprintln(w)
-}
-
-func runTable3(w io.Writer, full bool, seed int64) {
-	cfg := sweep.DefaultTable3Config()
-	cfg.Seed = seed
-	if full {
-		cfg.Sizes = []int{20, 30, 50, 100}
-		cfg.Repeats = 5
-	}
-	fmt.Fprintln(w, "== Table III: cost of selfishness (ΣC_i at Nash / ΣC_i at optimum) ==")
-	fmt.Fprintf(w, "%-9s %-9s %-6s %8s %8s %8s %4s\n", "speeds", "lav", "net", "avg", "max", "st.dev", "n")
-	for _, row := range sweep.SelfishnessTable(cfg) {
-		fmt.Fprintf(w, "%-9s %-9s %-6s %8.3f %8.3f %8.3f %4d\n",
-			row.SpeedKind, row.LavLabel, row.Network,
-			row.Summary.Avg, row.Summary.Max, row.Summary.Std, row.Summary.N)
-	}
-	fmt.Fprintln(w)
-}
-
-func runTable4(w io.Writer, seed int64) {
-	cfg := sweep.DefaultTable4Config()
-	cfg.Seed = seed
-	fmt.Fprintln(w, "== Table IV: relative RTT deviation vs per-flow background throughput ==")
-	res := sweep.Table4(cfg)
-	fmt.Fprintf(w, "%12s %8s %8s\n", "tb", "μ", "σ")
-	for _, row := range res.Rows {
-		label := fmt.Sprintf("%.0f KB/s", row.ThroughputKBps)
-		if row.ThroughputKBps >= 1000 {
-			label = fmt.Sprintf("%.1f MB/s", row.ThroughputKBps/1000)
+	elapsed := time.Since(start)
+	report.ElapsedMS = elapsed.Milliseconds()
+	fmt.Fprintf(w, "wall-clock: %.2fs (workers=%s)\n", elapsed.Seconds(), workersLabel(*workers))
+	if *out != "" {
+		if err := writeReport(report, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		fmt.Fprintf(w, "%12s %8.2f %8.2f\n", label, row.Mu, row.Sigma)
+		fmt.Fprintf(w, "aggregates written to %s\n", *out)
 	}
-	fmt.Fprintf(w, "ANOVA: null (RTT independent of tb ≤ 50 KB/s) accepted for %.0f%% of pairs\n\n",
-		100*res.ANOVAAcceptFrac)
 }
 
-func runFigure1(w io.Writer) error {
-	fmt.Fprintln(w, "== Figure 1: structure of matrix Q (m = 4) ==")
-	if err := sweep.Figure1Structure(w, 4); err != nil {
+func writeReport(report *sweep.Report, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w)
-	return nil
+	if err := report.WriteNamed(f, path); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
-func runFigure2(w io.Writer, full bool, seed int64) {
-	cfg := sweep.DefaultFigure2Config()
-	cfg.Seed = seed
-	if full {
-		cfg.Sizes = []int{500, 1000, 2000, 3000, 5000}
+func workersLabel(n int) string {
+	if n <= 0 {
+		return "all CPUs"
 	}
-	fmt.Fprintln(w, "== Figure 2: ΣC_i per iteration, peak load 100000, PlanetLab-like net ==")
-	for _, s := range sweep.Figure2(cfg) {
-		fmt.Fprintf(w, "#servers = %d\n", s.M)
-		for it, c := range s.Costs {
-			fmt.Fprintf(w, "  iter %2d  ΣC_i = %.4g\n", it, c)
-		}
-	}
-	fmt.Fprintln(w)
-}
-
-func runCycleAblation(w io.Writer, seed int64) {
-	fmt.Fprintln(w, "== Ablation (§VI-B): convergence with vs without negative-cycle removal ==")
-	res := sweep.CycleAblation([]int{20, 50, 100}, 3, seed)
-	fmt.Fprintf(w, "runs: %d, iteration counts identical: %v\n", len(res.ItersWith), res.Identical)
-	fmt.Fprintf(w, "%-10s %v\n%-10s %v\n\n", "without:", res.ItersWithout, "with:", res.ItersWith)
-}
-
-func roman(n int) string {
-	if n == 1 {
-		return "I"
-	}
-	return "II"
+	return fmt.Sprintf("%d", n)
 }

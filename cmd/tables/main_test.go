@@ -1,8 +1,13 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"delaylb"
+	"delaylb/sweep"
 )
 
 func TestRunFigure1WritesStructure(t *testing.T) {
@@ -33,5 +38,46 @@ func TestRunPoAAblationInBand(t *testing.T) {
 func TestRoman(t *testing.T) {
 	if roman(1) != "I" || roman(2) != "II" {
 		t.Error("roman numeral labels wrong")
+	}
+}
+
+// smallConvergenceRows produces a tiny but real rowset for the
+// persistence tests.
+func smallConvergenceRows(t *testing.T) []sweep.ConvergenceRow {
+	t.Helper()
+	rows := sweep.ConvergenceTable(sweep.ConvergenceConfig{
+		Sizes:    []int{15},
+		Dists:    []delaylb.LoadKind{delaylb.LoadUniform},
+		AvgLoads: []float64{50},
+		Networks: []delaylb.NetworkKind{delaylb.NetHomogeneous},
+		Tol:      0.02,
+		Repeats:  1,
+		Seed:     1,
+		MaxIters: 50,
+	})
+	if len(rows) == 0 {
+		t.Fatal("no rows produced")
+	}
+	return rows
+}
+
+func TestWriteReportJSONAndCSV(t *testing.T) {
+	report := &sweep.Report{Seed: 1, Table1: smallConvergenceRows(t)}
+	dir := t.TempDir()
+	for _, name := range []string{"out.json", "out.csv"} {
+		path := filepath.Join(dir, name)
+		if err := writeReport(report, path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), "table1") || !strings.Contains(string(data), "m<=50") {
+			t.Errorf("%s missing table rows:\n%s", name, data)
+		}
+	}
+	if err := writeReport(report, filepath.Join(dir, "out.xml")); err == nil {
+		t.Error("unknown extension accepted")
 	}
 }

@@ -8,12 +8,22 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"delaylb"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run holds the whole scenario; main is a thin wrapper so the smoke
+// test can drive it and inspect the output.
+func run(w io.Writer) error {
 	const (
 		m        = 40
 		avgLoad  = 200 // requests per edge server on average
@@ -31,7 +41,7 @@ func main() {
 		WithSeed(seed).
 		Build()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// 1. Delay-aware balancing of download requests (§I: complementary
@@ -39,24 +49,24 @@ func main() {
 	// back-ends, this is how to spread the fetches).
 	opt, err := sys.Optimize()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("fractional optimum: ΣC_i = %.0f ms (converged in %d iterations)\n",
+	fmt.Fprintf(w, "fractional optimum: ΣC_i = %.0f ms (converged in %d iterations)\n",
 		opt.Cost, opt.Iterations)
 
 	// 2. Round to whole content chunks (mean size 5 requests' worth).
 	tasks := sys.GenerateTasks(5, seed+3)
 	_, discrete := sys.RoundTasks(opt, tasks)
-	fmt.Printf("after rounding %d chunks: ΣC_i = %.0f ms (+%.2f%% vs fractional)\n",
+	fmt.Fprintf(w, "after rounding %d chunks: ΣC_i = %.0f ms (+%.2f%% vs fractional)\n",
 		len(tasks), discrete.Cost, 100*(discrete.Cost-opt.Cost)/opt.Cost)
 
 	// 3. Replicated placement: no server may hold more than 1/R of an
 	// organization's content, so R distinct replicas always exist.
 	repl, err := sys.OptimizeReplicated(replicas)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("replication-constrained optimum (R=%d): ΣC_i = %.0f ms (+%.2f%% vs unconstrained)\n",
+	fmt.Fprintf(w, "replication-constrained optimum (R=%d): ΣC_i = %.0f ms (+%.2f%% vs unconstrained)\n",
 		replicas, repl.Cost, 100*(repl.Cost-opt.Cost)/opt.Cost)
 
 	// Place the replicas of three example chunks of the busiest org.
@@ -71,9 +81,10 @@ func main() {
 			maxLoad, busiest = n, i
 		}
 	}
-	fmt.Printf("replica placements for organization %d's chunks:\n", busiest)
+	fmt.Fprintf(w, "replica placements for organization %d's chunks:\n", busiest)
 	for chunk := 0; chunk < 3; chunk++ {
 		servers := sys.PlaceReplicas(repl, busiest, replicas, int64(seed+10+chunk))
-		fmt.Printf("  chunk %d → servers %v\n", chunk, servers)
+		fmt.Fprintf(w, "  chunk %d → servers %v\n", chunk, servers)
 	}
+	return nil
 }

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test: the CDN scenario (Zipf loads → rounding → replication)
+// runs end to end and prints finite, non-empty results.
+func TestCDNRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if len(out) < 100 {
+		t.Fatalf("suspiciously short output:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("output contains %s:\n%s", bad, out)
+		}
+	}
+	for _, want := range []string{"fractional optimum", "after rounding", "replication-constrained", "replica placements"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -10,12 +10,22 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"delaylb"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run holds the whole scenario; main is a thin wrapper so the smoke
+// test can drive it and inspect the output.
+func run(w io.Writer) error {
 	const (
 		m    = 30
 		peak = 50000 // requests stuck at one site
@@ -28,15 +38,15 @@ func main() {
 		WithSeed(seed).
 		Build()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Reference: what a central, all-knowing optimizer would do.
 	opt, err := sys.Optimize()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("centralized optimum: ΣC_i = %.4g ms\n", opt.Cost)
+	fmt.Fprintf(w, "centralized optimum: ΣC_i = %.4g ms\n", opt.Cost)
 
 	// Concurrent runtime via a Session: every site is an autonomous
 	// goroutine agent; per round each gossips its load to one random
@@ -47,25 +57,26 @@ func main() {
 		switch round {
 		case 1, 2, 3, 5, 10, 20, 40:
 			gap := 100 * (cost - opt.Cost) / opt.Cost
-			fmt.Printf("  after %2d rounds: ΣC_i = %.4g ms (%+.2f%% vs optimum)\n",
+			fmt.Fprintf(w, "  after %2d rounds: ΣC_i = %.4g ms (%+.2f%% vs optimum)\n",
 				round, cost, gap)
 		}
 		return true
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The deterministic single-threaded bus reaches the same place — the
 	// reference execution of the very same protocol.
 	sim, delivered := sys.SimulateDistributed(40, delaylb.WithSeed(seed))
-	fmt.Printf("deterministic replay: ΣC_i = %.4g ms, %.1f messages/server\n",
+	fmt.Fprintf(w, "deterministic replay: ΣC_i = %.4g ms, %.1f messages/server\n",
 		sim.Cost, float64(delivered)/float64(m))
 
 	// The Proposition 1 error bound tells an operator when to stop
 	// without knowing the optimum.
 	bound := sys.DistanceBound(res)
-	fmt.Printf("\nProposition 1 distance bound at the reached state: ≤ %.3g requests misplaced\n", bound)
-	fmt.Printf("(conservative by design — a (4m+1)·Σs_i factor over the pending transfers;\n")
-	fmt.Printf(" compare with the %.0f requests in the system: continuing is not worth it)\n", float64(peak))
+	fmt.Fprintf(w, "\nProposition 1 distance bound at the reached state: ≤ %.3g requests misplaced\n", bound)
+	fmt.Fprintf(w, "(conservative by design — a (4m+1)·Σs_i factor over the pending transfers;\n")
+	fmt.Fprintf(w, " compare with the %.0f requests in the system: continuing is not worth it)\n", float64(peak))
+	return nil
 }

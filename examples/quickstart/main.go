@@ -8,12 +8,22 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"delaylb"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run holds the whole walkthrough; main is a thin wrapper so the smoke
+// test can drive it and inspect the output.
+func run(w io.Writer) error {
 	// Five organizations. Speeds in requests/ms, loads in requests,
 	// latencies in ms. Organization 0 is overloaded; 3 and 4 are idle
 	// but farther away.
@@ -29,43 +39,43 @@ func main() {
 
 	sys, err := delaylb.New(speeds, loads, latency)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Cooperative optimum via the paper's distributed MinE algorithm.
 	opt, err := sys.Optimize()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("cooperative optimum: ΣC_i = %.0f ms in %d iterations\n", opt.Cost, opt.Iterations)
-	fmt.Println("server loads after balancing:")
+	fmt.Fprintf(w, "cooperative optimum: ΣC_i = %.0f ms in %d iterations\n", opt.Cost, opt.Iterations)
+	fmt.Fprintln(w, "server loads after balancing:")
 	for j, l := range opt.Loads {
-		fmt.Printf("  server %d (speed %.0f): %6.1f requests\n", j, speeds[j], l)
+		fmt.Fprintf(w, "  server %d (speed %.0f): %6.1f requests\n", j, speeds[j], l)
 	}
-	fmt.Println("where organization 0's requests run (fractions):")
+	fmt.Fprintln(w, "where organization 0's requests run (fractions):")
 	for j, f := range opt.Fractions[0] {
 		if f > 1e-6 {
-			fmt.Printf("  %5.1f%% on server %d (latency %2.0f ms)\n", 100*f, j, latency[0][j])
+			fmt.Fprintf(w, "  %5.1f%% on server %d (latency %2.0f ms)\n", 100*f, j, latency[0][j])
 		}
 	}
 
 	// Selfish play: each organization minimizes only its own C_i.
 	nash, err := sys.NashEquilibrium()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nselfish equilibrium: ΣC_i = %.0f ms in %d best-response sweeps\n",
+	fmt.Fprintf(w, "\nselfish equilibrium: ΣC_i = %.0f ms in %d best-response sweeps\n",
 		nash.Cost, nash.Iterations)
-	fmt.Printf("cost of selfishness: %.4f (the paper reports < 1.15 across all settings)\n",
+	fmt.Fprintf(w, "cost of selfishness: %.4f (the paper reports < 1.15 across all settings)\n",
 		nash.Cost/opt.Cost)
 
 	// Any registered solver certifies the same optimum — here the
 	// Frank–Wolfe baseline through the registry.
 	fw, err := sys.Optimize(delaylb.WithSolver("frankwolfe"), delaylb.WithTolerance(1e-9))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nFrank–Wolfe cross-check: ΣC_i = %.0f ms (matches MinE within %.4f%%)\n",
+	fmt.Fprintf(w, "\nFrank–Wolfe cross-check: ΣC_i = %.0f ms (matches MinE within %.4f%%)\n",
 		fw.Cost, 100*(fw.Cost-opt.Cost)/opt.Cost)
 
 	// Online serving: keep the balancer alive as a Session. Demand at
@@ -75,24 +85,25 @@ func main() {
 	ctx := context.Background()
 	sess := sys.NewSession()
 	if _, err := sess.Reoptimize(ctx); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	loads[1] *= 6
 	if err := sess.UpdateLoads(loads); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	staleCost := sess.Cost() // carried-over plan, before re-balancing
 	again, err := sess.Reoptimize(ctx)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	cold, err := sess.System().Optimize() // from scratch, for comparison
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nonline update: org 1 spiked to %.0f requests\n", loads[1])
-	fmt.Printf("  carried-over plan: ΣC_i = %.0f ms (%.1f%% above the new optimum of %.0f ms)\n",
+	fmt.Fprintf(w, "\nonline update: org 1 spiked to %.0f requests\n", loads[1])
+	fmt.Fprintf(w, "  carried-over plan: ΣC_i = %.0f ms (%.1f%% above the new optimum of %.0f ms)\n",
 		staleCost, 100*(staleCost-again.Cost)/again.Cost, again.Cost)
-	fmt.Printf("  warm re-solve starts at %.0f ms; a cold solve starts at %.0f ms\n",
+	fmt.Fprintf(w, "  warm re-solve starts at %.0f ms; a cold solve starts at %.0f ms\n",
 		again.CostTrace[0], cold.CostTrace[0])
+	return nil
 }

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test: the selfish-federation scenario (Theorem 1 band sweep +
+// heterogeneous equilibrium) runs end to end and prints finite,
+// non-empty results.
+func TestSelfishRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if len(out) < 100 {
+		t.Fatalf("suspiciously short output:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("output contains %s:\n%s", bad, out)
+		}
+	}
+	for _, want := range []string{"Theorem 1 band", "cost of selfishness", "Nash ΣC_i"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -203,6 +203,15 @@ func (sc Scenario) Build() (*System, error) {
 	return &System{in: in}, nil
 }
 
+// Instance materializes the scenario into the module-internal instance
+// representation shared with the experiment harness (the sweep package
+// builds every experiment cell through it). The returned type lives in
+// an internal package, so code outside this module should use Build,
+// which wraps the same instance in a System.
+func (sc Scenario) Instance() (*model.Instance, error) {
+	return sc.instance()
+}
+
 func (sc Scenario) instance() (*model.Instance, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err

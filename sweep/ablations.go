@@ -3,11 +3,11 @@ package sweep
 import (
 	"math/rand"
 
+	"delaylb"
 	"delaylb/internal/coords"
 	"delaylb/internal/core"
 	"delaylb/internal/dynamic"
 	"delaylb/internal/model"
-	"delaylb/internal/workload"
 )
 
 // LatencyEstimationResult quantifies what the paper's "pairwise
@@ -31,8 +31,10 @@ type LatencyEstimationResult struct {
 // over the estimated matrix, and evaluates the resulting allocation
 // under the true latencies.
 func LatencyEstimationAblation(m int, samplesPerNode int, seed int64) LatencyEstimationResult {
-	rng := rand.New(rand.NewSource(seed))
-	in := BuildInstance(m, NetPlanetLab, SpeedUniform, workload.KindExponential, 100, rng)
+	in, err := buildCell(m, delaylb.NetPlanetLab, delaylb.SpeedUniform, delaylb.LoadExponential, 100, seed)
+	if err != nil {
+		panic(err) // the fixed §VI-A families always validate
+	}
 
 	space := coords.NewSpace(m, 3, rand.New(rand.NewSource(seed+1)))
 	space.Train(in.Latency, samplesPerNode)
@@ -58,8 +60,10 @@ func LatencyEstimationAblation(m int, samplesPerNode int, seed int64) LatencyEst
 // DynamicTrackingAblation runs the dynamic-workload tracking experiment
 // (see internal/dynamic) on a standard evaluation instance.
 func DynamicTrackingAblation(m, epochs int, churn float64, seed int64) ([]dynamic.EpochStats, dynamic.Summary) {
-	rng := rand.New(rand.NewSource(seed))
-	in := BuildInstance(m, NetPlanetLab, SpeedUniform, workload.KindExponential, 100, rng)
+	in, err := buildCell(m, delaylb.NetPlanetLab, delaylb.SpeedUniform, delaylb.LoadExponential, 100, seed)
+	if err != nil {
+		panic(err) // the fixed §VI-A families always validate
+	}
 	stats := dynamic.Track(in, dynamic.Config{
 		Epochs:    epochs,
 		Churn:     churn,

@@ -1,0 +1,99 @@
+package sweep
+
+// Persistence for sweep results: a Report collects the order-stable
+// aggregate rows of whatever tables and figures a run produced and
+// writes them as one JSON document or as sectioned CSV. cmd/tables
+// -out x.json / x.csv is a thin wrapper over these methods.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"delaylb/internal/stats"
+)
+
+// Report bundles the rows of every table and figure a sweep run
+// produced. Nil/empty sections were not run. Because every producer is
+// order-stable and seed-deterministic, two reports from the same
+// (seed, configuration) are byte-identical regardless of worker count.
+type Report struct {
+	// Seed is the base seed the run used; Workers the pool bound
+	// (0 = all CPUs). Recorded so a report is self-describing.
+	Seed    int64 `json:"seed"`
+	Workers int   `json:"workers"`
+	// ElapsedMS is the wall-clock of the producing run in milliseconds.
+	// Excluded from determinism comparisons.
+	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
+
+	Table1  []ConvergenceRow `json:"table1,omitempty"`
+	Table2  []ConvergenceRow `json:"table2,omitempty"`
+	Table3  []SelfishnessRow `json:"table3,omitempty"`
+	Table4  *Table4Result    `json:"table4,omitempty"`
+	Figure2 []Figure2Series  `json:"figure2,omitempty"`
+}
+
+// WriteJSON writes the report as one indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.SetEscapeHTML(false) // keep "m<=50" group labels readable
+	return enc.Encode(r)
+}
+
+// WriteCSV writes the report as sectioned CSV: every record starts with
+// a section tag ("table1", "figure2", …), so the sections concatenate
+// into one file that splits cleanly on the first column.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	write := func(rec ...string) {
+		cw.Write(rec)
+	}
+	write("section", "key1", "key2", "key3", "avg", "max", "min", "std", "n")
+	conv := func(section string, rows []ConvergenceRow) {
+		for _, row := range rows {
+			write(append([]string{section, row.Group, string(row.Dist), ""}, summaryFields(row.Summary)...)...)
+		}
+	}
+	conv("table1", r.Table1)
+	conv("table2", r.Table2)
+	for _, row := range r.Table3 {
+		write(append([]string{"table3", string(row.Speeds), row.LavLabel, PaperNetLabel(row.Network)}, summaryFields(row.Summary)...)...)
+	}
+	if r.Table4 != nil {
+		for _, row := range r.Table4.Rows {
+			write("table4", ftoa(row.ThroughputKBps), "", "", ftoa(row.Mu), "", "", ftoa(row.Sigma), "")
+		}
+		write("table4-anova", "", "", "", ftoa(r.Table4.ANOVAAcceptFrac), "", "", "", "")
+	}
+	for _, s := range r.Figure2 {
+		for it, c := range s.Costs {
+			write("figure2", strconv.Itoa(s.M), strconv.Itoa(it), "", ftoa(c), "", "", "", "")
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func summaryFields(s stats.Summary) []string {
+	return []string{ftoa(s.Avg), ftoa(s.Max), ftoa(s.Min), ftoa(s.Std), strconv.Itoa(s.N)}
+}
+
+func ftoa(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WriteNamed writes the report in the format implied by the file
+// extension of name (".json" or ".csv").
+func (r *Report) WriteNamed(w io.Writer, name string) error {
+	switch {
+	case len(name) > 4 && name[len(name)-4:] == ".csv":
+		return r.WriteCSV(w)
+	case len(name) > 5 && name[len(name)-5:] == ".json":
+		return r.WriteJSON(w)
+	default:
+		return fmt.Errorf("sweep: cannot infer report format from %q (want .json or .csv)", name)
+	}
+}

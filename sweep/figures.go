@@ -1,13 +1,14 @@
 package sweep
 
 import (
+	"context"
 	"math/rand"
 
+	"delaylb"
 	"delaylb/internal/core"
 	"delaylb/internal/netmodel"
 	"delaylb/internal/netsim"
 	"delaylb/internal/stats"
-	"delaylb/internal/workload"
 )
 
 // Figure2Config drives the large-network convergence experiment: peak
@@ -20,11 +21,15 @@ type Figure2Config struct {
 	PeakTotal float64
 	// Iterations is how many iterations to record (paper plots 20).
 	Iterations int
-	// Seed is the RNG seed.
+	// Seed is the base RNG seed (one cell per size).
 	Seed int64
 	// Strategy defaults to the O(m log m)-per-step proxy, which is what
 	// makes the 5000-server runs tractable.
 	Strategy core.Strategy
+	// Workers bounds the worker pool (<= 0: all CPUs).
+	Workers int
+	// Progress, if non-nil, receives (completed cells, total cells).
+	Progress func(done, total int)
 }
 
 // DefaultFigure2Config returns a laptop-scale configuration (full 5000-
@@ -48,20 +53,40 @@ type Figure2Series struct {
 
 // Figure2 reproduces the convergence curves: the total processing time
 // decreases exponentially over the first dozen iterations even on
-// networks of thousands of servers.
+// networks of thousands of servers. One cell per size, run concurrently.
 func Figure2(cfg Figure2Config) []Figure2Series {
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	var out []Figure2Series
-	for _, m := range cfg.Sizes {
-		in := BuildInstance(m, NetPlanetLab, SpeedUniform, workload.KindPeak, cfg.PeakTotal, rng)
-		_, tr := core.Run(in, core.Config{
-			Strategy: cfg.Strategy,
-			MaxIters: cfg.Iterations,
-			Rng:      rand.New(rand.NewSource(cfg.Seed + int64(m))),
-		})
-		out = append(out, Figure2Series{M: m, Costs: tr.Costs})
-	}
+	out, _ := Figure2Context(context.Background(), cfg)
 	return out
+}
+
+// Figure2Context is Figure2 with cancellation; on ctx cancellation it
+// returns the completed curves (in size order) and ctx.Err().
+func Figure2Context(ctx context.Context, cfg Figure2Config) ([]Figure2Series, error) {
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	results, done, err := RunCells(ctx, run, cfg.Sizes,
+		func(ctx context.Context, i int, m int, rng *rand.Rand) (Figure2Series, error) {
+			in, berr := buildCell(m, delaylb.NetPlanetLab, delaylb.SpeedUniform, delaylb.LoadPeak, cfg.PeakTotal, rng.Int63())
+			if berr != nil {
+				return Figure2Series{}, berr
+			}
+			_, tr := core.Run(in, core.Config{
+				Strategy: cfg.Strategy,
+				MaxIters: cfg.Iterations,
+				Rng:      rand.New(rand.NewSource(rng.Int63())),
+				Ctx:      ctx,
+			})
+			if cerr := ctx.Err(); cerr != nil {
+				return Figure2Series{}, cerr
+			}
+			return Figure2Series{M: m, Costs: tr.Costs}, nil
+		})
+	out := make([]Figure2Series, 0, len(results))
+	for i, s := range results {
+		if done[i] {
+			out = append(out, s)
+		}
+	}
+	return out, err
 }
 
 // Table4Config drives the RTT-vs-background-load experiment of the
@@ -113,7 +138,9 @@ type Table4Result struct {
 
 // Table4 reproduces the Appendix experiment on the flow-level simulator:
 // 60 servers, 5 background flows each, 300 RTT samples per pair, relative
-// deviation against the 10 KB/s baseline with 5% trimming.
+// deviation against the 10 KB/s baseline with 5% trimming. The simulator
+// is a single stateful sequential machine (each probe sees the queues the
+// previous one left behind), so this experiment runs serially by design.
 func Table4(cfg Table4Config) Table4Result {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	simCfg := netsim.DefaultConfig()
@@ -183,23 +210,48 @@ type CycleAblationResult struct {
 
 // CycleAblation repeats a Table I-style measurement with cycle removal
 // disabled and enabled (every 2 iterations) on identical instances.
+// The (size × repetition) cells run concurrently on all CPUs.
 func CycleAblation(sizes []int, repeats int, seed int64) CycleAblationResult {
-	rng := rand.New(rand.NewSource(seed))
-	res := CycleAblationResult{Identical: true}
+	type cell struct{ m, rep int }
+	type pair struct{ without, with int }
+	var cells []cell
 	for _, m := range sizes {
 		for rep := 0; rep < repeats; rep++ {
-			in := BuildInstance(m, NetPlanetLab, SpeedUniform, workload.KindExponential, 50, rng)
-			seed := rng.Int63()
+			cells = append(cells, cell{m, rep})
+		}
+	}
+	results, done, err := RunCells(context.Background(), Runner{Seed: seed}, cells,
+		func(ctx context.Context, i int, c cell, rng *rand.Rand) (pair, error) {
+			in, err := buildCell(c.m, delaylb.NetPlanetLab, delaylb.SpeedUniform, delaylb.LoadExponential, 50, rng.Int63())
+			if err != nil {
+				return pair{}, err
+			}
+			algSeed := rng.Int63()
 			cfgBase := ConvergenceConfig{Tol: 0.02, MaxIters: 100}
-			without := itersToTarget(in, cfgBase, seed)
+			without, err := itersToTarget(ctx, in, cfgBase, algSeed)
+			if err != nil {
+				return pair{}, err
+			}
 			cfgCycles := cfgBase
 			cfgCycles.RemoveCyclesEvery = 2
-			with := itersToTarget(in, cfgCycles, seed)
-			res.ItersWithout = append(res.ItersWithout, without)
-			res.ItersWith = append(res.ItersWith, with)
-			if without != with {
-				res.Identical = false
+			with, err := itersToTarget(ctx, in, cfgCycles, algSeed)
+			if err != nil {
+				return pair{}, err
 			}
+			return pair{without, with}, nil
+		})
+	if err != nil {
+		panic(err) // the fixed §VI-A families always validate
+	}
+	res := CycleAblationResult{Identical: true}
+	for i, p := range results {
+		if !done[i] {
+			continue
+		}
+		res.ItersWithout = append(res.ItersWithout, p.without)
+		res.ItersWith = append(res.ItersWith, p.with)
+		if p.without != p.with {
+			res.Identical = false
 		}
 	}
 	return res

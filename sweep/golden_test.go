@@ -1,0 +1,170 @@
+package sweep
+
+// Golden-table regression tests: reduced-scale versions of Tables I–IV
+// and Figure 2 are pinned, for fixed seeds, as text tables under
+// testdata/. Any change to the RNG derivation, the cell enumeration
+// order, the aggregation, or the algorithms themselves shows up as a
+// diff against these files — the parallel runner is provably drift-free
+// because the same files must match at every worker count.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./sweep -run TestGolden -update
+//
+// Values are rendered with %.6g so the files are stable across
+// architectures with slightly different libm rounding.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"delaylb"
+
+	"delaylb/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under sweep/testdata")
+
+func goldenCompare(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./sweep -run TestGolden -update` to create it)", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from the pinned aggregate.\n--- want\n%s--- got\n%s(after an intentional change: go test ./sweep -run TestGolden -update)",
+			name, want, got)
+	}
+}
+
+func fmtSummary(s stats.Summary) string {
+	return fmt.Sprintf("avg=%.6g max=%.6g min=%.6g std=%.6g n=%d", s.Avg, s.Max, s.Min, s.Std, s.N)
+}
+
+// goldenConvergenceConfig is the shared reduced grid of the Table I/II
+// goldens: 24 cells, a few seconds of CPU.
+func goldenConvergenceConfig(tol float64) ConvergenceConfig {
+	return ConvergenceConfig{
+		Sizes:     []int{20, 60},
+		Dists:     []delaylb.LoadKind{delaylb.LoadUniform, delaylb.LoadExponential, delaylb.LoadPeak},
+		AvgLoads:  []float64{50},
+		PeakTotal: 100000,
+		Networks:  []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab},
+		Tol:       tol,
+		Repeats:   2,
+		Seed:      1,
+		MaxIters:  100,
+	}
+}
+
+func renderConvergence(rows []ConvergenceRow) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s %s %s\n", r.Group, r.Dist, fmtSummary(r.Summary))
+	}
+	return sb.String()
+}
+
+func TestGoldenTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	rows := ConvergenceTable(goldenConvergenceConfig(0.02))
+	goldenCompare(t, "table1.golden", renderConvergence(rows))
+}
+
+func TestGoldenTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	rows := ConvergenceTable(goldenConvergenceConfig(0.001))
+	goldenCompare(t, "table2.golden", renderConvergence(rows))
+}
+
+func TestGoldenTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	rows := SelfishnessTable(SelfishnessConfig{
+		Sizes:      []int{15, 25},
+		SpeedKinds: []delaylb.SpeedKind{delaylb.SpeedConst, delaylb.SpeedUniform},
+		LavBuckets: []LavBucket{
+			{Label: "lav=50", Loads: []float64{50}},
+			{Label: "lav>=200", Loads: []float64{200}},
+		},
+		Networks: []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab},
+		Repeats:  2,
+		Seed:     1,
+	})
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s %s %s %s\n",
+			PaperSpeedLabel(r.Speeds), r.LavLabel, PaperNetLabel(r.Network), fmtSummary(r.Summary))
+	}
+	goldenCompare(t, "table3.golden", sb.String())
+}
+
+func TestGoldenTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	cfg := DefaultTable4Config()
+	cfg.Probes = 60 // reduced scale: keeps the golden run to ~a second
+	res := Table4(cfg)
+	var sb strings.Builder
+	for _, r := range res.Rows {
+		fmt.Fprintf(&sb, "tb=%.6g mu=%.6g sigma=%.6g\n", r.ThroughputKBps, r.Mu, r.Sigma)
+	}
+	fmt.Fprintf(&sb, "anova-accept=%.6g\n", res.ANOVAAcceptFrac)
+	goldenCompare(t, "table4.golden", sb.String())
+}
+
+func TestGoldenFigure2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	series := Figure2(Figure2Config{
+		Sizes:      []int{80, 160},
+		PeakTotal:  100000,
+		Iterations: 10,
+		Seed:       1,
+	})
+	var sb strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&sb, "m=%d", s.M)
+		for _, c := range s.Costs {
+			fmt.Fprintf(&sb, " %.6g", c)
+		}
+		sb.WriteString("\n")
+	}
+	goldenCompare(t, "figure2.golden", sb.String())
+}
+
+// The golden files themselves must be worker-count independent: rerun
+// Table I's golden grid at workers=3 and compare against the same file.
+func TestGoldenTable1ParallelMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	if *update {
+		t.Skip("golden files being rewritten")
+	}
+	cfg := goldenConvergenceConfig(0.02)
+	cfg.Workers = 3
+	rows := ConvergenceTable(cfg)
+	goldenCompare(t, "table1.golden", renderConvergence(rows))
+}

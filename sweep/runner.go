@@ -1,0 +1,123 @@
+package sweep
+
+// The concurrent experiment engine. Every table and figure of the
+// evaluation is a list of independent experiment cells (network × speed
+// family × load distribution × size × repetition); RunCells fans a cell
+// list out over a bounded worker pool and returns the per-cell results
+// in cell order, so aggregation downstream is oblivious to how many
+// workers ran and in which order cells finished.
+//
+// Determinism is the load-bearing property: cell i draws every random
+// choice from a private RNG seeded by CellSeed(base, i), never from a
+// stream shared across cells. The serial run (Workers = 1) and any
+// parallel run therefore produce byte-identical aggregates — the golden
+// tests in golden_test.go pin this against the paper's numbers.
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Runner configures the concurrent experiment engine shared by every
+// table and figure of the evaluation. The zero value runs on all CPUs
+// with base seed 0 and no progress reporting.
+type Runner struct {
+	// Workers bounds the worker pool; <= 0 means runtime.GOMAXPROCS(0).
+	// The results do not depend on it.
+	Workers int
+	// Seed is the base seed; cell i uses CellSeed(Seed, i).
+	Seed int64
+	// Progress, if non-nil, is called after each completed cell with the
+	// number of completed cells and the total. Calls are serialized, but
+	// may come from worker goroutines.
+	Progress func(done, total int)
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CellSeed derives the private RNG seed of experiment cell i from the
+// base seed with a splitmix64 finalizer. Neighboring (base, i) pairs map
+// to statistically independent seeds, so cells never share randomness
+// and a sweep's results are a pure function of (base seed, cell list) —
+// independent of worker count and completion order.
+func CellSeed(base int64, i int) int64 {
+	z := uint64(base) + (uint64(i)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// RunCells runs fn over every cell on r's worker pool and returns the
+// results in cell order. fn receives the cell's index, the cell, and a
+// freshly seeded private RNG (CellSeed(r.Seed, index)); it must not
+// share mutable state across calls.
+//
+// Cancellation: when ctx is canceled, no new cells are started, in-
+// flight cells are left to finish (fn also receives ctx and may return
+// early), and RunCells returns ctx.Err() together with the rows
+// completed so far. done[i] reports whether cell i ran to completion
+// without error — on a clean run every entry is true. A fn error is
+// recorded for its cell (done[i] = false), does not stop other cells,
+// and the lowest-index error is returned.
+func RunCells[C, R any](ctx context.Context, r Runner, cells []C, fn func(ctx context.Context, index int, cell C, rng *rand.Rand) (R, error)) (results []R, done []bool, err error) {
+	n := len(cells)
+	results = make([]R, n)
+	done = make([]bool, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return results, done, ctx.Err()
+	}
+
+	next := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex // guards completed + Progress calls
+	completed := 0
+	for w := 0; w < r.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := rand.New(rand.NewSource(CellSeed(r.Seed, i)))
+				v, ferr := fn(ctx, i, cells[i], rng)
+				results[i], errs[i] = v, ferr
+				done[i] = ferr == nil
+				mu.Lock()
+				completed++
+				if r.Progress != nil {
+					r.Progress(completed, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	if cerr := ctx.Err(); cerr != nil {
+		return results, done, cerr
+	}
+	for _, e := range errs {
+		if e != nil {
+			return results, done, e
+		}
+	}
+	return results, done, nil
+}

@@ -1,24 +1,26 @@
 // Package sweep is the experiment harness: it rebuilds the instances of
-// the paper's evaluation (§VI-A settings), runs the algorithms, and
-// aggregates the rows of every table and figure. cmd/tables and the
-// repository-level benchmarks are thin wrappers around this package.
+// the paper's evaluation (§VI-A settings), runs the algorithms on a
+// bounded worker pool, and aggregates the rows of every table and
+// figure. cmd/tables and the repository-level benchmarks are thin
+// wrappers around this package.
 //
-// The package is public so downstream users can rerun and extend the
-// evaluation; for one-off instances prefer the root package's Scenario
-// builder, which constructs the same families from a declarative,
-// seed-deterministic description.
+// Every experiment cell is described by a delaylb.Scenario — the same
+// declarative, seed-deterministic builder downstream users call — so a
+// cell printed in a log can be rebuilt bit-identically anywhere. Cells
+// are independent: the Runner fans them out over goroutines, each with
+// a private RNG derived from (base seed, cell index), which makes the
+// aggregates a pure function of the configuration regardless of worker
+// count (see runner.go and the golden tests).
 package sweep
 
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
+	"delaylb"
 	"delaylb/internal/core"
 	"delaylb/internal/model"
-	"delaylb/internal/netmodel"
 	"delaylb/internal/qp"
-	"delaylb/internal/workload"
 )
 
 // Partner-selection strategies for ConvergenceConfig/Figure2Config,
@@ -29,64 +31,59 @@ const (
 	StrategyProxy  = core.StrategyProxy
 )
 
-// NetworkKind selects one of the two network families of §VI-A. Its
-// values are the paper's own table labels ("PL", "c=20") and are distinct
-// from the root package's delaylb.NetworkKind scenario names — this enum
-// keys experiment rows, delaylb.Scenario is the supported way to build
-// instances.
-type NetworkKind string
-
-const (
-	// NetHomogeneous: all pairwise latencies equal to 20 ms.
-	NetHomogeneous NetworkKind = "c=20"
-	// NetPlanetLab: the synthetic PlanetLab-like heterogeneous network.
-	NetPlanetLab NetworkKind = "PL"
-)
-
-// SpeedKind selects the server speed family of Table III.
-type SpeedKind string
-
-const (
-	// SpeedConst: every server has speed 1 ("const s_i").
-	SpeedConst SpeedKind = "const"
-	// SpeedUniform: speeds uniform on [1, 5] ("uniform s_i").
-	SpeedUniform SpeedKind = "uniform"
-)
-
-// BuildInstance assembles one experiment instance: m servers, the given
-// network, speed family and load distribution with the given average
-// (for the peak distribution avg is the total peak size).
-func BuildInstance(m int, net NetworkKind, sk SpeedKind, dist workload.Kind, avg float64, rng *rand.Rand) *model.Instance {
-	var lat [][]float64
-	switch net {
-	case NetHomogeneous:
-		lat = netmodel.Homogeneous(m, 20)
-	case NetPlanetLab:
-		lat = netmodel.PlanetLab(m, netmodel.DefaultPlanetLabConfig(), rng)
-	default:
-		panic(fmt.Sprintf("sweep: unknown network kind %q", net))
+// PaperNetLabel renders a network family the way the paper's tables
+// label it: "c=20" for the homogeneous 20 ms network, "PL" for the
+// PlanetLab-like one. Other kinds fall back to their scenario name.
+func PaperNetLabel(k delaylb.NetworkKind) string {
+	switch k {
+	case delaylb.NetHomogeneous:
+		return "c=20"
+	case delaylb.NetPlanetLab:
+		return "PL"
 	}
-	var speeds []float64
-	switch sk {
-	case SpeedConst:
-		speeds = workload.ConstSpeeds(m, 1)
-	case SpeedUniform:
-		speeds = workload.UniformSpeeds(m, 1, 5, rng)
-	default:
-		panic(fmt.Sprintf("sweep: unknown speed kind %q", sk))
+	return string(k)
+}
+
+// PaperSpeedLabel renders a speed family the way Table III labels it
+// ("const s_i", "uniform s_i" — shortened to the family name).
+func PaperSpeedLabel(k delaylb.SpeedKind) string {
+	return string(k)
+}
+
+// cellScenario describes one experiment cell of the §VI-A grid as a
+// delaylb.Scenario: the paper's speed ranges (const 1, uniform [1, 5]),
+// 20 ms homogeneous latency, and the given seed. Every family of the
+// evaluation — including the Zipf extension — is expressible this way.
+func cellScenario(m int, net delaylb.NetworkKind, sk delaylb.SpeedKind, dist delaylb.LoadKind, avg float64, seed int64) delaylb.Scenario {
+	sc := delaylb.NewScenario(m).
+		WithNetwork(net).
+		WithLoads(dist, avg).
+		WithSeed(seed)
+	if sk == delaylb.SpeedConst {
+		sc = sc.WithSpeeds(delaylb.SpeedConst, 1, 1)
+	} else {
+		// Pass the kind through even though [1, 5] is already the
+		// default, so Scenario.Validate rejects unknown speed kinds
+		// instead of silently running them as uniform.
+		sc = sc.WithSpeeds(sk, 1, 5)
 	}
-	return &model.Instance{
-		Speed:   speeds,
-		Load:    workload.Loads(dist, m, avg, rng),
-		Latency: lat,
-	}
+	return sc
+}
+
+// buildCell materializes a cell scenario into the internal instance the
+// algorithms run on.
+func buildCell(m int, net delaylb.NetworkKind, sk delaylb.SpeedKind, dist delaylb.LoadKind, avg float64, seed int64) (*model.Instance, error) {
+	return cellScenario(m, net, sk, dist, avg, seed).Instance()
 }
 
 // Figure1Structure writes the Figure 1 artifact — the sparsity pattern of
 // the dense Q matrix of the §III quadratic program — for an m-server
 // homogeneous instance.
 func Figure1Structure(w io.Writer, m int) error {
-	in := BuildInstance(m, NetHomogeneous, SpeedConst, workload.KindUniform, 10, rand.New(rand.NewSource(1)))
+	in, err := buildCell(m, delaylb.NetHomogeneous, delaylb.SpeedConst, delaylb.LoadUniform, 10, 1)
+	if err != nil {
+		return err
+	}
 	return qp.FprintStructure(w, in)
 }
 

@@ -1,17 +1,19 @@
 package sweep
 
 import (
-	"math/rand"
+	"strings"
 	"testing"
 
-	"delaylb/internal/workload"
+	"delaylb"
 )
 
-func TestBuildInstanceShapes(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	for _, net := range []NetworkKind{NetHomogeneous, NetPlanetLab} {
-		for _, sk := range []SpeedKind{SpeedConst, SpeedUniform} {
-			in := BuildInstance(30, net, sk, workload.KindUniform, 50, rng)
+func TestCellScenarioShapes(t *testing.T) {
+	for _, net := range []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab} {
+		for _, sk := range []delaylb.SpeedKind{delaylb.SpeedConst, delaylb.SpeedUniform} {
+			in, err := buildCell(30, net, sk, delaylb.LoadUniform, 50, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", net, sk, err)
+			}
 			if err := in.Validate(); err != nil {
 				t.Fatalf("%s/%s: %v", net, sk, err)
 			}
@@ -22,9 +24,11 @@ func TestBuildInstanceShapes(t *testing.T) {
 	}
 }
 
-func TestBuildInstanceHomogeneousLatency(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
-	in := BuildInstance(10, NetHomogeneous, SpeedConst, workload.KindUniform, 50, rng)
+func TestCellScenarioHomogeneousLatency(t *testing.T) {
+	in, err := buildCell(10, delaylb.NetHomogeneous, delaylb.SpeedConst, delaylb.LoadUniform, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if in.Latency[0][1] != 20 {
 		t.Errorf("homogeneous latency = %v, want 20", in.Latency[0][1])
 	}
@@ -33,20 +37,43 @@ func TestBuildInstanceHomogeneousLatency(t *testing.T) {
 	}
 }
 
-func TestBuildInstancePanicsOnBadKinds(t *testing.T) {
-	rng := rand.New(rand.NewSource(3))
-	for _, f := range []func(){
-		func() { BuildInstance(5, NetworkKind("x"), SpeedConst, workload.KindUniform, 1, rng) },
-		func() { BuildInstance(5, NetHomogeneous, SpeedKind("x"), workload.KindUniform, 1, rng) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+func TestCellScenarioRejectsBadKinds(t *testing.T) {
+	if _, err := buildCell(5, delaylb.NetworkKind("x"), delaylb.SpeedConst, delaylb.LoadUniform, 1, 1); err == nil {
+		t.Error("bad network kind accepted")
+	}
+	if _, err := buildCell(5, delaylb.NetHomogeneous, delaylb.SpeedConst, delaylb.LoadKind("x"), 1, 1); err == nil {
+		t.Error("bad load kind accepted")
+	}
+	if _, err := buildCell(5, delaylb.NetHomogeneous, delaylb.SpeedKind("x"), delaylb.LoadUniform, 1, 1); err == nil {
+		t.Error("bad speed kind accepted")
+	}
+}
+
+func TestCellScenarioDeterministic(t *testing.T) {
+	a, err := buildCell(20, delaylb.NetPlanetLab, delaylb.SpeedUniform, delaylb.LoadExponential, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildCell(20, delaylb.NetPlanetLab, delaylb.SpeedUniform, delaylb.LoadExponential, 100, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Load {
+		if a.Load[i] != b.Load[i] || a.Speed[i] != b.Speed[i] {
+			t.Fatalf("same scenario built different instances at server %d", i)
+		}
+	}
+}
+
+func TestPaperLabels(t *testing.T) {
+	if PaperNetLabel(delaylb.NetHomogeneous) != "c=20" {
+		t.Error("homogeneous label")
+	}
+	if PaperNetLabel(delaylb.NetPlanetLab) != "PL" {
+		t.Error("planetlab label")
+	}
+	if PaperSpeedLabel(delaylb.SpeedConst) != "const" {
+		t.Error("const label")
 	}
 }
 
@@ -59,6 +86,16 @@ func TestSizeGroup(t *testing.T) {
 	}
 }
 
+func TestFigure1StructureWrites(t *testing.T) {
+	var sb strings.Builder
+	if err := Figure1Structure(&sb, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) < 50 {
+		t.Errorf("suspiciously short structure output:\n%s", sb.String())
+	}
+}
+
 // A reduced Table I run must reproduce the paper's qualitative findings:
 // convergence within a dozen iterations, and peak loads converging slower
 // than uniform loads.
@@ -68,10 +105,10 @@ func TestConvergenceTableShape(t *testing.T) {
 	}
 	cfg := ConvergenceConfig{
 		Sizes:     []int{20, 50},
-		Dists:     []workload.Kind{workload.KindUniform, workload.KindPeak},
+		Dists:     []delaylb.LoadKind{delaylb.LoadUniform, delaylb.LoadPeak},
 		AvgLoads:  []float64{50},
 		PeakTotal: 100000,
-		Networks:  []NetworkKind{NetHomogeneous, NetPlanetLab},
+		Networks:  []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab},
 		Tol:       0.02,
 		Repeats:   2,
 		Seed:      1,
@@ -84,9 +121,9 @@ func TestConvergenceTableShape(t *testing.T) {
 	var uniform, peak ConvergenceRow
 	for _, r := range rows {
 		switch r.Dist {
-		case workload.KindUniform:
+		case delaylb.LoadUniform:
 			uniform = r
-		case workload.KindPeak:
+		case delaylb.LoadPeak:
 			peak = r
 		}
 	}
@@ -109,9 +146,9 @@ func TestTighterToleranceNeedsMoreIterations(t *testing.T) {
 	}
 	base := ConvergenceConfig{
 		Sizes:    []int{30},
-		Dists:    []workload.Kind{workload.KindExponential},
+		Dists:    []delaylb.LoadKind{delaylb.LoadExponential},
 		AvgLoads: []float64{50},
-		Networks: []NetworkKind{NetPlanetLab},
+		Networks: []delaylb.NetworkKind{delaylb.NetPlanetLab},
 		Repeats:  3,
 		Seed:     2,
 		MaxIters: 100,
@@ -137,12 +174,12 @@ func TestSelfishnessTableShape(t *testing.T) {
 	}
 	cfg := SelfishnessConfig{
 		Sizes:      []int{20, 30},
-		SpeedKinds: []SpeedKind{SpeedConst, SpeedUniform},
+		SpeedKinds: []delaylb.SpeedKind{delaylb.SpeedConst, delaylb.SpeedUniform},
 		LavBuckets: []LavBucket{
 			{Label: "lav=50", Loads: []float64{50}},
 			{Label: "lav>=200", Loads: []float64{200}},
 		},
-		Networks: []NetworkKind{NetHomogeneous, NetPlanetLab},
+		Networks: []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab},
 		Repeats:  2,
 		Seed:     3,
 	}
@@ -150,9 +187,9 @@ func TestSelfishnessTableShape(t *testing.T) {
 	if len(rows) != 8 {
 		t.Fatalf("got %d rows, want 8", len(rows))
 	}
-	get := func(sk SpeedKind, lav string, net NetworkKind) SelfishnessRow {
+	get := func(sk delaylb.SpeedKind, lav string, net delaylb.NetworkKind) SelfishnessRow {
 		for _, r := range rows {
-			if r.SpeedKind == sk && r.LavLabel == lav && r.Network == net {
+			if r.Speeds == sk && r.LavLabel == lav && r.Network == net {
 				return r
 			}
 		}
@@ -168,8 +205,8 @@ func TestSelfishnessTableShape(t *testing.T) {
 		}
 	}
 	// The paper's highest cost: const speeds, homogeneous net, medium lav.
-	hot := get(SpeedConst, "lav=50", NetHomogeneous)
-	cold := get(SpeedUniform, "lav>=200", NetPlanetLab)
+	hot := get(delaylb.SpeedConst, "lav=50", delaylb.NetHomogeneous)
+	cold := get(delaylb.SpeedUniform, "lav>=200", delaylb.NetPlanetLab)
 	if hot.Summary.Avg < cold.Summary.Avg {
 		t.Errorf("const/c=20/lav=50 (%v) should cost more than uniform/PL/lav≥200 (%v)",
 			hot.Summary.Avg, cold.Summary.Avg)

@@ -1,14 +1,15 @@
 package sweep
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
+	"delaylb"
 	"delaylb/internal/core"
 	"delaylb/internal/game"
 	"delaylb/internal/model"
 	"delaylb/internal/stats"
-	"delaylb/internal/workload"
 )
 
 // ConvergenceConfig drives Tables I and II: how many iterations the
@@ -17,7 +18,7 @@ type ConvergenceConfig struct {
 	// Sizes are the network sizes; the paper uses 20,30,50,100,200,300.
 	Sizes []int
 	// Dists are the load distributions (uniform, exp, peak).
-	Dists []workload.Kind
+	Dists []delaylb.LoadKind
 	// AvgLoads are the average loads for uniform/exp (paper: 10, 20,
 	// 50, 200, 1000); ignored for peak.
 	AvgLoads []float64
@@ -26,13 +27,14 @@ type ConvergenceConfig struct {
 	PeakTotal float64
 	// Networks lists the network families to pool (the paper found no
 	// influence and pools them too).
-	Networks []NetworkKind
+	Networks []delaylb.NetworkKind
 	// Tol is the relative-error target: 0.02 for Table I, 0.001 for
 	// Table II.
 	Tol float64
 	// Repeats is the number of seeds per configuration.
 	Repeats int
-	// Seed is the base RNG seed.
+	// Seed is the base RNG seed; cell i of the grid derives its private
+	// stream from CellSeed(Seed, i).
 	Seed int64
 	// MaxIters caps a single run (safety).
 	MaxIters int
@@ -41,6 +43,11 @@ type ConvergenceConfig struct {
 	Strategy core.Strategy
 	// RemoveCyclesEvery mirrors §VI-B's ablation (0 = never).
 	RemoveCyclesEvery int
+	// Workers bounds the worker pool (<= 0: all CPUs); results are
+	// identical for every worker count.
+	Workers int
+	// Progress, if non-nil, receives (completed cells, total cells).
+	Progress func(done, total int)
 }
 
 // DefaultTable1Config returns a laptop-scale version of the paper's
@@ -48,10 +55,10 @@ type ConvergenceConfig struct {
 func DefaultTable1Config() ConvergenceConfig {
 	return ConvergenceConfig{
 		Sizes:     []int{20, 30, 50, 100},
-		Dists:     []workload.Kind{workload.KindUniform, workload.KindExponential, workload.KindPeak},
+		Dists:     []delaylb.LoadKind{delaylb.LoadUniform, delaylb.LoadExponential, delaylb.LoadPeak},
 		AvgLoads:  []float64{10, 50, 200},
 		PeakTotal: 100000,
-		Networks:  []NetworkKind{NetHomogeneous, NetPlanetLab},
+		Networks:  []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab},
 		Tol:       0.02,
 		Repeats:   3,
 		Seed:      1,
@@ -69,42 +76,87 @@ func DefaultTable2Config() ConvergenceConfig {
 // ConvergenceRow is one aggregated row of Table I/II.
 type ConvergenceRow struct {
 	Group   string // "m<=50", "m=100", …
-	Dist    workload.Kind
+	Dist    delaylb.LoadKind
 	Summary stats.Summary // over iteration counts
+}
+
+// convergenceCell is one point of the Table I/II experiment grid.
+type convergenceCell struct {
+	m    int
+	dist delaylb.LoadKind
+	avg  float64
+	net  delaylb.NetworkKind
+	rep  int
+}
+
+// cells enumerates the grid in a fixed order; the enumeration order is
+// part of the determinism contract (it indexes CellSeed).
+func (cfg ConvergenceConfig) cells() []convergenceCell {
+	var out []convergenceCell
+	for _, m := range cfg.Sizes {
+		for _, dist := range cfg.Dists {
+			avgs := cfg.AvgLoads
+			if dist == delaylb.LoadPeak {
+				avgs = []float64{cfg.PeakTotal}
+			}
+			for _, avg := range avgs {
+				for _, net := range cfg.Networks {
+					for rep := 0; rep < cfg.Repeats; rep++ {
+						out = append(out, convergenceCell{m, dist, avg, net, rep})
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 // ConvergenceTable measures, for every configuration, the number of
 // iterations the distributed algorithm needs so that ΣC_i is within
 // cfg.Tol of the optimum (approximated, as in the paper, by running the
 // algorithm to pairwise stability), then aggregates rows grouped the way
-// the paper prints them.
+// the paper prints them. Cells run concurrently on cfg.Workers workers.
 func ConvergenceTable(cfg ConvergenceConfig) []ConvergenceRow {
+	rows, _ := ConvergenceTableContext(context.Background(), cfg)
+	return rows
+}
+
+// ConvergenceTableContext is ConvergenceTable with cancellation: on
+// ctx cancellation it returns the rows aggregated from the cells that
+// completed, together with ctx.Err().
+func ConvergenceTableContext(ctx context.Context, cfg ConvergenceConfig) ([]ConvergenceRow, error) {
+	type sample struct {
+		key   [2]string
+		iters float64
+	}
+	cells := cfg.cells()
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	results, done, err := RunCells(ctx, run, cells,
+		func(ctx context.Context, i int, c convergenceCell, rng *rand.Rand) (sample, error) {
+			in, berr := buildCell(c.m, c.net, delaylb.SpeedUniform, c.dist, c.avg, rng.Int63())
+			if berr != nil {
+				return sample{}, berr
+			}
+			iters, terr := itersToTarget(ctx, in, cfg, rng.Int63())
+			if terr != nil {
+				return sample{}, terr
+			}
+			return sample{key: [2]string{SizeGroup(c.m), string(c.dist)}, iters: float64(iters)}, nil
+		})
 	samples := map[[2]string][]float64{}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, m := range cfg.Sizes {
-		for _, dist := range cfg.Dists {
-			avgs := cfg.AvgLoads
-			if dist == workload.KindPeak {
-				avgs = []float64{cfg.PeakTotal}
-			}
-			for _, avg := range avgs {
-				for _, net := range cfg.Networks {
-					for rep := 0; rep < cfg.Repeats; rep++ {
-						in := BuildInstance(m, net, SpeedUniform, dist, avg, rng)
-						iters := itersToTarget(in, cfg, rng.Int63())
-						key := [2]string{SizeGroup(m), string(dist)}
-						samples[key] = append(samples[key], float64(iters))
-					}
-				}
-			}
+	for i, s := range results {
+		if done[i] {
+			samples[s.key] = append(samples[s.key], s.iters)
 		}
 	}
-	return collectRows(samples)
+	return collectRows(samples), err
 }
 
 // itersToTarget runs the reference optimum and then counts iterations
-// until the target band is reached.
-func itersToTarget(in *model.Instance, cfg ConvergenceConfig, seed int64) int {
+// until the target band is reached. A context cancellation mid-run is
+// reported as an error so the truncated measurement never pollutes the
+// aggregates.
+func itersToTarget(ctx context.Context, in *model.Instance, cfg ConvergenceConfig, seed int64) (int, error) {
 	maxIters := cfg.MaxIters
 	if maxIters <= 0 {
 		maxIters = 200
@@ -114,7 +166,11 @@ func itersToTarget(in *model.Instance, cfg ConvergenceConfig, seed int64) int {
 		MaxIters:          maxIters * 5,
 		Rng:               rand.New(rand.NewSource(seed)),
 		RemoveCyclesEvery: cfg.RemoveCyclesEvery,
+		Ctx:               ctx,
 	})
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	ref := model.TotalCost(in, refAlloc)
 	_, tr := core.Run(in, core.Config{
 		Strategy:          cfg.Strategy,
@@ -123,8 +179,12 @@ func itersToTarget(in *model.Instance, cfg ConvergenceConfig, seed int64) int {
 		TargetRel:         cfg.Tol,
 		Rng:               rand.New(rand.NewSource(seed + 7)),
 		RemoveCyclesEvery: cfg.RemoveCyclesEvery,
+		Ctx:               ctx,
 	})
-	return tr.Iters
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return tr.Iters, nil
 }
 
 func collectRows(samples map[[2]string][]float64) []ConvergenceRow {
@@ -142,7 +202,7 @@ func collectRows(samples map[[2]string][]float64) []ConvergenceRow {
 	for _, k := range keys {
 		rows = append(rows, ConvergenceRow{
 			Group:   k[0],
-			Dist:    workload.Kind(k[1]),
+			Dist:    delaylb.LoadKind(k[1]),
 			Summary: stats.Summarize(samples[k]),
 		})
 	}
@@ -153,13 +213,17 @@ func collectRows(samples map[[2]string][]float64) []ConvergenceRow {
 // selfishness.
 type SelfishnessConfig struct {
 	Sizes      []int
-	SpeedKinds []SpeedKind
+	SpeedKinds []delaylb.SpeedKind
 	// LavBuckets maps the paper's row labels to the average loads pooled
 	// into them.
 	LavBuckets []LavBucket
-	Networks   []NetworkKind
+	Networks   []delaylb.NetworkKind
 	Repeats    int
 	Seed       int64
+	// Workers bounds the worker pool (<= 0: all CPUs).
+	Workers int
+	// Progress, if non-nil, receives (completed cells, total cells).
+	Progress func(done, total int)
 }
 
 // LavBucket is one load row of Table III.
@@ -172,13 +236,13 @@ type LavBucket struct {
 func DefaultTable3Config() SelfishnessConfig {
 	return SelfishnessConfig{
 		Sizes:      []int{20, 30, 50},
-		SpeedKinds: []SpeedKind{SpeedConst, SpeedUniform},
+		SpeedKinds: []delaylb.SpeedKind{delaylb.SpeedConst, delaylb.SpeedUniform},
 		LavBuckets: []LavBucket{
 			{Label: "lav<=30", Loads: []float64{10, 20}},
 			{Label: "lav=50", Loads: []float64{50}},
 			{Label: "lav>=200", Loads: []float64{200, 1000}},
 		},
-		Networks: []NetworkKind{NetHomogeneous, NetPlanetLab},
+		Networks: []delaylb.NetworkKind{delaylb.NetHomogeneous, delaylb.NetPlanetLab},
 		Repeats:  3,
 		Seed:     1,
 	}
@@ -187,46 +251,89 @@ func DefaultTable3Config() SelfishnessConfig {
 // SelfishnessRow is one aggregated row of Table III: ratios of total
 // processing times, Nash / optimum.
 type SelfishnessRow struct {
-	SpeedKind SpeedKind
-	LavLabel  string
-	Network   NetworkKind
-	Summary   stats.Summary // over PoA ratios
+	Speeds   delaylb.SpeedKind
+	LavLabel string
+	Network  delaylb.NetworkKind
+	Summary  stats.Summary // over PoA ratios
+}
+
+// selfishnessCell is one point of the Table III grid.
+type selfishnessCell struct {
+	sk   delaylb.SpeedKind
+	lav  string
+	net  delaylb.NetworkKind
+	m    int
+	load float64
+	rep  int
+}
+
+func (cfg SelfishnessConfig) cells() []selfishnessCell {
+	var out []selfishnessCell
+	for _, sk := range cfg.SpeedKinds {
+		for _, bucket := range cfg.LavBuckets {
+			for _, net := range cfg.Networks {
+				for _, m := range cfg.Sizes {
+					for _, load := range bucket.Loads {
+						for rep := 0; rep < cfg.Repeats; rep++ {
+							out = append(out, selfishnessCell{sk, bucket.Label, net, m, load, rep})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 // SelfishnessTable approximates the Nash equilibrium by best-response
 // dynamics with the paper's 1% termination rule, computes the optimum
 // with MinE, and aggregates the ratio per (speed kind, lav bucket,
-// network) — the exact grouping of Table III.
+// network) — the exact grouping of Table III. Cells run concurrently.
 func SelfishnessTable(cfg SelfishnessConfig) []SelfishnessRow {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows, _ := SelfishnessTableContext(context.Background(), cfg)
+	return rows
+}
+
+// SelfishnessTableContext is SelfishnessTable with cancellation; on
+// ctx cancellation it aggregates the completed cells and returns
+// ctx.Err().
+func SelfishnessTableContext(ctx context.Context, cfg SelfishnessConfig) ([]SelfishnessRow, error) {
 	type key struct {
-		sk  SpeedKind
+		sk  delaylb.SpeedKind
 		lav string
-		net NetworkKind
+		net delaylb.NetworkKind
 	}
-	samples := map[key][]float64{}
-	for _, sk := range cfg.SpeedKinds {
-		for _, bucket := range cfg.LavBuckets {
-			for _, net := range cfg.Networks {
-				for _, m := range cfg.Sizes {
-					for _, lav := range bucket.Loads {
-						for rep := 0; rep < cfg.Repeats; rep++ {
-							// Table III pools uniform and exponential loads.
-							dist := workload.KindUniform
-							if rep%2 == 1 {
-								dist = workload.KindExponential
-							}
-							in := BuildInstance(m, net, sk, dist, lav, rng)
-							if in.TotalLoad() == 0 {
-								continue
-							}
-							res := game.MeasurePoA(in, game.Config{}, rand.New(rand.NewSource(rng.Int63())))
-							k := key{sk, bucket.Label, net}
-							samples[k] = append(samples[k], res.Ratio)
-						}
-					}
-				}
+	type sample struct {
+		key   key
+		ratio float64
+		skip  bool
+	}
+	cells := cfg.cells()
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	results, done, err := RunCells(ctx, run, cells,
+		func(ctx context.Context, i int, c selfishnessCell, rng *rand.Rand) (sample, error) {
+			// Table III pools uniform and exponential loads.
+			dist := delaylb.LoadUniform
+			if c.rep%2 == 1 {
+				dist = delaylb.LoadExponential
 			}
+			in, berr := buildCell(c.m, c.net, c.sk, dist, c.load, rng.Int63())
+			if berr != nil {
+				return sample{}, berr
+			}
+			if in.TotalLoad() == 0 {
+				return sample{skip: true}, nil
+			}
+			res := game.MeasurePoA(in, game.Config{Ctx: ctx}, rand.New(rand.NewSource(rng.Int63())))
+			if cerr := ctx.Err(); cerr != nil {
+				return sample{}, cerr
+			}
+			return sample{key: key{c.sk, c.lav, c.net}, ratio: res.Ratio}, nil
+		})
+	samples := map[key][]float64{}
+	for i, s := range results {
+		if done[i] && !s.skip {
+			samples[s.key] = append(samples[s.key], s.ratio)
 		}
 	}
 	keys := make([]key, 0, len(samples))
@@ -246,11 +353,11 @@ func SelfishnessTable(cfg SelfishnessConfig) []SelfishnessRow {
 	rows := make([]SelfishnessRow, 0, len(keys))
 	for _, k := range keys {
 		rows = append(rows, SelfishnessRow{
-			SpeedKind: k.sk,
-			LavLabel:  k.lav,
-			Network:   k.net,
-			Summary:   stats.Summarize(samples[k]),
+			Speeds:   k.sk,
+			LavLabel: k.lav,
+			Network:  k.net,
+			Summary:  stats.Summarize(samples[k]),
 		})
 	}
-	return rows
+	return rows, err
 }
