@@ -21,6 +21,7 @@ package delaylb_test
 // package delaylb.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -290,5 +291,83 @@ func BenchmarkPublicNash100(b *testing.B) {
 		if _, err := sys.NashEquilibrium(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// scaleTierInstance builds the scale-grid scenario (zipf loads on a
+// clustered metro network) at the given size.
+func scaleTierInstance(b *testing.B, m int) *model.Instance {
+	b.Helper()
+	return benchInstance(b, delaylb.NewScenario(m).
+		WithClusters(8).
+		WithLatency(100).
+		WithLoads(delaylb.LoadZipf, 100).
+		WithSeed(1))
+}
+
+// benchmarkFrankWolfe runs a fixed 30-iteration budget so the benchmark
+// measures per-iteration work, asserts run-to-run determinism (the
+// property CI can check on any machine) and reports the final cost.
+// Speedups are NOT asserted: CI and dev containers may have one CPU and
+// noisy clocks — the wall-clock trajectory lives in BENCH_scale.json.
+func benchmarkFrankWolfe(b *testing.B, m int, sparseRun bool) {
+	in := scaleTierInstance(b, m)
+	opt := qp.Options{MaxIters: 30, Tol: 1e-12}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var first float64
+	for i := 0; i < b.N; i++ {
+		var cost float64
+		if sparseRun {
+			cost = qp.SolveFrankWolfeSparse(in, opt).Cost
+		} else {
+			cost = qp.SolveFrankWolfe(in, opt).Cost
+		}
+		if i == 0 {
+			first = cost
+		} else if cost != first {
+			b.Fatalf("run %d cost %v differs from first run %v", i, cost, first)
+		}
+	}
+	b.ReportMetric(first, "final-cost")
+}
+
+func BenchmarkFrankWolfeDense(b *testing.B) {
+	for _, m := range []int{100, 500, 2000} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) { benchmarkFrankWolfe(b, m, false) })
+	}
+}
+
+func BenchmarkFrankWolfeSparse(b *testing.B) {
+	for _, m := range []int{100, 500, 2000} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) { benchmarkFrankWolfe(b, m, true) })
+	}
+}
+
+// BenchmarkMineSparseColumns compares the MinE proxy strategy with and
+// without the column-owner index at a mid-tier size.
+func BenchmarkMineSparseColumns(b *testing.B) {
+	in := scaleTierInstance(b, 300)
+	for name, sparseRun := range map[string]bool{"Dense": false, "Sparse": true} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var first float64
+			for i := 0; i < b.N; i++ {
+				st := core.NewIdentityState(in)
+				core.RunState(st, core.Config{
+					Strategy:      core.StrategyProxy,
+					MaxIters:      8,
+					SparseColumns: sparseRun,
+					Rng:           rand.New(rand.NewSource(6)),
+				})
+				cost := st.Cost()
+				if i == 0 {
+					first = cost
+				} else if cost != first {
+					b.Fatalf("run %d cost %v differs from first run %v", i, cost, first)
+				}
+			}
+			b.ReportMetric(first, "final-cost")
+		})
 	}
 }

@@ -8,6 +8,7 @@
 //	lbsim -m 20 -net c20 -dist peak -avg 100000 -algo nash
 //	lbsim -m 30 -net pl -dist uniform -avg 50 -algo frankwolfe
 //	lbsim -m 25 -net pl -dist exp -avg 80 -algo runtime -rounds 30
+//	lbsim -m 2000 -net metro -dist zipf -avg 100 -algo frankwolfe -sparse -iters 600
 package main
 
 import (
@@ -32,18 +33,22 @@ type config struct {
 	Avg    float64
 	Rounds int
 	Seed   int64
+	Sparse bool
+	Iters  int
 }
 
 func main() {
 	var cfg config
 	flag.IntVar(&cfg.M, "m", 50, "number of servers")
-	flag.StringVar(&cfg.Net, "net", "pl", "network: pl | c20 | euclidean")
+	flag.StringVar(&cfg.Net, "net", "pl", "network: pl | c20 | euclidean | clustered (alias metro)")
 	flag.StringVar(&cfg.Dist, "dist", "exp", "load distribution: uniform | exp | peak | zipf")
 	flag.Float64Var(&cfg.Avg, "avg", 100, "average load (peak: total)")
 	flag.StringVar(&cfg.Speeds, "speeds", "uniform", "speeds: uniform | const")
 	flag.StringVar(&cfg.Algo, "algo", "mine", "algorithm: mine | hybrid | proxy | frankwolfe | projgrad | nash | runtime")
 	flag.IntVar(&cfg.Rounds, "rounds", 30, "rounds for -algo runtime")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "RNG seed")
+	flag.BoolVar(&cfg.Sparse, "sparse", false, "use the large-m sparse solver paths (frankwolfe, mine family)")
+	flag.IntVar(&cfg.Iters, "iters", 0, "iteration cap (0 = solver default)")
 	flag.Parse()
 
 	if err := run(context.Background(), cfg, os.Stdout); err != nil {
@@ -85,6 +90,12 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 		} else if cfg.Algo == "projgrad" {
 			opts = append(opts, delaylb.WithTolerance(1e-10))
 		}
+		if cfg.Sparse {
+			opts = append(opts, delaylb.WithSparse())
+		}
+		if cfg.Iters > 0 {
+			opts = append(opts, delaylb.WithMaxIterations(cfg.Iters))
+		}
 		res, err := sys.OptimizeContext(ctx, opts...)
 		if err != nil {
 			return err
@@ -93,8 +104,12 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 		if res.Gap > 0 {
 			gap = fmt.Sprintf(", gap=%.3g", res.Gap)
 		}
-		fmt.Fprintf(w, "final ΣC_i = %.6g after %d iterations (%s, reason: %s%s)\n",
-			res.Cost, res.Iterations, time.Since(start).Round(time.Millisecond), res.Reason, gap)
+		nnz := ""
+		if res.NNZ > 0 {
+			nnz = fmt.Sprintf(", nnz=%d", res.NNZ)
+		}
+		fmt.Fprintf(w, "final ΣC_i = %.6g after %d iterations (%s, reason: %s%s%s)\n",
+			res.Cost, res.Iterations, time.Since(start).Round(time.Millisecond), res.Reason, gap, nnz)
 	case "nash":
 		nash, err := sys.NashEquilibriumContext(ctx, delaylb.WithProgress(func(sweep int, cost float64) bool {
 			fmt.Fprintf(w, "  sweep %2d  ΣC_i = %.6g\n", sweep, cost)

@@ -119,3 +119,23 @@ func TestRunRejectsUnknownAlgo(t *testing.T) {
 		t.Fatal("unknown algo accepted")
 	}
 }
+
+// TestRunSparseScaleTier drives the -sparse flag through the solvers
+// that honor it, on a clustered metro network.
+func TestRunSparseScaleTier(t *testing.T) {
+	for _, algo := range []string{"frankwolfe", "mine", "proxy"} {
+		var sb strings.Builder
+		cfg := config{M: 30, Net: "metro", Dist: "zipf", Speeds: "uniform",
+			Algo: algo, Avg: 60, Seed: 4, Sparse: true, Iters: 40}
+		if err := run(context.Background(), cfg, &sb); err != nil {
+			t.Fatalf("run(algo=%s, sparse): %v", algo, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "final") {
+			t.Errorf("run(algo=%s, sparse) produced no result line:\n%s", algo, out)
+		}
+		if algo == "frankwolfe" && !strings.Contains(out, "nnz=") {
+			t.Errorf("sparse frankwolfe did not report nnz:\n%s", out)
+		}
+	}
+}

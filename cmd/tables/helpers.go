@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"os"
 
 	"delaylb"
 	"delaylb/sweep"
@@ -169,6 +171,46 @@ func runDynamicAblation(w io.Writer, seed int64) {
 	}
 	fmt.Fprintf(w, "average: warm %.2f vs cold %.2f iterations to 2%%\n\n",
 		sum.AvgWarmIters, sum.AvgColdIters)
+}
+
+// runBench runs the scale-tier benchmark grid, prints the table and
+// persists the JSON report.
+func runBench(w io.Writer, full bool, seed int64, outPath string) error {
+	cfg := sweep.DefaultBenchConfig()
+	cfg.Seed = seed
+	if full {
+		cfg.Sizes = append(cfg.Sizes, 5000)
+	}
+	return runBenchWith(w, cfg, outPath)
+}
+
+// runBenchWith is runBench with an explicit configuration (tests use a
+// tiny grid).
+func runBenchWith(w io.Writer, cfg sweep.BenchConfig, outPath string) error {
+	report, err := sweep.RunBench(context.Background(), cfg, func(done, total int) {
+		fmt.Fprintf(w, "bench cell %d/%d done\n", done, total)
+	})
+	if err != nil {
+		return err
+	}
+	sweep.FprintBenchReport(w, report)
+	fmt.Fprintln(w)
+	if outPath == "" {
+		return nil
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "scale benchmark report written to %s\n", outPath)
+	return nil
 }
 
 // runCoordsAblation quantifies the cost of replacing the paper's

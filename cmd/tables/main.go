@@ -15,11 +15,19 @@
 //	tables -ablation cycles  # §VI-B negative-cycle-removal ablation
 //	tables -ablation poa     # Theorem 1 analytic band vs measurement
 //	tables -all              # everything above
+//	tables -bench            # large-m scale grid → BENCH_scale.json
 //
 // Add -full for the paper-scale parameters (slower); the default
 // configuration is laptop-scale and preserves every qualitative shape.
 // -workers N bounds the pool (default: all CPUs), -seed picks the base
 // seed, and -out results.json (or .csv) persists the aggregate rows.
+//
+// -bench runs the scale-tier benchmark grid (sparse vs dense solver
+// paths on zipf/clustered scenarios; -full adds m=5000) sequentially —
+// cells are timed, so no worker pool — and persists the report to
+// -benchout (default BENCH_scale.json). It is not part of -all: the
+// paper tables are about fidelity, the bench grid about the perf
+// trajectory of this repository.
 package main
 
 import (
@@ -38,6 +46,8 @@ func main() {
 	ablation := flag.String("ablation", "", "run an ablation: cycles | poa | dynamic | coords")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	all := flag.Bool("all", false, "regenerate everything")
+	bench := flag.Bool("bench", false, "run the large-m scale benchmark grid")
+	benchOut := flag.String("benchout", "BENCH_scale.json", "path for the scale benchmark report (with -bench)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs); does not affect results")
 	out := flag.String("out", "", "persist aggregate rows to this .json or .csv file")
@@ -97,6 +107,13 @@ func main() {
 	}
 	if *all || *ablation == "coords" {
 		runCoordsAblation(w, *seed)
+		ran = true
+	}
+	if *bench {
+		if err := runBench(w, *full, *seed, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		ran = true
 	}
 	if !ran {

@@ -81,3 +81,35 @@ func TestWriteReportJSONAndCSV(t *testing.T) {
 		t.Error("unknown extension accepted")
 	}
 }
+
+// TestRunBenchWritesReport drives the -bench path end to end on a tiny
+// grid and checks that the table prints and the JSON artifact lands.
+func TestRunBenchWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	var sb strings.Builder
+	if err := runBenchWith(&sb, benchTestConfig(), path); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Scale tier") || !strings.Contains(out, "frankwolfe-sparse") {
+		t.Errorf("bench table missing:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"solver\": \"frankwolfe-sparse\"") {
+		t.Errorf("bench report missing sparse entries:\n%s", data)
+	}
+}
+
+func benchTestConfig() sweep.BenchConfig {
+	cfg := sweep.DefaultBenchConfig()
+	cfg.Sizes = []int{25}
+	cfg.DenseMax = 25
+	cfg.MineMax = 25
+	cfg.FWIters = 30
+	cfg.MineIters = 3
+	return cfg
+}

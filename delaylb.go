@@ -118,6 +118,10 @@ type Result struct {
 	// Gap is the final Frank–Wolfe duality gap (0 for other solvers);
 	// Cost − Gap lower-bounds the optimal cost.
 	Gap float64
+	// NNZ is the number of nonzero entries in the final allocation when
+	// the solve ran on the sparse scale-tier path (WithSparse); 0
+	// otherwise. nnz ≪ m² is what makes m in the thousands practical.
+	NNZ int
 	// Reason says why the solve stopped: "stable", "tolerance",
 	// "max-iters", "callback", "target" or "canceled" for solver runs;
 	// "rounds" for a Session.RunCluster that completed its tick budget.
@@ -178,6 +182,17 @@ func WithTolerance(tol float64) Option { return func(o *options) { o.Tolerance =
 func WithProgress(fn func(iteration int, cost float64) bool) Option {
 	return func(o *options) { o.Progress = fn }
 }
+
+// WithSparse routes the solve through the large-m scale tier: the
+// "frankwolfe" solver runs on the sparse row-major iterate (O(nnz)
+// memory, cluster-aware linear minimization on block-structured
+// networks such as NetClustered) and the MinE family ("mine", "hybrid",
+// "proxy") maintains per-server owner lists so pairwise steps touch
+// only organizations with requests on the two servers. Results are
+// equivalent — bit-identical for Frank–Wolfe, up to float summation
+// order for MinE — and deterministic for a fixed seed. Solvers without
+// a sparse path ("projgrad", "nash") ignore the option.
+func WithSparse() Option { return func(o *options) { o.Sparse = true } }
 
 // WithWarmStart starts the solve from the given requests matrix instead
 // of the identity allocation. Rows are rescaled to the system's loads

@@ -101,6 +101,8 @@ func RemoveCycles(st *State) float64 {
 	}
 	// Loads are preserved by construction; refresh to clear float drift.
 	a.LoadsInto(st.Loads)
+	// The re-routing rewrote arbitrary off-diagonal entries.
+	st.RebuildColumnIndex()
 	return before - after
 }
 

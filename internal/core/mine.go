@@ -46,6 +46,14 @@ type Config struct {
 	// RemoveCyclesEvery, if positive, runs the Appendix A negative-cycle
 	// removal after every that many iterations (§VI-B compares 0 vs 2).
 	RemoveCyclesEvery int
+	// SparseColumns enables the column-owner index: pairwise evaluation
+	// and application gather only the organizations with requests on the
+	// two involved servers, dropping the per-pair cost from O(m log m) to
+	// O(w log w) for column populations w. Results are equivalent up to
+	// float summation order (tie-breaking inside Algorithm 1 may route
+	// equal-latency request swaps differently); runs remain deterministic
+	// for a fixed seed.
+	SparseColumns bool
 	// MinGain is the absolute improvement below which a pairwise
 	// exchange is considered noise (default: 1e-9·max(1, initial cost)).
 	MinGain float64
@@ -109,6 +117,9 @@ func RunState(st *State, cfg Config) *Trace {
 	}
 	if cfg.Rng == nil {
 		cfg.Rng = rand.New(rand.NewSource(1))
+	}
+	if cfg.SparseColumns && !st.ColumnIndexEnabled() {
+		st.EnableColumnIndex()
 	}
 	cost := st.Cost()
 	if cfg.MinGain <= 0 {

@@ -30,6 +30,7 @@ type pairBuffer struct {
 	cI, cJ []float64 // latency columns c_ki and c_kj
 	order  []int     // organizations sorted by c_kj − c_ki
 	keys   []float64
+	ks     []int32 // sparse path: merged owner list of the two columns
 }
 
 func newPairBuffer(m int) *pairBuffer {
@@ -42,7 +43,43 @@ func newPairBuffer(m int) *pairBuffer {
 		cJ:    make([]float64, m),
 		order: make([]int, m),
 		keys:  make([]float64, m),
+		ks:    make([]int32, 0, m),
 	}
+}
+
+// loadSparse extracts the union of the owner lists of columns i and j
+// into b.ks (ascending merge of two sorted lists) and gathers the
+// corresponding column and latency entries into the leading len(b.ks)
+// slots of the scratch slices. Only organizations with mass on one of
+// the two columns can gain or lose requests in Algorithm 1, so the
+// compacted problem is exactly equivalent to the dense one.
+func (b *pairBuffer) loadSparse(st *State, i, j int) int {
+	b.ks = b.ks[:0]
+	oi, oj := st.colOwners[i], st.colOwners[j]
+	x, y := 0, 0
+	for x < len(oi) || y < len(oj) {
+		switch {
+		case y == len(oj) || (x < len(oi) && oi[x] < oj[y]):
+			b.ks = append(b.ks, oi[x])
+			x++
+		case x == len(oi) || oj[y] < oi[x]:
+			b.ks = append(b.ks, oj[y])
+			y++
+		default: // equal
+			b.ks = append(b.ks, oi[x])
+			x++
+			y++
+		}
+	}
+	for t, k := range b.ks {
+		b.ri[t] = st.Alloc.R[k][i]
+		b.rj[t] = st.Alloc.R[k][j]
+		b.oi[t] = b.ri[t]
+		b.oj[t] = b.rj[t]
+		b.cI[t] = st.In.Latency[k][i]
+		b.cJ[t] = st.In.Latency[k][j]
+	}
+	return len(b.ks)
 }
 
 // load extracts columns i and j of the allocation into the buffer.
@@ -161,10 +198,15 @@ type PairOutcome struct {
 
 // EvaluatePair simulates Algorithm 1 on servers (i, j) without mutating
 // the state and returns the achievable improvement — the paper's
-// impr(i, j) from Algorithm 2.
+// impr(i, j) from Algorithm 2. With the state's column index enabled it
+// touches only the organizations owning requests on the two columns.
 func EvaluatePair(st *State, i, j int, buf *pairBuffer) PairOutcome {
 	if buf == nil {
 		buf = newPairBuffer(st.In.M())
+	}
+	if st.colOwners != nil {
+		out, _, _ := balanceSparse(st, i, j, buf)
+		return out
 	}
 	before := st.localCost(i, j)
 	buf.load(st.Alloc, i, j)
@@ -184,6 +226,11 @@ func ApplyPair(st *State, i, j int, buf *pairBuffer) PairOutcome {
 	if buf == nil {
 		buf = newPairBuffer(st.In.M())
 	}
+	if st.colOwners != nil {
+		out, li, lj := balanceSparse(st, i, j, buf)
+		commitSparse(st, i, j, buf, li, lj)
+		return out
+	}
 	before := st.localCost(i, j)
 	buf.load(st.Alloc, i, j)
 	li, lj := buf.balance(st.In, i, j)
@@ -197,6 +244,53 @@ func ApplyPair(st *State, i, j int, buf *pairBuffer) PairOutcome {
 	st.Loads[i] = li
 	st.Loads[j] = lj
 	return PairOutcome{Gain: before - after, Moved: moved / 2}
+}
+
+// balanceSparse runs Algorithm 1 on the compacted owner union of
+// columns (i, j) and returns the outcome plus the resulting loads,
+// leaving the state untouched (commitSparse writes the buffer back).
+func balanceSparse(st *State, i, j int, buf *pairBuffer) (PairOutcome, float64, float64) {
+	in := st.In
+	before := st.localCost(i, j)
+	n := buf.loadSparse(st, i, j)
+	li, lj := BalanceColumns(in.Speed[i], in.Speed[j],
+		buf.ri[:n], buf.rj[:n], buf.cI[:n], buf.cJ[:n], buf.order[:n], buf.keys[:n])
+	after := li*li/(2*in.Speed[i]) + lj*lj/(2*in.Speed[j])
+	var moved float64
+	for t := 0; t < n; t++ {
+		if v := buf.ri[t]; v != 0 {
+			after += v * buf.cI[t]
+		}
+		if v := buf.rj[t]; v != 0 {
+			after += v * buf.cJ[t]
+		}
+		moved += math.Abs(buf.ri[t]-buf.oi[t]) + math.Abs(buf.rj[t]-buf.oj[t])
+	}
+	return PairOutcome{Gain: before - after, Moved: moved / 2}, li, lj
+}
+
+// commitSparse writes the balanced buffer back into the allocation and
+// refreshes the owner lists of the two columns (subsets of the gathered
+// union, which is already in ascending order).
+func commitSparse(st *State, i, j int, buf *pairBuffer, li, lj float64) {
+	n := len(buf.ks)
+	ownersI := st.colOwners[i][:0]
+	ownersJ := st.colOwners[j][:0]
+	for t := 0; t < n; t++ {
+		k := buf.ks[t]
+		st.Alloc.R[k][i] = buf.ri[t]
+		st.Alloc.R[k][j] = buf.rj[t]
+		if buf.ri[t] != 0 {
+			ownersI = append(ownersI, k)
+		}
+		if buf.rj[t] != 0 {
+			ownersJ = append(ownersJ, k)
+		}
+	}
+	st.colOwners[i] = ownersI
+	st.colOwners[j] = ownersJ
+	st.Loads[i] = li
+	st.Loads[j] = lj
 }
 
 // pairCost computes the local cost of the buffered columns.

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"delaylb/internal/model"
+	"delaylb/internal/netmodel"
+	"delaylb/internal/workload"
+)
+
+func sparseTestInstance(t *testing.T, m int, seed int64) *model.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	lat := netmodel.PlanetLab(m, netmodel.DefaultPlanetLabConfig(), rng)
+	in, err := model.NewInstance(
+		workload.UniformSpeeds(m, 1, 5, rng),
+		workload.ExponentialLoads(m, 100, rng),
+		lat,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// checkColumnIndex verifies the incremental owner lists against the
+// allocation ground truth.
+func checkColumnIndex(t *testing.T, st *State) {
+	t.Helper()
+	m := st.In.M()
+	for j := 0; j < m; j++ {
+		var want []int32
+		for k := 0; k < m; k++ {
+			if st.Alloc.R[k][j] != 0 {
+				want = append(want, int32(k))
+			}
+		}
+		got := st.colOwners[j]
+		if len(got) != len(want) {
+			t.Fatalf("column %d: %d owners, want %d", j, len(got), len(want))
+		}
+		for x := range want {
+			if got[x] != want[x] {
+				t.Fatalf("column %d: owners[%d]=%d, want %d", j, x, got[x], want[x])
+			}
+		}
+	}
+}
+
+// TestSparseColumnsMatchDense runs MinE with and without the column
+// index on identical instances: final costs must agree to solver
+// precision (summation/tie order may differ in the last bits) and the
+// sparse run's allocation and index must stay internally consistent.
+func TestSparseColumnsMatchDense(t *testing.T) {
+	for _, m := range []int{6, 12, 25} {
+		for _, strategy := range []Strategy{StrategyExact, StrategyHybrid, StrategyProxy} {
+			in := sparseTestInstance(t, m, int64(m))
+			dense, _ := Run(in, Config{Strategy: strategy, Rng: rand.New(rand.NewSource(5))})
+			stSparse := NewIdentityState(in)
+			RunState(stSparse, Config{Strategy: strategy, SparseColumns: true, Rng: rand.New(rand.NewSource(5))})
+
+			dc := model.TotalCost(in, dense)
+			sc := model.TotalCost(in, stSparse.Alloc)
+			if rel := math.Abs(dc-sc) / math.Max(1, dc); rel > 1e-6 {
+				t.Fatalf("m=%d strategy=%d: dense cost %v vs sparse cost %v (rel %g)", m, strategy, dc, sc, rel)
+			}
+			if err := stSparse.Alloc.Validate(in, 1e-6); err != nil {
+				t.Fatalf("m=%d strategy=%d: sparse allocation invalid: %v", m, strategy, err)
+			}
+			checkColumnIndex(t, stSparse)
+		}
+	}
+}
+
+// TestSparseColumnsDeterministic pins run-to-run reproducibility of the
+// sparse path for a fixed seed.
+func TestSparseColumnsDeterministic(t *testing.T) {
+	in := sparseTestInstance(t, 20, 77)
+	run := func() float64 {
+		st := NewIdentityState(in)
+		RunState(st, Config{SparseColumns: true, Rng: rand.New(rand.NewSource(9))})
+		return st.Cost()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("sparse MinE not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestSparseColumnsSurviveCycleRemoval checks that the Appendix A
+// re-routing (which rewrites arbitrary off-diagonal entries) leaves the
+// column index consistent.
+func TestSparseColumnsSurviveCycleRemoval(t *testing.T) {
+	in := sparseTestInstance(t, 15, 3)
+	st := NewIdentityState(in)
+	RunState(st, Config{SparseColumns: true, RemoveCyclesEvery: 2, MaxIters: 6, Rng: rand.New(rand.NewSource(2))})
+	checkColumnIndex(t, st)
+	if err := st.Alloc.Validate(in, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSparseStateCostMatchesDenseCost checks the O(nnz) Cost against
+// the dense TotalCost on the same state.
+func TestSparseStateCostMatchesDenseCost(t *testing.T) {
+	in := sparseTestInstance(t, 18, 8)
+	st := NewIdentityState(in)
+	st.EnableColumnIndex()
+	RunState(st, Config{SparseColumns: true, MaxIters: 4, Rng: rand.New(rand.NewSource(4))})
+	sparseCost := st.Cost()
+	denseCost := model.TotalCost(in, st.Alloc)
+	if rel := math.Abs(sparseCost-denseCost) / math.Max(1, denseCost); rel > 1e-9 {
+		t.Fatalf("sparse Cost %v vs dense TotalCost %v", sparseCost, denseCost)
+	}
+}
+
+// TestCloneCopiesColumnIndex ensures cloned states do not share owner
+// lists.
+func TestCloneCopiesColumnIndex(t *testing.T) {
+	in := sparseTestInstance(t, 10, 6)
+	st := NewIdentityState(in)
+	st.EnableColumnIndex()
+	cp := st.Clone()
+	ApplyPair(cp, 0, 1, nil)
+	checkColumnIndex(t, st)
+	checkColumnIndex(t, cp)
+}

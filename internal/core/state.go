@@ -19,10 +19,21 @@ import (
 // State couples an instance with a mutable allocation and maintains the
 // server load vector incrementally, so pairwise rebalancing steps cost
 // O(m log m) instead of O(m²).
+//
+// With the column index enabled (EnableColumnIndex), pairwise steps
+// shrink further to O((w_i + w_j) log(w_i + w_j)) where w_j is the
+// number of organizations with requests on server j — the sparse
+// delay-aware path of the large-m scale tier. Real allocations keep
+// w_j ≪ m (each server hosts a handful of organizations' requests), so
+// exact and hybrid partner evaluation stop paying for the m − w empty
+// column slots.
 type State struct {
 	In    *model.Instance
 	Alloc *model.Allocation
 	Loads []float64
+	// colOwners[j], when the index is enabled, lists in ascending order
+	// the organizations k with Alloc.R[k][j] != 0. nil = index disabled.
+	colOwners [][]int32
 }
 
 // NewState wraps an instance and an allocation (not copied) into a State.
@@ -37,17 +48,71 @@ func NewIdentityState(in *model.Instance) *State {
 	return NewState(in, model.Identity(in))
 }
 
-// Cost returns the current ΣC_i.
+// Cost returns the current ΣC_i. With the column index enabled the
+// communication term is summed over owner lists (O(nnz) instead of the
+// dense O(m²) row scan).
 func (st *State) Cost() float64 {
+	if st.colOwners != nil {
+		var cost float64
+		for j, l := range st.Loads {
+			cost += l * l / (2 * st.In.Speed[j])
+		}
+		for j, owners := range st.colOwners {
+			for _, k := range owners {
+				if int(k) != j {
+					cost += st.Alloc.R[k][j] * st.In.Latency[k][j]
+				}
+			}
+		}
+		return cost
+	}
 	return model.TotalCostWithLoads(st.In, st.Alloc, st.Loads)
 }
 
 // Clone deep-copies the state (the instance is shared, it is read-only).
 func (st *State) Clone() *State {
-	return &State{
+	cp := &State{
 		In:    st.In,
 		Alloc: st.Alloc.Clone(),
 		Loads: append([]float64(nil), st.Loads...),
+	}
+	if st.colOwners != nil {
+		cp.colOwners = make([][]int32, len(st.colOwners))
+		for j, owners := range st.colOwners {
+			cp.colOwners[j] = append([]int32(nil), owners...)
+		}
+	}
+	return cp
+}
+
+// EnableColumnIndex builds the per-column owner lists and switches the
+// pairwise primitives onto the sparse gather path. O(m²) once; further
+// maintenance is incremental. Mutating Alloc.R directly afterwards
+// (rather than through ApplyPair/RemoveCycles) invalidates the index —
+// call RebuildColumnIndex after such edits.
+func (st *State) EnableColumnIndex() {
+	st.colOwners = make([][]int32, st.In.M())
+	st.RebuildColumnIndex()
+}
+
+// ColumnIndexEnabled reports whether the sparse column path is active.
+func (st *State) ColumnIndexEnabled() bool { return st.colOwners != nil }
+
+// RebuildColumnIndex recomputes the owner lists from the allocation.
+// No-op when the index is disabled.
+func (st *State) RebuildColumnIndex() {
+	if st.colOwners == nil {
+		return
+	}
+	for j := range st.colOwners {
+		st.colOwners[j] = st.colOwners[j][:0]
+	}
+	for k, row := range st.Alloc.R {
+		for j, v := range row {
+			if v != 0 {
+				st.colOwners[j] = append(st.colOwners[j], int32(k))
+			}
+		}
 	}
 }
 
@@ -58,6 +123,15 @@ func (st *State) localCost(i, j int) float64 {
 	in := st.In
 	li, lj := st.Loads[i], st.Loads[j]
 	cost := li*li/(2*in.Speed[i]) + lj*lj/(2*in.Speed[j])
+	if st.colOwners != nil {
+		for _, k := range st.colOwners[i] {
+			cost += st.Alloc.R[k][i] * in.Latency[k][i]
+		}
+		for _, k := range st.colOwners[j] {
+			cost += st.Alloc.R[k][j] * in.Latency[k][j]
+		}
+		return cost
+	}
 	for k := range st.Alloc.R {
 		if v := st.Alloc.R[k][i]; v != 0 {
 			cost += v * in.Latency[k][i]

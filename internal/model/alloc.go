@@ -51,6 +51,20 @@ func (a *Allocation) Clone() *Allocation {
 	return out
 }
 
+// NNZ returns the number of nonzero entries — the scale tier's measure
+// of how concentrated the routing is (nnz ≪ m² in realistic plans).
+func (a *Allocation) NNZ() int {
+	n := 0
+	for _, row := range a.R {
+		for _, v := range row {
+			if v != 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // Loads returns the load vector l where l[j] = Σ_i r_ij — the total number
 // of requests each server must execute.
 func (a *Allocation) Loads() []float64 {

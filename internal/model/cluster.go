@@ -1,0 +1,55 @@
+package model
+
+// ClusterDelays verifies the instance's Cluster hint against its latency
+// matrix and, when it holds exactly, returns the k×k block-delay table D
+// with Latency[i][j] == D[Cluster[i]][Cluster[j]] for every i ≠ j.
+//
+// The check is a one-time O(m²) pass — trivial next to even a single
+// solver iteration — and uses exact float equality: the hint is only
+// trusted when the matrix really is block-structured, so solvers that
+// exploit it (the clustered Frank–Wolfe LMO) produce bit-identical
+// results to the generic scan. It returns (nil, false) when the hint is
+// absent, malformed, or contradicted by the matrix.
+//
+// Diagonal blocks with a single member have no observable intra-cluster
+// latency; their D[g][g] entry is reported as 0 and never used (c_ii is
+// 0 by the Instance invariant and solvers special-case j == i).
+func ClusterDelays(in *Instance) ([][]float64, bool) {
+	g := in.Cluster
+	m := in.M()
+	if g == nil || len(g) != m {
+		return nil, false
+	}
+	k := 0
+	for _, c := range g {
+		if c < 0 {
+			return nil, false
+		}
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	delay := make([][]float64, k)
+	seen := make([][]bool, k)
+	for a := range delay {
+		delay[a] = make([]float64, k)
+		seen[a] = make([]bool, k)
+	}
+	for i := 0; i < m; i++ {
+		gi := g[i]
+		lat := in.Latency[i]
+		for j := 0; j < m; j++ {
+			if i == j {
+				continue
+			}
+			gj := g[j]
+			if !seen[gi][gj] {
+				delay[gi][gj] = lat[j]
+				seen[gi][gj] = true
+			} else if delay[gi][gj] != lat[j] {
+				return nil, false
+			}
+		}
+	}
+	return delay, true
+}

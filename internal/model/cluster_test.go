@@ -1,0 +1,150 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// blockInstance builds an instance whose latency is exactly
+// block-structured over the given labels.
+func blockInstance(t *testing.T, labels []int, delay [][]float64) *Instance {
+	t.Helper()
+	m := len(labels)
+	lat := make([][]float64, m)
+	for i := range lat {
+		lat[i] = make([]float64, m)
+		for j := range lat[i] {
+			if i != j {
+				lat[i][j] = delay[labels[i]][labels[j]]
+			}
+		}
+	}
+	speed := make([]float64, m)
+	load := make([]float64, m)
+	for i := range speed {
+		speed[i] = 1
+		load[i] = 10
+	}
+	in, err := NewInstance(speed, load, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Cluster = labels
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestClusterDelaysAccepts(t *testing.T) {
+	delay := [][]float64{{1, 30, 50}, {30, 2, 40}, {50, 40, 3}}
+	labels := []int{0, 1, 2, 0, 1, 2, 0, 0, 1}
+	in := blockInstance(t, labels, delay)
+	got, ok := ClusterDelays(in)
+	if !ok {
+		t.Fatal("ClusterDelays rejected a valid block structure")
+	}
+	for g := range delay {
+		for h := range delay[g] {
+			if g == h {
+				continue // intra entries are only observable with >=2 members
+			}
+			if got[g][h] != delay[g][h] {
+				t.Fatalf("delay[%d][%d]=%v, want %v", g, h, got[g][h], delay[g][h])
+			}
+		}
+	}
+	// Intra-cluster delays are observable here (clusters 0 and 1 have
+	// several members).
+	if got[0][0] != 1 || got[1][1] != 2 {
+		t.Fatalf("intra delays %v/%v, want 1/2", got[0][0], got[1][1])
+	}
+}
+
+func TestClusterDelaysRejectsWrongHint(t *testing.T) {
+	delay := [][]float64{{1, 30}, {30, 2}}
+	labels := []int{0, 1, 0, 1}
+	in := blockInstance(t, labels, delay)
+	in.Latency[0][2] = 99 // break the block structure
+	if _, ok := ClusterDelays(in); ok {
+		t.Fatal("ClusterDelays accepted a contradicted hint")
+	}
+}
+
+func TestClusterDelaysNilHint(t *testing.T) {
+	in := Uniform(4, 1, 10, 20)
+	if _, ok := ClusterDelays(in); ok {
+		t.Fatal("ClusterDelays accepted an instance without labels")
+	}
+}
+
+func TestCloneCopiesCluster(t *testing.T) {
+	in := Uniform(3, 1, 10, 20)
+	in.Cluster = []int{0, 1, 0}
+	cp := in.Clone()
+	cp.Cluster[0] = 1
+	if in.Cluster[0] != 0 {
+		t.Fatal("Clone shares the Cluster slice")
+	}
+}
+
+func TestValidateClusterLength(t *testing.T) {
+	in := Uniform(3, 1, 10, 20)
+	in.Cluster = []int{0, 1}
+	if err := in.Validate(); err == nil {
+		t.Fatal("Validate accepted a short Cluster slice")
+	}
+	in.Cluster = []int{0, -1, 0}
+	if err := in.Validate(); err == nil {
+		t.Fatal("Validate accepted a negative label")
+	}
+}
+
+// TestClusterDelaysRandomized cross-checks acceptance on random block
+// matrices and rejection after random single-entry corruption.
+func TestClusterDelaysRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(4)
+		m := k + rng.Intn(12)
+		delay := make([][]float64, k)
+		for g := range delay {
+			delay[g] = make([]float64, k)
+		}
+		for g := 0; g < k; g++ {
+			delay[g][g] = 1 + rng.Float64()
+			for h := g + 1; h < k; h++ {
+				v := 10 + 90*rng.Float64()
+				delay[g][h] = v
+				delay[h][g] = v
+			}
+		}
+		labels := make([]int, m)
+		for i := range labels {
+			labels[i] = rng.Intn(k)
+		}
+		in := blockInstance(t, labels, delay)
+		if _, ok := ClusterDelays(in); !ok {
+			t.Fatalf("trial %d: rejected valid structure", trial)
+		}
+		// Corrupt one off-diagonal entry; rejection is required unless the
+		// entry's block has no other witness pair.
+		i := rng.Intn(m)
+		j := rng.Intn(m)
+		if i == j {
+			continue
+		}
+		witnesses := 0
+		for a := 0; a < m; a++ {
+			for b := 0; b < m; b++ {
+				if a != b && labels[a] == labels[i] && labels[b] == labels[j] {
+					witnesses++
+				}
+			}
+		}
+		in.Latency[i][j] += 5
+		if _, ok := ClusterDelays(in); ok && witnesses > 1 {
+			t.Fatalf("trial %d: accepted corrupted entry (%d,%d) with %d witnesses", trial, i, j, witnesses)
+		}
+	}
+}

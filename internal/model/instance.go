@@ -33,6 +33,15 @@ type Instance struct {
 	// Latency[i][j] is the one-way communication delay c_ij in ms; 0 on the
 	// diagonal.
 	Latency [][]float64
+	// Cluster, if non-nil, labels each server with a cluster (metro) id
+	// in [0, k). It is a structural hint set by generators whose latency
+	// matrix is exactly block-structured — c_ij depends only on
+	// (Cluster[i], Cluster[j]) for i ≠ j — which lets solvers replace
+	// O(m)-per-row latency scans with O(k) block lookups. The hint is
+	// advisory: ClusterDelays verifies it against the matrix before any
+	// solver exploits it, so a stale or wrong labeling degrades to the
+	// generic path instead of corrupting results.
+	Cluster []int
 }
 
 // M returns the number of organizations (= servers) in the instance.
@@ -99,6 +108,19 @@ func (in *Instance) Validate() error {
 			}
 		}
 	}
+	if in.Cluster != nil {
+		if len(in.Cluster) != m {
+			return fmt.Errorf("model: len(Cluster)=%d, want %d", len(in.Cluster), m)
+		}
+		for i, g := range in.Cluster {
+			// Labels are dense small ids: with m servers there can be at
+			// most m non-empty clusters, and ClusterDelays allocates a
+			// table quadratic in the largest label.
+			if g < 0 || g >= m {
+				return fmt.Errorf("model: cluster[%d]=%d, must be in [0, m=%d)", i, g, m)
+			}
+		}
+	}
 	return nil
 }
 
@@ -111,6 +133,9 @@ func (in *Instance) Clone() *Instance {
 	}
 	for i, row := range in.Latency {
 		out.Latency[i] = append([]float64(nil), row...)
+	}
+	if in.Cluster != nil {
+		out.Cluster = append([]int(nil), in.Cluster...)
 	}
 	return out
 }

@@ -11,12 +11,13 @@ type instanceJSON struct {
 	Speed   []float64   `json:"speed"`
 	Load    []float64   `json:"load"`
 	Latency [][]float64 `json:"latency"`
+	Cluster []int       `json:"cluster,omitempty"`
 }
 
 // WriteJSON serializes the instance to w as a single JSON object.
 func (in *Instance) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(instanceJSON{Speed: in.Speed, Load: in.Load, Latency: in.Latency})
+	return enc.Encode(instanceJSON{Speed: in.Speed, Load: in.Load, Latency: in.Latency, Cluster: in.Cluster})
 }
 
 // ReadInstanceJSON parses an instance previously produced by WriteJSON and
@@ -26,7 +27,17 @@ func ReadInstanceJSON(r io.Reader) (*Instance, error) {
 	if err := json.NewDecoder(r).Decode(&raw); err != nil {
 		return nil, fmt.Errorf("model: decoding instance: %w", err)
 	}
-	return NewInstance(raw.Speed, raw.Load, raw.Latency)
+	in, err := NewInstance(raw.Speed, raw.Load, raw.Latency)
+	if err != nil {
+		return nil, err
+	}
+	if raw.Cluster != nil {
+		in.Cluster = raw.Cluster
+		if err := in.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
 }
 
 // allocationJSON is the stable on-disk representation of an Allocation.

@@ -57,6 +57,53 @@ func Euclidean(m int, side float64, rng *rand.Rand) [][]float64 {
 	return lat
 }
 
+// Clustered builds a metro/PoP-style block latency matrix for the
+// large-m scale tier: servers are assigned to k metro clusters whose
+// centers sit uniformly in a square of side `side` milliseconds; every
+// pair of servers in the same metro sees the same small intra-metro
+// latency, and every cross-metro pair sees one shared backbone delay
+// (center distance plus the intra-metro hop) — so c_ij depends only on
+// (cluster(i), cluster(j)), which is exactly the structure the sparse
+// Frank–Wolfe LMO exploits. The block delays satisfy the triangle
+// inequality because centers live in a metric space and each entry adds
+// the same intra-metro offset. Returns the matrix and the per-server
+// cluster labels.
+func Clustered(m, k int, intra, side float64, rng *rand.Rand) ([][]float64, []int) {
+	if k < 1 {
+		k = 1
+	}
+	cx := make([]float64, k)
+	cy := make([]float64, k)
+	for c := 0; c < k; c++ {
+		cx[c] = side * rng.Float64()
+		cy[c] = side * rng.Float64()
+	}
+	delay := make([][]float64, k)
+	for g := range delay {
+		delay[g] = make([]float64, k)
+		for h := range delay[g] {
+			if g == h {
+				delay[g][h] = intra
+			} else {
+				delay[g][h] = intra + math.Hypot(cx[g]-cx[h], cy[g]-cy[h])
+			}
+		}
+	}
+	cluster := make([]int, m)
+	for i := range cluster {
+		cluster[i] = rng.Intn(k)
+	}
+	lat := newMatrix(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j {
+				lat[i][j] = delay[cluster[i]][cluster[j]]
+			}
+		}
+	}
+	return lat, cluster
+}
+
 // Ring arranges m nodes on a cycle with perHop latency between neighbors
 // and shortest-path distances elsewhere. Used by topology ablations.
 func Ring(m int, perHop float64) [][]float64 {

@@ -176,3 +176,56 @@ func BenchmarkPlanetLab200(b *testing.B) {
 		PlanetLab(200, cfg, rng)
 	}
 }
+
+func TestClusteredBlockStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lat, cluster := Clustered(40, 6, 2, 100, rng)
+	if len(cluster) != 40 {
+		t.Fatalf("got %d labels, want 40", len(cluster))
+	}
+	// Latency must depend only on the cluster pair.
+	type pair struct{ g, h int }
+	seen := map[pair]float64{}
+	for i := range lat {
+		if lat[i][i] != 0 {
+			t.Fatalf("diagonal not zero at %d", i)
+		}
+		for j := range lat {
+			if i == j {
+				continue
+			}
+			p := pair{cluster[i], cluster[j]}
+			if v, ok := seen[p]; ok {
+				if lat[i][j] != v {
+					t.Fatalf("block (%d,%d) has two delays: %v and %v", p.g, p.h, v, lat[i][j])
+				}
+			} else {
+				seen[p] = lat[i][j]
+			}
+			if lat[i][j] != lat[j][i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+			if lat[i][j] < 2 {
+				t.Fatalf("lat[%d][%d]=%v below the intra-metro floor", i, j, lat[i][j])
+			}
+		}
+	}
+	if v := TriangleViolations(lat, 1e-9); v != 0 {
+		t.Errorf("clustered matrix has %d triangle violations, want 0", v)
+	}
+}
+
+func TestClusteredDeterministic(t *testing.T) {
+	a, ca := Clustered(25, 4, 1, 50, rand.New(rand.NewSource(9)))
+	b, cb := Clustered(25, 4, 1, 50, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if ca[i] != cb[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("latency differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package qp
+
+import (
+	"math/rand"
+	"testing"
+
+	"delaylb/internal/model"
+	"delaylb/internal/netmodel"
+	"delaylb/internal/workload"
+)
+
+// randomInstance builds a heterogeneous test instance.
+func randomInstance(t *testing.T, m int, seed int64) *model.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	lat := netmodel.PlanetLab(m, netmodel.DefaultPlanetLabConfig(), rng)
+	speeds := workload.UniformSpeeds(m, 1, 5, rng)
+	loads := workload.ExponentialLoads(m, 100, rng)
+	in, err := model.NewInstance(speeds, loads, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// clusteredInstance builds a block-structured instance with the cluster
+// hint attached.
+func clusteredInstance(t *testing.T, m, k int, seed int64) *model.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	lat, labels := netmodel.Clustered(m, k, 2, 80, rng)
+	speeds := workload.UniformSpeeds(m, 1, 5, rng)
+	loads := workload.ZipfLoads(m, 100, 1.2, rng)
+	in, err := model.NewInstance(speeds, loads, lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Cluster = labels
+	return in
+}
+
+// assertSameRun pins the headline guarantee of the scale tier: the
+// sparse solver reproduces the dense solver bit for bit.
+func assertSameRun(t *testing.T, label string, dense *Result, sp *SparseResult) {
+	t.Helper()
+	if dense.Cost != sp.Cost {
+		t.Fatalf("%s: cost %v (dense) != %v (sparse)", label, dense.Cost, sp.Cost)
+	}
+	if dense.Gap != sp.Gap {
+		t.Fatalf("%s: gap %v != %v", label, dense.Gap, sp.Gap)
+	}
+	if dense.Iters != sp.Iters || dense.Converged != sp.Converged {
+		t.Fatalf("%s: iters/converged (%d,%v) != (%d,%v)",
+			label, dense.Iters, dense.Converged, sp.Iters, sp.Converged)
+	}
+	back := sp.Rho.Dense()
+	for i := range dense.Rho {
+		for j := range dense.Rho[i] {
+			if dense.Rho[i][j] != back[i][j] {
+				t.Fatalf("%s: rho[%d][%d] %v != %v", label, i, j, dense.Rho[i][j], back[i][j])
+			}
+		}
+	}
+}
+
+func TestSparseMatchesDense(t *testing.T) {
+	for _, m := range []int{5, 12, 30} {
+		in := randomInstance(t, m, int64(m))
+		opt := Options{Tol: 1e-7, MaxIters: 400}
+		dense := SolveFrankWolfe(in, opt)
+		sp := SolveFrankWolfeSparse(in, opt)
+		if sp.ClusteredLMO {
+			t.Fatalf("m=%d: clustered LMO engaged without a hint", m)
+		}
+		assertSameRun(t, "planetlab", dense, sp)
+	}
+}
+
+func TestSparseClusteredLMOMatchesDense(t *testing.T) {
+	in := clusteredInstance(t, 60, 5, 7)
+	opt := Options{Tol: 1e-8, MaxIters: 600}
+
+	dense := SolveFrankWolfe(in, opt)
+	hinted := SolveFrankWolfeSparse(in, opt)
+	if !hinted.ClusteredLMO {
+		t.Fatal("clustered LMO not engaged on a verified block instance")
+	}
+	assertSameRun(t, "clustered-hinted", dense, hinted)
+
+	// Stripping the hint must fall back to the generic oracle and still
+	// agree exactly.
+	stripped := in.Clone()
+	stripped.Cluster = nil
+	generic := SolveFrankWolfeSparse(stripped, opt)
+	if generic.ClusteredLMO {
+		t.Fatal("clustered LMO engaged without labels")
+	}
+	assertSameRun(t, "clustered-generic", dense, generic)
+}
+
+func TestSparseRejectsCorruptedHint(t *testing.T) {
+	in := clusteredInstance(t, 24, 4, 3)
+	in.Latency[1][2] += 7 // contradict the block structure
+	opt := Options{Tol: 1e-7, MaxIters: 300}
+	sp := SolveFrankWolfeSparse(in, opt)
+	if sp.ClusteredLMO {
+		t.Fatal("clustered LMO trusted a corrupted hint")
+	}
+	dense := SolveFrankWolfe(in, opt)
+	assertSameRun(t, "corrupted-hint", dense, sp)
+}
+
+func TestSparseWarmStart(t *testing.T) {
+	in := randomInstance(t, 15, 42)
+	warm := SolveFrankWolfe(in, Options{Tol: 1e-3, MaxIters: 50})
+	opt := Options{Tol: 1e-8, MaxIters: 300, Initial: warm.Rho}
+	dense := SolveFrankWolfe(in, opt)
+	sp := SolveFrankWolfeSparse(in, opt)
+	assertSameRun(t, "warm", dense, sp)
+}
+
+// TestSparseNNZBound checks the structural property the tier relies on:
+// each row gains at most one nonzero per iteration.
+func TestSparseNNZBound(t *testing.T) {
+	in := clusteredInstance(t, 80, 6, 5)
+	opt := Options{Tol: 1e-12, MaxIters: 40}
+	sp := SolveFrankWolfeSparse(in, opt)
+	for i, idx := range sp.Rho.Idx {
+		if len(idx) > sp.Iters+1 {
+			t.Fatalf("row %d has %d nonzeros after %d iterations", i, len(idx), sp.Iters)
+		}
+	}
+	if err := sp.Rho.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sp.Rho.NNZ() >= 80*80/2 {
+		t.Fatalf("iterate is half dense (%d nonzeros) — sparsity lost", sp.Rho.NNZ())
+	}
+	// Feasibility: rows of the iterate are simplex points.
+	for i := 0; i < 80; i++ {
+		if in.Load[i] == 0 {
+			continue
+		}
+		s := sp.Rho.RowSum(i)
+		if s < 1-1e-9 || s > 1+1e-9 {
+			t.Fatalf("row %d sums to %v, want 1", i, s)
+		}
+		for _, v := range sp.Rho.Val[i] {
+			if v < 0 {
+				t.Fatalf("row %d has negative entry %v", i, v)
+			}
+		}
+	}
+}
+
+func TestSparseResultDense(t *testing.T) {
+	in := randomInstance(t, 10, 9)
+	sp := SolveFrankWolfeSparse(in, Options{Tol: 1e-6, MaxIters: 200})
+	res := sp.Dense()
+	if res.Cost != sp.Cost || res.Gap != sp.Gap || res.Iters != sp.Iters || res.Converged != sp.Converged {
+		t.Fatal("Dense() dropped scalar fields")
+	}
+	if got := Objective(in, res.Rho); got != sp.Cost {
+		t.Fatalf("densified rho evaluates to %v, sparse cost %v", got, sp.Cost)
+	}
+}

@@ -1,0 +1,128 @@
+package qp
+
+import (
+	"delaylb/internal/model"
+	"delaylb/internal/sparse"
+)
+
+// This file is the operator-form view of the §III quadratic program:
+// every quantity the dense Q/b formulation can produce is computed
+// straight from the instance, without ever materializing the m²×m²
+// matrix. BuildQ is exponential in memory for large m — the very reason
+// the paper develops a distributed algorithm — so the dense path is kept
+// only for verification (the opform tests check bit-level agreement on
+// small instances) while all large-m work goes through these operators.
+
+// QuadraticFormOp evaluates ρᵀQρ + bᵀρ for the flattened vector v
+// (ordering of Flatten: index (i,j) ↦ i·m+j) in O(m²) time and O(m)
+// scratch, against the dense form's O(m⁴). The identity it exploits is
+// the one BuildQ encodes: the quadratic term collapses to
+// Σ_j l_j²/(2 s_j) with l_j = Σ_i n_i v_(i,j), and bᵀρ = Σ_ij c_ij n_i
+// v_(i,j).
+func QuadraticFormOp(in *model.Instance, v []float64) float64 {
+	m := in.M()
+	loads := make([]float64, m)
+	for i := 0; i < m; i++ {
+		ni := in.Load[i]
+		if ni == 0 {
+			continue
+		}
+		row := v[i*m : (i+1)*m]
+		for j, f := range row {
+			loads[j] += ni * f
+		}
+	}
+	var total float64
+	for j, l := range loads {
+		total += l * l / (2 * in.Speed[j])
+	}
+	for i := 0; i < m; i++ {
+		ni := in.Load[i]
+		if ni == 0 {
+			continue
+		}
+		lat := in.Latency[i]
+		row := v[i*m : (i+1)*m]
+		for j, f := range row {
+			if f != 0 && lat[j] != 0 {
+				total += ni * f * lat[j]
+			}
+		}
+	}
+	return total
+}
+
+// QuadraticGradOp writes ∇(ρᵀQρ + bᵀρ) = (Q+Qᵀ)v + b into dst (length
+// m²) without materializing Q: entry (i,j) is n_i (l_j/s_j + c_ij).
+// This is the flattened twin of Gradient and agrees with the dense
+// matrix-vector product exactly (see opform_test.go).
+func QuadraticGradOp(in *model.Instance, v, dst []float64) {
+	m := in.M()
+	loads := make([]float64, m)
+	for i := 0; i < m; i++ {
+		ni := in.Load[i]
+		if ni == 0 {
+			continue
+		}
+		row := v[i*m : (i+1)*m]
+		for j, f := range row {
+			loads[j] += ni * f
+		}
+	}
+	for i := 0; i < m; i++ {
+		ni := in.Load[i]
+		lat := in.Latency[i]
+		out := dst[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			out[j] = ni * (loads[j]/in.Speed[j] + lat[j])
+		}
+	}
+}
+
+// LoadsSparse computes l_j = Σ_k n_k ρ_kj into dst (length m) from a
+// sparse iterate in O(nnz). It mirrors Loads term for term — rows in
+// ascending order, columns ascending within each row — so the two are
+// bit-identical on matching inputs (dense zero entries contribute exact
+// +0 terms, which do not alter an accumulating non-negative sum).
+func LoadsSparse(in *model.Instance, rho *sparse.Matrix, dst []float64) {
+	for j := range dst {
+		dst[j] = 0
+	}
+	for k, idx := range rho.Idx {
+		nk := in.Load[k]
+		if nk == 0 {
+			continue
+		}
+		val := rho.Val[k]
+		for t, j := range idx {
+			dst[j] += nk * val[t]
+		}
+	}
+}
+
+// ObjectiveSparse evaluates ΣC_i at a sparse iterate in O(nnz + m),
+// with the same accumulation order as Objective so dense and sparse
+// solver runs agree bit for bit.
+func ObjectiveSparse(in *model.Instance, rho *sparse.Matrix) float64 {
+	m := in.M()
+	var cost float64
+	loads := make([]float64, m)
+	LoadsSparse(in, rho, loads)
+	for j, l := range loads {
+		cost += l * l / (2 * in.Speed[j])
+	}
+	for i, idx := range rho.Idx {
+		ni := in.Load[i]
+		if ni == 0 {
+			continue
+		}
+		lat := in.Latency[i]
+		val := rho.Val[i]
+		for t, j := range idx {
+			if f := val[t]; f > 0 && int(j) != i {
+				cost += ni * f * lat[j]
+			}
+		}
+	}
+	return cost
+}

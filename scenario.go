@@ -23,6 +23,16 @@ const (
 	// NetEuclidean places servers uniformly in a square of side
 	// Scenario.Latency milliseconds and uses Euclidean distances.
 	NetEuclidean NetworkKind = "euclidean"
+	// NetClustered is the metro/PoP topology of the large-m scale tier:
+	// servers are grouped into Scenario.Clusters metros, latency is one
+	// small intra-metro value within a metro and one shared backbone
+	// delay per metro pair (metro centers sit in a square of side
+	// Scenario.Latency ms). The latency matrix is exactly
+	// block-structured, which the sparse Frank–Wolfe solver detects and
+	// exploits (WithSparse) — the realistic structure of large
+	// deployments, where each organization routes to a handful of
+	// nearby sites.
+	NetClustered NetworkKind = "clustered"
 )
 
 // LoadKind selects the initial load distribution for a Scenario.
@@ -88,6 +98,9 @@ type Scenario struct {
 	// SpeedMin and SpeedMax bound SpeedUniform (defaults 1 and 5);
 	// SpeedConst uses SpeedMin as the constant speed.
 	SpeedMin, SpeedMax float64
+	// Clusters is the number of metro clusters for NetClustered
+	// (0 means the default of 8); other network kinds ignore it.
+	Clusters int
 	// Seed makes the scenario deterministic (default 1). The same
 	// Scenario value always builds the same System.
 	Seed int64
@@ -148,10 +161,30 @@ func (sc Scenario) WithSeed(seed int64) Scenario {
 	return sc
 }
 
+// WithClusters sets the metro count for NetClustered (and selects that
+// network kind, since the parameter is meaningless elsewhere).
+func (sc Scenario) WithClusters(k int) Scenario {
+	sc.Network = NetClustered
+	sc.Clusters = k
+	return sc
+}
+
 // String renders the scenario the way experiment logs label runs.
 func (sc Scenario) String() string {
+	if sc.Network == NetClustered {
+		return fmt.Sprintf("m=%d net=%s(k=%d) dist=%s avg=%g speeds=%s seed=%d",
+			sc.Servers, sc.Network, sc.clusters(), sc.LoadDist, sc.AvgLoad, sc.Speeds, sc.Seed)
+	}
 	return fmt.Sprintf("m=%d net=%s dist=%s avg=%g speeds=%s seed=%d",
 		sc.Servers, sc.Network, sc.LoadDist, sc.AvgLoad, sc.Speeds, sc.Seed)
+}
+
+// clusters resolves the effective metro count.
+func (sc Scenario) clusters() int {
+	if sc.Clusters <= 0 {
+		return 8
+	}
+	return sc.Clusters
 }
 
 // Validate checks that every field names a known family and the numeric
@@ -162,12 +195,15 @@ func (sc Scenario) Validate() error {
 	}
 	switch sc.Network {
 	case NetPlanetLab:
-	case NetHomogeneous, NetEuclidean:
+	case NetHomogeneous, NetEuclidean, NetClustered:
 		if sc.Latency <= 0 {
 			return fmt.Errorf("delaylb: scenario network %q needs Latency > 0, got %g", sc.Network, sc.Latency)
 		}
 	default:
 		return fmt.Errorf("delaylb: unknown network kind %q", sc.Network)
+	}
+	if sc.Clusters < 0 {
+		return fmt.Errorf("delaylb: scenario Clusters must be >= 0, got %d", sc.Clusters)
 	}
 	switch sc.LoadDist {
 	case LoadUniform, LoadExponential, LoadPeak, LoadZipf:
@@ -218,11 +254,16 @@ func (sc Scenario) instance() (*model.Instance, error) {
 	}
 	rng := rand.New(rand.NewSource(sc.Seed))
 	var lat [][]float64
+	var labels []int
 	switch sc.Network {
 	case NetHomogeneous:
 		lat = netmodel.Homogeneous(sc.Servers, sc.Latency)
 	case NetEuclidean:
 		lat = netmodel.Euclidean(sc.Servers, sc.Latency, rng)
+	case NetClustered:
+		// Intra-metro latency is 5% of the backbone scale: a 100 ms
+		// continent gives ~5 ms within a metro.
+		lat, labels = netmodel.Clustered(sc.Servers, sc.clusters(), 0.05*sc.Latency, sc.Latency, rng)
 	default:
 		lat = netmodel.PlanetLab(sc.Servers, netmodel.DefaultPlanetLabConfig(), rng)
 	}
@@ -234,13 +275,19 @@ func (sc Scenario) instance() (*model.Instance, error) {
 		speeds = workload.UniformSpeeds(sc.Servers, sc.SpeedMin, sc.SpeedMax, rng)
 	}
 	loads := workload.Loads(workload.Kind(sc.LoadDist), sc.Servers, sc.AvgLoad, rng)
-	return model.NewInstance(speeds, loads, lat)
+	in, err := model.NewInstance(speeds, loads, lat)
+	if err != nil {
+		return nil, err
+	}
+	in.Cluster = labels
+	return in, nil
 }
 
 // ParseScenario maps command-line style names onto a Scenario — the
 // flag→scenario translation used by cmd/lbsim. Accepted aliases:
 //
-//	network: "pl" | "planetlab" | "c20" | "homogeneous" | "euclidean"
+//	network: "pl" | "planetlab" | "c20" | "homogeneous" | "euclidean" |
+//	         "clustered" | "metro"
 //	dist:    "uniform" | "exp" | "peak" | "zipf"
 //	speeds:  "uniform" | "const"
 //
@@ -256,8 +303,10 @@ func ParseScenario(servers int, network, dist, speeds string, avg float64, seed 
 		sc.Network = NetHomogeneous
 	case "euclidean":
 		sc.Network = NetEuclidean
+	case "clustered", "metro":
+		sc.Network = NetClustered
 	default:
-		return sc, fmt.Errorf("delaylb: unknown network %q (want pl|c20|euclidean)", network)
+		return sc, fmt.Errorf("delaylb: unknown network %q (want pl|c20|euclidean|clustered)", network)
 	}
 	switch dist {
 	case "":

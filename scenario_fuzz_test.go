@@ -1,0 +1,52 @@
+package delaylb
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseScenario is the satellite fuzz target: ParseScenario must
+// never panic, must reject what Validate rejects, and must round-trip —
+// parsing the same flag strings twice yields identical scenarios, and a
+// successfully parsed scenario builds a valid instance (for sizes small
+// enough to materialize under the fuzzer's time budget).
+func FuzzParseScenario(f *testing.F) {
+	f.Add(50, "pl", "exp", "uniform", 100.0, int64(1))
+	f.Add(20, "c20", "peak", "const", 100000.0, int64(7))
+	f.Add(30, "euclidean", "uniform", "uniform", 50.0, int64(-3))
+	f.Add(40, "metro", "zipf", "const", 80.0, int64(0))
+	f.Add(10, "clustered", "zipf", "uniform", 0.0, int64(2))
+	f.Add(0, "", "", "", -1.0, int64(9))
+	f.Add(1, "planetlab", "exp", "", math.Inf(1), int64(5))
+	f.Fuzz(func(t *testing.T, servers int, network, dist, speeds string, avg float64, seed int64) {
+		sc, err := ParseScenario(servers, network, dist, speeds, avg, seed)
+		sc2, err2 := ParseScenario(servers, network, dist, speeds, avg, seed)
+		if (err == nil) != (err2 == nil) || sc != sc2 {
+			t.Fatalf("ParseScenario not deterministic: (%v, %v) vs (%v, %v)", sc, err, sc2, err2)
+		}
+		if err != nil {
+			return
+		}
+		if verr := sc.Validate(); verr != nil {
+			t.Fatalf("ParseScenario accepted %q/%q/%q but Validate rejects: %v", network, dist, speeds, verr)
+		}
+		// Building materializes O(servers²) latencies; keep the fuzz
+		// iteration cheap and the values finite enough for Instance
+		// validation to be the only gate.
+		if servers > 64 || math.IsNaN(avg) || math.IsInf(avg, 0) || avg > 1e12 {
+			return
+		}
+		in, berr := sc.Instance()
+		if berr != nil {
+			// Validate passed, so a build error can only come from the
+			// instance-level checks (e.g. rounding produced a bad load).
+			return
+		}
+		if got := in.M(); got != servers {
+			t.Fatalf("built instance has m=%d, want %d", got, servers)
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("built instance invalid: %v", verr)
+		}
+	})
+}

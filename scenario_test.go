@@ -122,3 +122,93 @@ func TestScenarioPeakPutsTotalOnOneServer(t *testing.T) {
 		t.Errorf("peak scenario: %d loaded servers carrying %v total, want 1 carrying 1234", nonzero, total)
 	}
 }
+
+func TestClusteredScenarioBuilds(t *testing.T) {
+	sc := NewScenario(60).WithClusters(5).WithLatency(100).WithLoads(LoadZipf, 100).WithSeed(3)
+	if sc.Network != NetClustered {
+		t.Fatalf("WithClusters left network %q", sc.Network)
+	}
+	in, err := sc.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Cluster == nil || len(in.Cluster) != 60 {
+		t.Fatalf("clustered scenario carries no labels (%v)", in.Cluster)
+	}
+	// The hint must be exact: every latency entry determined by its
+	// cluster pair.
+	seen := map[[2]int]float64{}
+	for i := 0; i < 60; i++ {
+		for j := 0; j < 60; j++ {
+			if i == j {
+				continue
+			}
+			key := [2]int{in.Cluster[i], in.Cluster[j]}
+			if v, ok := seen[key]; ok {
+				if in.Latency[i][j] != v {
+					t.Fatalf("block (%v) ambiguous: %v vs %v", key, v, in.Latency[i][j])
+				}
+			} else {
+				seen[key] = in.Latency[i][j]
+			}
+		}
+	}
+	// Determinism across builds.
+	again, err := sc.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Cluster {
+		if in.Cluster[i] != again.Cluster[i] {
+			t.Fatal("cluster labels not deterministic")
+		}
+	}
+}
+
+func TestClusteredScenarioDefaultClusters(t *testing.T) {
+	sc := NewScenario(30).WithNetwork(NetClustered)
+	in, err := sc.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	for _, g := range in.Cluster {
+		if g+1 > k {
+			k = g + 1
+		}
+	}
+	if k > 8 {
+		t.Fatalf("default clusters produced %d labels, want <= 8", k)
+	}
+	if s := sc.String(); s != "m=30 net=clustered(k=8) dist=exp avg=100 speeds=uniform seed=1" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestParseScenarioClusteredAliases(t *testing.T) {
+	for _, alias := range []string{"clustered", "metro"} {
+		sc, err := ParseScenario(40, alias, "zipf", "uniform", 100, 7)
+		if err != nil {
+			t.Fatalf("alias %q rejected: %v", alias, err)
+		}
+		if sc.Network != NetClustered {
+			t.Fatalf("alias %q mapped to %q", alias, sc.Network)
+		}
+	}
+	if _, err := ParseScenario(10, "blob", "exp", "uniform", 100, 1); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+func TestScenarioValidateClusters(t *testing.T) {
+	sc := NewScenario(10).WithNetwork(NetClustered)
+	sc.Clusters = -1
+	if err := sc.Validate(); err == nil {
+		t.Fatal("negative Clusters accepted")
+	}
+	sc.Clusters = 0
+	sc.Latency = 0
+	if err := sc.Validate(); err == nil {
+		t.Fatal("clustered network with Latency=0 accepted")
+	}
+}

@@ -31,6 +31,13 @@ import (
 // starts warm and typically re-enters the paper's 2% optimality band in
 // a fraction of the iterations a cold solve needs.
 //
+// For sessions over thousands of servers, pass WithSparse (and usually
+// WithSolver("frankwolfe") or the "proxy" MinE variant) as a session
+// default at NewSession: every Reoptimize then runs on the scale-tier
+// sparse paths, and the warm-start matrix the session feeds back stays
+// sparse in practice because Frank–Wolfe touches at most one new server
+// per organization per iteration.
+//
 // A Session is safe for concurrent use. The lock is released while a
 // solve or cluster run is in flight, so observers — including the
 // Progress/onRound callbacks themselves — may call Session methods at

@@ -39,6 +39,9 @@ type SolveOptions struct {
 	// "nash" solver ignores it: best-response dynamics are defined from
 	// the identity start.
 	WarmStart [][]float64
+	// Sparse routes the solve through the large-m scale tier (see
+	// WithSparse). Solvers without a sparse path ignore it.
+	Sparse bool
 }
 
 // Solver is a cooperative-optimum or equilibrium algorithm reachable

@@ -1,0 +1,73 @@
+package delaylb
+
+import (
+	"math"
+	"testing"
+
+	"delaylb/internal/qp"
+)
+
+// TestCrossSolverAgreement pins the satellite requirement: frankwolfe,
+// projgrad and mine must converge to costs within tolerance of the
+// dense-QP optimum on random m ≤ 8 instances, with the materialized
+// BuildQ/BuildB program as the oracle. The reference optimum is the
+// Frank–Wolfe cost minus its duality gap (a certified lower bound), so
+// the check does not trust any single solver: every cost must sit in
+// the interval [lower bound, lower bound · (1 + tol)].
+func TestCrossSolverAgreement(t *testing.T) {
+	const relTol = 2e-3
+	scenarios := []Scenario{
+		NewScenario(4).WithSeed(21),
+		NewScenario(6).WithLoads(LoadUniform, 40).WithSeed(22),
+		NewScenario(8).WithNetwork(NetHomogeneous).WithLoads(LoadExponential, 120).WithSeed(23),
+		NewScenario(8).WithClusters(3).WithLatency(60).WithLoads(LoadZipf, 90).WithSeed(24),
+	}
+	for _, sc := range scenarios {
+		in, err := sc.Instance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := qp.BuildQ(in)
+		b := qp.BuildB(in)
+
+		// Certify a reference optimum with a tight Frank–Wolfe run. The
+		// gap tolerance is 1e-5 relative — FW converges sublinearly
+		// (zigzagging makes tighter targets take unbounded iterations) —
+		// which still leaves two orders of magnitude between the
+		// certificate and the 2e-3 agreement band.
+		ref := qp.SolveFrankWolfe(in, qp.Options{Tol: 1e-5, MaxIters: 200000})
+		if !ref.Converged {
+			t.Fatalf("%v: reference Frank–Wolfe did not converge (gap %g)", sc, ref.Gap)
+		}
+		lower := ref.Cost - ref.Gap
+
+		// The model objective and the dense quadratic program must agree
+		// on the reference point: this is what makes BuildQ an oracle.
+		denseEval := qp.QuadraticForm(q, b, qp.Flatten(ref.Rho))
+		if rel := math.Abs(denseEval-ref.Cost) / math.Max(1, ref.Cost); rel > 1e-9 {
+			t.Fatalf("%v: dense QP evaluates reference to %v, objective says %v", sc, denseEval, ref.Cost)
+		}
+
+		sys, err := sc.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, solver := range []string{"frankwolfe", "projgrad", "mine"} {
+			res, err := sys.Optimize(WithSolver(solver), WithSeed(1), WithTolerance(1e-9))
+			if err != nil {
+				t.Fatalf("%v %s: %v", sc, solver, err)
+			}
+			if res.Cost < lower-1e-9*math.Max(1, lower) {
+				t.Fatalf("%v %s: cost %v below certified lower bound %v", sc, solver, res.Cost, lower)
+			}
+			if res.Cost > lower*(1+relTol)+1e-9 {
+				t.Fatalf("%v %s: cost %v exceeds optimum %v by more than %g rel", sc, solver, res.Cost, lower, relTol)
+			}
+			// Cross-check each solver's plan against the dense program too.
+			flat := qp.Flatten(res.Fractions)
+			if got := qp.QuadraticForm(q, b, flat); math.Abs(got-res.Cost)/math.Max(1, res.Cost) > 1e-9 {
+				t.Fatalf("%v %s: dense QP evaluates plan to %v, solver reported %v", sc, solver, got, res.Cost)
+			}
+		}
+	}
+}

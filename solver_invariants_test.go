@@ -1,0 +1,76 @@
+package delaylb
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSolverInvariants is the registry-wide property test: every
+// registered solver, on randomized small scenarios, must return a
+// feasible plan — each organization's relay-fraction row non-negative
+// and summing to 1 (a simplex point) — with a finite cost. Table-driven
+// over SolverNames, so solvers registered later are covered
+// automatically.
+func TestSolverInvariants(t *testing.T) {
+	scenarios := []Scenario{
+		NewScenario(5).WithSeed(11),
+		NewScenario(8).WithLoads(LoadUniform, 60).WithSeed(12),
+		NewScenario(7).WithNetwork(NetHomogeneous).WithLoads(LoadPeak, 500).WithSeed(13),
+		NewScenario(6).WithClusters(2).WithLatency(50).WithLoads(LoadZipf, 80).WithSeed(14),
+		NewScenario(9).WithNetwork(NetEuclidean).WithLatency(80).WithSpeeds(SpeedConst, 2, 2).WithSeed(15),
+	}
+	for _, name := range SolverNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, sc := range scenarios {
+				for _, sparse := range []bool{false, true} {
+					sys, err := sc.Build()
+					if err != nil {
+						t.Fatal(err)
+					}
+					opts := []Option{WithSolver(name), WithSeed(sc.Seed), WithMaxIterations(200)}
+					if sparse {
+						opts = append(opts, WithSparse())
+					}
+					res, err := sys.OptimizeContext(t.Context(), opts...)
+					if err != nil {
+						t.Fatalf("%v sparse=%v: %v", sc, sparse, err)
+					}
+					assertFeasibleResult(t, sys, sc, res, sparse)
+				}
+			}
+		})
+	}
+}
+
+func assertFeasibleResult(t *testing.T, sys *System, sc Scenario, res *Result, sparse bool) {
+	t.Helper()
+	if math.IsNaN(res.Cost) || math.IsInf(res.Cost, 0) || res.Cost < 0 {
+		t.Fatalf("%v sparse=%v: cost %v not finite and non-negative", sc, sparse, res.Cost)
+	}
+	const tol = 1e-6
+	for i, row := range res.Fractions {
+		var sum float64
+		for j, f := range row {
+			if f < -tol || math.IsNaN(f) {
+				t.Fatalf("%v sparse=%v: fraction[%d][%d] = %v", sc, sparse, i, j, f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > tol {
+			t.Fatalf("%v sparse=%v: fraction row %d sums to %v, want 1", sc, sparse, i, sum)
+		}
+	}
+	// The requests view must be consistent with the loads the instance
+	// defines: row i carries organization i's entire load.
+	loads := sys.in.Load
+	for i, row := range res.Requests {
+		var sum float64
+		for _, r := range row {
+			sum += r
+		}
+		if math.Abs(sum-loads[i]) > tol*math.Max(1, loads[i]) {
+			t.Fatalf("%v sparse=%v: requests row %d sums to %v, want %v", sc, sparse, i, sum, loads[i])
+		}
+	}
+}

@@ -122,11 +122,15 @@ func (ms mineSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) 
 		Strategy:          strat,
 		MaxIters:          opts.MaxIterations,
 		RemoveCyclesEvery: opts.CycleRemovalEvery,
+		SparseColumns:     opts.Sparse,
 		Rng:               rand.New(rand.NewSource(seedOrDefault(opts.Seed))),
 		OnIteration:       opts.Progress,
 		Ctx:               ctx,
 	})
 	res := resultFromAllocation(sys.in, st.Alloc)
+	if opts.Sparse {
+		res.NNZ = st.Alloc.NNZ()
+	}
 	res.Iterations = tr.Iters
 	res.Converged = tr.Converged
 	res.CostTrace = tr.Costs
@@ -161,15 +165,22 @@ func (qs qpSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) (*
 		qopt.Initial = start.Fractions(sys.in)
 	}
 	var qres *qp.Result
-	if qs.name == "frankwolfe" {
+	var nnz int
+	switch {
+	case qs.name == "frankwolfe" && opts.Sparse:
+		sres := qp.SolveFrankWolfeSparse(sys.in, qopt)
+		nnz = sres.Rho.NNZ()
+		qres = sres.Dense()
+	case qs.name == "frankwolfe":
 		qres = qp.SolveFrankWolfe(sys.in, qopt)
-	} else {
+	default:
 		qres = qp.SolveProjectedGradient(sys.in, qopt)
 	}
 	res := resultFromAllocation(sys.in, qres.Allocation(sys.in))
 	res.Iterations = qres.Iters
 	res.Converged = qres.Converged
 	res.Gap = qres.Gap
+	res.NNZ = nnz
 	switch {
 	case *stopped:
 		res.Reason = "callback"

@@ -1,0 +1,240 @@
+package sweep
+
+// The scale-tier benchmark harness. Tables I–IV pin the paper's
+// numbers; this file pins the repository's own performance trajectory:
+// it runs the large-m grid (zipf loads on a clustered metro network —
+// the workload the sparse solver paths exist for), records
+// cost/iterations/nonzeros/time-per-iteration/allocations per cell, and
+// persists everything as one JSON document (BENCH_scale.json at the
+// repository root) so regressions show up as diffs rather than
+// anecdotes.
+//
+// Costs, iteration counts and nonzero counts are deterministic for a
+// fixed seed — two reports from the same configuration agree on them
+// byte for byte. Timings and allocation counts are environment facts,
+// recorded for the trajectory but excluded from any determinism
+// comparison (bench_test.go pins exactly this split).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"delaylb"
+	"delaylb/internal/core"
+	"delaylb/internal/qp"
+)
+
+// BenchConfig parameterizes the scale grid. The zero value is not
+// useful; start from DefaultBenchConfig.
+type BenchConfig struct {
+	// Sizes is the list of network sizes m to sweep.
+	Sizes []int
+	// DenseMax bounds the sizes at which the dense baselines also run
+	// (the point of the tier is that dense stops being practical).
+	DenseMax int
+	// MineMax bounds the sizes for the MinE proxy-strategy cells; their
+	// per-iteration cost is O(m²) even on the sparse path.
+	MineMax int
+	// Clusters, AvgLoad and Side shape the scenario: a zipf load of the
+	// given average on a clustered metro network of that backbone scale.
+	Clusters int
+	AvgLoad  float64
+	Side     float64
+	// FWIters and FWTol bound the Frank–Wolfe runs; MineIters the MinE
+	// runs.
+	FWIters   int
+	FWTol     float64
+	MineIters int
+	// Seed is the base seed; cell i uses CellSeed(Seed, i).
+	Seed int64
+}
+
+// DefaultBenchConfig returns the standing scale grid: m ∈ {100, 500,
+// 2000}, dense baselines up to 500, everything derived from seed 1.
+func DefaultBenchConfig() BenchConfig {
+	return BenchConfig{
+		Sizes:     []int{100, 500, 2000},
+		DenseMax:  500,
+		MineMax:   500,
+		Clusters:  8,
+		AvgLoad:   100,
+		Side:      100,
+		FWIters:   600,
+		FWTol:     1e-6,
+		MineIters: 12,
+		Seed:      1,
+	}
+}
+
+// BenchEntry is one cell of the scale grid. Cost, Iters, NNZ and Gap
+// are deterministic; ElapsedMS, NsPerIter and AllocMB describe the
+// machine that produced the report.
+type BenchEntry struct {
+	M        int    `json:"m"`
+	Solver   string `json:"solver"`
+	Scenario string `json:"scenario"`
+
+	Cost      float64 `json:"cost"`
+	Gap       float64 `json:"gap,omitempty"`
+	Iters     int     `json:"iters"`
+	NNZ       int     `json:"nnz,omitempty"`
+	Converged bool    `json:"converged"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+	NsPerIter float64 `json:"ns_per_iter"`
+	AllocMB   float64 `json:"alloc_mb"`
+}
+
+// BenchReport is the persisted form of one harness run.
+type BenchReport struct {
+	Seed       int64        `json:"seed"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	FWIters    int          `json:"fw_iters"`
+	FWTol      float64      `json:"fw_tol"`
+	MineIters  int          `json:"mine_iters"`
+	Entries    []BenchEntry `json:"entries"`
+}
+
+// WriteJSON writes the report as one indented JSON document.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// benchCell describes one measurement before it runs.
+type benchCell struct {
+	m      int
+	solver string
+}
+
+// cells enumerates the grid in a stable order: per size, the sparse
+// Frank–Wolfe path always, the dense Frank–Wolfe and the two MinE
+// proxy variants only below their bounds.
+func (cfg BenchConfig) cells() []benchCell {
+	var out []benchCell
+	for _, m := range cfg.Sizes {
+		out = append(out, benchCell{m, "frankwolfe-sparse"})
+		if m <= cfg.DenseMax {
+			out = append(out, benchCell{m, "frankwolfe-dense"})
+		}
+		if m <= cfg.MineMax {
+			out = append(out, benchCell{m, "proxy-sparse"})
+			out = append(out, benchCell{m, "proxy-dense"})
+		}
+	}
+	return out
+}
+
+// scenario builds the scale scenario for one size. The seed is derived
+// per size (not per cell) so sparse and dense cells of the same m solve
+// the identical instance.
+func (cfg BenchConfig) scenario(m int) delaylb.Scenario {
+	return delaylb.NewScenario(m).
+		WithClusters(cfg.Clusters).
+		WithLatency(cfg.Side).
+		WithLoads(delaylb.LoadZipf, cfg.AvgLoad).
+		WithSeed(CellSeed(cfg.Seed, m))
+}
+
+// RunBench runs the grid sequentially — timing cells is the point, so
+// no worker pool — and returns the report. Cells run in declaration
+// order; ctx cancels between cells, returning the entries finished so
+// far along with ctx.Err(). progress, if non-nil, is called after each
+// cell.
+func RunBench(ctx context.Context, cfg BenchConfig, progress func(done, total int)) (*BenchReport, error) {
+	cells := cfg.cells()
+	report := &BenchReport{
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		FWIters:    cfg.FWIters,
+		FWTol:      cfg.FWTol,
+		MineIters:  cfg.MineIters,
+	}
+	for i, cell := range cells {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+		entry, err := cfg.runCell(ctx, cell)
+		if err != nil {
+			return report, fmt.Errorf("sweep: bench cell m=%d solver=%s: %w", cell.m, cell.solver, err)
+		}
+		report.Entries = append(report.Entries, entry)
+		if progress != nil {
+			progress(i+1, len(cells))
+		}
+	}
+	return report, nil
+}
+
+func (cfg BenchConfig) runCell(ctx context.Context, cell benchCell) (BenchEntry, error) {
+	sc := cfg.scenario(cell.m)
+	in, err := sc.Instance()
+	if err != nil {
+		return BenchEntry{}, err
+	}
+	entry := BenchEntry{M: cell.m, Solver: cell.solver, Scenario: sc.String()}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	switch cell.solver {
+	case "frankwolfe-sparse":
+		res := qp.SolveFrankWolfeSparse(in, qp.Options{MaxIters: cfg.FWIters, Tol: cfg.FWTol, Ctx: ctx})
+		entry.Cost, entry.Gap, entry.Iters, entry.Converged = res.Cost, res.Gap, res.Iters, res.Converged
+		entry.NNZ = res.Rho.NNZ()
+	case "frankwolfe-dense":
+		res := qp.SolveFrankWolfe(in, qp.Options{MaxIters: cfg.FWIters, Tol: cfg.FWTol, Ctx: ctx})
+		entry.Cost, entry.Gap, entry.Iters, entry.Converged = res.Cost, res.Gap, res.Iters, res.Converged
+	case "proxy-sparse", "proxy-dense":
+		st := core.NewIdentityState(in)
+		tr := core.RunState(st, core.Config{
+			Strategy:      core.StrategyProxy,
+			MaxIters:      cfg.MineIters,
+			SparseColumns: cell.solver == "proxy-sparse",
+			Rng:           rand.New(rand.NewSource(CellSeed(cfg.Seed, cell.m))),
+			Ctx:           ctx,
+		})
+		entry.Cost, entry.Iters, entry.Converged = st.Cost(), tr.Iters, tr.Converged
+		if cell.solver == "proxy-sparse" {
+			entry.NNZ = st.Alloc.NNZ()
+		}
+	default:
+		return BenchEntry{}, fmt.Errorf("unknown bench solver %q", cell.solver)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	entry.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
+	if entry.Iters > 0 {
+		entry.NsPerIter = float64(elapsed.Nanoseconds()) / float64(entry.Iters)
+	}
+	entry.AllocMB = float64(after.TotalAlloc-before.TotalAlloc) / (1 << 20)
+	return entry, ctx.Err()
+}
+
+// FprintBenchReport renders the report as the human-readable table the
+// command prints alongside the JSON artifact.
+func FprintBenchReport(w io.Writer, r *BenchReport) {
+	fmt.Fprintf(w, "== Scale tier: zipf loads on a clustered metro network (seed %d) ==\n", r.Seed)
+	fmt.Fprintf(w, "%6s %-18s %12s %10s %6s %9s %12s %10s\n",
+		"m", "solver", "cost", "gap", "iters", "nnz", "ns/iter", "alloc MB")
+	for _, e := range r.Entries {
+		nnz := "-"
+		if e.NNZ > 0 {
+			nnz = fmt.Sprintf("%d", e.NNZ)
+		}
+		gap := "-"
+		if e.Gap > 0 {
+			gap = fmt.Sprintf("%.3g", e.Gap)
+		}
+		fmt.Fprintf(w, "%6d %-18s %12.6g %10s %6d %9s %12.0f %10.1f\n",
+			e.M, e.Solver, e.Cost, gap, e.Iters, nnz, e.NsPerIter, e.AllocMB)
+	}
+}

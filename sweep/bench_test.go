@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func smallBenchConfig() BenchConfig {
+	cfg := DefaultBenchConfig()
+	cfg.Sizes = []int{30, 60}
+	cfg.DenseMax = 60
+	cfg.MineMax = 60
+	cfg.FWIters = 50
+	cfg.MineIters = 4
+	return cfg
+}
+
+func TestRunBenchDeterministicAggregates(t *testing.T) {
+	cfg := smallBenchConfig()
+	start := time.Now()
+	a, err := RunBench(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBench(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("two small bench runs in %v", time.Since(start).Round(time.Millisecond))
+
+	wantCells := 2 * 4 // every size runs all four solver variants here
+	if len(a.Entries) != wantCells || len(b.Entries) != wantCells {
+		t.Fatalf("entry counts %d/%d, want %d", len(a.Entries), len(b.Entries), wantCells)
+	}
+	for i := range a.Entries {
+		x, y := a.Entries[i], b.Entries[i]
+		if x.M != y.M || x.Solver != y.Solver || x.Scenario != y.Scenario {
+			t.Fatalf("cell %d identity differs: %+v vs %+v", i, x, y)
+		}
+		// The deterministic fields must agree byte for byte; timings and
+		// allocations are machine facts and deliberately unchecked.
+		if x.Cost != y.Cost || x.Gap != y.Gap || x.Iters != y.Iters || x.NNZ != y.NNZ || x.Converged != y.Converged {
+			t.Fatalf("cell %d (m=%d %s) not deterministic: %+v vs %+v", i, x.M, x.Solver, x, y)
+		}
+		if x.Cost <= 0 || x.Iters <= 0 {
+			t.Fatalf("cell %d (m=%d %s) has degenerate aggregates: %+v", i, x.M, x.Solver, x)
+		}
+	}
+}
+
+// TestRunBenchSparseDenseAgree pins the cross-representation guarantee
+// at harness level: the sparse and dense Frank–Wolfe cells of the same
+// size solve the same instance to the same cost, bit for bit.
+func TestRunBenchSparseDenseAgree(t *testing.T) {
+	cfg := smallBenchConfig()
+	rep, err := RunBench(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[[2]string]BenchEntry{}
+	for _, e := range rep.Entries {
+		byKey[[2]string{e.Scenario, e.Solver}] = e
+	}
+	for _, e := range rep.Entries {
+		if e.Solver != "frankwolfe-sparse" {
+			continue
+		}
+		d, ok := byKey[[2]string{e.Scenario, "frankwolfe-dense"}]
+		if !ok {
+			continue
+		}
+		if e.Cost != d.Cost || e.Gap != d.Gap || e.Iters != d.Iters {
+			t.Fatalf("m=%d: sparse (%g, %g, %d) != dense (%g, %g, %d)",
+				e.M, e.Cost, e.Gap, e.Iters, d.Cost, d.Gap, d.Iters)
+		}
+		if e.NNZ == 0 {
+			t.Fatalf("m=%d: sparse cell recorded no nnz", e.M)
+		}
+	}
+}
+
+func TestBenchReportJSON(t *testing.T) {
+	cfg := smallBenchConfig()
+	cfg.Sizes = []int{20}
+	rep, err := RunBench(context.Background(), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(back.Entries) != len(rep.Entries) || back.Seed != rep.Seed {
+		t.Fatal("JSON round-trip lost entries")
+	}
+	var table bytes.Buffer
+	FprintBenchReport(&table, rep)
+	if table.Len() == 0 {
+		t.Fatal("FprintBenchReport wrote nothing")
+	}
+}
+
+func TestRunBenchCancellation(t *testing.T) {
+	cfg := smallBenchConfig()
+	progressed := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	rep, err := RunBench(ctx, cfg, func(done, total int) {
+		progressed = done
+		if done == 2 {
+			cancel()
+		}
+	})
+	if err == nil {
+		t.Fatal("canceled bench run returned no error")
+	}
+	if progressed < 2 || len(rep.Entries) < 2 {
+		t.Fatalf("expected at least the 2 pre-cancel entries, got %d", len(rep.Entries))
+	}
+	if len(rep.Entries) >= len(cfg.cells()) {
+		t.Fatal("cancellation did not stop the grid")
+	}
+}
