@@ -9,6 +9,7 @@
 //	lbsim -m 30 -net pl -dist uniform -avg 50 -algo frankwolfe
 //	lbsim -m 25 -net pl -dist exp -avg 80 -algo runtime -rounds 30
 //	lbsim -m 2000 -net metro -dist zipf -avg 100 -algo frankwolfe -sparse -iters 600
+//	lbsim -replay trace.txt -algo proxy -sparse -timeline timeline.json
 package main
 
 import (
@@ -20,21 +21,24 @@ import (
 	"time"
 
 	"delaylb"
+	"delaylb/replay"
 )
 
 // config is the parsed flag set — kept as a plain struct so tests can
 // exercise every flag combination without a process boundary.
 type config struct {
-	M      int
-	Net    string
-	Dist   string
-	Speeds string
-	Algo   string
-	Avg    float64
-	Rounds int
-	Seed   int64
-	Sparse bool
-	Iters  int
+	M        int
+	Net      string
+	Dist     string
+	Speeds   string
+	Algo     string
+	Avg      float64
+	Rounds   int
+	Seed     int64
+	Sparse   bool
+	Iters    int
+	Replay   string
+	Timeline string
 }
 
 func main() {
@@ -49,6 +53,8 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&cfg.Sparse, "sparse", false, "use the large-m sparse solver paths (frankwolfe, mine family)")
 	flag.IntVar(&cfg.Iters, "iters", 0, "iteration cap (0 = solver default)")
+	flag.StringVar(&cfg.Replay, "replay", "", "replay a workload trace file instead of a one-shot solve (-algo picks the solver)")
+	flag.StringVar(&cfg.Timeline, "timeline", "", "with -replay: also write the JSON metrics timeline to this file")
 	flag.Parse()
 
 	if err := run(context.Background(), cfg, os.Stdout); err != nil {
@@ -57,9 +63,63 @@ func main() {
 	}
 }
 
+// runReplay drives the trace-driven online engine: parse the trace file,
+// replay it with the selected solver, print the per-epoch summary table
+// and optionally persist the JSON timeline.
+func runReplay(ctx context.Context, cfg config, w io.Writer) error {
+	switch cfg.Algo {
+	case "mine", "hybrid", "proxy", "frankwolfe", "projgrad":
+	default:
+		return fmt.Errorf("-replay needs an optimizing solver, got -algo %q (want one of mine|hybrid|proxy|frankwolfe|projgrad)", cfg.Algo)
+	}
+	f, err := os.Open(cfg.Replay)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := replay.ParseTrace(f)
+	if err != nil {
+		return err
+	}
+	opts := []delaylb.Option{delaylb.WithSolver(cfg.Algo), delaylb.WithSeed(cfg.Seed)}
+	if cfg.Sparse {
+		opts = append(opts, delaylb.WithSparse())
+	}
+	if cfg.Iters > 0 {
+		opts = append(opts, delaylb.WithMaxIterations(cfg.Iters))
+	}
+	fmt.Fprintf(w, "replaying %s: %s, %d epochs, %d events, algo=%s\n",
+		cfg.Replay, tr.Scenario, len(tr.Epochs), tr.Events(), cfg.Algo)
+	start := time.Now()
+	tl, err := replay.Run(ctx, tr, replay.Config{Options: opts})
+	if err != nil {
+		return err
+	}
+	tl.WriteTable(w)
+	fmt.Fprintf(w, "replayed %d epochs in %s\n", len(tl.Epochs), time.Since(start).Round(time.Millisecond))
+	if cfg.Timeline != "" {
+		out, err := os.Create(cfg.Timeline)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteJSON(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "timeline written to %s\n", cfg.Timeline)
+	}
+	return nil
+}
+
 // run maps the flags onto a Scenario, builds the system and dispatches on
 // the algorithm name.
 func run(ctx context.Context, cfg config, w io.Writer) error {
+	if cfg.Replay != "" {
+		return runReplay(ctx, cfg, w)
+	}
 	sc, err := delaylb.ParseScenario(cfg.M, cfg.Net, cfg.Dist, cfg.Speeds, cfg.Avg, cfg.Seed)
 	if err != nil {
 		return err

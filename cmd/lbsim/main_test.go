@@ -2,6 +2,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -117,6 +120,56 @@ func TestRunRejectsUnknownAlgo(t *testing.T) {
 	cfg := config{M: 5, Net: "pl", Dist: "exp", Speeds: "uniform", Algo: "simplex", Avg: 10, Seed: 1}
 	if err := run(context.Background(), cfg, &sb); err == nil {
 		t.Fatal("unknown algo accepted")
+	}
+}
+
+// TestRunReplaySmoke drives -replay over the committed tiny trace: the
+// full command path (parse file → engine → summary table), plus the
+// optional JSON timeline.
+func TestRunReplaySmoke(t *testing.T) {
+	timeline := filepath.Join(t.TempDir(), "timeline.json")
+	var sb strings.Builder
+	cfg := config{Algo: "mine", Seed: 1, Replay: filepath.Join("testdata", "tiny.trace"), Timeline: timeline}
+	if err := run(context.Background(), cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"replaying", "epoch", "w2band", "replayed 4 epochs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output lacks %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl struct {
+		Epochs []struct {
+			Servers int `json:"servers"`
+		} `json:"epochs"`
+	}
+	if err := json.Unmarshal(data, &tl); err != nil {
+		t.Fatalf("timeline is not JSON: %v", err)
+	}
+	// m: 8 → 8 → 9 (join) → 7 (two leaves).
+	want := []int{8, 8, 9, 7}
+	if len(tl.Epochs) != len(want) {
+		t.Fatalf("timeline has %d epochs, want %d", len(tl.Epochs), len(want))
+	}
+	for k, row := range tl.Epochs {
+		if row.Servers != want[k] {
+			t.Errorf("epoch %d: m=%d, want %d", k, row.Servers, want[k])
+		}
+	}
+}
+
+func TestRunReplayRejectsBadConfig(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), config{Algo: "nash", Replay: filepath.Join("testdata", "tiny.trace")}, &sb); err == nil {
+		t.Error("-replay with -algo nash accepted")
+	}
+	if err := run(context.Background(), config{Algo: "mine", Replay: filepath.Join("testdata", "no-such.trace")}, &sb); err == nil {
+		t.Error("missing trace file accepted")
 	}
 }
 

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Smoke test: the elastic flash-crowd replay runs end to end, scales the
+// system up and back down, and prints finite, non-empty results.
+func TestElasticRuns(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if len(out) < 100 {
+		t.Fatalf("suspiciously short output:\n%s", out)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("output contains %s:\n%s", bad, out)
+		}
+	}
+	for _, want := range []string{"flash-crowd trace", "round-trippable", "w2band", "scaled 60 → 66 → 60 servers", "warm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package dynamic
+
+// The §IX warm-vs-cold claim, promoted from a statistical smoke test to
+// a pinned regression: for a fixed churn grid and fixed seeds, the
+// per-epoch warm and cold iterations-to-band (and the reference optima)
+// are recorded in a golden file. Any change to the RNG discipline, the
+// rescaling projection, or MinE itself shows up as a diff — and the
+// warm ≤ cold ordering is asserted on every run, golden or not.
+//
+// Regenerate after an intentional change with:
+//
+//	go test ./internal/dynamic -run TestGoldenWarmVsCold -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden file under internal/dynamic/testdata")
+
+func TestGoldenWarmVsCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn-grid tracking: skipped in -short mode")
+	}
+	grid := []Config{
+		{Epochs: 4, Churn: 0.1, SpikeProb: 0, Seed: 3},
+		{Epochs: 4, Churn: 0.2, SpikeProb: 0, Seed: 5},
+		{Epochs: 4, Churn: 0.2, SpikeProb: 0.1, Seed: 7},
+		{Epochs: 4, Churn: 0.35, SpikeProb: 0.05, Seed: 11},
+	}
+	var sb strings.Builder
+	var warmSum, coldSum int
+	for _, cfg := range grid {
+		in := testInstance(cfg.Seed, 16)
+		stats := Track(in, cfg)
+		for _, e := range stats {
+			fmt.Fprintf(&sb, "churn=%g spike=%g epoch=%d warm=%d cold=%d opt=%.6g stale=%.6g\n",
+				cfg.Churn, cfg.SpikeProb, e.Epoch, e.WarmIters, e.ColdIters, e.OptCost,
+				(e.WarmStartCost-e.OptCost)/e.OptCost)
+			warmSum += e.WarmIters
+			coldSum += e.ColdIters
+			// The pinned property, independent of the golden bytes: a warm
+			// start never needs more iterations back to the band than a
+			// cold start of the same epoch.
+			if e.WarmIters > e.ColdIters {
+				t.Errorf("churn=%g spike=%g epoch %d: warm %d iters > cold %d",
+					cfg.Churn, cfg.SpikeProb, e.Epoch, e.WarmIters, e.ColdIters)
+			}
+		}
+	}
+	if warmSum >= coldSum {
+		t.Errorf("warm starts took %d total iterations vs cold %d — expected strictly fewer", warmSum, coldSum)
+	}
+
+	got := sb.String()
+	path := filepath.Join("testdata", "warmcold.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/dynamic -run TestGoldenWarmVsCold -update` to create it)", err)
+	}
+	if string(want) != got {
+		t.Errorf("warm-vs-cold grid drifted from the pinned table.\n--- want\n%s--- got\n%s(after an intentional change: go test ./internal/dynamic -run TestGoldenWarmVsCold -update)",
+			want, got)
+	}
+}

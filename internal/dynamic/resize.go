@@ -1,0 +1,60 @@
+package dynamic
+
+import (
+	"delaylb/internal/model"
+)
+
+// Allocation projections for server churn, the companions of Rescale:
+// when a server joins or leaves mid-session the carried-over allocation
+// must stay feasible (every row summing to its organization's load,
+// entries non-negative) so the next warm re-solve starts from a valid —
+// and usually still near-optimal — point.
+
+// Expand grows an m×m allocation to (m+1)×(m+1) for a newly joined
+// organization with the given load: existing rows gain a zero column
+// (nobody routes to an unknown server yet) and the new organization
+// starts by serving itself, exactly like the identity start of a fresh
+// server. Row sums are preserved, so feasibility carries over verbatim.
+func Expand(a *model.Allocation, newLoad float64) *model.Allocation {
+	m := a.M()
+	out := model.NewAllocation(m + 1)
+	for i, row := range a.R {
+		copy(out.R[i], row)
+	}
+	out.R[m][m] = newLoad
+	return out
+}
+
+// Collapse removes server `leaving` from an allocation: the departing
+// organization's row vanishes (its requests leave with it), and every
+// remaining organization pulls the requests it was relaying to the
+// leaving server back to its own server — the natural failover of a
+// running system, and the projection that keeps each surviving row
+// summing to its unchanged load. The next warm Reoptimize redistributes
+// that returned mass optimally.
+func Collapse(a *model.Allocation, leaving int) *model.Allocation {
+	m := a.M()
+	out := model.NewAllocation(m - 1)
+	for i, row := range a.R {
+		if i == leaving {
+			continue
+		}
+		ni := i
+		if i > leaving {
+			ni--
+		}
+		orphaned := row[leaving]
+		for j, v := range row {
+			if j == leaving {
+				continue
+			}
+			nj := j
+			if j > leaving {
+				nj--
+			}
+			out.R[ni][nj] = v
+		}
+		out.R[ni][ni] += orphaned
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"delaylb/internal/model"
+)
+
+func TestExpandKeepsRowsAndAddsIdentityRow(t *testing.T) {
+	in := testInstance(11, 4)
+	a := model.Identity(in)
+	a.R[0][0] = in.Load[0] / 2
+	a.R[0][3] = in.Load[0] / 2
+
+	bigIn, err := in.WithServer(2, 40, []float64{1, 1, 1, 1}, []float64{1, 1, 1, 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Expand(a, 40)
+	if out.M() != 5 {
+		t.Fatalf("expanded allocation is %d×%d, want 5×5", out.M(), out.M())
+	}
+	if err := out.Validate(bigIn, 1e-9); err != nil {
+		t.Fatalf("expanded allocation infeasible: %v", err)
+	}
+	if out.R[4][4] != 40 {
+		t.Errorf("new org serves %v locally, want 40", out.R[4][4])
+	}
+	for i := 0; i < 4; i++ {
+		if out.R[i][4] != 0 {
+			t.Errorf("pre-existing org %d routes %v to the new server", i, out.R[i][4])
+		}
+	}
+	if out.R[0][3] != a.R[0][3] {
+		t.Error("existing entries not preserved")
+	}
+}
+
+func TestCollapseReturnsOrphanedMassHome(t *testing.T) {
+	in := testInstance(12, 5)
+	in.Load = []float64{100, 50, 0, 80, 60}
+	a := model.Identity(in)
+	// Orgs 0 and 3 relay to server 2, which is about to leave.
+	a.R[0][0], a.R[0][2] = 70, 30
+	a.R[3][3], a.R[3][2], a.R[3][4] = 40, 25, 15
+
+	smallIn, err := in.WithoutServer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Collapse(a, 2)
+	if out.M() != 4 {
+		t.Fatalf("collapsed allocation is %d×%d, want 4×4", out.M(), out.M())
+	}
+	if err := out.Validate(smallIn, 1e-9); err != nil {
+		t.Fatalf("collapsed allocation infeasible: %v", err)
+	}
+	// Org 0 keeps index 0: its 30 relayed requests return home.
+	if out.R[0][0] != 100 {
+		t.Errorf("org 0 local mass %v, want 100", out.R[0][0])
+	}
+	// Org 3 shifts to index 2: 40 local + 25 returned, 15 still on old
+	// server 4 (now index 3).
+	if out.R[2][2] != 65 || out.R[2][3] != 15 {
+		t.Errorf("org 3 row after collapse: %v, want [0 0 65 15]", out.R[2])
+	}
+}
+
+func TestCollapseOfUntouchedServerIsAReindex(t *testing.T) {
+	in := testInstance(13, 4)
+	a := model.Identity(in)
+	out := Collapse(a, 1)
+	for i := 0; i < 3; i++ {
+		orig := i
+		if i >= 1 {
+			orig++
+		}
+		if out.R[i][i] != in.Load[orig] {
+			t.Errorf("row %d diagonal %v, want load %v", i, out.R[i][i], in.Load[orig])
+		}
+	}
+}
+
+// Expand then Collapse of the newcomer is the identity projection.
+func TestExpandCollapseRoundTrip(t *testing.T) {
+	in := testInstance(14, 6)
+	a := model.Identity(in)
+	a.R[1][1] = in.Load[1] - 5
+	a.R[1][4] = 5
+	back := Collapse(Expand(a, 33), 6)
+	if back.M() != a.M() {
+		t.Fatalf("round trip changed size: %d", back.M())
+	}
+	for i := range a.R {
+		for j := range a.R[i] {
+			if math.Abs(back.R[i][j]-a.R[i][j]) > 0 {
+				t.Fatalf("round trip drifted at [%d][%d]: %v vs %v", i, j, back.R[i][j], a.R[i][j])
+			}
+		}
+	}
+}

@@ -44,6 +44,12 @@ type Instance struct {
 	Cluster []int
 }
 
+// MaxSmallClusterLabel bounds the cluster labels that are accepted
+// regardless of m. The ClusterDelays table is quadratic in the largest
+// label, so the cap keeps a worst-case hint to a few MiB while letting
+// labels survive arbitrary server churn.
+const MaxSmallClusterLabel = 1024
+
 // M returns the number of organizations (= servers) in the instance.
 func (in *Instance) M() int { return len(in.Speed) }
 
@@ -113,11 +119,15 @@ func (in *Instance) Validate() error {
 			return fmt.Errorf("model: len(Cluster)=%d, want %d", len(in.Cluster), m)
 		}
 		for i, g := range in.Cluster {
-			// Labels are dense small ids: with m servers there can be at
-			// most m non-empty clusters, and ClusterDelays allocates a
-			// table quadratic in the largest label.
-			if g < 0 || g >= m {
-				return fmt.Errorf("model: cluster[%d]=%d, must be in [0, m=%d)", i, g, m)
+			// Labels are dense small ids because ClusterDelays allocates a
+			// table quadratic in the largest label. Labels below
+			// MaxSmallClusterLabel are always accepted even when they
+			// exceed m: server churn (WithoutServer) shrinks m without
+			// relabeling, so a metro's label may outlive most of its
+			// members. Larger labels are only accepted up to m, the
+			// pre-churn invariant.
+			if g < 0 || (g >= m && g >= MaxSmallClusterLabel) {
+				return fmt.Errorf("model: cluster[%d]=%d, must be in [0, max(m=%d, %d))", i, g, m, MaxSmallClusterLabel)
 			}
 		}
 	}

@@ -1,0 +1,95 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the server-churn primitives of the online replay tier:
+// growing and shrinking an Instance one server at a time. Both return
+// fresh instances — the originals are never mutated, matching the
+// replace-wholesale discipline the Session relies on for lock-free
+// solver runs.
+
+// WithServer returns a new instance with one additional server appended
+// at index m. latTo[j] is the one-way delay from the new server to
+// existing server j; latFrom[j] the delay from j to the new server
+// (both length m, entries ≥ 0, +Inf allowed for forbidden links). When
+// the instance carries cluster labels the new server gets label
+// cluster; otherwise cluster is ignored.
+func (in *Instance) WithServer(speed, load float64, latTo, latFrom []float64, cluster int) (*Instance, error) {
+	m := in.M()
+	if len(latTo) != m || len(latFrom) != m {
+		return nil, fmt.Errorf("model: WithServer latency rows have %d/%d entries, want %d", len(latTo), len(latFrom), m)
+	}
+	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
+		return nil, fmt.Errorf("model: WithServer speed=%v, must be positive and finite", speed)
+	}
+	if load < 0 || math.IsNaN(load) || math.IsInf(load, 0) {
+		return nil, fmt.Errorf("model: WithServer load=%v, must be non-negative and finite", load)
+	}
+	out := &Instance{
+		Speed:   make([]float64, m+1),
+		Load:    make([]float64, m+1),
+		Latency: make([][]float64, m+1),
+	}
+	copy(out.Speed, in.Speed)
+	copy(out.Load, in.Load)
+	out.Speed[m], out.Load[m] = speed, load
+	for i, row := range in.Latency {
+		r := make([]float64, m+1)
+		copy(r, row)
+		r[m] = latFrom[i]
+		out.Latency[i] = r
+	}
+	newRow := make([]float64, m+1)
+	copy(newRow, latTo) // newRow[m] stays 0: the diagonal
+	out.Latency[m] = newRow
+	if in.Cluster != nil {
+		out.Cluster = make([]int, m+1)
+		copy(out.Cluster, in.Cluster)
+		out.Cluster[m] = cluster
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WithoutServer returns a new instance with server i removed: its speed,
+// load, latency row and column, and cluster label disappear; the
+// remaining servers keep their relative order (indices above i shift
+// down by one). Removing the last server is an error — an instance
+// cannot be empty.
+func (in *Instance) WithoutServer(i int) (*Instance, error) {
+	m := in.M()
+	if i < 0 || i >= m {
+		return nil, fmt.Errorf("model: WithoutServer index %d out of range [0, %d)", i, m)
+	}
+	if m == 1 {
+		return nil, fmt.Errorf("model: cannot remove the only server")
+	}
+	out := &Instance{
+		Speed:   make([]float64, 0, m-1),
+		Load:    make([]float64, 0, m-1),
+		Latency: make([][]float64, 0, m-1),
+	}
+	out.Speed = append(append(out.Speed, in.Speed[:i]...), in.Speed[i+1:]...)
+	out.Load = append(append(out.Load, in.Load[:i]...), in.Load[i+1:]...)
+	for k, row := range in.Latency {
+		if k == i {
+			continue
+		}
+		r := make([]float64, 0, m-1)
+		r = append(append(r, row[:i]...), row[i+1:]...)
+		out.Latency = append(out.Latency, r)
+	}
+	if in.Cluster != nil {
+		out.Cluster = make([]int, 0, m-1)
+		out.Cluster = append(append(out.Cluster, in.Cluster[:i]...), in.Cluster[i+1:]...)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

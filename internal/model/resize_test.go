@@ -1,0 +1,172 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func resizeFixture() *Instance {
+	in := Uniform(3, 2, 10, 5)
+	in.Cluster = []int{0, 1, 1}
+	return in
+}
+
+func TestWithServerAppends(t *testing.T) {
+	in := resizeFixture()
+	out, err := in.WithServer(3, 7, []float64{1, 2, 3}, []float64{4, 5, 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.M() != 4 {
+		t.Fatalf("m=%d after join, want 4", out.M())
+	}
+	if out.Speed[3] != 3 || out.Load[3] != 7 {
+		t.Errorf("new server speed/load = %v/%v", out.Speed[3], out.Load[3])
+	}
+	for j, want := range []float64{1, 2, 3, 0} {
+		if out.Latency[3][j] != want {
+			t.Errorf("latency[3][%d]=%v, want %v", j, out.Latency[3][j], want)
+		}
+	}
+	for i, want := range []float64{4, 5, 6} {
+		if out.Latency[i][3] != want {
+			t.Errorf("latency[%d][3]=%v, want %v", i, out.Latency[i][3], want)
+		}
+	}
+	if got := out.Cluster[3]; got != 1 {
+		t.Errorf("new server label %d, want 1", got)
+	}
+	// The original instance is untouched.
+	if in.M() != 3 || len(in.Latency[0]) != 3 {
+		t.Error("WithServer mutated the receiver")
+	}
+}
+
+func TestWithServerRejectsBadInput(t *testing.T) {
+	in := resizeFixture()
+	if _, err := in.WithServer(1, 1, []float64{1, 2}, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("short latTo accepted")
+	}
+	if _, err := in.WithServer(0, 1, []float64{1, 2, 3}, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("zero speed accepted")
+	}
+	if _, err := in.WithServer(1, -1, []float64{1, 2, 3}, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("negative load accepted")
+	}
+	if _, err := in.WithServer(1, math.NaN(), []float64{1, 2, 3}, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("NaN load accepted")
+	}
+	if _, err := in.WithServer(1, 1, []float64{1, math.NaN(), 3}, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("NaN latency accepted")
+	}
+	if _, err := in.WithServer(1, 1, []float64{1, -2, 3}, []float64{1, 2, 3}, 0); err == nil {
+		t.Error("negative latency accepted")
+	}
+}
+
+func TestWithServerAllowsForbiddenLinks(t *testing.T) {
+	in := Uniform(2, 1, 5, 3)
+	out, err := in.WithServer(1, 0, []float64{math.Inf(1), 4}, []float64{4, math.Inf(1)}, 0)
+	if err != nil {
+		t.Fatalf("+Inf (forbidden) link rejected: %v", err)
+	}
+	if !math.IsInf(out.Latency[2][0], 1) || !math.IsInf(out.Latency[1][2], 1) {
+		t.Error("forbidden links not preserved")
+	}
+}
+
+func TestWithoutServerRemoves(t *testing.T) {
+	in := resizeFixture()
+	in.Load = []float64{10, 20, 30}
+	in.Latency[0][2] = 9
+	out, err := in.WithoutServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.M() != 2 {
+		t.Fatalf("m=%d after leave, want 2", out.M())
+	}
+	if out.Load[0] != 10 || out.Load[1] != 30 {
+		t.Errorf("loads %v, want [10 30]", out.Load)
+	}
+	if out.Latency[0][1] != 9 {
+		t.Errorf("latency[0][1]=%v, want the old [0][2]=9", out.Latency[0][1])
+	}
+	if len(out.Cluster) != 2 || out.Cluster[0] != 0 || out.Cluster[1] != 1 {
+		t.Errorf("labels %v, want [0 1]", out.Cluster)
+	}
+	if in.M() != 3 {
+		t.Error("WithoutServer mutated the receiver")
+	}
+}
+
+func TestWithoutServerBounds(t *testing.T) {
+	in := resizeFixture()
+	if _, err := in.WithoutServer(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := in.WithoutServer(3); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	solo := Uniform(1, 1, 5, 0)
+	if _, err := solo.WithoutServer(0); err == nil {
+		t.Error("removing the only server accepted")
+	}
+}
+
+// Churn must not strand cluster labels: removing servers shrinks m below
+// a surviving label, which Validate now accepts for small labels.
+func TestWithoutServerKeepsHighLabelsValid(t *testing.T) {
+	in := Uniform(3, 1, 5, 4)
+	in.Cluster = []int{0, 1, 2}
+	out, err := in.WithoutServer(0)
+	if err != nil {
+		t.Fatalf("label 2 with m=2 rejected after churn: %v", err)
+	}
+	if _, ok := ClusterDelays(out); !ok {
+		t.Error("cluster hint lost after removal of a homogeneous instance's server")
+	}
+}
+
+func TestValidateClusterLabelCap(t *testing.T) {
+	in := Uniform(2, 1, 5, 3)
+	in.Cluster = []int{0, MaxSmallClusterLabel}
+	if err := in.Validate(); err == nil {
+		t.Errorf("label %d on m=2 accepted, want rejection at the cap", MaxSmallClusterLabel)
+	}
+	in.Cluster = []int{0, MaxSmallClusterLabel - 1}
+	if err := in.Validate(); err != nil {
+		t.Errorf("small label rejected: %v", err)
+	}
+}
+
+// Online feeds must not be able to poison an instance: NaN and ±Inf
+// loads, and NaN/−Inf latencies, are rejected; +Inf stays legal off the
+// diagonal (the paper's trust-restricted links).
+func TestValidateRejectsNonFiniteValues(t *testing.T) {
+	base := func() *Instance { return Uniform(3, 1, 5, 2) }
+
+	for name, mutate := range map[string]func(*Instance){
+		"NaN load":       func(in *Instance) { in.Load[1] = math.NaN() },
+		"+Inf load":      func(in *Instance) { in.Load[1] = math.Inf(1) },
+		"-Inf load":      func(in *Instance) { in.Load[1] = math.Inf(-1) },
+		"NaN speed":      func(in *Instance) { in.Speed[0] = math.NaN() },
+		"+Inf speed":     func(in *Instance) { in.Speed[0] = math.Inf(1) },
+		"NaN latency":    func(in *Instance) { in.Latency[0][1] = math.NaN() },
+		"-Inf latency":   func(in *Instance) { in.Latency[0][1] = math.Inf(-1) },
+		"diagonal +Inf":  func(in *Instance) { in.Latency[2][2] = math.Inf(1) },
+		"negative delay": func(in *Instance) { in.Latency[1][0] = -3 },
+	} {
+		in := base()
+		mutate(in)
+		if err := in.Validate(); err == nil {
+			t.Errorf("%s accepted by Validate", name)
+		}
+	}
+
+	ok := base()
+	ok.Latency[0][1] = math.Inf(1) // forbidden link: legal
+	if err := ok.Validate(); err != nil {
+		t.Errorf("off-diagonal +Inf (forbidden link) rejected: %v", err)
+	}
+}

@@ -1,0 +1,320 @@
+package replay
+
+// The plain-text trace format. One directive per line, `#` starts a
+// full-line comment, blank lines are ignored:
+//
+//	# delaylb replay trace v1
+//	scenario m=40 net=clustered latency=20 dist=zipf avg=100 speeds=uniform smin=1 smax=5 clusters=4 seed=7
+//	epoch 1
+//	spike 5 4
+//	load 3 150
+//	latshift * * 1.5
+//	join 40 speed=2.5 load=0 cluster=2
+//	join 41 speed=1 load=50 uniform=20
+//	leave 7
+//	epoch 2
+//	spike 5 0.25
+//
+// The `scenario` line comes first and is required; keys omitted from it
+// keep the NewScenario defaults. `epoch <time>` opens a batch; every
+// following event line belongs to it until the next `epoch`. Encode
+// emits the canonical form (every scenario key, floats in shortest
+// round-trip notation), and ParseTrace(Encode(tr)) reproduces tr
+// exactly — traces are files, files are traces.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"delaylb"
+)
+
+// ParseTrace reads the plain-text trace format. The returned trace has
+// been Validate()d.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	tr := &Trace{}
+	seenScenario := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "scenario":
+			if seenScenario {
+				return nil, fmt.Errorf("replay: line %d: duplicate scenario line", line)
+			}
+			s, err := parseScenarioFields(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("replay: line %d: %w", line, err)
+			}
+			tr.Scenario = s
+			seenScenario = true
+		case "epoch":
+			if !seenScenario {
+				return nil, fmt.Errorf("replay: line %d: epoch before scenario", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("replay: line %d: want `epoch <time>`", line)
+			}
+			t, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("replay: line %d: bad epoch time %q", line, fields[1])
+			}
+			tr.Epochs = append(tr.Epochs, Epoch{Time: t})
+		default:
+			if !seenScenario || len(tr.Epochs) == 0 {
+				return nil, fmt.Errorf("replay: line %d: event %q before scenario/epoch", line, fields[0])
+			}
+			ev, err := parseEvent(fields)
+			if err != nil {
+				return nil, fmt.Errorf("replay: line %d: %w", line, err)
+			}
+			ep := &tr.Epochs[len(tr.Epochs)-1]
+			ep.Events = append(ep.Events, ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	if !seenScenario {
+		return nil, fmt.Errorf("replay: trace has no scenario line")
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ParseTraceString is ParseTrace over an in-memory trace.
+func ParseTraceString(s string) (*Trace, error) {
+	return ParseTrace(strings.NewReader(s))
+}
+
+func parseScenarioFields(kvs []string) (delaylb.Scenario, error) {
+	// Size first: NewScenario wants it, and the other keys override the
+	// defaults it sets.
+	m := 0
+	rest := make([][2]string, 0, len(kvs))
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return delaylb.Scenario{}, fmt.Errorf("scenario token %q is not key=value", kv)
+		}
+		if k == "m" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return delaylb.Scenario{}, fmt.Errorf("bad m %q", v)
+			}
+			m = n
+			continue
+		}
+		rest = append(rest, [2]string{k, v})
+	}
+	sc := delaylb.NewScenario(m)
+	for _, kv := range rest {
+		k, v := kv[0], kv[1]
+		var err error
+		switch k {
+		case "net":
+			sc.Network, err = parseNetwork(v)
+		case "latency":
+			sc.Latency, err = strconv.ParseFloat(v, 64)
+		case "dist":
+			sc.LoadDist = delaylb.LoadKind(v)
+		case "avg":
+			sc.AvgLoad, err = strconv.ParseFloat(v, 64)
+		case "speeds":
+			sc.Speeds = delaylb.SpeedKind(v)
+		case "smin":
+			sc.SpeedMin, err = strconv.ParseFloat(v, 64)
+		case "smax":
+			sc.SpeedMax, err = strconv.ParseFloat(v, 64)
+		case "clusters":
+			sc.Clusters, err = strconv.Atoi(v)
+		case "seed":
+			sc.Seed, err = strconv.ParseInt(v, 10, 64)
+		default:
+			return sc, fmt.Errorf("unknown scenario key %q", k)
+		}
+		if err != nil {
+			return sc, fmt.Errorf("bad scenario value %s=%q", k, v)
+		}
+	}
+	return sc, nil
+}
+
+func parseNetwork(v string) (delaylb.NetworkKind, error) {
+	switch v {
+	case "pl", "planetlab":
+		return delaylb.NetPlanetLab, nil
+	case "c20", "homogeneous":
+		return delaylb.NetHomogeneous, nil
+	case "euclidean":
+		return delaylb.NetEuclidean, nil
+	case "clustered", "metro":
+		return delaylb.NetClustered, nil
+	}
+	return "", fmt.Errorf("unknown network %q", v)
+}
+
+// parseID parses a server id, with `*` as the wildcard.
+func parseID(s string) (int64, error) {
+	if s == "*" {
+		return Wildcard, nil
+	}
+	id, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || id < 0 {
+		return 0, fmt.Errorf("bad server id %q", s)
+	}
+	return id, nil
+}
+
+func parseEvent(fields []string) (Event, error) {
+	var ev Event
+	switch fields[0] {
+	case "load", "spike":
+		if len(fields) != 3 {
+			return ev, fmt.Errorf("want `%s <id> <value>`", fields[0])
+		}
+		id, err := parseID(fields[1])
+		if err != nil || id == Wildcard {
+			return ev, fmt.Errorf("bad server id %q", fields[1])
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return ev, fmt.Errorf("bad value %q", fields[2])
+		}
+		ev = Event{Kind: EventKind(fields[0]), ID: id, Value: v}
+	case "latshift":
+		if len(fields) != 4 {
+			return ev, fmt.Errorf("want `latshift <id|*> <id|*> <factor>`")
+		}
+		from, err := parseID(fields[1])
+		if err != nil {
+			return ev, err
+		}
+		to, err := parseID(fields[2])
+		if err != nil {
+			return ev, err
+		}
+		v, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return ev, fmt.Errorf("bad factor %q", fields[3])
+		}
+		ev = Event{Kind: LatencyShift, ID: from, To: to, Value: v}
+	case "join":
+		if len(fields) != 5 {
+			return ev, fmt.Errorf("want `join <id> speed=<s> load=<n> uniform=<c>|cluster=<g>`")
+		}
+		id, err := parseID(fields[1])
+		if err != nil || id == Wildcard {
+			return ev, fmt.Errorf("bad server id %q", fields[1])
+		}
+		ev = Event{Kind: ServerJoin, ID: id}
+		for _, kv := range fields[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return ev, fmt.Errorf("join token %q is not key=value", kv)
+			}
+			switch k {
+			case "speed":
+				ev.Speed, err = strconv.ParseFloat(v, 64)
+			case "load":
+				ev.Load, err = strconv.ParseFloat(v, 64)
+			case "uniform":
+				if ev.Join != "" {
+					return ev, fmt.Errorf("join has two latency modes")
+				}
+				ev.Join = JoinUniform
+				ev.Latency, err = strconv.ParseFloat(v, 64)
+			case "cluster":
+				if ev.Join != "" {
+					return ev, fmt.Errorf("join has two latency modes")
+				}
+				ev.Join = JoinCluster
+				ev.Cluster, err = strconv.Atoi(v)
+			default:
+				return ev, fmt.Errorf("unknown join key %q", k)
+			}
+			if err != nil {
+				return ev, fmt.Errorf("bad join value %s=%q", k, v)
+			}
+		}
+		if ev.Join == "" {
+			return ev, fmt.Errorf("join needs uniform=<c> or cluster=<g>")
+		}
+	case "leave":
+		if len(fields) != 2 {
+			return ev, fmt.Errorf("want `leave <id>`")
+		}
+		id, err := parseID(fields[1])
+		if err != nil || id == Wildcard {
+			return ev, fmt.Errorf("bad server id %q", fields[1])
+		}
+		ev = Event{Kind: ServerLeave, ID: id}
+	default:
+		return ev, fmt.Errorf("unknown event %q", fields[0])
+	}
+	return ev, nil
+}
+
+// g formats a float in the shortest notation that parses back exactly.
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func idStr(id int64) string {
+	if id == Wildcard {
+		return "*"
+	}
+	return strconv.FormatInt(id, 10)
+}
+
+// Encode writes the trace in canonical text form; ParseTrace reads it
+// back to an identical Trace value.
+func (tr *Trace) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# delaylb replay trace v1")
+	sc := tr.Scenario
+	fmt.Fprintf(bw, "scenario m=%d net=%s latency=%s dist=%s avg=%s speeds=%s smin=%s smax=%s clusters=%d seed=%d\n",
+		sc.Servers, sc.Network, g(sc.Latency), sc.LoadDist, g(sc.AvgLoad), sc.Speeds,
+		g(sc.SpeedMin), g(sc.SpeedMax), sc.Clusters, sc.Seed)
+	for _, ep := range tr.Epochs {
+		fmt.Fprintf(bw, "epoch %s\n", g(ep.Time))
+		for _, e := range ep.Events {
+			switch e.Kind {
+			case LoadDelta, Spike:
+				fmt.Fprintf(bw, "%s %d %s\n", e.Kind, e.ID, g(e.Value))
+			case LatencyShift:
+				fmt.Fprintf(bw, "latshift %s %s %s\n", idStr(e.ID), idStr(e.To), g(e.Value))
+			case ServerJoin:
+				mode := fmt.Sprintf("cluster=%d", e.Cluster)
+				if e.Join == JoinUniform {
+					mode = "uniform=" + g(e.Latency)
+				}
+				fmt.Fprintf(bw, "join %d speed=%s load=%s %s\n", e.ID, g(e.Speed), g(e.Load), mode)
+			case ServerLeave:
+				fmt.Fprintf(bw, "leave %d\n", e.ID)
+			default:
+				return fmt.Errorf("replay: cannot encode event kind %q", e.Kind)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodeString returns the canonical text form of the trace.
+func (tr *Trace) EncodeString() (string, error) {
+	var sb strings.Builder
+	if err := tr.Encode(&sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,153 @@
+package replay
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"delaylb"
+)
+
+func mustEncode(t *testing.T, tr *Trace) string {
+	t.Helper()
+	s, err := tr.EncodeString()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sampleTraces(t *testing.T) map[string]*Trace {
+	t.Helper()
+	out := map[string]*Trace{}
+	var err error
+	if out["diurnal"], err = Diurnal(delaylb.NewScenario(6), 4, 0.3, 0.1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if out["flash"], err = FlashCrowd(delaylb.NewScenario(9).WithClusters(3), 5, 4, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if out["restart"], err = RollingRestart(delaylb.NewScenario(8).WithClusters(2), 3, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if out["outage"], err = MetroOutage(delaylb.NewScenario(10).WithClusters(2).WithLatency(40), 1, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	out["handmade"] = &Trace{
+		Scenario: delaylb.NewScenario(4).WithLoads(delaylb.LoadPeak, 1000).WithSeed(-3),
+		Epochs: []Epoch{
+			{Time: 0.5, Events: []Event{
+				{Kind: LoadDelta, ID: 0, Value: -12.5},
+				{Kind: Spike, ID: 3, Value: 2.25},
+				{Kind: LatencyShift, ID: Wildcard, To: 2, Value: 1.5},
+				{Kind: LatencyShift, ID: 1, To: Wildcard, Value: 0},
+			}},
+			{Time: 2},
+			{Time: 3.75, Events: []Event{
+				{Kind: ServerJoin, ID: 4, Speed: 2.5, Load: 80, Join: JoinUniform, Latency: 17},
+				{Kind: ServerJoin, ID: 5, Speed: 1, Load: 0, Join: JoinCluster, Cluster: 1},
+				{Kind: ServerLeave, ID: 0},
+			}},
+		},
+	}
+	return out
+}
+
+// The codec contract: Encode emits canonical text that parses back to
+// an identical Trace value — traces are files, files are traces.
+func TestTraceRoundTrip(t *testing.T) {
+	for name, tr := range sampleTraces(t) {
+		text := mustEncode(t, tr)
+		back, err := ParseTraceString(text)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\n%s", name, err, text)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Errorf("%s: round trip drifted:\nwant %+v\ngot  %+v", name, tr, back)
+		}
+		// And a second encode is byte-identical: the form is canonical.
+		if again := mustEncode(t, back); again != text {
+			t.Errorf("%s: re-encode not canonical:\n%s\nvs\n%s", name, text, again)
+		}
+	}
+}
+
+func TestParseTraceReadsTheDocumentedFormat(t *testing.T) {
+	text := `
+# a comment
+scenario m=5 net=metro dist=zipf avg=50 clusters=2 seed=9
+
+epoch 1
+spike 2 4
+load 0 -10
+epoch 2.5
+latshift * 1 1.2
+join 5 speed=2 load=0 cluster=1
+leave 3
+`
+	tr, err := ParseTraceString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Scenario.Network != delaylb.NetClustered || tr.Scenario.Clusters != 2 || tr.Scenario.Seed != 9 {
+		t.Errorf("scenario parsed as %+v", tr.Scenario)
+	}
+	if tr.Scenario.Latency != 20 {
+		t.Errorf("omitted latency did not keep the default: %g", tr.Scenario.Latency)
+	}
+	if len(tr.Epochs) != 2 || tr.Events() != 5 {
+		t.Fatalf("parsed %d epochs / %d events", len(tr.Epochs), tr.Events())
+	}
+	ev := tr.Epochs[1].Events[1]
+	if ev.Kind != ServerJoin || ev.ID != 5 || ev.Join != JoinCluster || ev.Cluster != 1 {
+		t.Errorf("join parsed as %+v", ev)
+	}
+}
+
+func TestParseTraceRejectsMalformedInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"no scenario":       "epoch 1\nspike 0 2\n",
+		"event first":       "spike 0 2\n",
+		"double scenario":   "scenario m=3\nscenario m=4\n",
+		"event before":      "scenario m=3\nspike 0 2\n",
+		"bad epoch time":    "scenario m=3\nepoch soon\n",
+		"time not rising":   "scenario m=3\nepoch 2\nepoch 1\n",
+		"unknown event":     "scenario m=3\nepoch 1\nreboot 0\n",
+		"unknown net":       "scenario m=3 net=tokenring\nepoch 1\n",
+		"unknown dist":      "scenario m=3 dist=gamma\nepoch 1\n",
+		"bad id":            "scenario m=3\nepoch 1\nspike x 2\n",
+		"wildcard spike":    "scenario m=3\nepoch 1\nspike * 2\n",
+		"negative spike":    "scenario m=3\nepoch 1\nspike 0 -2\n",
+		"nan delta":         "scenario m=3\nepoch 1\nload 0 NaN\n",
+		"join no mode":      "scenario m=3\nepoch 1\njoin 3 speed=1 load=0 fast=yes\n",
+		"join two modes":    "scenario m=3\nepoch 1\njoin 3 speed=1 uniform=2 cluster=0\n",
+		"join zero speed":   "scenario m=3\nepoch 1\njoin 3 speed=0 load=0 uniform=2\n",
+		"latshift 2 fields": "scenario m=3\nepoch 1\nlatshift * 2\n",
+		"scenario bad kv":   "scenario m\nepoch 1\n",
+		"scenario zero m":   "scenario m=0\nepoch 1\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseTraceString(text); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, text)
+		}
+	}
+}
+
+func TestEncodeUsesShortestFloats(t *testing.T) {
+	tr := &Trace{
+		Scenario: delaylb.NewScenario(3),
+		Epochs:   []Epoch{{Time: 1, Events: []Event{{Kind: Spike, ID: 0, Value: 1.0 / 3.0}}}},
+	}
+	text := mustEncode(t, tr)
+	if !strings.Contains(text, "spike 0 0.3333333333333333") {
+		t.Errorf("1/3 not encoded shortest-exact:\n%s", text)
+	}
+	back, err := ParseTraceString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epochs[0].Events[0].Value != 1.0/3.0 {
+		t.Error("1/3 did not survive the round trip bit-exactly")
+	}
+}

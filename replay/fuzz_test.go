@@ -1,0 +1,40 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseTrace: the trace parser must never panic, must only accept
+// traces that Validate, and must round-trip everything it accepts —
+// Encode(Parse(x)) parses back to the same value.
+func FuzzParseTrace(f *testing.F) {
+	f.Add("scenario m=5 net=metro dist=zipf avg=50 clusters=2 seed=9\nepoch 1\nspike 2 4\nload 0 -10\n")
+	f.Add("scenario m=3\nepoch 1\njoin 3 speed=2 load=0 uniform=5\nepoch 2\nleave 3\n")
+	f.Add("scenario m=4 net=pl\nepoch 0.5\nlatshift * * 1.5\nlatshift 1 2 0\n")
+	f.Add("# comment\n\nscenario m=2 net=c20 latency=7 smin=2 smax=3 speeds=uniform\nepoch 1\n")
+	f.Add("scenario m=0\n")
+	f.Add("epoch 1\nspike 0 2\n")
+	f.Add("scenario m=3\nepoch 2\nepoch 1\n")
+	f.Add("join 9 speed=1e309 load=-0 cluster=-1")
+	f.Fuzz(func(t *testing.T, text string) {
+		tr, err := ParseTraceString(text)
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("ParseTrace accepted a trace Validate rejects: %v", verr)
+		}
+		enc, err := tr.EncodeString()
+		if err != nil {
+			t.Fatalf("accepted trace failed to encode: %v", err)
+		}
+		back, err := ParseTraceString(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to reparse: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatalf("round trip drifted:\nwant %+v\ngot  %+v\nvia\n%s", tr, back, enc)
+		}
+	})
+}

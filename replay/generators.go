@@ -1,0 +1,283 @@
+package replay
+
+// Deterministic trace generators for the canonical online workloads.
+// Every random draw comes from a per-epoch RNG seeded with the sweep
+// engine's splitmix64 discipline (sweep.CellSeed), so a generator's
+// output is a pure function of (scenario, parameters, seed) — the same
+// property the experiment grid relies on, extended in time.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"delaylb"
+	"delaylb/sweep"
+)
+
+func epochRNG(seed int64, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(sweep.CellSeed(seed, epoch)))
+}
+
+// jitterSpikes appends one mild multiplicative spike per listed org —
+// the background noise that keeps "quiet" epochs from being no-ops.
+func jitterSpikes(ep *Epoch, orgs []int64, sigma float64, rng *rand.Rand) {
+	for _, id := range orgs {
+		ep.Events = append(ep.Events, Event{Kind: Spike, ID: id, Value: math.Exp(sigma * rng.NormFloat64())})
+	}
+}
+
+// Diurnal generates the day-curve workload: every epoch rescales every
+// organization's load along a sinusoid of the given relative amplitude
+// (one full period over the trace) with per-organization lognormal
+// jitter on top. amplitude must be in [0, 1); jitter is the lognormal σ
+// (0.1 ≈ ±10% per epoch).
+func Diurnal(sc delaylb.Scenario, epochs int, amplitude, jitter float64, seed int64) (*Trace, error) {
+	if epochs < 1 {
+		return nil, fmt.Errorf("replay: Diurnal needs epochs >= 1, got %d", epochs)
+	}
+	if amplitude < 0 || amplitude >= 1 {
+		return nil, fmt.Errorf("replay: Diurnal amplitude %g, must be in [0, 1)", amplitude)
+	}
+	if jitter < 0 {
+		return nil, fmt.Errorf("replay: Diurnal jitter %g, must be >= 0", jitter)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	day := func(t int) float64 {
+		return 1 + amplitude*math.Sin(2*math.Pi*float64(t)/float64(epochs))
+	}
+	tr := &Trace{Scenario: sc}
+	for t := 1; t <= epochs; t++ {
+		rng := epochRNG(seed, t)
+		ep := Epoch{Time: float64(t)}
+		base := day(t) / day(t-1)
+		for i := 0; i < sc.Servers; i++ {
+			f := base * math.Exp(jitter*rng.NormFloat64())
+			ep.Events = append(ep.Events, Event{Kind: Spike, ID: int64(i), Value: f})
+		}
+		tr.Epochs = append(tr.Epochs, ep)
+	}
+	return tr, tr.Validate()
+}
+
+// FlashCrowd generates a sudden-surge workload: after a third of the
+// trace the hottest region's load jumps ×surge and `grow` fresh servers
+// join to absorb it; at two thirds the surge subsides and the extra
+// servers leave. On NetClustered scenarios the hot region is the metro
+// with the largest total load and the elastic servers join that metro
+// (keeping the sparse solver's block structure exact); otherwise the hot
+// region is the top quarter of organizations by load and joins use the
+// scenario's uniform latency. Every epoch also carries mild background
+// jitter.
+func FlashCrowd(sc delaylb.Scenario, epochs int, surge float64, grow int, seed int64) (*Trace, error) {
+	if epochs < 3 {
+		return nil, fmt.Errorf("replay: FlashCrowd needs epochs >= 3, got %d", epochs)
+	}
+	if !(surge > 1) || math.IsInf(surge, 0) {
+		return nil, fmt.Errorf("replay: FlashCrowd surge %g, must be > 1 and finite", surge)
+	}
+	if grow < 0 {
+		return nil, fmt.Errorf("replay: FlashCrowd grow %d, must be >= 0", grow)
+	}
+	in, err := sc.Instance()
+	if err != nil {
+		return nil, err
+	}
+	m := sc.Servers
+	all := make([]int64, m)
+	for i := range all {
+		all[i] = int64(i)
+	}
+
+	// The hot region and how the elastic servers will join it.
+	var targets []int64
+	hotCluster := -1
+	if in.Cluster != nil {
+		k := 0
+		for _, g := range in.Cluster {
+			if g+1 > k {
+				k = g + 1
+			}
+		}
+		loadPer := make([]float64, k)
+		for i, g := range in.Cluster {
+			loadPer[g] += in.Load[i]
+		}
+		for g := range loadPer {
+			if hotCluster < 0 || loadPer[g] > loadPer[hotCluster] {
+				hotCluster = g
+			}
+		}
+		for i, g := range in.Cluster {
+			if g == hotCluster {
+				targets = append(targets, int64(i))
+			}
+		}
+	} else {
+		order := make([]int, m)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool { return in.Load[order[a]] > in.Load[order[b]] })
+		for _, i := range order[:(m+3)/4] {
+			targets = append(targets, int64(i))
+		}
+		sort.Slice(targets, func(a, b int) bool { return targets[a] < targets[b] })
+	}
+
+	up := epochs/3 + 1
+	down := 2*epochs/3 + 1
+	if down > epochs {
+		down = epochs
+	}
+	tr := &Trace{Scenario: sc}
+	for t := 1; t <= epochs; t++ {
+		rng := epochRNG(seed, t)
+		ep := Epoch{Time: float64(t)}
+		if t == up {
+			for _, id := range targets {
+				ep.Events = append(ep.Events, Event{Kind: Spike, ID: id, Value: surge})
+			}
+			for s := 0; s < grow; s++ {
+				ev := Event{
+					Kind: ServerJoin, ID: int64(m + s), Load: 0,
+					Speed: joinSpeed(sc, rng),
+				}
+				if hotCluster >= 0 {
+					ev.Join, ev.Cluster = JoinCluster, hotCluster
+				} else {
+					ev.Join, ev.Latency = JoinUniform, sc.Latency
+				}
+				ep.Events = append(ep.Events, ev)
+			}
+		}
+		if t == down {
+			for _, id := range targets {
+				ep.Events = append(ep.Events, Event{Kind: Spike, ID: id, Value: 1 / surge})
+			}
+			for s := 0; s < grow; s++ {
+				ep.Events = append(ep.Events, Event{Kind: ServerLeave, ID: int64(m + s)})
+			}
+		}
+		jitterSpikes(&ep, all, 0.03, rng)
+		tr.Epochs = append(tr.Epochs, ep)
+	}
+	return tr, tr.Validate()
+}
+
+// joinSpeed draws a joining server's speed from the scenario's speed
+// family.
+func joinSpeed(sc delaylb.Scenario, rng *rand.Rand) float64 {
+	if sc.Speeds == delaylb.SpeedConst {
+		return sc.SpeedMin
+	}
+	return sc.SpeedMin + (sc.SpeedMax-sc.SpeedMin)*rng.Float64()
+}
+
+// RollingRestart generates the maintenance-churn workload: the
+// scenario's servers leave in consecutive batches of `batch` (one batch
+// per epoch) and rejoin — restarted, so with empty load and their
+// original speed — downFor epochs later. On NetClustered scenarios every
+// server rejoins its own metro; otherwise rejoins use the scenario's
+// uniform latency. The trace has ceil(m/batch) + downFor epochs. batch
+// must be < m so the system never empties.
+func RollingRestart(sc delaylb.Scenario, batch, downFor int, seed int64) (*Trace, error) {
+	m := sc.Servers
+	if batch < 1 || batch >= m {
+		return nil, fmt.Errorf("replay: RollingRestart batch %d, must be in [1, m=%d)", batch, m)
+	}
+	if downFor < 1 {
+		return nil, fmt.Errorf("replay: RollingRestart downFor %d, must be >= 1", downFor)
+	}
+	in, err := sc.Instance()
+	if err != nil {
+		return nil, err
+	}
+	batches := (m + batch - 1) / batch
+	epochs := batches + downFor
+	tr := &Trace{Scenario: sc}
+	for t := 1; t <= epochs; t++ {
+		ep := Epoch{Time: float64(t)}
+		// Rejoins first: capacity comes back before more goes away.
+		if b := t - downFor - 1; b >= 0 && b < batches {
+			for i := b * batch; i < (b+1)*batch && i < m; i++ {
+				ev := Event{Kind: ServerJoin, ID: int64(i), Load: 0, Speed: in.Speed[i]}
+				if in.Cluster != nil {
+					ev.Join, ev.Cluster = JoinCluster, in.Cluster[i]
+				} else {
+					ev.Join, ev.Latency = JoinUniform, sc.Latency
+				}
+				ep.Events = append(ep.Events, ev)
+			}
+		}
+		if b := t - 1; b < batches {
+			for i := b * batch; i < (b+1)*batch && i < m; i++ {
+				ep.Events = append(ep.Events, Event{Kind: ServerLeave, ID: int64(i)})
+			}
+		}
+		tr.Epochs = append(tr.Epochs, ep)
+	}
+	return tr, tr.Validate()
+}
+
+// MetroOutage generates the regional-failure workload on a NetClustered
+// scenario: at the first epoch every server of the given metro leaves
+// and the surviving backbone degrades ×1.25 (rerouted traffic); after
+// downFor epochs of degraded operation the metro rejoins — its
+// organizations return with their original loads and speeds — and the
+// backbone recovers. Survivor loads jitter every epoch.
+func MetroOutage(sc delaylb.Scenario, metro, downFor int, seed int64) (*Trace, error) {
+	if sc.Network != delaylb.NetClustered {
+		return nil, fmt.Errorf("replay: MetroOutage needs a NetClustered scenario, got %q", sc.Network)
+	}
+	if downFor < 1 {
+		return nil, fmt.Errorf("replay: MetroOutage downFor %d, must be >= 1", downFor)
+	}
+	in, err := sc.Instance()
+	if err != nil {
+		return nil, err
+	}
+	var members, survivors []int64
+	for i, g := range in.Cluster {
+		if g == metro {
+			members = append(members, int64(i))
+		} else {
+			survivors = append(survivors, int64(i))
+		}
+	}
+	if len(members) == 0 {
+		return nil, fmt.Errorf("replay: metro %d has no servers", metro)
+	}
+	if len(survivors) == 0 {
+		return nil, fmt.Errorf("replay: metro %d is the whole system, cannot fail it", metro)
+	}
+	const degrade = 1.25
+	epochs := downFor + 2
+	tr := &Trace{Scenario: sc}
+	for t := 1; t <= epochs; t++ {
+		rng := epochRNG(seed, t)
+		ep := Epoch{Time: float64(t)}
+		switch {
+		case t == 1:
+			for _, id := range members {
+				ep.Events = append(ep.Events, Event{Kind: ServerLeave, ID: id})
+			}
+			ep.Events = append(ep.Events, Event{Kind: LatencyShift, ID: Wildcard, To: Wildcard, Value: degrade})
+		case t == downFor+1:
+			ep.Events = append(ep.Events, Event{Kind: LatencyShift, ID: Wildcard, To: Wildcard, Value: 1 / degrade})
+			for _, id := range members {
+				i := int(id)
+				ep.Events = append(ep.Events, Event{
+					Kind: ServerJoin, ID: id, Speed: in.Speed[i], Load: in.Load[i],
+					Join: JoinCluster, Cluster: metro,
+				})
+			}
+		}
+		jitterSpikes(&ep, survivors, 0.1, rng)
+		tr.Epochs = append(tr.Epochs, ep)
+	}
+	return tr, tr.Validate()
+}

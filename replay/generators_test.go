@@ -1,0 +1,136 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+
+	"delaylb"
+)
+
+// Generators are pure functions of (scenario, parameters, seed).
+func TestGeneratorsDeterministic(t *testing.T) {
+	sc := delaylb.NewScenario(12).WithClusters(3).WithSeed(5)
+	build := []func() (*Trace, error){
+		func() (*Trace, error) { return Diurnal(sc, 5, 0.4, 0.1, 7) },
+		func() (*Trace, error) { return FlashCrowd(sc, 6, 3, 2, 7) },
+		func() (*Trace, error) { return RollingRestart(sc, 4, 2, 7) },
+		func() (*Trace, error) { return MetroOutage(sc, 0, 2, 7) },
+	}
+	for k, f := range build {
+		a, err := f()
+		if err != nil {
+			t.Fatalf("generator %d: %v", k, err)
+		}
+		b, err := f()
+		if err != nil {
+			t.Fatalf("generator %d: %v", k, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("generator %d is not deterministic", k)
+		}
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	tr, err := Diurnal(delaylb.NewScenario(10), 8, 0.5, 0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Epochs) != 8 {
+		t.Fatalf("%d epochs, want 8", len(tr.Epochs))
+	}
+	for k, ep := range tr.Epochs {
+		if len(ep.Events) != 10 {
+			t.Errorf("epoch %d has %d events, want one spike per org", k, len(ep.Events))
+		}
+		for _, ev := range ep.Events {
+			if ev.Kind != Spike || ev.Value <= 0 {
+				t.Fatalf("epoch %d: unexpected event %+v", k, ev)
+			}
+		}
+	}
+}
+
+func TestFlashCrowdShape(t *testing.T) {
+	sc := delaylb.NewScenario(12).WithClusters(3).WithSeed(2)
+	tr, err := FlashCrowd(sc, 6, 4, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins, leaves := 0, 0
+	for _, ep := range tr.Epochs {
+		for _, ev := range ep.Events {
+			switch ev.Kind {
+			case ServerJoin:
+				joins++
+				if ev.Join != JoinCluster {
+					t.Error("clustered flash crowd joined outside the metro scheme")
+				}
+				if ev.ID < 12 {
+					t.Errorf("join id %d collides with an initial server", ev.ID)
+				}
+			case ServerLeave:
+				leaves++
+			}
+		}
+	}
+	if joins != 3 || leaves != 3 {
+		t.Errorf("%d joins / %d leaves, want 3/3", joins, leaves)
+	}
+}
+
+func TestRollingRestartCoversEveryServerOnce(t *testing.T) {
+	sc := delaylb.NewScenario(10).WithSeed(4)
+	tr, err := RollingRestart(sc, 3, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	left := map[int64]int{}
+	rejoined := map[int64]int{}
+	for _, ep := range tr.Epochs {
+		for _, ev := range ep.Events {
+			switch ev.Kind {
+			case ServerLeave:
+				left[ev.ID]++
+			case ServerJoin:
+				rejoined[ev.ID]++
+				if ev.Load != 0 {
+					t.Errorf("restarted server %d rejoined with load %v", ev.ID, ev.Load)
+				}
+			}
+		}
+	}
+	if len(left) != 10 || len(rejoined) != 10 {
+		t.Fatalf("%d left / %d rejoined, want all 10", len(left), len(rejoined))
+	}
+	for id, n := range left {
+		if n != 1 || rejoined[id] != 1 {
+			t.Errorf("server %d left %d times, rejoined %d", id, n, rejoined[id])
+		}
+	}
+}
+
+func TestGeneratorParameterValidation(t *testing.T) {
+	sc := delaylb.NewScenario(8).WithClusters(2)
+	if _, err := Diurnal(sc, 0, 0.3, 0.1, 1); err == nil {
+		t.Error("Diurnal epochs=0 accepted")
+	}
+	if _, err := Diurnal(sc, 3, 1.0, 0.1, 1); err == nil {
+		t.Error("Diurnal amplitude=1 accepted")
+	}
+	if _, err := FlashCrowd(sc, 2, 3, 1, 1); err == nil {
+		t.Error("FlashCrowd epochs=2 accepted")
+	}
+	if _, err := FlashCrowd(sc, 5, 1, 1, 1); err == nil {
+		t.Error("FlashCrowd surge=1 accepted")
+	}
+	if _, err := RollingRestart(sc, 8, 1, 1); err == nil {
+		t.Error("RollingRestart batch=m accepted (would empty the system)")
+	}
+	if _, err := MetroOutage(delaylb.NewScenario(8), 0, 1, 1); err == nil {
+		t.Error("MetroOutage on an unclustered scenario accepted")
+	}
+	if _, err := MetroOutage(sc, 99, 1, 1); err == nil {
+		t.Error("MetroOutage on a nonexistent metro accepted")
+	}
+}

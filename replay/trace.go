@@ -1,0 +1,182 @@
+package replay
+
+import (
+	"fmt"
+	"math"
+
+	"delaylb"
+)
+
+// EventKind names the workload events a trace can carry.
+type EventKind string
+
+const (
+	// LoadDelta adds Value requests to server ID's load (negative deltas
+	// shed load; the result is clamped at 0 by the engine).
+	LoadDelta EventKind = "load"
+	// Spike multiplies server ID's load by Value (> 0).
+	Spike EventKind = "spike"
+	// LatencyShift multiplies the one-way delay of every link from ID to
+	// To by Value; Wildcard on either side selects all servers. The
+	// diagonal is never touched.
+	LatencyShift EventKind = "latshift"
+	// ServerJoin adds a server with the given ID, Speed and Load; its
+	// latency rows come from the Join mode (JoinUniform / JoinCluster).
+	ServerJoin EventKind = "join"
+	// ServerLeave removes server ID; its organization's requests leave
+	// with it, and requests other organizations were relaying to it
+	// return to their own servers (see Session.RemoveServer).
+	ServerLeave EventKind = "leave"
+)
+
+// JoinLatency selects how a ServerJoin derives its latency rows.
+type JoinLatency string
+
+const (
+	// JoinUniform gives the newcomer the same one-way delay (Event.Latency)
+	// to and from every existing server.
+	JoinUniform JoinLatency = "uniform"
+	// JoinCluster places the newcomer in metro Event.Cluster of a
+	// NetClustered scenario: delays to every existing server come from the
+	// cluster block-delay table, so the block structure — and with it the
+	// sparse solver's O(k) oracle — survives the join exactly.
+	JoinCluster JoinLatency = "cluster"
+)
+
+// Wildcard selects every server in a LatencyShift endpoint.
+const Wildcard int64 = -1
+
+// Event is one workload change. Servers are addressed by stable ids, not
+// instance indices: the engine assigns ids 0..m−1 to the scenario's
+// initial servers and every ServerJoin introduces a fresh id, so leaves
+// never renumber the survivors from the trace's point of view.
+type Event struct {
+	Kind EventKind
+	// ID is the target server id (LoadDelta, Spike, ServerLeave, the
+	// joining server's id for ServerJoin, the source endpoint for
+	// LatencyShift — where Wildcard is allowed).
+	ID int64
+	// To is the LatencyShift destination endpoint (Wildcard allowed);
+	// unused elsewhere.
+	To int64
+	// Value is the load delta, spike factor, or latency factor.
+	Value float64
+	// Speed, Load, Join, Latency, Cluster describe a ServerJoin.
+	Speed   float64
+	Load    float64
+	Join    JoinLatency
+	Latency float64
+	Cluster int
+}
+
+// Epoch is a timestamped batch of events. The engine applies the batch,
+// then re-optimizes warm — one reoptimization per epoch, however many
+// events it carries.
+type Epoch struct {
+	// Time is the epoch's timestamp (strictly increasing along a trace;
+	// the unit is the trace author's business — generators use epoch
+	// indices).
+	Time   float64
+	Events []Event
+}
+
+// Trace is a self-contained replay input: the scenario that builds the
+// initial system plus the timestamped workload evolution. Traces
+// round-trip through the plain-text codec (ParseTrace / Trace.Encode).
+type Trace struct {
+	Scenario delaylb.Scenario
+	Epochs   []Epoch
+}
+
+// finite reports whether v is a usable real number.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// validate checks a single event's static constraints (liveness of ids
+// is dynamic and checked by the engine).
+func (e *Event) validate() error {
+	switch e.Kind {
+	case LoadDelta:
+		if e.ID < 0 {
+			return fmt.Errorf("replay: load event needs a server id, got %d", e.ID)
+		}
+		if !finite(e.Value) {
+			return fmt.Errorf("replay: load delta %v not finite", e.Value)
+		}
+	case Spike:
+		if e.ID < 0 {
+			return fmt.Errorf("replay: spike event needs a server id, got %d", e.ID)
+		}
+		if !(e.Value > 0) || !finite(e.Value) {
+			return fmt.Errorf("replay: spike factor %v, must be positive and finite", e.Value)
+		}
+	case LatencyShift:
+		if e.ID < Wildcard || e.To < Wildcard {
+			return fmt.Errorf("replay: latshift endpoints %d→%d invalid", e.ID, e.To)
+		}
+		if e.Value < 0 || !finite(e.Value) {
+			return fmt.Errorf("replay: latency factor %v, must be >= 0 and finite", e.Value)
+		}
+	case ServerJoin:
+		if e.ID < 0 {
+			return fmt.Errorf("replay: join needs a fresh server id, got %d", e.ID)
+		}
+		if !(e.Speed > 0) || !finite(e.Speed) {
+			return fmt.Errorf("replay: join speed %v, must be positive and finite", e.Speed)
+		}
+		if e.Load < 0 || !finite(e.Load) {
+			return fmt.Errorf("replay: join load %v, must be >= 0 and finite", e.Load)
+		}
+		switch e.Join {
+		case JoinUniform:
+			if e.Latency < 0 || !finite(e.Latency) {
+				return fmt.Errorf("replay: join uniform latency %v, must be >= 0 and finite", e.Latency)
+			}
+		case JoinCluster:
+			if e.Cluster < 0 {
+				return fmt.Errorf("replay: join cluster %d, must be >= 0", e.Cluster)
+			}
+		default:
+			return fmt.Errorf("replay: unknown join latency mode %q", e.Join)
+		}
+	case ServerLeave:
+		if e.ID < 0 {
+			return fmt.Errorf("replay: leave event needs a server id, got %d", e.ID)
+		}
+	default:
+		return fmt.Errorf("replay: unknown event kind %q", e.Kind)
+	}
+	return nil
+}
+
+// Validate checks the trace's static constraints: a valid scenario,
+// strictly increasing finite epoch times, and well-formed events.
+func (tr *Trace) Validate() error {
+	if err := tr.Scenario.Validate(); err != nil {
+		return err
+	}
+	prev := math.Inf(-1)
+	for k, ep := range tr.Epochs {
+		if !finite(ep.Time) {
+			return fmt.Errorf("replay: epoch %d time %v not finite", k+1, ep.Time)
+		}
+		if ep.Time <= prev {
+			return fmt.Errorf("replay: epoch %d time %v not after %v", k+1, ep.Time, prev)
+		}
+		prev = ep.Time
+		for _, e := range ep.Events {
+			if err := e.validate(); err != nil {
+				return fmt.Errorf("epoch %d (t=%v): %w", k+1, ep.Time, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Events returns the total number of events across all epochs.
+func (tr *Trace) Events() int {
+	n := 0
+	for _, ep := range tr.Epochs {
+		n += len(ep.Events)
+	}
+	return n
+}

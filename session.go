@@ -71,12 +71,21 @@ func (s *Session) System() *System {
 	return &System{in: s.in.Clone()}
 }
 
-// Epoch returns how many UpdateLoads/UpdateLatency calls the session has
-// absorbed.
+// Epoch returns how many state updates (UpdateLoads, UpdateLatency,
+// AddServer, RemoveServer) the session has absorbed.
 func (s *Session) Epoch() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.epoch
+}
+
+// M returns the current number of organizations (= servers). Unlike
+// System.M it can change over the session's lifetime as servers join and
+// leave.
+func (s *Session) M() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in.M()
 }
 
 // Loads returns a copy of the current per-organization loads.
@@ -84,6 +93,30 @@ func (s *Session) Loads() []float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return append([]float64(nil), s.in.Load...)
+}
+
+// Latency returns a deep copy of the current pairwise latency matrix —
+// the natural input to a "degrade these links and UpdateLatency" step in
+// an online feed.
+func (s *Session) Latency() [][]float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]float64, s.in.M())
+	for i, row := range s.in.Latency {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Clusters returns a copy of the current cluster (metro) labels, or nil
+// when the session's instance carries no cluster hint.
+func (s *Session) Clusters() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.in.Cluster == nil {
+		return nil
+	}
+	return append([]int(nil), s.in.Cluster...)
 }
 
 // Result snapshots the current allocation as a Result (no solving). The
@@ -130,13 +163,25 @@ func (s *Session) UpdateLoads(loads []float64) error {
 func (s *Session) UpdateLatency(latency [][]float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Validate dimensions — including ragged rows — before cloning
+	// anything: rejecting a malformed m×m feed must not cost an m×m copy.
+	m := s.in.M()
+	if len(latency) != m {
+		return fmt.Errorf("delaylb: UpdateLatency got %d rows, want %d", len(latency), m)
+	}
+	for i, row := range latency {
+		if len(row) != m {
+			return fmt.Errorf("delaylb: UpdateLatency row %d has %d entries, want %d", i, len(row), m)
+		}
+	}
 	next := &model.Instance{
 		Speed:   append([]float64(nil), s.in.Speed...),
 		Load:    append([]float64(nil), s.in.Load...),
-		Latency: make([][]float64, len(latency)),
-	}
-	if len(latency) != s.in.M() {
-		return fmt.Errorf("delaylb: UpdateLatency got %d rows, want %d", len(latency), s.in.M())
+		Latency: make([][]float64, m),
+		// The cluster hint survives the swap: ClusterDelays re-verifies it
+		// against the new matrix, so a change that breaks the block
+		// structure degrades solvers to the generic path, never corrupts.
+		Cluster: append([]int(nil), s.in.Cluster...),
 	}
 	for i, row := range latency {
 		next.Latency[i] = append([]float64(nil), row...)
@@ -144,6 +189,61 @@ func (s *Session) UpdateLatency(latency [][]float64) error {
 	if err := next.Validate(); err != nil {
 		return err
 	}
+	s.in = next
+	s.epoch++
+	return nil
+}
+
+// ServerSpec describes a server joining a live session via AddServer.
+type ServerSpec struct {
+	// Speed is the new server's processing speed (> 0, requests/ms).
+	Speed float64
+	// Load is the joining organization's initial request count (≥ 0; a
+	// freshly provisioned server typically joins with 0).
+	Load float64
+	// LatencyTo[j] is the one-way delay from the new server to existing
+	// server j; LatencyFrom[j] the delay from j to the new server. Both
+	// must have length Session.M(); +Inf marks a forbidden link.
+	LatencyTo, LatencyFrom []float64
+	// Cluster is the metro label of the new server, used only when the
+	// session's instance carries cluster labels (NetClustered scenarios).
+	// To keep the sparse solver's block-structure fast path, the latency
+	// rows must agree exactly with the cluster's block delays.
+	Cluster int
+}
+
+// AddServer grows the session by one organization, appended at index M().
+// The current allocation is carried over: existing organizations keep
+// their routing (nobody relays to a server it has not seen), and the
+// newcomer starts by serving its own load locally — feasible by
+// construction, and the warm start the next Reoptimize improves.
+func (s *Session) AddServer(spec ServerSpec) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, err := s.in.WithServer(spec.Speed, spec.Load, spec.LatencyTo, spec.LatencyFrom, spec.Cluster)
+	if err != nil {
+		return err
+	}
+	s.alloc = dynamic.Expand(s.alloc, spec.Load)
+	s.in = next
+	s.epoch++
+	return nil
+}
+
+// RemoveServer removes organization i from the session (a rolling
+// restart, a failure, an outage). The departing organization's requests
+// leave with it; every remaining organization pulls the requests it was
+// relaying to the removed server back to its own server, so each
+// surviving row still sums to its load — the failover projection of
+// internal/dynamic.Collapse. Indices above i shift down by one.
+func (s *Session) RemoveServer(i int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	next, err := s.in.WithoutServer(i)
+	if err != nil {
+		return err
+	}
+	s.alloc = dynamic.Collapse(s.alloc, i)
 	s.in = next
 	s.epoch++
 	return nil
