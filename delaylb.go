@@ -44,13 +44,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 
 	"delaylb/internal/core"
 	"delaylb/internal/discrete"
 	"delaylb/internal/game"
 	"delaylb/internal/model"
 	"delaylb/internal/runtime"
+	"delaylb/internal/sparse"
 )
 
 // System is an immutable problem description: servers, their speeds,
@@ -94,12 +97,14 @@ func (s *System) Identity() *Result {
 }
 
 // Result is the outcome of an optimization or equilibrium computation.
+//
+// The allocation itself is stored in whichever form the producing
+// solver worked in — dense, or sparse for the scale-tier paths
+// (WithSparse) — and the dense Requests/Fractions matrices are
+// materialized lazily on first call, so results from an m=5000 sparse
+// solve stay O(nnz) until a caller explicitly asks for the O(m²) form.
+// Use Each / AllocationDistance to consume large results sparsely.
 type Result struct {
-	// Requests[i][j] is r_ij: the number of organization i's requests
-	// executed at server j.
-	Requests [][]float64
-	// Fractions[i][j] is ρ_ij = r_ij / n_i.
-	Fractions [][]float64
 	// Loads[j] is the resulting total load of server j.
 	Loads []float64
 	// Cost is the total expected processing time ΣC_i.
@@ -126,15 +131,247 @@ type Result struct {
 	// "max-iters", "callback", "target" or "canceled" for solver runs;
 	// "rounds" for a Session.RunCluster that completed its tick budget.
 	Reason string
+
+	mu sync.Mutex
+	// Exactly one of requests / sparseReq is set at construction; the
+	// other — and fractions — materialize lazily under mu.
+	requests  [][]float64
+	sparseReq *sparse.Matrix
+	fractions [][]float64
+	// orgLoads is n_i at solve time, the Fractions denominator.
+	orgLoads []float64
+}
+
+// M returns the number of organizations covered by the result.
+func (r *Result) M() int { return len(r.orgLoads) }
+
+// Requests returns the dense r matrix: Requests()[i][j] is r_ij, the
+// number of organization i's requests executed at server j. For a
+// sparse-backed result the matrix is materialized (O(m²)) on first call
+// and cached; prefer Each at scale. Treat the returned matrix as
+// read-only.
+func (r *Result) Requests() [][]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.requests == nil && r.sparseReq != nil {
+		r.requests = r.sparseReq.Dense()
+	}
+	return r.requests
+}
+
+// Fractions returns the dense relay-fraction matrix ρ with ρ_ij =
+// r_ij / n_i (rows with n_i == 0 report ρ_ii = 1). Materialized lazily
+// (O(m²)) and cached; treat as read-only.
+func (r *Result) Fractions() [][]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fractions != nil {
+		return r.fractions
+	}
+	m := r.M()
+	rho := make([][]float64, m)
+	buf := make([]float64, m*m)
+	for i := range rho {
+		rho[i], buf = buf[:m:m], buf[m:]
+	}
+	fill := func(i, j int, v float64) { rho[i][j] = v / r.orgLoads[i] }
+	for i, n := range r.orgLoads {
+		if n == 0 {
+			rho[i][i] = 1
+		}
+	}
+	if r.sparseReq != nil && r.requests == nil {
+		for i, idx := range r.sparseReq.Idx {
+			if r.orgLoads[i] == 0 {
+				continue
+			}
+			for t, j := range idx {
+				fill(i, int(j), r.sparseReq.Val[i][t])
+			}
+		}
+	} else {
+		for i, row := range r.requests {
+			if r.orgLoads[i] == 0 {
+				continue
+			}
+			for j, v := range row {
+				fill(i, j, v)
+			}
+		}
+	}
+	r.fractions = rho
+	return rho
+}
+
+// Each calls f for every stored allocation entry (i, j, r_ij) in row-
+// major order. On a sparse-backed result only the nonzeros are visited;
+// on a dense-backed one every entry is, including explicit zeros — check
+// req != 0 when only mass matters. This is the O(nnz) way to consume a
+// scale-tier result without materializing Requests.
+func (r *Result) Each(f func(i, j int, req float64)) {
+	r.mu.Lock()
+	sp, dense := r.sparseReq, r.requests
+	r.mu.Unlock()
+	if dense != nil || sp == nil {
+		for i, row := range dense {
+			for j, v := range row {
+				f(i, j, v)
+			}
+		}
+		return
+	}
+	for i, idx := range sp.Idx {
+		val := sp.Val[i]
+		for t, j := range idx {
+			f(i, int(j), val[t])
+		}
+	}
+}
+
+// AllocationDistance returns Σ_ij |a_ij − b_ij|, the Manhattan distance
+// between two results' allocations (the metric of paper Proposition 1;
+// half of it is the volume of requests that changed server). When both
+// results are sparse-backed the merge runs in O(nnz_a + nnz_b). Results
+// of different sizes (a churn event between them) are infinitely far
+// apart: the distance is +Inf.
+func AllocationDistance(a, b *Result) float64 {
+	if a.M() != b.M() {
+		return math.Inf(1)
+	}
+	a.mu.Lock()
+	sa, da := a.sparseReq, a.requests
+	a.mu.Unlock()
+	b.mu.Lock()
+	sb, db := b.sparseReq, b.requests
+	b.mu.Unlock()
+	if sa != nil && da == nil && sb != nil && db == nil {
+		var d float64
+		for i := range sa.Idx {
+			ia, va := sa.Idx[i], sa.Val[i]
+			ib, vb := sb.Idx[i], sb.Val[i]
+			x, y := 0, 0
+			for x < len(ia) || y < len(ib) {
+				switch {
+				case y == len(ib) || (x < len(ia) && ia[x] < ib[y]):
+					d += math.Abs(va[x])
+					x++
+				case x == len(ia) || ib[y] < ia[x]:
+					d += math.Abs(vb[y])
+					y++
+				default:
+					d += math.Abs(va[x] - vb[y])
+					x++
+					y++
+				}
+			}
+		}
+		return d
+	}
+	ra, rb := a.Requests(), b.Requests()
+	var d float64
+	for i, row := range ra {
+		for j, v := range row {
+			d += math.Abs(v - rb[i][j])
+		}
+	}
+	return d
+}
+
+// NewResult builds a Result from an explicit requests matrix —
+// NewResult(sys, req)[i][j] holding r_ij, organization i's requests
+// executed at server j. This is the constructor for third-party solvers
+// registered via RegisterSolver: loads, total cost and per-organization
+// costs are derived from the system, exactly as the built-in solvers
+// do, so Session.Reoptimize adopts the allocation and EpsilonNash /
+// DistanceBound / RoundTasks accept the result. The matrix is not
+// copied. Iteration/convergence metadata is the caller's to fill in.
+func NewResult(sys *System, requests [][]float64) (*Result, error) {
+	m := sys.in.M()
+	if len(requests) != m {
+		return nil, fmt.Errorf("delaylb: NewResult got %d rows, want %d", len(requests), m)
+	}
+	for i, row := range requests {
+		if len(row) != m {
+			return nil, fmt.Errorf("delaylb: NewResult row %d has %d entries, want %d", i, len(row), m)
+		}
+	}
+	return resultFromAllocation(sys.in, &model.Allocation{R: requests}), nil
+}
+
+// hasAllocation reports whether the result carries an allocation at all
+// (solver errors can produce metadata-only results).
+func (r *Result) hasAllocation() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.requests != nil || r.sparseReq != nil
+}
+
+// sparseRequests returns the sparse backing, materializing it from the
+// dense form when needed (O(m²) scan, only on mixed solver/session
+// mode combinations such as a MinE solve feeding a sparse session).
+func (r *Result) sparseRequests() *sparse.Matrix {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sparseReq == nil && r.requests != nil {
+		r.sparseReq = sparse.FromDense(r.requests, 0)
+	}
+	return r.sparseReq
 }
 
 func resultFromAllocation(in *model.Instance, a *model.Allocation) *Result {
 	return &Result{
-		Requests:  a.R,
-		Fractions: a.Fractions(in),
-		Loads:     a.Loads(),
-		Cost:      model.TotalCost(in, a),
-		OrgCosts:  model.OrgCosts(in, a),
+		requests: a.R,
+		orgLoads: append([]float64(nil), in.Load...),
+		Loads:    a.Loads(),
+		Cost:     model.TotalCost(in, a),
+		OrgCosts: model.OrgCosts(in, a),
+	}
+}
+
+// resultFromSparseRequests builds a Result around a sparse requests
+// matrix without densifying: loads, total cost and per-organization
+// costs are computed in O(nnz + m) with the same accumulation order as
+// the dense resultFromAllocation, so the two agree bit for bit on
+// matching allocations (dense zeros contribute exact +0 terms).
+func resultFromSparseRequests(in *model.Instance, req *sparse.Matrix) *Result {
+	m := in.M()
+	loads := make([]float64, m)
+	for i := range req.Idx {
+		val := req.Val[i]
+		for t, j := range req.Idx[i] {
+			loads[j] += val[t]
+		}
+	}
+	lat := in.Latency
+	var congestion float64
+	for j, l := range loads {
+		congestion += l * l / (2 * in.Speed[j])
+	}
+	var comm float64
+	orgCosts := make([]float64, m)
+	for i := range req.Idx {
+		val := req.Val[i]
+		var c float64
+		for t, jj := range req.Idx[i] {
+			v := val[t]
+			if v == 0 {
+				continue
+			}
+			j := int(jj)
+			cij := lat.At(i, j)
+			if j != i {
+				comm += v * cij
+			}
+			c += v * (loads[j]/(2*in.Speed[j]) + cij)
+		}
+		orgCosts[i] = c
+	}
+	return &Result{
+		sparseReq: req,
+		orgLoads:  append([]float64(nil), in.Load...),
+		Loads:     loads,
+		Cost:      congestion + comm,
+		OrgCosts:  orgCosts,
 	}
 }
 
@@ -262,7 +499,7 @@ func (s *System) NashEquilibriumContext(ctx context.Context, opts ...Option) (*R
 // still obtain by unilaterally deviating from the given allocation to its
 // best response: 0 means an exact Nash equilibrium.
 func (s *System) EpsilonNash(res *Result) float64 {
-	return game.EpsilonNash(s.in, &model.Allocation{R: res.Requests})
+	return game.EpsilonNash(s.in, &model.Allocation{R: res.Requests()})
 }
 
 // PriceOfAnarchy measures the cost of selfishness: ΣC_i at the Nash
@@ -291,7 +528,7 @@ func (s *System) TheoreticalPoABounds() (lower, upper float64) {
 // deliberately conservative (factor (4m+1)·Σs_i); it is an operator's
 // stop-or-continue signal, not a tight estimate. Expensive: O(m³ log m).
 func (s *System) DistanceBound(res *Result) float64 {
-	alloc := (&model.Allocation{R: res.Requests}).Clone()
+	alloc := (&model.Allocation{R: res.Requests()}).Clone()
 	st := core.NewState(s.in, alloc)
 	core.RemoveCycles(st)
 	return core.DistanceBound(st)
@@ -314,7 +551,7 @@ func (s *System) OptimizeReplicated(r int, opts ...Option) (*Result, error) {
 // servers that should hold its copies, with inclusion probabilities
 // r·ρ_ij taken from a replicated optimization result.
 func (s *System) PlaceReplicas(res *Result, org, r int, seed int64) []int {
-	return discrete.PlaceReplicas(res.Fractions[org], r, rand.New(rand.NewSource(seed)))
+	return discrete.PlaceReplicas(res.Fractions()[org], r, rand.New(rand.NewSource(seed)))
 }
 
 // Task is an indivisible request with a size, for the §VII discrete
@@ -332,7 +569,7 @@ func (s *System) GenerateTasks(meanSize float64, seed int64) []Task {
 // by the organization's largest task). It returns the task → server
 // assignment and the achieved discrete allocation as a Result.
 func (s *System) RoundTasks(res *Result, tasks []Task) ([]int, *Result) {
-	asg := discrete.Round(s.in, res.Fractions, tasks)
+	asg := discrete.Round(s.in, res.Fractions(), tasks)
 	vol := discrete.Volumes(s.in, tasks, asg)
 	return asg, resultFromAllocation(s.in, vol)
 }

@@ -36,11 +36,11 @@ func TestOptimizeDefaultSolver(t *testing.T) {
 	if !res.Converged {
 		t.Error("MinE did not converge")
 	}
-	if res.Cost <= 0 || len(res.Requests) != 20 || len(res.CostTrace) == 0 {
+	if res.Cost <= 0 || len(res.Requests()) != 20 || len(res.CostTrace) == 0 {
 		t.Errorf("suspicious result: cost=%v", res.Cost)
 	}
 	// Fractions must be row-stochastic.
-	for i, row := range res.Fractions {
+	for i, row := range res.Fractions() {
 		var sum float64
 		for _, f := range row {
 			if f < -1e-9 {
@@ -180,7 +180,7 @@ func TestReplicatedOptimization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, row := range res.Fractions {
+	for i, row := range res.Fractions() {
 		for j, f := range row {
 			if f > 1.0/r+1e-6 {
 				t.Fatalf("fraction[%d][%d] = %v exceeds 1/R", i, j, f)

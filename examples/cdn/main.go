@@ -72,7 +72,7 @@ func run(w io.Writer) error {
 	// Place the replicas of three example chunks of the busiest org.
 	busiest := 0
 	maxLoad := 0.0
-	for i, row := range repl.Requests {
+	for i, row := range repl.Requests() {
 		var n float64
 		for _, v := range row {
 			n += v

@@ -53,7 +53,7 @@ func run(w io.Writer) error {
 		fmt.Fprintf(w, "  server %d (speed %.0f): %6.1f requests\n", j, speeds[j], l)
 	}
 	fmt.Fprintln(w, "where organization 0's requests run (fractions):")
-	for j, f := range opt.Fractions[0] {
+	for j, f := range opt.Fractions()[0] {
 		if f > 1e-6 {
 			fmt.Fprintf(w, "  %5.1f%% on server %d (latency %2.0f ms)\n", 100*f, j, latency[0][j])
 		}

@@ -110,8 +110,8 @@ func TestPipelineWithForbiddenLinks(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j := 5; j < m; j++ {
-		if opt.Requests[0][j] != 0 {
-			t.Fatalf("optimizer placed %v on forbidden server %d", opt.Requests[0][j], j)
+		if opt.Requests()[0][j] != 0 {
+			t.Fatalf("optimizer placed %v on forbidden server %d", opt.Requests()[0][j], j)
 		}
 	}
 	nash, err := sys.NashEquilibrium()
@@ -119,8 +119,8 @@ func TestPipelineWithForbiddenLinks(t *testing.T) {
 		t.Fatal(err)
 	}
 	for j := 5; j < m; j++ {
-		if nash.Requests[0][j] != 0 {
-			t.Fatalf("nash placed %v on forbidden server %d", nash.Requests[0][j], j)
+		if nash.Requests()[0][j] != 0 {
+			t.Fatalf("nash placed %v on forbidden server %d", nash.Requests()[0][j], j)
 		}
 	}
 }
@@ -147,9 +147,9 @@ func TestPipelineDeterminism(t *testing.T) {
 	if a.Cost != b.Cost || a.Iterations != b.Iterations {
 		t.Fatal("Optimize not deterministic under fixed seeds")
 	}
-	for i := range a.Requests {
-		for j := range a.Requests {
-			if a.Requests[i][j] != b.Requests[i][j] {
+	for i := range a.Requests() {
+		for j := range a.Requests() {
+			if a.Requests()[i][j] != b.Requests()[i][j] {
 				t.Fatal("allocations differ under fixed seeds")
 			}
 		}

@@ -48,7 +48,7 @@ func RemoveCycles(st *State) float64 {
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
 			if i != j && a.R[i][j] != 0 {
-				before += a.R[i][j] * in.Latency[i][j]
+				before += a.R[i][j] * in.LatAt(i, j)
 			}
 		}
 	}
@@ -71,10 +71,10 @@ func RemoveCycles(st *State) float64 {
 			continue
 		}
 		for j := 0; j < m; j++ {
-			if i == j || inc[j] == 0 || math.IsInf(in.Latency[i][j], 1) {
+			if i == j || inc[j] == 0 || math.IsInf(in.LatAt(i, j), 1) {
 				continue
 			}
-			id := g.AddEdge(i, m+j, math.Inf(1), in.Latency[i][j])
+			id := g.AddEdge(i, m+j, math.Inf(1), in.LatAt(i, j))
 			arcs = append(arcs, arc{i, j, id})
 		}
 	}

@@ -141,7 +141,7 @@ func TestMinEConvergedStateHasNoCycles(t *testing.T) {
 
 func TestRemoveCyclesRespectsForbiddenLinks(t *testing.T) {
 	in := model.Uniform(4, 1, 10, 5)
-	in.Latency[0][3] = math.Inf(1)
+	in.Latency.(model.DenseLatency)[0][3] = math.Inf(1)
 	a := model.NewAllocation(4)
 	a.R[0][0], a.R[0][1] = 5, 5
 	a.R[1][1] = 10

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"delaylb/internal/model"
+)
+
+// This file implements the metro-bucketed candidate index for the proxy
+// and hybrid partner searches. Without it, every Algorithm 2 server step
+// scans all m−1 candidate partners even though the proxy score of a
+// candidate j depends on j only through its metro (the latency term) and
+// its (speed, load) pair. On a BlockLatency-backed instance the index
+// answers the same argmax exactly — bit-identical partners and gains,
+// pinned by metroindex_test.go — by branch-and-bound instead of
+// enumeration.
+//
+// The key identity: for a transfer from server i to a candidate j at
+// latency c, the unclamped Lemma 1 improvement is
+//
+//	gain = ½ · H(s_j) · (A − β_j)²   with A = β_i − c, β = load/speed,
+//	H(s) = s_i·s_j/(s_i + s_j),
+//
+// which is increasing in s_j and decreasing in β_j (for A > β_j), and the
+// load-clamped gain inherits both monotonicities. A segment-tree node
+// storing (max s, min β, max β) over its members therefore yields a valid
+// upper bound for both transfer directions, and a best-first search over
+// those nodes finds the exact argmax while typically touching O(log)
+// nodes per metro. Worst case (adversarially tied instances) degrades to
+// the full scan's O(m log m) — never worse than a constant factor over
+// the code it replaces, and exact either way.
+
+// MetroIndex accelerates proxy/hybrid partner searches on block-backed
+// instances. It must be kept in sync with the state's load vector via
+// UpdateLoad; queries are exact with respect to the loads last pushed.
+type MetroIndex struct {
+	labels []int
+	delay  [][]float64
+	speed  []float64
+	loads  []float64 // mirror of the state's loads
+	beta   []float64 // loads[j]/speed[j]
+	trees  []*metroTree
+	pos    []int32 // server -> leaf slot in its metro's tree
+
+	heap  boundHeap // scratch for best-first search
+	cand  []scoredCandidate
+	dst   []int
+	heads []metroHead // scratch for nearest-neighbour merges
+}
+
+// metroTree is an array-backed segment tree over one metro's members.
+// Member order is ascending server index, which makes the per-node
+// minimum index simply the leftmost leaf.
+type metroTree struct {
+	members []int32 // ascending server indices
+	n       int
+	// Per node (1-based heap layout, leaves at [n, 2n)):
+	maxS   []float64 // max speed in subtree (static)
+	minB   []float64 // min β in subtree
+	maxB   []float64 // max β in subtree
+	minIdx []int32   // min server index in subtree (static)
+}
+
+// NewMetroIndex builds the index from the instance's block view and an
+// all-zero load vector; call Rebuild with the real loads before use. It
+// returns nil when the instance is not block-backed — callers fall back
+// to the plain scan.
+func NewMetroIndex(in *model.Instance) *MetroIndex {
+	b, ok := in.Latency.(*model.BlockLatency)
+	if !ok {
+		return nil
+	}
+	m := in.M()
+	k := b.K()
+	mi := &MetroIndex{
+		labels: b.Label,
+		delay:  b.Delay,
+		speed:  in.Speed,
+		loads:  make([]float64, m),
+		beta:   make([]float64, m),
+		trees:  make([]*metroTree, k),
+		pos:    make([]int32, m),
+	}
+	counts := make([]int, k)
+	for _, g := range b.Label {
+		counts[g]++
+	}
+	for g := 0; g < k; g++ {
+		if counts[g] == 0 {
+			continue
+		}
+		mi.trees[g] = &metroTree{members: make([]int32, 0, counts[g])}
+	}
+	for j, g := range b.Label { // ascending j: members stay sorted
+		t := mi.trees[g]
+		mi.pos[j] = int32(len(t.members))
+		t.members = append(t.members, int32(j))
+	}
+	for _, t := range mi.trees {
+		if t == nil {
+			continue
+		}
+		t.n = len(t.members)
+		size := 2 * t.n
+		t.maxS = make([]float64, size)
+		t.minB = make([]float64, size)
+		t.maxB = make([]float64, size)
+		t.minIdx = make([]int32, size)
+	}
+	return mi
+}
+
+// Rebuild refreshes every β from the given loads (O(m)).
+func (mi *MetroIndex) Rebuild(loads []float64) {
+	copy(mi.loads, loads)
+	for j := range mi.beta {
+		mi.beta[j] = loads[j] / mi.speed[j]
+	}
+	for _, t := range mi.trees {
+		if t == nil {
+			continue
+		}
+		for s := 0; s < t.n; s++ {
+			j := t.members[s]
+			leaf := t.n + s
+			t.maxS[leaf] = mi.speed[j]
+			t.minB[leaf] = mi.beta[j]
+			t.maxB[leaf] = mi.beta[j]
+			t.minIdx[leaf] = j
+		}
+		for v := t.n - 1; v >= 1; v-- {
+			t.pull(v)
+		}
+	}
+}
+
+// UpdateLoad refreshes server j's β after its load changed (O(log w)).
+func (mi *MetroIndex) UpdateLoad(j int, load float64) {
+	mi.loads[j] = load
+	mi.beta[j] = load / mi.speed[j]
+	t := mi.trees[mi.labels[j]]
+	v := t.n + int(mi.pos[j])
+	t.minB[v] = mi.beta[j]
+	t.maxB[v] = mi.beta[j]
+	for v >>= 1; v >= 1; v >>= 1 {
+		t.pull(v)
+	}
+}
+
+func (t *metroTree) pull(v int) {
+	l, r := 2*v, 2*v+1
+	if r >= 2*t.n { // single-child node (odd tree sizes)
+		t.maxS[v], t.minB[v], t.maxB[v], t.minIdx[v] = t.maxS[l], t.minB[l], t.maxB[l], t.minIdx[l]
+		return
+	}
+	t.maxS[v] = math.Max(t.maxS[l], t.maxS[r])
+	t.minB[v] = math.Min(t.minB[l], t.minB[r])
+	t.maxB[v] = math.Max(t.maxB[l], t.maxB[r])
+	t.minIdx[v] = t.minIdx[l]
+	if t.minIdx[r] < t.minIdx[v] {
+		t.minIdx[v] = t.minIdx[r]
+	}
+}
+
+// boundEntry is one segment-tree node (or root) on the best-first
+// frontier, ordered by upper bound, ties by minimum member index so
+// tied candidates are discovered smallest-index first.
+type boundEntry struct {
+	ub     float64
+	tree   *metroTree
+	node   int // segment-tree node id
+	minIdx int32
+	a, b   float64 // direction thresholds A (outgoing) and B (incoming)
+}
+
+type boundHeap []boundEntry
+
+func (h boundHeap) Len() int { return len(h) }
+func (h boundHeap) Less(x, y int) bool {
+	if h[x].ub != h[y].ub {
+		return h[x].ub > h[y].ub
+	}
+	return h[x].minIdx < h[y].minIdx
+}
+func (h boundHeap) Swap(x, y int)       { h[x], h[y] = h[y], h[x] }
+func (h *boundHeap) Push(v interface{}) { *h = append(*h, v.(boundEntry)) }
+func (h *boundHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// ubSlack inflates upper bounds by one part in 10⁹ so that a bound
+// computed in a different floating-point order can never prune the exact
+// gain it is supposed to dominate.
+const ubSlack = 1 + 1e-9
+
+// nodeUB bounds the best achievable proxy gain inside a subtree for a
+// query with outgoing threshold A (= β_id − c_out, moving load to the
+// candidate) and incoming threshold B (= β_id + c_in, pulling load from
+// the candidate). si is the querying server's speed.
+func nodeUB(t *metroTree, v int, si, a, b float64) float64 {
+	h := si * t.maxS[v] / (si + t.maxS[v])
+	var ub float64
+	// The absolute slack keeps thresholds computed here (β-space) from
+	// disagreeing, by float rounding, with the request-space sign test
+	// inside proxyGain near d = 0.
+	if d := a - t.minB[v] + 1e-9*(math.Abs(a)+math.Abs(t.minB[v])+1); d > 0 {
+		ub = 0.5 * h * d * d
+	}
+	if d := t.maxB[v] - b + 1e-9*(math.Abs(b)+math.Abs(t.maxB[v])+1); d > 0 {
+		if g := 0.5 * h * d * d; g > ub {
+			ub = g
+		}
+	}
+	return ub * ubSlack
+}
+
+// scoredCandidate records one exactly-evaluated candidate.
+type scoredCandidate struct {
+	j    int32
+	gain float64
+}
+
+// search runs the best-first branch-and-bound for server id, invoking
+// gainFn (the selector's exact proxyGain) at the leaves. It keeps the
+// best `want` candidates and stops once no unexplored node can beat —
+// or, to preserve smallest-index tie-breaking, tie — the current
+// cutoff. Candidates with gain 0 are not collected; the callers treat
+// "nothing positive" separately, exactly like the plain scans.
+func (mi *MetroIndex) search(id, want int, gainFn func(id, j int) float64) []scoredCandidate {
+	si := mi.speed[id]
+	bi := mi.beta[id]
+	gi := mi.labels[id]
+	drow := mi.delay[gi]
+	mi.heap = mi.heap[:0]
+	mi.cand = mi.cand[:0]
+	for h, t := range mi.trees {
+		if t == nil {
+			continue
+		}
+		cOut, cIn := drow[h], mi.delay[h][gi]
+		a, b := math.Inf(-1), math.Inf(1)
+		if !math.IsInf(cOut, 1) {
+			a = bi - cOut
+		}
+		if !math.IsInf(cIn, 1) {
+			b = bi + cIn
+		}
+		if ub := nodeUB(t, 1, si, a, b); ub > 0 {
+			mi.heap = append(mi.heap, boundEntry{ub: ub, tree: t, node: 1, minIdx: t.minIdx[1], a: a, b: b})
+		}
+	}
+	heap.Init(&mi.heap)
+	cutoff := func() float64 {
+		if len(mi.cand) < want {
+			return 0
+		}
+		worst := mi.cand[0].gain
+		for _, c := range mi.cand[1:] {
+			if c.gain < worst {
+				worst = c.gain
+			}
+		}
+		return worst
+	}
+	for len(mi.heap) > 0 {
+		if cut := cutoff(); cut > 0 && mi.heap[0].ub < cut {
+			break
+		}
+		e := heap.Pop(&mi.heap).(boundEntry)
+		t := e.tree
+		if e.node >= t.n { // leaf
+			j := t.members[e.node-t.n]
+			if int(j) == id {
+				continue
+			}
+			if g := gainFn(id, int(j)); g > 0 {
+				mi.cand = append(mi.cand, scoredCandidate{j: j, gain: g})
+			}
+			continue
+		}
+		for _, c := range []int{2 * e.node, 2*e.node + 1} {
+			if c >= 2*t.n {
+				continue
+			}
+			if ub := nodeUB(t, c, si, e.a, e.b); ub > 0 {
+				if cut := cutoff(); cut > 0 && ub < cut {
+					continue
+				}
+				heap.Push(&mi.heap, boundEntry{ub: ub, tree: t, node: c, minIdx: t.minIdx[c], a: e.a, b: e.b})
+			}
+		}
+	}
+	// Best gains first, smallest index among ties — the order the plain
+	// ascending-j scans encode.
+	sort.Slice(mi.cand, func(x, y int) bool {
+		if mi.cand[x].gain != mi.cand[y].gain {
+			return mi.cand[x].gain > mi.cand[y].gain
+		}
+		return mi.cand[x].j < mi.cand[y].j
+	})
+	return mi.cand
+}
+
+// Best returns the exact argmax candidate for server id — the partner
+// the unbucketed bestProxy scan would pick — or (-1, 0) when no partner
+// has positive proxy gain.
+func (mi *MetroIndex) Best(id int, gainFn func(id, j int) float64) (int, float64) {
+	cand := mi.search(id, 1, gainFn)
+	if len(cand) == 0 {
+		return -1, 0
+	}
+	return int(cand[0].j), cand[0].gain
+}
+
+// AppendTopProxy appends the indices of the (up to) k best candidates by
+// exact proxy gain — the same list the unbucketed appendTopK produces,
+// including its zero-gain padding in ascending index order.
+func (mi *MetroIndex) AppendTopProxy(dst []int, id, k int, gainFn func(id, j int) float64) []int {
+	cand := mi.search(id, k, gainFn)
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	for _, c := range cand {
+		dst = append(dst, int(c.j))
+	}
+	// The unbucketed appendTopK inserts zero-gain candidates too
+	// (proxyGain never returns a negative or −Inf score, forbidden
+	// metros included); with fewer than k positive gains they fill the
+	// tail in ascending index order, because its insertion sort keeps
+	// equal keys in scan order.
+	for j := 0; len(dst) < k && j < len(mi.labels); j++ {
+		if j == id {
+			continue
+		}
+		if gainFn(id, j) == 0 {
+			dst = append(dst, j)
+		}
+		// A positive gain here is already in dst (the search is exact);
+		// either way the slot bookkeeping matches the plain scan because
+		// positives were placed ahead of every zero.
+	}
+	return dst
+}
+
+// metroHead is one metro's cursor in the nearest-neighbour merge.
+type metroHead struct {
+	delay float64
+	tree  *metroTree
+	next  int // next member slot to emit
+	skip  int32
+}
+
+// AppendNearest appends the (up to) k servers with the smallest latency
+// from id — ties by ascending index — reproducing the dense
+// appendTopK(-c_ij) shortlist in O(k·log + k_out) instead of O(m).
+func (mi *MetroIndex) AppendNearest(dst []int, id, k int) []int {
+	gi := mi.labels[id]
+	drow := mi.delay[gi]
+	mi.heads = mi.heads[:0]
+	for h, t := range mi.trees {
+		if t == nil || math.IsInf(drow[h], 1) {
+			continue
+		}
+		mi.heads = append(mi.heads, metroHead{delay: drow[h], tree: t, skip: int32(id)})
+	}
+	sort.Slice(mi.heads, func(x, y int) bool {
+		if mi.heads[x].delay != mi.heads[y].delay {
+			return mi.heads[x].delay < mi.heads[y].delay
+		}
+		return mi.heads[x].tree.members[0] < mi.heads[y].tree.members[0]
+	})
+	// k-way merge by (delay, index): repeatedly take the head with the
+	// lexicographically smallest (delay, next member index).
+	taken := 0
+	for taken < k {
+		best := -1
+		var bestDelay float64
+		var bestIdx int32
+		for hi := range mi.heads {
+			h := &mi.heads[hi]
+			for h.next < h.tree.n && h.tree.members[h.next] == h.skip {
+				h.next++
+			}
+			if h.next >= h.tree.n {
+				continue
+			}
+			idx := h.tree.members[h.next]
+			if best < 0 || h.delay < bestDelay || (h.delay == bestDelay && idx < bestIdx) {
+				best, bestDelay, bestIdx = hi, h.delay, idx
+			}
+		}
+		if best < 0 {
+			break
+		}
+		mi.heads[best].next++
+		dst = append(dst, int(bestIdx))
+		taken++
+	}
+	return dst
+}

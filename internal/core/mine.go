@@ -46,6 +46,14 @@ type Config struct {
 	// RemoveCyclesEvery, if positive, runs the Appendix A negative-cycle
 	// removal after every that many iterations (§VI-B compares 0 vs 2).
 	RemoveCyclesEvery int
+	// MetroIndex enables the metro-bucketed candidate index for the
+	// proxy and hybrid partner searches on BlockLatency-backed
+	// instances: instead of scanning all m−1 partners per server step,
+	// candidates are found by exact branch-and-bound over per-metro
+	// segment trees — same partners, same gains (pinned by
+	// metroindex_test.go), typically O(k log m) per step. Ignored for
+	// the exact strategy and for instances without a block latency view.
+	MetroIndex bool
 	// SparseColumns enables the column-owner index: pairwise evaluation
 	// and application gather only the organizations with requests on the
 	// two involved servers, dropping the per-pair cost from O(m log m) to
@@ -146,9 +154,15 @@ func RunState(st *State, cfg Config) *Trace {
 				movedTotal += out.Moved
 				accepted++
 			}
+			sel.noteLoads(id, partner)
 		}
 		if cfg.RemoveCyclesEvery > 0 && iter%cfg.RemoveCyclesEvery == 0 {
 			cost -= RemoveCycles(st)
+			if sel.metro != nil {
+				// Cycle removal preserves per-server loads, but re-sync
+				// defensively: the rebuild is O(m), once per removal pass.
+				sel.metro.Rebuild(st.Loads)
+			}
 		}
 		// Recompute the cost exactly every iteration to avoid float
 		// drift in long runs.
@@ -187,14 +201,22 @@ func ReferenceOptimum(in *model.Instance, rng *rand.Rand) float64 {
 // selector implements the three partner-selection strategies with shared
 // scratch buffers.
 type selector struct {
-	st   *State
-	cfg  Config
-	buf  *pairBuffer
-	cand []int // scratch for hybrid short-lists
+	st     *State
+	cfg    Config
+	buf    *pairBuffer
+	cand   []int     // scratch for hybrid short-lists
+	rowBuf []float64 // scratch for block-view latency rows
+	metro  *MetroIndex
 }
 
 func newSelector(st *State, cfg Config) *selector {
-	return &selector{st: st, cfg: cfg, buf: newPairBuffer(st.In.M())}
+	s := &selector{st: st, cfg: cfg, buf: newPairBuffer(st.In.M()), rowBuf: make([]float64, st.In.M())}
+	if cfg.MetroIndex && (cfg.Strategy == StrategyProxy || cfg.Strategy == StrategyHybrid) {
+		if s.metro = NewMetroIndex(st.In); s.metro != nil { // nil: view not block-backed
+			s.metro.Rebuild(st.Loads)
+		}
+	}
+	return s
 }
 
 // pick returns the chosen partner for server id and the (estimated or
@@ -202,6 +224,9 @@ func newSelector(st *State, cfg Config) *selector {
 func (s *selector) pick(id int) (int, float64) {
 	switch s.cfg.Strategy {
 	case StrategyProxy:
+		if s.metro != nil {
+			return s.metro.Best(id, s.proxyGain)
+		}
 		j, gain := s.bestProxy(id)
 		return j, gain
 	case StrategyHybrid:
@@ -209,6 +234,16 @@ func (s *selector) pick(id int) (int, float64) {
 	default:
 		return s.bestExact(id)
 	}
+}
+
+// noteLoads re-syncs the metro index after the loads of servers i and j
+// changed (an accepted pairwise transfer).
+func (s *selector) noteLoads(i, j int) {
+	if s.metro == nil {
+		return
+	}
+	s.metro.UpdateLoad(i, s.st.Loads[i])
+	s.metro.UpdateLoad(j, s.st.Loads[j])
 }
 
 // bestExact is Algorithm 2 verbatim: argmax_j impr(id, j).
@@ -236,13 +271,13 @@ func (s *selector) proxyGain(i, j int) float64 {
 	si, sj := in.Speed[i], in.Speed[j]
 	li, lj := s.st.Loads[i], s.st.Loads[j]
 	gain := 0.0
-	if c := in.Latency[i][j]; !math.IsInf(c, 1) {
+	if c := in.LatAt(i, j); !math.IsInf(c, 1) {
 		if d := ((sj*li - si*lj) - si*sj*c) / (si + sj); d > 0 {
 			dd := math.Min(d, li)
 			gain = quadGain(si, sj, li, lj, c, dd)
 		}
 	}
-	if c := in.Latency[j][i]; !math.IsInf(c, 1) {
+	if c := in.LatAt(j, i); !math.IsInf(c, 1) {
 		if d := ((si*lj - sj*li) - si*sj*c) / (si + sj); d > 0 {
 			dd := math.Min(d, lj)
 			if g := quadGain(sj, si, lj, li, c, dd); g > gain {
@@ -282,16 +317,21 @@ func (s *selector) bestHybrid(id int) (int, float64) {
 	k := s.cfg.HybridK
 	m := s.st.In.M()
 	s.cand = s.cand[:0]
-	s.cand = appendTopK(s.cand, k, m, id, func(j int) float64 {
-		return s.proxyGain(id, j)
-	})
-	lat := s.st.In.Latency[id]
-	s.cand = appendTopK(s.cand, k, m, id, func(j int) float64 {
-		if math.IsInf(lat[j], 1) {
-			return math.Inf(-1)
-		}
-		return -lat[j]
-	})
+	if s.metro != nil {
+		s.cand = s.metro.AppendTopProxy(s.cand, id, k, s.proxyGain)
+		s.cand = s.metro.AppendNearest(s.cand, id, k)
+	} else {
+		s.cand = appendTopK(s.cand, k, m, id, func(j int) float64 {
+			return s.proxyGain(id, j)
+		})
+		lat := model.RowView(s.st.In.Latency, id, s.rowBuf)
+		s.cand = appendTopK(s.cand, k, m, id, func(j int) float64 {
+			if math.IsInf(lat[j], 1) {
+				return math.Inf(-1)
+			}
+			return -lat[j]
+		})
+	}
 	for i := 0; i < k; i++ {
 		if j := s.cfg.Rng.Intn(m); j != id {
 			s.cand = append(s.cand, j)

@@ -169,7 +169,7 @@ func TestRunWithForbiddenLinks(t *testing.T) {
 	in := model.Uniform(6, 1, 100, 10)
 	// Organization 0 may only use servers 0–2.
 	for j := 3; j < 6; j++ {
-		in.Latency[0][j] = math.Inf(1)
+		in.Latency.(model.DenseLatency)[0][j] = math.Inf(1)
 	}
 	alloc, _ := Run(in, Config{Rng: rand.New(rand.NewSource(20))})
 	if err := alloc.Validate(in, 1e-6); err != nil {

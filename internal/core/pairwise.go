@@ -76,9 +76,10 @@ func (b *pairBuffer) loadSparse(st *State, i, j int) int {
 		b.rj[t] = st.Alloc.R[k][j]
 		b.oi[t] = b.ri[t]
 		b.oj[t] = b.rj[t]
-		b.cI[t] = st.In.Latency[k][i]
-		b.cJ[t] = st.In.Latency[k][j]
 	}
+	n := len(b.ks)
+	st.In.Latency.GatherCol(i, b.ks, b.cI[:n])
+	st.In.Latency.GatherCol(j, b.ks, b.cJ[:n])
 	return len(b.ks)
 }
 
@@ -95,10 +96,8 @@ func (b *pairBuffer) load(a *model.Allocation, i, j int) {
 // balance runs Algorithm 1 (CalcBestTransfer) on the buffered columns and
 // returns the resulting loads of servers i and j.
 func (b *pairBuffer) balance(in *model.Instance, i, j int) (li, lj float64) {
-	for k := range b.cI {
-		b.cI[k] = in.Latency[k][i]
-		b.cJ[k] = in.Latency[k][j]
-	}
+	in.Latency.ColInto(i, b.cI)
+	in.Latency.ColInto(j, b.cJ)
 	return BalanceColumns(in.Speed[i], in.Speed[j], b.ri, b.rj, b.cI, b.cJ, b.order, b.keys)
 }
 
@@ -296,12 +295,15 @@ func commitSparse(st *State, i, j int, buf *pairBuffer, li, lj float64) {
 // pairCost computes the local cost of the buffered columns.
 func pairCost(in *model.Instance, b *pairBuffer, i, j int, li, lj float64) float64 {
 	cost := li*li/(2*in.Speed[i]) + lj*lj/(2*in.Speed[j])
+	// b.cI/b.cJ were filled with columns i and j by balance and are not
+	// mutated by BalanceColumns, so reuse them instead of re-reading the
+	// latency view.
 	for k := range b.ri {
 		if v := b.ri[k]; v != 0 {
-			cost += v * in.Latency[k][i]
+			cost += v * b.cI[k]
 		}
 		if v := b.rj[k]; v != 0 {
-			cost += v * in.Latency[k][j]
+			cost += v * b.cJ[k]
 		}
 	}
 	return cost

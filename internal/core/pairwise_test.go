@@ -12,18 +12,18 @@ func randInstance(rng *rand.Rand, m int) *model.Instance {
 	in := &model.Instance{
 		Speed:   make([]float64, m),
 		Load:    make([]float64, m),
-		Latency: make([][]float64, m),
+		Latency: model.NewDense(make([][]float64, m)),
 	}
 	for i := 0; i < m; i++ {
 		in.Speed[i] = 1 + 4*rng.Float64()
 		in.Load[i] = math.Floor(rng.Float64() * 120)
-		in.Latency[i] = make([]float64, m)
+		in.Latency.(model.DenseLatency)[i] = make([]float64, m)
 	}
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
 			c := 40 * rng.Float64()
-			in.Latency[i][j] = c
-			in.Latency[j][i] = c
+			in.Latency.(model.DenseLatency)[i][j] = c
+			in.Latency.(model.DenseLatency)[j][i] = c
 		}
 	}
 	return in
@@ -207,8 +207,8 @@ func TestBalanceTwoServersClosedForm(t *testing.T) {
 func TestBalanceRespectsForbiddenLinks(t *testing.T) {
 	in := model.Uniform(3, 1, 0, 5)
 	in.Load[0] = 90
-	in.Latency[0][2] = math.Inf(1)
-	in.Latency[2][0] = math.Inf(1)
+	in.Latency.(model.DenseLatency)[0][2] = math.Inf(1)
+	in.Latency.(model.DenseLatency)[2][0] = math.Inf(1)
 	st := NewIdentityState(in)
 	ApplyPair(st, 0, 2, nil) // must move nothing: org 0 can't use server 2
 	if st.Alloc.R[0][2] != 0 {

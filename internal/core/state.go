@@ -60,7 +60,7 @@ func (st *State) Cost() float64 {
 		for j, owners := range st.colOwners {
 			for _, k := range owners {
 				if int(k) != j {
-					cost += st.Alloc.R[k][j] * st.In.Latency[k][j]
+					cost += st.Alloc.R[k][j] * st.In.LatAt(int(k), j)
 				}
 			}
 		}
@@ -125,19 +125,19 @@ func (st *State) localCost(i, j int) float64 {
 	cost := li*li/(2*in.Speed[i]) + lj*lj/(2*in.Speed[j])
 	if st.colOwners != nil {
 		for _, k := range st.colOwners[i] {
-			cost += st.Alloc.R[k][i] * in.Latency[k][i]
+			cost += st.Alloc.R[k][i] * in.LatAt(int(k), i)
 		}
 		for _, k := range st.colOwners[j] {
-			cost += st.Alloc.R[k][j] * in.Latency[k][j]
+			cost += st.Alloc.R[k][j] * in.LatAt(int(k), j)
 		}
 		return cost
 	}
 	for k := range st.Alloc.R {
 		if v := st.Alloc.R[k][i]; v != 0 {
-			cost += v * in.Latency[k][i]
+			cost += v * in.LatAt(k, i)
 		}
 		if v := st.Alloc.R[k][j]; v != 0 {
-			cost += v * in.Latency[k][j]
+			cost += v * in.LatAt(k, j)
 		}
 	}
 	return cost

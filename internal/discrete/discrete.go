@@ -77,7 +77,7 @@ func Round(in *model.Instance, rho [][]float64, tasks []Task) Assignment {
 		gap := make([]float64, m)
 		for j := 0; j < m; j++ {
 			gap[j] = in.Load[org] * rho[org][j]
-			if math.IsInf(in.Latency[org][j], 1) {
+			if math.IsInf(in.LatAt(org, j), 1) {
 				gap[j] = math.Inf(-1) // forbidden server
 			}
 		}

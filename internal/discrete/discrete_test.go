@@ -13,18 +13,18 @@ func randInstance(rng *rand.Rand, m int) *model.Instance {
 	in := &model.Instance{
 		Speed:   make([]float64, m),
 		Load:    make([]float64, m),
-		Latency: make([][]float64, m),
+		Latency: model.NewDense(make([][]float64, m)),
 	}
 	for i := 0; i < m; i++ {
 		in.Speed[i] = 1 + 4*rng.Float64()
 		in.Load[i] = math.Floor(20 + rng.Float64()*100)
-		in.Latency[i] = make([]float64, m)
+		in.Latency.(model.DenseLatency)[i] = make([]float64, m)
 	}
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
 			c := 30 * rng.Float64()
-			in.Latency[i][j] = c
-			in.Latency[j][i] = c
+			in.Latency.(model.DenseLatency)[i][j] = c
+			in.Latency.(model.DenseLatency)[j][i] = c
 		}
 	}
 	return in
@@ -91,7 +91,7 @@ func TestRoundedCostNearFractional(t *testing.T) {
 func TestRoundRespectsForbiddenServers(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	in := randInstance(rng, 4)
-	in.Latency[0][3] = math.Inf(1)
+	in.Latency.(model.DenseLatency)[0][3] = math.Inf(1)
 	res := qp.SolveFrankWolfe(in, qp.Options{Tol: 1e-6})
 	tasks := GenerateTasks(in, 5, rng)
 	asg := Round(in, res.Rho, tasks)

@@ -1,0 +1,111 @@
+package dynamic
+
+import (
+	"delaylb/internal/sparse"
+)
+
+// Sparse twins of Rescale / Expand / Collapse, for sessions that carry
+// their allocation in the scale-tier row-major form. Semantics mirror
+// the dense versions entry for entry (pinned by sparse_test.go); costs
+// are O(nnz + m) instead of O(m²), and every result is built with
+// contiguous backing arrays so a whole projection is a handful of
+// allocations regardless of m — the property the session's
+// allocation-regression smoke test pins.
+
+// newContiguous allocates a rows×cols sparse matrix with capacity for
+// nnz entries backed by two contiguous arrays.
+func newContiguous(rows, cols, nnz int) (*sparse.Matrix, []int32, []float64) {
+	return &sparse.Matrix{
+		Cols: cols,
+		Idx:  make([][]int32, rows),
+		Val:  make([][]float64, rows),
+	}, make([]int32, 0, nnz), make([]float64, 0, nnz)
+}
+
+// RescaleSparse is Rescale on a sparse requests matrix: row i is scaled
+// by newLoads[i]/oldLoads[i]; rows whose old load was 0 restart as the
+// identity placement of their new load.
+func RescaleSparse(a *sparse.Matrix, oldLoads, newLoads []float64) *sparse.Matrix {
+	return sparse.ScaleRows(a, func(i int) (float64, float64, bool) {
+		if oldLoads[i] > 0 {
+			return newLoads[i] / oldLoads[i], 0, true
+		}
+		return 0, newLoads[i], false
+	})
+}
+
+// ExpandSparse is Expand on a sparse requests matrix: existing rows are
+// shared structurally (a join never rewrites them), and the newcomer
+// serves its own load at the new index m.
+func ExpandSparse(a *sparse.Matrix, newLoad float64) *sparse.Matrix {
+	m := len(a.Idx)
+	out := &sparse.Matrix{
+		Cols: a.Cols + 1,
+		Idx:  make([][]int32, m+1),
+		Val:  make([][]float64, m+1),
+	}
+	copy(out.Idx, a.Idx)
+	copy(out.Val, a.Val)
+	out.Idx[m] = []int32{int32(m)}
+	out.Val[m] = []float64{newLoad}
+	return out
+}
+
+// CollapseSparse is Collapse on a sparse requests matrix: the leaving
+// row vanishes, every column index above `leaving` shifts down by one,
+// and each surviving organization's mass on the leaving server folds
+// back onto its own server.
+func CollapseSparse(a *sparse.Matrix, leaving int) *sparse.Matrix {
+	m := len(a.Idx)
+	nnz := a.NNZ() + m // folding back may create a missing diagonal
+	out, ibuf, vbuf := newContiguous(m-1, a.Cols-1, nnz)
+	lv := int32(leaving)
+	for i := 0; i < m; i++ {
+		if i == leaving {
+			continue
+		}
+		ni := i
+		if i > leaving {
+			ni--
+		}
+		diag := int32(ni)
+		var orphaned float64
+		start := len(ibuf)
+		diagSlot := -1
+		for t, j := range a.Idx[i] {
+			v := a.Val[i][t]
+			switch {
+			case j == lv:
+				orphaned = v
+				continue
+			case j > lv:
+				j--
+			}
+			if j == diag {
+				diagSlot = len(ibuf)
+			}
+			ibuf = append(ibuf, j)
+			vbuf = append(vbuf, v)
+		}
+		if orphaned != 0 {
+			if diagSlot >= 0 {
+				vbuf[diagSlot] += orphaned
+			} else {
+				// Insert the diagonal at its sorted slot.
+				pos := start
+				for pos < len(ibuf) && ibuf[pos] < diag {
+					pos++
+				}
+				ibuf = append(ibuf, 0)
+				vbuf = append(vbuf, 0)
+				copy(ibuf[pos+1:], ibuf[pos:])
+				copy(vbuf[pos+1:], vbuf[pos:])
+				ibuf[pos] = diag
+				vbuf[pos] = orphaned
+			}
+		}
+		out.Idx[ni] = ibuf[start:len(ibuf):len(ibuf)]
+		out.Val[ni] = vbuf[start:len(vbuf):len(vbuf)]
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package dynamic
+
+import (
+	"math/rand"
+	"testing"
+
+	"delaylb/internal/model"
+	"delaylb/internal/sparse"
+)
+
+// randomAllocation builds a random feasible-ish allocation with ~3
+// nonzeros per row (the realistic sparsity of balanced plans).
+func randomAllocation(rng *rand.Rand, m int) *model.Allocation {
+	a := model.NewAllocation(m)
+	for i := 0; i < m; i++ {
+		a.R[i][i] = float64(rng.Intn(50))
+		for t := 0; t < 2; t++ {
+			a.R[i][rng.Intn(m)] = float64(rng.Intn(30))
+		}
+	}
+	return a
+}
+
+func assertSparseEqualsDense(t *testing.T, sp *sparse.Matrix, d *model.Allocation) {
+	t.Helper()
+	if len(sp.Idx) != d.M() {
+		t.Fatalf("rows: sparse %d, dense %d", len(sp.Idx), d.M())
+	}
+	dd := sp.Dense()
+	for i, row := range d.R {
+		for j, v := range row {
+			if dd[i][j] != v {
+				t.Fatalf("entry (%d,%d): sparse %v, dense %v", i, j, dd[i][j], v)
+			}
+		}
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSparseProjectionsMatchDense pins the sparse twins of the session's
+// allocation projections entry-for-entry against their dense oracles
+// across random rescale → expand → collapse sequences.
+func TestSparseProjectionsMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		m := 3 + rng.Intn(20)
+		dense := randomAllocation(rng, m)
+		sp := sparse.FromDense(dense.R, 0)
+
+		oldLoads := make([]float64, m)
+		newLoads := make([]float64, m)
+		for i := range oldLoads {
+			var sum float64
+			for _, v := range dense.R[i] {
+				sum += v
+			}
+			oldLoads[i] = sum
+			newLoads[i] = float64(rng.Intn(80)) // zeros included
+		}
+		speeds := make([]float64, m) // Rescale only reads Load, but M() is len(Speed)
+		oldIn := &model.Instance{Speed: speeds, Load: oldLoads}
+		newIn := &model.Instance{Speed: speeds, Load: newLoads}
+		denseR := Rescale(dense, oldIn, newIn)
+		spR := RescaleSparse(sp, oldLoads, newLoads)
+		assertSparseEqualsDense(t, spR, denseR)
+
+		join := float64(rng.Intn(40))
+		denseE := Expand(denseR, join)
+		spE := ExpandSparse(spR, join)
+		assertSparseEqualsDense(t, spE, denseE)
+
+		leave := rng.Intn(m + 1)
+		denseC := Collapse(denseE, leave)
+		spC := CollapseSparse(spE, leave)
+		assertSparseEqualsDense(t, spC, denseC)
+	}
+}

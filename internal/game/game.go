@@ -52,7 +52,7 @@ func BestResponse(in *model.Instance, loads []float64, a *model.Allocation, i in
 	coords := make([]coord, 0, m)
 	ext := make([]float64, m)
 	for j := 0; j < m; j++ {
-		cij := in.Latency[i][j]
+		cij := in.LatAt(i, j)
 		if math.IsInf(cij, 1) {
 			continue
 		}
@@ -69,7 +69,7 @@ func BestResponse(in *model.Instance, loads []float64, a *model.Allocation, i in
 	for k := 0; k < len(coords); k++ {
 		j := coords[k].j
 		sumS += in.Speed[j]
-		sumB += in.Speed[j]*in.Latency[i][j] + ext[j]/2
+		sumB += in.Speed[j]*in.LatAt(i, j) + ext[j]/2
 		active = k + 1
 		lambda = (ni + sumB) / sumS
 		// If the water level stays below the next threshold, adding more
@@ -80,7 +80,7 @@ func BestResponse(in *model.Instance, loads []float64, a *model.Allocation, i in
 	}
 	for k := 0; k < active; k++ {
 		j := coords[k].j
-		v := in.Speed[j]*(lambda-in.Latency[i][j]) - ext[j]/2
+		v := in.Speed[j]*(lambda-in.LatAt(i, j)) - ext[j]/2
 		if v > 0 {
 			dst[j] = v
 		}
@@ -237,7 +237,7 @@ func privateCost(in *model.Instance, loads []float64, a *model.Allocation, i int
 			continue
 		}
 		ext := loads[j] - a.R[i][j]
-		cost += r * ((ext+r)/(2*in.Speed[j]) + in.Latency[i][j])
+		cost += r * ((ext+r)/(2*in.Speed[j]) + in.LatAt(i, j))
 	}
 	return cost
 }

@@ -12,18 +12,18 @@ func randInstance(rng *rand.Rand, m int) *model.Instance {
 	in := &model.Instance{
 		Speed:   make([]float64, m),
 		Load:    make([]float64, m),
-		Latency: make([][]float64, m),
+		Latency: model.NewDense(make([][]float64, m)),
 	}
 	for i := 0; i < m; i++ {
 		in.Speed[i] = 1 + 4*rng.Float64()
 		in.Load[i] = math.Floor(rng.Float64() * 120)
-		in.Latency[i] = make([]float64, m)
+		in.Latency.(model.DenseLatency)[i] = make([]float64, m)
 	}
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
 			c := 40 * rng.Float64()
-			in.Latency[i][j] = c
-			in.Latency[j][i] = c
+			in.Latency.(model.DenseLatency)[i][j] = c
+			in.Latency.(model.DenseLatency)[j][i] = c
 		}
 	}
 	return in
@@ -66,7 +66,7 @@ func TestBestResponseKKT(t *testing.T) {
 		// Marginal of C_i at r_ij: (ext_j + 2 r_ij)/(2 s_j) + c_ij.
 		marginal := func(j int) float64 {
 			ext := loads[j] - a.R[i][j]
-			return (ext+2*row[j])/(2*in.Speed[j]) + in.Latency[i][j]
+			return (ext+2*row[j])/(2*in.Speed[j]) + in.Latency.(model.DenseLatency)[i][j]
 		}
 		for j := 0; j < m; j++ {
 			if row[j] > 1e-9 {
@@ -111,7 +111,7 @@ func TestBestResponseBeatsGridTwoServers(t *testing.T) {
 
 func TestBestResponseRespectsForbiddenLinks(t *testing.T) {
 	in := model.Uniform(3, 1, 100, 5)
-	in.Latency[0][2] = math.Inf(1)
+	in.Latency.(model.DenseLatency)[0][2] = math.Inf(1)
 	a := model.Identity(in)
 	row := BestResponse(in, a.Loads(), a, 0, nil)
 	if row[2] != 0 {

@@ -139,7 +139,7 @@ func (a *Allocation) Validate(in *Instance, tol float64) error {
 			if v < -tol || math.IsNaN(v) {
 				return fmt.Errorf("model: r[%d][%d]=%v, must be >= 0", i, j, v)
 			}
-			if v > tol && math.IsInf(in.Latency[i][j], 1) {
+			if v > tol && math.IsInf(in.Latency.At(i, j), 1) {
 				return fmt.Errorf("model: r[%d][%d]=%v placed on forbidden link", i, j, v)
 			}
 			sum += v

@@ -91,7 +91,7 @@ func TestAllocationValidateCatchesViolations(t *testing.T) {
 	if err := a.Validate(in, 1e-9); err == nil {
 		t.Error("row-sum violation accepted")
 	}
-	in.Latency[0][2] = math.Inf(1)
+	in.Latency.(DenseLatency)[0][2] = math.Inf(1)
 	a = Identity(in)
 	a.R[0][0] = 5
 	a.R[0][2] = 5
@@ -172,8 +172,8 @@ func TestInstanceJSONRoundTrip(t *testing.T) {
 		if in.Speed[i] != back.Speed[i] || in.Load[i] != back.Load[i] {
 			t.Fatal("speed/load mismatch after round trip")
 		}
-		for j := range in.Latency[i] {
-			if in.Latency[i][j] != back.Latency[i][j] {
+		for j := range in.Latency.(DenseLatency)[i] {
+			if in.Latency.(DenseLatency)[i][j] != back.Latency.(DenseLatency)[i][j] {
 				t.Fatal("latency mismatch after round trip")
 			}
 		}

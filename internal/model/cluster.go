@@ -1,20 +1,29 @@
 package model
 
-// ClusterDelays verifies the instance's Cluster hint against its latency
-// matrix and, when it holds exactly, returns the k×k block-delay table D
-// with Latency[i][j] == D[Cluster[i]][Cluster[j]] for every i ≠ j.
+// ClusterDelays returns the k×k block-delay table D with
+// Latency.At(i, j) == D[Cluster[i]][Cluster[j]] for every i ≠ j, when
+// such a table exists.
 //
-// The check is a one-time O(m²) pass — trivial next to even a single
-// solver iteration — and uses exact float equality: the hint is only
-// trusted when the matrix really is block-structured, so solvers that
-// exploit it (the clustered Frank–Wolfe LMO) produce bit-identical
-// results to the generic scan. It returns (nil, false) when the hint is
-// absent, malformed, or contradicted by the matrix.
+// On a BlockLatency-backed instance the table is the representation
+// itself — returned in O(1), no verification needed, because the view
+// can only express block-structured matrices. This is the fast path the
+// clustered solvers key off.
+//
+// On a dense instance the Cluster hint is verified against the matrix
+// with a one-time O(m²) pass using exact float equality: the hint is
+// only trusted when the matrix really is block-structured, so solvers
+// that exploit it (the clustered Frank–Wolfe LMO, the MinE metro index)
+// produce bit-identical results to the generic scan. It returns
+// (nil, false) when the hint is absent, malformed, or contradicted by
+// the matrix.
 //
 // Diagonal blocks with a single member have no observable intra-cluster
 // latency; their D[g][g] entry is reported as 0 and never used (c_ii is
 // 0 by the Instance invariant and solvers special-case j == i).
 func ClusterDelays(in *Instance) ([][]float64, bool) {
+	if b, ok := in.Latency.(*BlockLatency); ok {
+		return b.Delay, true
+	}
 	g := in.Cluster
 	m := in.M()
 	if g == nil || len(g) != m {
@@ -35,9 +44,10 @@ func ClusterDelays(in *Instance) ([][]float64, bool) {
 		delay[a] = make([]float64, k)
 		seen[a] = make([]bool, k)
 	}
+	buf := make([]float64, m)
 	for i := 0; i < m; i++ {
 		gi := g[i]
-		lat := in.Latency[i]
+		lat := RowView(in.Latency, i, buf)
 		for j := 0; j < m; j++ {
 			if i == j {
 				continue

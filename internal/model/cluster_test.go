@@ -65,7 +65,7 @@ func TestClusterDelaysRejectsWrongHint(t *testing.T) {
 	delay := [][]float64{{1, 30}, {30, 2}}
 	labels := []int{0, 1, 0, 1}
 	in := blockInstance(t, labels, delay)
-	in.Latency[0][2] = 99 // break the block structure
+	in.Latency.(DenseLatency)[0][2] = 99 // break the block structure
 	if _, ok := ClusterDelays(in); ok {
 		t.Fatal("ClusterDelays accepted a contradicted hint")
 	}
@@ -142,7 +142,7 @@ func TestClusterDelaysRandomized(t *testing.T) {
 				}
 			}
 		}
-		in.Latency[i][j] += 5
+		in.Latency.(DenseLatency)[i][j] += 5
 		if _, ok := ClusterDelays(in); ok && witnesses > 1 {
 			t.Fatalf("trial %d: accepted corrupted entry (%d,%d) with %d witnesses", trial, i, j, witnesses)
 		}

@@ -15,12 +15,12 @@ package model
 func OrgCost(in *Instance, a *Allocation, loads []float64, i int) float64 {
 	var c float64
 	row := a.R[i]
-	lat := in.Latency[i]
+	lat := in.Latency
 	for j, r := range row {
 		if r == 0 {
 			continue
 		}
-		c += r * (loads[j]/(2*in.Speed[j]) + lat[j])
+		c += r * (loads[j]/(2*in.Speed[j]) + lat.At(i, j))
 	}
 	return c
 }
@@ -54,11 +54,11 @@ func TotalCostWithLoads(in *Instance, a *Allocation, loads []float64) float64 {
 // CommCost returns the pure communication component Σ_ij c_ij r_ij.
 func CommCost(in *Instance, a *Allocation) float64 {
 	var t float64
+	lat := in.Latency
 	for i, row := range a.R {
-		lat := in.Latency[i]
 		for j, r := range row {
 			if r != 0 && i != j {
-				t += r * lat[j]
+				t += r * lat.At(i, j)
 			}
 		}
 	}

@@ -14,7 +14,7 @@ func naiveTotalCost(in *Instance, a *Allocation) float64 {
 	for i := 0; i < in.M(); i++ {
 		for j := 0; j < in.M(); j++ {
 			r := a.R[i][j]
-			total += r * (loads[j]/(2*in.Speed[j]) + in.Latency[i][j])
+			total += r * (loads[j]/(2*in.Speed[j]) + in.Latency.(DenseLatency)[i][j])
 		}
 	}
 	return total

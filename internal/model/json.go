@@ -7,17 +7,28 @@ import (
 )
 
 // instanceJSON is the stable on-disk representation of an Instance.
+// Dense instances serialize the full matrix under "latency"; block
+// instances serialize the k×k table under "block_delay" with the labels
+// in "cluster" — the O(m + k²) form round-trips without ever
+// materializing the matrix.
 type instanceJSON struct {
-	Speed   []float64   `json:"speed"`
-	Load    []float64   `json:"load"`
-	Latency [][]float64 `json:"latency"`
-	Cluster []int       `json:"cluster,omitempty"`
+	Speed      []float64   `json:"speed"`
+	Load       []float64   `json:"load"`
+	Latency    [][]float64 `json:"latency,omitempty"`
+	BlockDelay [][]float64 `json:"block_delay,omitempty"`
+	Cluster    []int       `json:"cluster,omitempty"`
 }
 
 // WriteJSON serializes the instance to w as a single JSON object.
 func (in *Instance) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	return enc.Encode(instanceJSON{Speed: in.Speed, Load: in.Load, Latency: in.Latency, Cluster: in.Cluster})
+	raw := instanceJSON{Speed: in.Speed, Load: in.Load, Cluster: in.Cluster}
+	if b, ok := in.Latency.(*BlockLatency); ok {
+		raw.BlockDelay = b.Delay
+	} else {
+		raw.Latency = in.Latency.Dense()
+	}
+	return enc.Encode(raw)
 }
 
 // ReadInstanceJSON parses an instance previously produced by WriteJSON and
@@ -26,6 +37,9 @@ func ReadInstanceJSON(r io.Reader) (*Instance, error) {
 	var raw instanceJSON
 	if err := json.NewDecoder(r).Decode(&raw); err != nil {
 		return nil, fmt.Errorf("model: decoding instance: %w", err)
+	}
+	if raw.BlockDelay != nil {
+		return NewBlockInstance(raw.Speed, raw.Load, raw.BlockDelay, raw.Cluster)
 	}
 	in, err := NewInstance(raw.Speed, raw.Load, raw.Latency)
 	if err != nil {

@@ -10,6 +10,13 @@ import (
 // fresh instances — the originals are never mutated, matching the
 // replace-wholesale discipline the Session relies on for lock-free
 // solver runs.
+//
+// On the BlockLatency representation both operations are copy-on-write:
+// the k×k delay table is shared with the source instance and only the
+// O(m) per-server vectors are copied, so a churn event costs O(m + k²)
+// (the k² is the block-table validation) instead of a full O(m²) matrix
+// copy. The dense representation keeps its original full-copy semantics
+// and serves as the verification oracle for the block path.
 
 // WithServer returns a new instance with one additional server appended
 // at index m. latTo[j] is the one-way delay from the new server to
@@ -17,34 +24,61 @@ import (
 // (both length m, entries ≥ 0, +Inf allowed for forbidden links). When
 // the instance carries cluster labels the new server gets label
 // cluster; otherwise cluster is ignored.
+//
+// On a block-backed instance, latTo/latFrom may both be nil: the rows
+// are implied by the cluster label (the join inherits the metro's block
+// delays). Explicit rows are verified against the block table; rows
+// that contradict it densify the instance first (the newcomer genuinely
+// breaks the metro structure), which costs the full O(m²) the block
+// form otherwise avoids.
 func (in *Instance) WithServer(speed, load float64, latTo, latFrom []float64, cluster int) (*Instance, error) {
 	m := in.M()
-	if len(latTo) != m || len(latFrom) != m {
-		return nil, fmt.Errorf("model: WithServer latency rows have %d/%d entries, want %d", len(latTo), len(latFrom), m)
-	}
 	if speed <= 0 || math.IsNaN(speed) || math.IsInf(speed, 0) {
 		return nil, fmt.Errorf("model: WithServer speed=%v, must be positive and finite", speed)
 	}
 	if load < 0 || math.IsNaN(load) || math.IsInf(load, 0) {
 		return nil, fmt.Errorf("model: WithServer load=%v, must be non-negative and finite", load)
 	}
+	if b, ok := in.Latency.(*BlockLatency); ok {
+		if cluster < 0 || cluster >= b.K() {
+			return nil, fmt.Errorf("model: WithServer cluster=%d out of block range [0, %d)", cluster, b.K())
+		}
+		if latTo == nil && latFrom == nil {
+			return in.withServerBlock(b, speed, load, cluster)
+		}
+		if len(latTo) != m || len(latFrom) != m {
+			return nil, fmt.Errorf("model: WithServer latency rows have %d/%d entries, want %d", len(latTo), len(latFrom), m)
+		}
+		if blockRowsMatch(b, latTo, latFrom, cluster) {
+			return in.withServerBlock(b, speed, load, cluster)
+		}
+		// The explicit rows contradict the metro structure: fall back to
+		// the dense representation, which can express them.
+		dense := in.densified()
+		return dense.WithServer(speed, load, latTo, latFrom, cluster)
+	}
+	if len(latTo) != m || len(latFrom) != m {
+		return nil, fmt.Errorf("model: WithServer latency rows have %d/%d entries, want %d", len(latTo), len(latFrom), m)
+	}
+	lat := in.Latency.(DenseLatency)
 	out := &Instance{
-		Speed:   make([]float64, m+1),
-		Load:    make([]float64, m+1),
-		Latency: make([][]float64, m+1),
+		Speed: make([]float64, m+1),
+		Load:  make([]float64, m+1),
 	}
 	copy(out.Speed, in.Speed)
 	copy(out.Load, in.Load)
 	out.Speed[m], out.Load[m] = speed, load
-	for i, row := range in.Latency {
+	rows := make([][]float64, m+1)
+	for i, row := range lat {
 		r := make([]float64, m+1)
 		copy(r, row)
 		r[m] = latFrom[i]
-		out.Latency[i] = r
+		rows[i] = r
 	}
 	newRow := make([]float64, m+1)
 	copy(newRow, latTo) // newRow[m] stays 0: the diagonal
-	out.Latency[m] = newRow
+	rows[m] = newRow
+	out.Latency = NewDense(rows)
 	if in.Cluster != nil {
 		out.Cluster = make([]int, m+1)
 		copy(out.Cluster, in.Cluster)
@@ -56,11 +90,57 @@ func (in *Instance) WithServer(speed, load float64, latTo, latFrom []float64, cl
 	return out, nil
 }
 
+// withServerBlock is the copy-on-write join: O(m) vector copies plus the
+// O(m + k²) validation, with the delay table shared.
+func (in *Instance) withServerBlock(b *BlockLatency, speed, load float64, cluster int) (*Instance, error) {
+	m := in.M()
+	out := &Instance{
+		Speed: make([]float64, m+1),
+		Load:  make([]float64, m+1),
+	}
+	copy(out.Speed, in.Speed)
+	copy(out.Load, in.Load)
+	out.Speed[m], out.Load[m] = speed, load
+	view := b.withLabel(cluster)
+	out.Latency = view
+	out.Cluster = view.Label
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// blockRowsMatch reports whether explicit join rows agree exactly with
+// the block delays a server of the given metro would have. Exact float
+// equality, mirroring ClusterDelays: the block form is only kept when
+// the rows are indistinguishable from the derived ones.
+func blockRowsMatch(b *BlockLatency, latTo, latFrom []float64, cluster int) bool {
+	drow := b.Delay[cluster]
+	for j, g := range b.Label {
+		if latTo[j] != drow[g] || latFrom[j] != b.Delay[g][cluster] {
+			return false
+		}
+	}
+	return true
+}
+
+// densified returns a dense-view twin of the instance; the speed, load
+// and cluster slices are shared (the churn operation copies them next).
+func (in *Instance) densified() *Instance {
+	return &Instance{
+		Speed:   in.Speed,
+		Load:    in.Load,
+		Latency: NewDense(in.Latency.Dense()),
+		Cluster: in.Cluster,
+	}
+}
+
 // WithoutServer returns a new instance with server i removed: its speed,
 // load, latency row and column, and cluster label disappear; the
 // remaining servers keep their relative order (indices above i shift
 // down by one). Removing the last server is an error — an instance
-// cannot be empty.
+// cannot be empty. On the block representation the delay table is
+// shared, so a drained metro keeps its delays and can rejoin later.
 func (in *Instance) WithoutServer(i int) (*Instance, error) {
 	m := in.M()
 	if i < 0 || i >= m {
@@ -70,23 +150,31 @@ func (in *Instance) WithoutServer(i int) (*Instance, error) {
 		return nil, fmt.Errorf("model: cannot remove the only server")
 	}
 	out := &Instance{
-		Speed:   make([]float64, 0, m-1),
-		Load:    make([]float64, 0, m-1),
-		Latency: make([][]float64, 0, m-1),
+		Speed: make([]float64, 0, m-1),
+		Load:  make([]float64, 0, m-1),
 	}
 	out.Speed = append(append(out.Speed, in.Speed[:i]...), in.Speed[i+1:]...)
 	out.Load = append(append(out.Load, in.Load[:i]...), in.Load[i+1:]...)
-	for k, row := range in.Latency {
-		if k == i {
-			continue
+	if b, ok := in.Latency.(*BlockLatency); ok {
+		view := b.withoutIndex(i)
+		out.Latency = view
+		out.Cluster = view.Label
+	} else {
+		lat := in.Latency.(DenseLatency)
+		rows := make([][]float64, 0, m-1)
+		for k, row := range lat {
+			if k == i {
+				continue
+			}
+			r := make([]float64, 0, m-1)
+			r = append(append(r, row[:i]...), row[i+1:]...)
+			rows = append(rows, r)
 		}
-		r := make([]float64, 0, m-1)
-		r = append(append(r, row[:i]...), row[i+1:]...)
-		out.Latency = append(out.Latency, r)
-	}
-	if in.Cluster != nil {
-		out.Cluster = make([]int, 0, m-1)
-		out.Cluster = append(append(out.Cluster, in.Cluster[:i]...), in.Cluster[i+1:]...)
+		out.Latency = NewDense(rows)
+		if in.Cluster != nil {
+			out.Cluster = make([]int, 0, m-1)
+			out.Cluster = append(append(out.Cluster, in.Cluster[:i]...), in.Cluster[i+1:]...)
+		}
 	}
 	if err := out.Validate(); err != nil {
 		return nil, err

@@ -24,20 +24,20 @@ func TestWithServerAppends(t *testing.T) {
 		t.Errorf("new server speed/load = %v/%v", out.Speed[3], out.Load[3])
 	}
 	for j, want := range []float64{1, 2, 3, 0} {
-		if out.Latency[3][j] != want {
-			t.Errorf("latency[3][%d]=%v, want %v", j, out.Latency[3][j], want)
+		if out.Latency.(DenseLatency)[3][j] != want {
+			t.Errorf("latency[3][%d]=%v, want %v", j, out.Latency.(DenseLatency)[3][j], want)
 		}
 	}
 	for i, want := range []float64{4, 5, 6} {
-		if out.Latency[i][3] != want {
-			t.Errorf("latency[%d][3]=%v, want %v", i, out.Latency[i][3], want)
+		if out.Latency.(DenseLatency)[i][3] != want {
+			t.Errorf("latency[%d][3]=%v, want %v", i, out.Latency.(DenseLatency)[i][3], want)
 		}
 	}
 	if got := out.Cluster[3]; got != 1 {
 		t.Errorf("new server label %d, want 1", got)
 	}
 	// The original instance is untouched.
-	if in.M() != 3 || len(in.Latency[0]) != 3 {
+	if in.M() != 3 || len(in.Latency.(DenseLatency)[0]) != 3 {
 		t.Error("WithServer mutated the receiver")
 	}
 }
@@ -70,7 +70,7 @@ func TestWithServerAllowsForbiddenLinks(t *testing.T) {
 	if err != nil {
 		t.Fatalf("+Inf (forbidden) link rejected: %v", err)
 	}
-	if !math.IsInf(out.Latency[2][0], 1) || !math.IsInf(out.Latency[1][2], 1) {
+	if !math.IsInf(out.Latency.(DenseLatency)[2][0], 1) || !math.IsInf(out.Latency.(DenseLatency)[1][2], 1) {
 		t.Error("forbidden links not preserved")
 	}
 }
@@ -78,7 +78,7 @@ func TestWithServerAllowsForbiddenLinks(t *testing.T) {
 func TestWithoutServerRemoves(t *testing.T) {
 	in := resizeFixture()
 	in.Load = []float64{10, 20, 30}
-	in.Latency[0][2] = 9
+	in.Latency.(DenseLatency)[0][2] = 9
 	out, err := in.WithoutServer(1)
 	if err != nil {
 		t.Fatal(err)
@@ -89,8 +89,8 @@ func TestWithoutServerRemoves(t *testing.T) {
 	if out.Load[0] != 10 || out.Load[1] != 30 {
 		t.Errorf("loads %v, want [10 30]", out.Load)
 	}
-	if out.Latency[0][1] != 9 {
-		t.Errorf("latency[0][1]=%v, want the old [0][2]=9", out.Latency[0][1])
+	if out.Latency.(DenseLatency)[0][1] != 9 {
+		t.Errorf("latency[0][1]=%v, want the old [0][2]=9", out.Latency.(DenseLatency)[0][1])
 	}
 	if len(out.Cluster) != 2 || out.Cluster[0] != 0 || out.Cluster[1] != 1 {
 		t.Errorf("labels %v, want [0 1]", out.Cluster)
@@ -152,10 +152,10 @@ func TestValidateRejectsNonFiniteValues(t *testing.T) {
 		"-Inf load":      func(in *Instance) { in.Load[1] = math.Inf(-1) },
 		"NaN speed":      func(in *Instance) { in.Speed[0] = math.NaN() },
 		"+Inf speed":     func(in *Instance) { in.Speed[0] = math.Inf(1) },
-		"NaN latency":    func(in *Instance) { in.Latency[0][1] = math.NaN() },
-		"-Inf latency":   func(in *Instance) { in.Latency[0][1] = math.Inf(-1) },
-		"diagonal +Inf":  func(in *Instance) { in.Latency[2][2] = math.Inf(1) },
-		"negative delay": func(in *Instance) { in.Latency[1][0] = -3 },
+		"NaN latency":    func(in *Instance) { in.Latency.(DenseLatency)[0][1] = math.NaN() },
+		"-Inf latency":   func(in *Instance) { in.Latency.(DenseLatency)[0][1] = math.Inf(-1) },
+		"diagonal +Inf":  func(in *Instance) { in.Latency.(DenseLatency)[2][2] = math.Inf(1) },
+		"negative delay": func(in *Instance) { in.Latency.(DenseLatency)[1][0] = -3 },
 	} {
 		in := base()
 		mutate(in)
@@ -165,7 +165,7 @@ func TestValidateRejectsNonFiniteValues(t *testing.T) {
 	}
 
 	ok := base()
-	ok.Latency[0][1] = math.Inf(1) // forbidden link: legal
+	ok.Latency.(DenseLatency)[0][1] = math.Inf(1) // forbidden link: legal
 	if err := ok.Validate(); err != nil {
 		t.Errorf("off-diagonal +Inf (forbidden link) rejected: %v", err)
 	}

@@ -69,6 +69,24 @@ func Euclidean(m int, side float64, rng *rand.Rand) [][]float64 {
 // the same intra-metro offset. Returns the matrix and the per-server
 // cluster labels.
 func Clustered(m, k int, intra, side float64, rng *rand.Rand) ([][]float64, []int) {
+	delay, cluster := ClusteredBlock(m, k, intra, side, rng)
+	lat := newMatrix(m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if i != j {
+				lat[i][j] = delay[cluster[i]][cluster[j]]
+			}
+		}
+	}
+	return lat, cluster
+}
+
+// ClusteredBlock is Clustered without the O(m²) materialization: it
+// returns the k×k block-delay table and the per-server metro labels —
+// the exact representation model.BlockLatency stores. It consumes the
+// RNG stream identically to Clustered (centers, then labels), so the
+// two describe bit-identical networks for the same seed.
+func ClusteredBlock(m, k int, intra, side float64, rng *rand.Rand) ([][]float64, []int) {
 	if k < 1 {
 		k = 1
 	}
@@ -93,15 +111,7 @@ func Clustered(m, k int, intra, side float64, rng *rand.Rand) ([][]float64, []in
 	for i := range cluster {
 		cluster[i] = rng.Intn(k)
 	}
-	lat := newMatrix(m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			if i != j {
-				lat[i][j] = delay[cluster[i]][cluster[j]]
-			}
-		}
-	}
-	return lat, cluster
+	return delay, cluster
 }
 
 // Ring arranges m nodes on a cycle with perHop latency between neighbors

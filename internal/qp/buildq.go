@@ -53,7 +53,7 @@ func BuildB(in *model.Instance) []float64 {
 	b := make([]float64, m*m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
-			b[i*m+j] = in.Latency[i][j] * in.Load[i]
+			b[i*m+j] = in.LatAt(i, j) * in.Load[i]
 		}
 	}
 	return b

@@ -26,6 +26,7 @@ func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
 	loads := make([]float64, m)
 	incoming := make([]float64, m) // Σ of n_k whose FW vertex is column j
 	best := make([]int, m)         // FW vertex column per row
+	rowBuf := latRowBuf(in)
 
 	res := &Result{}
 	for it := 1; it <= opt.MaxIters; it++ {
@@ -42,7 +43,7 @@ func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
 		}
 		for i := 0; i < m; i++ {
 			ni := in.Load[i]
-			lat := in.Latency[i]
+			lat := model.RowView(in.Latency, i, rowBuf)
 			bestJ, bestScore := i, loads[i]/in.Speed[i] // c_ii = 0
 			if ni == 0 {
 				best[i] = bestJ
@@ -63,7 +64,7 @@ func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
 			gap += ni * (cur - bestScore)
 		}
 
-		cost := Objective(in, rho)
+		cost := objectiveBuf(in, rho, rowBuf)
 		res.Iters = it
 		res.Gap = gap
 		if gap <= opt.Tol*math.Max(1, cost) {
@@ -102,6 +103,6 @@ func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
 		}
 	}
 	res.Rho = rho
-	res.Cost = Objective(in, rho)
+	res.Cost = objectiveBuf(in, rho, rowBuf)
 	return res
 }

@@ -138,15 +138,22 @@ func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
 	opt = opt.withDefaults()
 	m := in.M()
 	var rho *sparse.Matrix
-	if opt.Initial != nil {
+	switch {
+	case opt.InitialSparse != nil:
+		rho = opt.InitialSparse.Clone()
+	case opt.Initial != nil:
 		rho = sparse.FromDense(opt.Initial, 0)
-	} else {
+	default:
 		rho = sparse.Identity(m)
 	}
 	loads := make([]float64, m)
 	incoming := make([]float64, m)
 	best := make([]int, m)
 	lmo := newClusterLMO(in)
+	var rowBuf []float64
+	if lmo == nil {
+		rowBuf = latRowBuf(in) // the generic oracle scans whole rows
+	}
 
 	res := &SparseResult{ClusteredLMO: lmo != nil}
 	for it := 1; it <= opt.MaxIters; it++ {
@@ -164,7 +171,6 @@ func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
 		}
 		for i := 0; i < m; i++ {
 			ni := in.Load[i]
-			lat := in.Latency[i]
 			bestJ, bestScore := i, loads[i]/in.Speed[i]
 			if ni == 0 {
 				best[i] = bestJ
@@ -172,14 +178,29 @@ func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
 			}
 			var cur float64
 			idx, val := rho.Idx[i], rho.Val[i]
-			for t, j := range idx {
-				if f := val[t]; f > 0 {
-					cur += f * (loads[j]/in.Speed[j] + lat[j])
-				}
-			}
 			if lmo != nil {
+				// O(nnz_i) current-score sum straight off the verified
+				// block table (c_ij = D[g_i][g_j], 0 on the diagonal),
+				// then the O(k) clustered oracle — no row
+				// materialization, no per-entry interface call.
+				drow := lmo.delay[lmo.labels[i]]
+				for t, j := range idx {
+					if f := val[t]; f > 0 {
+						var cij float64
+						if int(j) != i {
+							cij = drow[lmo.labels[j]]
+						}
+						cur += f * (loads[j]/in.Speed[j] + cij)
+					}
+				}
 				bestJ, bestScore = lmo.best(i)
 			} else {
+				lat := model.RowView(in.Latency, i, rowBuf)
+				for t, j := range idx {
+					if f := val[t]; f > 0 {
+						cur += f * (loads[j]/in.Speed[j] + lat[j])
+					}
+				}
 				for j := 0; j < m; j++ {
 					score := loads[j]/in.Speed[j] + lat[j]
 					if score < bestScore {

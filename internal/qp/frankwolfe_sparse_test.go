@@ -100,7 +100,7 @@ func TestSparseClusteredLMOMatchesDense(t *testing.T) {
 
 func TestSparseRejectsCorruptedHint(t *testing.T) {
 	in := clusteredInstance(t, 24, 4, 3)
-	in.Latency[1][2] += 7 // contradict the block structure
+	in.Latency.(model.DenseLatency)[1][2] += 7 // contradict the block structure
 	opt := Options{Tol: 1e-7, MaxIters: 300}
 	sp := SolveFrankWolfeSparse(in, opt)
 	if sp.ClusteredLMO {

@@ -36,12 +36,13 @@ func QuadraticFormOp(in *model.Instance, v []float64) float64 {
 	for j, l := range loads {
 		total += l * l / (2 * in.Speed[j])
 	}
+	rowBuf := latRowBuf(in)
 	for i := 0; i < m; i++ {
 		ni := in.Load[i]
 		if ni == 0 {
 			continue
 		}
-		lat := in.Latency[i]
+		lat := model.RowView(in.Latency, i, rowBuf)
 		row := v[i*m : (i+1)*m]
 		for j, f := range row {
 			if f != 0 && lat[j] != 0 {
@@ -69,9 +70,10 @@ func QuadraticGradOp(in *model.Instance, v, dst []float64) {
 			loads[j] += ni * f
 		}
 	}
+	rowBuf := latRowBuf(in)
 	for i := 0; i < m; i++ {
 		ni := in.Load[i]
-		lat := in.Latency[i]
+		lat := model.RowView(in.Latency, i, rowBuf)
 		out := dst[i*m : (i+1)*m]
 		for j := 0; j < m; j++ {
 			out[j] = ni * (loads[j]/in.Speed[j] + lat[j])
@@ -111,12 +113,34 @@ func ObjectiveSparse(in *model.Instance, rho *sparse.Matrix) float64 {
 	for j, l := range loads {
 		cost += l * l / (2 * in.Speed[j])
 	}
+	// The communication term reads one latency entry per stored nonzero
+	// every iteration — hot enough to specialize per representation:
+	// block views index the k×k table directly, dense views keep their
+	// raw row slices. Values are identical either way (the block table
+	// is the matrix), so runs stay bit-identical across representations.
+	if b, ok := in.Latency.(*model.BlockLatency); ok {
+		for i, idx := range rho.Idx {
+			ni := in.Load[i]
+			if ni == 0 {
+				continue
+			}
+			drow := b.Delay[b.Label[i]]
+			val := rho.Val[i]
+			for t, j := range idx {
+				if f := val[t]; f > 0 && int(j) != i {
+					cost += ni * f * drow[b.Label[j]]
+				}
+			}
+		}
+		return cost
+	}
+	rowBuf := latRowBuf(in)
 	for i, idx := range rho.Idx {
 		ni := in.Load[i]
 		if ni == 0 {
 			continue
 		}
-		lat := in.Latency[i]
+		lat := model.RowView(in.Latency, i, rowBuf)
 		val := rho.Val[i]
 		for t, j := range idx {
 			if f := val[t]; f > 0 && int(j) != i {

@@ -30,16 +30,19 @@ func SolveProjectedGradient(in *model.Instance, opt Options) *Result {
 	// Per-row allowed masks (forbidden links must stay at 0).
 	masks := make([][]bool, m)
 	hasForbidden := false
+	maskBuf := latRowBuf(in)
 	for i := 0; i < m; i++ {
 		masks[i] = make([]bool, m)
+		row := model.RowView(in.Latency, i, maskBuf)
 		for j := 0; j < m; j++ {
-			masks[i][j] = !math.IsInf(in.Latency[i][j], 1)
+			masks[i][j] = !math.IsInf(row[j], 1)
 			if !masks[i][j] {
 				hasForbidden = true
 			}
 		}
 	}
 
+	rowBuf := latRowBuf(in)
 	l := LipschitzConstant(in)
 	eta := 1.0
 	if l > 0 {
@@ -47,14 +50,14 @@ func SolveProjectedGradient(in *model.Instance, opt Options) *Result {
 	}
 
 	res := &Result{}
-	cost := Objective(in, rho)
+	cost := objectiveBuf(in, rho, rowBuf)
 	for it := 1; it <= opt.MaxIters; it++ {
 		if model.Canceled(opt.Ctx) {
 			break
 		}
 		res.Iters = it
 		Loads(in, rho, loads)
-		Gradient(in, loads, grad)
+		gradientBuf(in, loads, grad, rowBuf)
 
 		// Build the feasible direction d = Proj(ρ − η∇F) − ρ row by row,
 		// accumulating u_j = Σ_k n_k d_kj, φ'(0) = ⟨∇F, d⟩ and the
@@ -114,7 +117,7 @@ func SolveProjectedGradient(in *model.Instance, opt Options) *Result {
 				row[j] = v
 			}
 		}
-		newCost := Objective(in, rho)
+		newCost := objectiveBuf(in, rho, rowBuf)
 		if cost-newCost <= opt.Tol*math.Max(1, math.Abs(cost)) {
 			cost = newCost
 			res.Converged = true
@@ -127,7 +130,7 @@ func SolveProjectedGradient(in *model.Instance, opt Options) *Result {
 		}
 	}
 	res.Rho = rho
-	res.Cost = Objective(in, rho)
+	res.Cost = objectiveBuf(in, rho, rowBuf)
 	return res
 }
 

@@ -24,10 +24,18 @@ import (
 	"context"
 
 	"delaylb/internal/model"
+	"delaylb/internal/sparse"
 )
 
 // Objective evaluates ΣC_i at the relay-fraction matrix rho in O(m²).
 func Objective(in *model.Instance, rho [][]float64) float64 {
+	return objectiveBuf(in, rho, latRowBuf(in))
+}
+
+// objectiveBuf is Objective with a caller-owned latency-row scratch
+// buffer, so per-iteration calls from the solver loops do not allocate
+// on block-backed instances.
+func objectiveBuf(in *model.Instance, rho [][]float64, rowBuf []float64) float64 {
 	m := in.M()
 	var cost float64
 	loads := make([]float64, m)
@@ -48,7 +56,7 @@ func Objective(in *model.Instance, rho [][]float64) float64 {
 		if ni == 0 {
 			continue
 		}
-		lat := in.Latency[i]
+		lat := model.RowView(in.Latency, i, rowBuf)
 		for j, f := range rho[i] {
 			if f > 0 && i != j {
 				cost += ni * f * lat[j]
@@ -77,15 +85,29 @@ func Loads(in *model.Instance, rho [][]float64, dst []float64) {
 // Gradient writes ∂ΣC/∂ρ_ij = n_i (l_j/s_j + c_ij) into grad, given the
 // current load vector. Forbidden links (c_ij = +Inf) get +Inf gradients.
 func Gradient(in *model.Instance, loads []float64, grad [][]float64) {
+	gradientBuf(in, loads, grad, latRowBuf(in))
+}
+
+// gradientBuf is Gradient with a caller-owned latency-row buffer.
+func gradientBuf(in *model.Instance, loads []float64, grad [][]float64, rowBuf []float64) {
 	m := in.M()
 	for i := 0; i < m; i++ {
 		ni := in.Load[i]
-		lat := in.Latency[i]
+		lat := model.RowView(in.Latency, i, rowBuf)
 		g := grad[i]
 		for j := 0; j < m; j++ {
 			g[j] = ni * (loads[j]/in.Speed[j] + lat[j])
 		}
 	}
+}
+
+// latRowBuf returns a scratch row for model.RowView: nil when the view
+// is dense (rows are borrowed directly), m floats otherwise.
+func latRowBuf(in *model.Instance) []float64 {
+	if _, ok := in.Latency.(model.DenseLatency); ok {
+		return nil
+	}
+	return make([]float64, in.M())
 }
 
 // identityRho returns the ρ matrix with ρ_ii = 1, the canonical feasible
@@ -128,6 +150,10 @@ type Options struct {
 	Tol float64
 	// Initial, if non-nil, is the starting ρ (copied, not mutated).
 	Initial [][]float64
+	// InitialSparse, if non-nil, is the starting ρ in sparse form
+	// (copied, not mutated); it takes precedence over Initial in
+	// SolveFrankWolfeSparse and is ignored by the dense solvers.
+	InitialSparse *sparse.Matrix
 	// OnIteration, if non-nil, is called after each iteration with the
 	// 1-based iteration number and current objective; returning false
 	// stops the run early with Converged == true (a deliberate stop).

@@ -13,18 +13,18 @@ func randInstance(rng *rand.Rand, m int) *model.Instance {
 	in := &model.Instance{
 		Speed:   make([]float64, m),
 		Load:    make([]float64, m),
-		Latency: make([][]float64, m),
+		Latency: model.NewDense(make([][]float64, m)),
 	}
 	for i := 0; i < m; i++ {
 		in.Speed[i] = 1 + 4*rng.Float64()
 		in.Load[i] = math.Floor(1 + 99*rng.Float64())
-		in.Latency[i] = make([]float64, m)
+		in.Latency.(model.DenseLatency)[i] = make([]float64, m)
 	}
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
 			c := 40 * rng.Float64()
-			in.Latency[i][j] = c
-			in.Latency[j][i] = c
+			in.Latency.(model.DenseLatency)[i][j] = c
+			in.Latency.(model.DenseLatency)[j][i] = c
 		}
 	}
 	return in
@@ -225,8 +225,8 @@ func TestSolversNeverIncreaseCostVsIdentity(t *testing.T) {
 
 func TestSolverRespectsForbiddenLinks(t *testing.T) {
 	in := model.Uniform(3, 1, 100, 5)
-	in.Latency[0][2] = math.Inf(1)
-	in.Latency[2][0] = math.Inf(1)
+	in.Latency.(model.DenseLatency)[0][2] = math.Inf(1)
+	in.Latency.(model.DenseLatency)[2][0] = math.Inf(1)
 	in.Load[1], in.Load[2] = 0, 0 // all load on server 0
 
 	for name, solve := range map[string]func(*model.Instance, Options) *Result{

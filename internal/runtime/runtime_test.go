@@ -17,7 +17,7 @@ func testInstance(seed int64, m int) *model.Instance {
 	in := &model.Instance{
 		Speed:   workload.UniformSpeeds(m, 1, 5, rng),
 		Load:    workload.ExponentialLoads(m, 80, rng),
-		Latency: netmodel.PlanetLab(m, netmodel.DefaultPlanetLabConfig(), rng),
+		Latency: model.NewDense(netmodel.PlanetLab(m, netmodel.DefaultPlanetLabConfig(), rng)),
 	}
 	return in
 }
@@ -186,7 +186,7 @@ func TestServerRejectsWhenBusy(t *testing.T) {
 	s := bus.Servers[0]
 	s.busy = true
 	out := s.Handle(Message{Kind: MsgPropose, From: 1, To: 0, Col: make([]float64, 4),
-		Lat: in.Latency[1], Speed: in.Speed[1]})
+		Lat: in.Latency.(model.DenseLatency)[1], Speed: in.Speed[1]})
 	if len(out) != 1 || out[0].Kind != MsgReject {
 		t.Fatalf("busy server answered %v, want reject", out)
 	}

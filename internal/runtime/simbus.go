@@ -40,8 +40,10 @@ func NewSimBusFromAllocation(in *model.Instance, a *model.Allocation, minGain fl
 		for k := 0; k < m; k++ {
 			col[k] = a.R[k][i]
 		}
+		row := make([]float64, m)
+		in.Latency.RowInto(i, row)
 		bus.Servers = append(bus.Servers, NewServer(
-			i, m, in.Speed[i], in.Latency[i], col, minGain,
+			i, m, in.Speed[i], row, col, minGain,
 			rand.New(rand.NewSource(seed+int64(i)+1)),
 		))
 	}

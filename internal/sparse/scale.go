@@ -1,0 +1,40 @@
+package sparse
+
+// ScaleRows builds a new rows×cols matrix from src, one row at a time:
+// row i is src's row i multiplied by factor when row(i) returns ok, or
+// the single diagonal entry (i, diag) otherwise. The result is backed
+// by two contiguous arrays, so an entire rebuild costs a handful of
+// allocations regardless of the row count — the property the session's
+// allocation-regression smoke pins.
+//
+// This is the one loop behind every sparse allocation projection in the
+// module (rescale-to-loads, warm-start normalization, fraction↔request
+// unit changes): keeping them on a single implementation is what keeps
+// their row-restart semantics from drifting apart.
+func ScaleRows(src *Matrix, row func(i int) (factor, diag float64, ok bool)) *Matrix {
+	rows := len(src.Idx)
+	out := &Matrix{
+		Cols: src.Cols,
+		Idx:  make([][]int32, rows),
+		Val:  make([][]float64, rows),
+	}
+	nnz := src.NNZ() + rows // worst case: every row restarts diagonal
+	ibuf := make([]int32, 0, nnz)
+	vbuf := make([]float64, 0, nnz)
+	for i := 0; i < rows; i++ {
+		factor, diag, ok := row(i)
+		start := len(ibuf)
+		if ok {
+			for t, j := range src.Idx[i] {
+				ibuf = append(ibuf, j)
+				vbuf = append(vbuf, src.Val[i][t]*factor)
+			}
+		} else {
+			ibuf = append(ibuf, int32(i))
+			vbuf = append(vbuf, diag)
+		}
+		out.Idx[i] = ibuf[start:len(ibuf):len(ibuf)]
+		out.Val[i] = vbuf[start:len(vbuf):len(vbuf)]
+	}
+	return out
+}

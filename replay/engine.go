@@ -90,7 +90,11 @@ func Run(ctx context.Context, tr *Trace, cfg Config) (*Timeline, error) {
 		en.ids[i] = int64(i)
 		en.idx[int64(i)] = i
 	}
-	if labels := en.sess.Clusters(); labels != nil {
+	if delay, _, ok := en.sess.BlockLatency(); ok {
+		// Block-backed session: the metro table is the representation —
+		// no O(m²) matrix materialization, no derivation pass.
+		en.block = delay
+	} else if labels := en.sess.Clusters(); labels != nil {
 		en.block = deriveBlock(labels, en.sess.Latency(), nil)
 	}
 
@@ -289,6 +293,13 @@ func (en *engine) applyJoin(ev Event) error {
 		if labels == nil {
 			return fmt.Errorf("join cluster=%d on a scenario without cluster labels", ev.Cluster)
 		}
+		if _, _, ok := en.sess.BlockLatency(); ok {
+			// Block fast path: nil rows tell the session to derive the
+			// newcomer's delays from its metro label — O(m + k²) per
+			// join, no row materialization, no table re-derivation.
+			spec.Cluster = ev.Cluster
+			break
+		}
 		if en.blockStale {
 			nb := deriveBlock(labels, en.sess.Latency(), en.block)
 			if nb == nil {
@@ -387,13 +398,9 @@ func (en *engine) measure(ctx context.Context, tl *Timeline, epoch int, t float6
 	}
 
 	// Reallocation churn: how many requests this epoch's re-solve moved.
-	var l1 float64
-	for i, rowA := range pre.Requests {
-		for j, v := range rowA {
-			l1 += math.Abs(v - warm.Requests[i][j])
-		}
-	}
-	row.Moved = l1 / 2
+	// AllocationDistance merges sparse results in O(nnz) and reproduces
+	// the dense row-major summation order exactly.
+	row.Moved = delaylb.AllocationDistance(pre, warm) / 2
 	row.Elapsed = time.Since(start)
 	tl.Epochs = append(tl.Epochs, row)
 
@@ -414,17 +421,21 @@ func (en *engine) measure(ctx context.Context, tl *Timeline, epoch int, t float6
 func (en *engine) verifyFeasible() error {
 	loads := en.sess.Loads()
 	res := en.sess.Result()
-	if len(res.Requests) != len(loads) {
-		return fmt.Errorf("allocation has %d rows, loads %d", len(res.Requests), len(loads))
+	if res.M() != len(loads) {
+		return fmt.Errorf("allocation has %d rows, loads %d", res.M(), len(loads))
 	}
-	for i, row := range res.Requests {
-		var sum float64
-		for j, v := range row {
-			if v < -1e-9 || math.IsNaN(v) {
-				return fmt.Errorf("r[%d][%d]=%v", i, j, v)
-			}
-			sum += v
+	sums := make([]float64, len(loads))
+	var bad error
+	res.Each(func(i, j int, v float64) {
+		if bad == nil && (v < -1e-9 || math.IsNaN(v)) {
+			bad = fmt.Errorf("r[%d][%d]=%v", i, j, v)
 		}
+		sums[i] += v
+	})
+	if bad != nil {
+		return bad
+	}
+	for i, sum := range sums {
 		if math.Abs(sum-loads[i]) > 1e-6*math.Max(1, loads[i]) {
 			return fmt.Errorf("row %d sums to %v, want %v", i, sum, loads[i])
 		}

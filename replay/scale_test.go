@@ -3,10 +3,12 @@ package replay
 import (
 	"bytes"
 	"context"
+	"runtime"
 	"testing"
 	"time"
 
 	"delaylb"
+	"delaylb/internal/model"
 )
 
 // The acceptance bar for the replay tier: an m=2000 NetClustered
@@ -111,5 +113,124 @@ func TestScaleTierReplayM2000(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Error("m=2000 replay is not byte-deterministic across runs")
+	}
+}
+
+// TestReplayBlockMatchesDenseTimelineM2000 is the sparse end-to-end
+// acceptance bar: the same m=2000 clustered flash-crowd trace replayed
+// on the block latency representation (the default) and on the dense
+// m×m oracle (WithDenseLatency) must produce byte-identical metrics
+// timelines — same costs, same iteration counts, same churn, same nnz,
+// epoch for epoch — while the block run's per-churn-event cost is
+// O(m + k²) instead of O(m²) (the drop BENCH_scale.json's
+// session-churn cells and the allocation-bound tests pin).
+func TestReplayBlockMatchesDenseTimelineM2000(t *testing.T) {
+	if testing.Short() {
+		t.Skip("m=2000 replay twin: skipped in -short mode")
+	}
+	const epochs = 4
+	base := delaylb.NewScenario(2000).WithClusters(12).WithLoads(delaylb.LoadZipf, 100).WithSeed(1)
+	cfg := Config{
+		Options: []delaylb.Option{
+			delaylb.WithSolver("proxy"),
+			delaylb.WithSparse(),
+			delaylb.WithMaxIterations(40),
+		},
+		SkipCold: true, // halves the work; the warm path is what differs
+		Verify:   true,
+	}
+	run := func(sc delaylb.Scenario) []byte {
+		tr, err := FlashCrowd(sc, epochs, 5, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		tl, err := Run(context.Background(), tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s replay: %d epochs in %s", sc, len(tl.Epochs), time.Since(start).Round(time.Millisecond))
+		// Compare the epoch rows only: the scenario header legitimately
+		// differs in its DenseLatency flag.
+		var buf bytes.Buffer
+		tlCopy := *tl
+		tlCopy.Scenario = base
+		if err := tlCopy.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	blockJSON := run(base)
+	denseJSON := run(base.WithDenseLatency())
+	if !bytes.Equal(blockJSON, denseJSON) {
+		t.Fatalf("block and dense timelines differ:\n--- block ---\n%s\n--- dense ---\n%s", blockJSON, denseJSON)
+	}
+}
+
+// TestScaleTierReplayM5000NoDense pins the headline claim of the sparse
+// end-to-end tier: an m=5000 clustered flash-crowd replay completes on
+// one CPU without the dense m×m latency matrix ever being materialized.
+// The session must still be block-backed at the end (no densify fell
+// back), and the replay's total allocation stays far under the ~190 MiB
+// a single m=5000 float64 matrix costs — so any dense materialization
+// anywhere on the path fails the bound outright.
+func TestScaleTierReplayM5000NoDense(t *testing.T) {
+	if testing.Short() {
+		t.Skip("m=5000 replay: skipped in -short mode")
+	}
+	const epochs = 3
+	sc := delaylb.NewScenario(5000).WithClusters(16).WithLoads(delaylb.LoadZipf, 100).WithSeed(1)
+	tr, err := FlashCrowd(sc, epochs, 5, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Options: []delaylb.Option{
+			delaylb.WithSolver("frankwolfe"),
+			delaylb.WithSparse(),
+			delaylb.WithMaxIterations(120),
+		},
+		SkipCold: true,
+		Verify:   true,
+	}
+	densifiedBefore := model.BlockDenseMaterializations.Load()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	tl, err := Run(context.Background(), tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	residentMB := float64(after.HeapAlloc) / (1 << 20)
+	t.Logf("m=5000 replay: %d epochs in %s, %.1f MB resident after GC (timings machine-dependent, logged only)",
+		len(tl.Epochs), elapsed.Round(time.Millisecond), residentMB)
+	for _, row := range tl.Epochs {
+		t.Logf("epoch %d: m=%d cost=%.6g warm_iters=%d nnz=%d moved=%.4g",
+			row.Epoch, row.Servers, row.Cost, row.WarmIters, row.NNZ, row.Moved)
+	}
+	if len(tl.Epochs) != epochs+1 {
+		t.Fatalf("timeline has %d rows, want %d", len(tl.Epochs), epochs+1)
+	}
+	// The acceptance criterion, verbatim: the dense m×m latency matrix
+	// is never materialized. Every BlockLatency.Dense() call is counted.
+	if got := model.BlockDenseMaterializations.Load() - densifiedBefore; got != 0 {
+		t.Errorf("the dense latency matrix was materialized %d times during the replay", got)
+	}
+	// A single dense m×m float64 matrix at m=5000 is ~190 MiB; the whole
+	// replay's resident state (sparse allocation + block table + metrics)
+	// must stay far below it. Frank–Wolfe warm starts do accumulate nnz
+	// across epochs (the away-step follow-on in ROADMAP), so nnz grows
+	// with iters·epochs — sparse relative to m² = 25M, and bounded here.
+	if residentMB > 150 {
+		t.Errorf("%.1f MB resident after the replay — an O(m²) structure is being retained", residentMB)
+	}
+	for _, row := range tl.Epochs {
+		if row.NNZ == 0 || row.NNZ >= 5000*5000/10 {
+			t.Errorf("epoch %d: nnz=%d, expected sparse (0 < nnz ≪ m²)", row.Epoch, row.NNZ)
+		}
 	}
 }

@@ -101,6 +101,13 @@ type Scenario struct {
 	// Clusters is the number of metro clusters for NetClustered
 	// (0 means the default of 8); other network kinds ignore it.
 	Clusters int
+	// DenseLatency forces NetClustered scenarios to materialize the
+	// dense m×m latency matrix instead of the block (metro table +
+	// labels) representation. The two describe bit-identical networks;
+	// the dense form exists as the verification oracle the block fast
+	// paths are pinned against, and for measuring what the block
+	// representation saves. Other network kinds are always dense.
+	DenseLatency bool
 	// Seed makes the scenario deterministic (default 1). The same
 	// Scenario value always builds the same System.
 	Seed int64
@@ -166,6 +173,13 @@ func (sc Scenario) WithSeed(seed int64) Scenario {
 func (sc Scenario) WithClusters(k int) Scenario {
 	sc.Network = NetClustered
 	sc.Clusters = k
+	return sc
+}
+
+// WithDenseLatency forces the dense matrix representation on clustered
+// scenarios — the verification-oracle twin of the default block form.
+func (sc Scenario) WithDenseLatency() Scenario {
+	sc.DenseLatency = true
 	return sc
 }
 
@@ -254,6 +268,7 @@ func (sc Scenario) instance() (*model.Instance, error) {
 	}
 	rng := rand.New(rand.NewSource(sc.Seed))
 	var lat [][]float64
+	var blockDelay [][]float64
 	var labels []int
 	switch sc.Network {
 	case NetHomogeneous:
@@ -262,8 +277,14 @@ func (sc Scenario) instance() (*model.Instance, error) {
 		lat = netmodel.Euclidean(sc.Servers, sc.Latency, rng)
 	case NetClustered:
 		// Intra-metro latency is 5% of the backbone scale: a 100 ms
-		// continent gives ~5 ms within a metro.
-		lat, labels = netmodel.Clustered(sc.Servers, sc.clusters(), 0.05*sc.Latency, sc.Latency, rng)
+		// continent gives ~5 ms within a metro. The default build keeps
+		// the O(m + k²) block representation; WithDenseLatency
+		// materializes the bit-identical dense oracle instead.
+		if sc.DenseLatency {
+			lat, labels = netmodel.Clustered(sc.Servers, sc.clusters(), 0.05*sc.Latency, sc.Latency, rng)
+		} else {
+			blockDelay, labels = netmodel.ClusteredBlock(sc.Servers, sc.clusters(), 0.05*sc.Latency, sc.Latency, rng)
+		}
 	default:
 		lat = netmodel.PlanetLab(sc.Servers, netmodel.DefaultPlanetLabConfig(), rng)
 	}
@@ -275,6 +296,9 @@ func (sc Scenario) instance() (*model.Instance, error) {
 		speeds = workload.UniformSpeeds(sc.Servers, sc.SpeedMin, sc.SpeedMax, rng)
 	}
 	loads := workload.Loads(workload.Kind(sc.LoadDist), sc.Servers, sc.AvgLoad, rng)
+	if blockDelay != nil {
+		return model.NewBlockInstance(speeds, loads, blockDelay, labels)
+	}
 	in, err := model.NewInstance(speeds, loads, lat)
 	if err != nil {
 		return nil, err

@@ -20,7 +20,7 @@ func TestScenarioDeterministic(t *testing.T) {
 			t.Fatal("scenario not deterministic in speeds/loads")
 		}
 		for j := 0; j < 12; j++ {
-			if a.in.Latency[i][j] != b.in.Latency[i][j] {
+			if a.in.LatAt(i, j) != b.in.LatAt(i, j) {
 				t.Fatal("scenario not deterministic in latencies")
 			}
 		}
@@ -145,11 +145,11 @@ func TestClusteredScenarioBuilds(t *testing.T) {
 			}
 			key := [2]int{in.Cluster[i], in.Cluster[j]}
 			if v, ok := seen[key]; ok {
-				if in.Latency[i][j] != v {
-					t.Fatalf("block (%v) ambiguous: %v vs %v", key, v, in.Latency[i][j])
+				if in.LatAt(i, j) != v {
+					t.Fatalf("block (%v) ambiguous: %v vs %v", key, v, in.LatAt(i, j))
 				}
 			} else {
-				seen[key] = in.Latency[i][j]
+				seen[key] = in.LatAt(i, j)
 			}
 		}
 	}

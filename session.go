@@ -3,11 +3,13 @@ package delaylb
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 
 	"delaylb/internal/dynamic"
 	"delaylb/internal/model"
 	"delaylb/internal/runtime"
+	"delaylb/internal/sparse"
 )
 
 // Session is the online serving surface of the package: a long-lived,
@@ -31,12 +33,20 @@ import (
 // starts warm and typically re-enters the paper's 2% optimality band in
 // a fraction of the iterations a cold solve needs.
 //
+// Session state is generation-tagged copy-on-write: every update swaps
+// in a fresh epoch-numbered instance that shares everything the update
+// did not touch. UpdateLoads copies only the load vector; AddServer /
+// RemoveServer on a block-latency (NetClustered) instance copy only the
+// O(m) per-server vectors and share the k×k metro table, so a churn
+// event costs O(m + k²) instead of the O(m²) full-matrix clone of the
+// dense path — the property session_alloc_test.go pins.
+//
 // For sessions over thousands of servers, pass WithSparse (and usually
 // WithSolver("frankwolfe") or the "proxy" MinE variant) as a session
 // default at NewSession: every Reoptimize then runs on the scale-tier
-// sparse paths, and the warm-start matrix the session feeds back stays
-// sparse in practice because Frank–Wolfe touches at most one new server
-// per organization per iteration.
+// sparse paths, and the session itself carries the allocation in sparse
+// form end to end — UpdateLoads and churn projections are O(nnz + m),
+// and results stay sparse until a caller materializes them.
 //
 // A Session is safe for concurrent use. The lock is released while a
 // solve or cluster run is in flight, so observers — including the
@@ -44,23 +54,47 @@ import (
 // any time; a result computed against a state that was updated mid-run
 // is returned but not adopted.
 type Session struct {
-	mu    sync.Mutex
-	in    *model.Instance
-	alloc *model.Allocation
-	base  []Option // defaults captured at NewSession, prepended per call
-	epoch int      // counts load/latency updates
+	mu sync.Mutex
+	in *model.Instance
+	// Exactly one of alloc (dense mode) and salloc (sparse mode, request
+	// units) is non-nil; the mode is fixed at NewSession by WithSparse.
+	alloc  *model.Allocation
+	salloc *sparse.Matrix
+	base   []Option // defaults captured at NewSession, prepended per call
+	epoch  int      // counts load/latency updates
 }
 
 // NewSession starts a session from the system's instance and the identity
 // allocation (every organization serving itself). The given options
 // become the session's defaults for every Reoptimize/RunCluster call;
-// per-call options override them.
+// per-call options override them. With WithSparse among the defaults the
+// session carries its allocation sparsely end to end.
 func (s *System) NewSession(opts ...Option) *Session {
-	return &Session{
-		in:    s.in.Clone(),
-		alloc: model.Identity(s.in),
-		base:  opts,
+	sess := &Session{
+		in:   s.in.Clone(),
+		base: opts,
 	}
+	if buildOptions(opts).Sparse {
+		sess.salloc = identityRequests(sess.in)
+	} else {
+		sess.alloc = model.Identity(sess.in)
+	}
+	return sess
+}
+
+// identityRequests is the sparse identity allocation: r_ii = n_i.
+func identityRequests(in *model.Instance) *sparse.Matrix {
+	m := in.M()
+	mx := sparse.New(m, m)
+	ibuf := make([]int32, m)
+	vbuf := make([]float64, m)
+	for i := 0; i < m; i++ {
+		ibuf[i] = int32(i)
+		vbuf[i] = in.Load[i]
+		mx.Idx[i] = ibuf[i : i+1 : i+1]
+		mx.Val[i] = vbuf[i : i+1 : i+1]
+	}
+	return mx
 }
 
 // System returns an immutable snapshot of the session's current instance,
@@ -72,7 +106,8 @@ func (s *Session) System() *System {
 }
 
 // Epoch returns how many state updates (UpdateLoads, UpdateLatency,
-// AddServer, RemoveServer) the session has absorbed.
+// AddServer, RemoveServer) the session has absorbed — the generation tag
+// of its copy-on-write instance.
 func (s *Session) Epoch() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -97,15 +132,43 @@ func (s *Session) Loads() []float64 {
 
 // Latency returns a deep copy of the current pairwise latency matrix —
 // the natural input to a "degrade these links and UpdateLatency" step in
-// an online feed.
+// an online feed. On a block-latency session this materializes the dense
+// m×m form (O(m²), and it counts against
+// model.BlockDenseMaterializations, the scale-tier tests' no-densify
+// instrument); prefer BlockLatency at scale.
 func (s *Session) Latency() [][]float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([][]float64, s.in.M())
-	for i, row := range s.in.Latency {
-		out[i] = append([]float64(nil), row...)
+	if b, ok := s.in.Latency.(*model.BlockLatency); ok {
+		return b.Dense() // freshly built — safe to hand out
+	}
+	m := s.in.M()
+	out := make([][]float64, m)
+	buf := make([]float64, m*m)
+	for i := range out {
+		out[i], buf = buf[:m:m], buf[m:]
+		s.in.Latency.RowInto(i, out[i])
 	}
 	return out
+}
+
+// BlockLatency returns a copy of the k×k metro block-delay table and the
+// per-server metro labels when the session's instance is backed by the
+// block latency representation (NetClustered scenarios), or ok == false
+// otherwise. The copy costs O(m + k²) — the scale-friendly way to
+// inspect a clustered session's network.
+func (s *Session) BlockLatency() (delay [][]float64, labels []int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, isBlock := s.in.Latency.(*model.BlockLatency)
+	if !isBlock {
+		return nil, nil, false
+	}
+	delay = make([][]float64, len(b.Delay))
+	for g, row := range b.Delay {
+		delay[g] = append([]float64(nil), row...)
+	}
+	return delay, append([]int(nil), b.Label...), true
 }
 
 // Clusters returns a copy of the current cluster (metro) labels, or nil
@@ -120,10 +183,15 @@ func (s *Session) Clusters() []int {
 }
 
 // Result snapshots the current allocation as a Result (no solving). The
-// snapshot is a copy: mutating it cannot corrupt the session.
+// snapshot is a copy: mutating it cannot corrupt the session. On a
+// sparse session the snapshot stays sparse (O(nnz)); its dense
+// Requests/Fractions views materialize lazily if asked for.
 func (s *Session) Result() *Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.salloc != nil {
+		return resultFromSparseRequests(s.in, s.salloc.Clone())
+	}
 	return resultFromAllocation(s.in, s.alloc.Clone())
 }
 
@@ -132,25 +200,68 @@ func (s *Session) Result() *Result {
 func (s *Session) Cost() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.salloc != nil {
+		return sparseTotalCost(s.in, s.salloc)
+	}
 	return model.TotalCost(s.in, s.alloc)
+}
+
+// sparseTotalCost is model.TotalCost on a sparse requests matrix, with
+// the same accumulation order (O(nnz + m)).
+func sparseTotalCost(in *model.Instance, req *sparse.Matrix) float64 {
+	loads := make([]float64, in.M())
+	for i := range req.Idx {
+		val := req.Val[i]
+		for t, j := range req.Idx[i] {
+			loads[j] += val[t]
+		}
+	}
+	var cost float64
+	for j, l := range loads {
+		cost += l * l / (2 * in.Speed[j])
+	}
+	lat := in.Latency
+	for i := range req.Idx {
+		val := req.Val[i]
+		for t, j := range req.Idx[i] {
+			if v := val[t]; v != 0 && int(j) != i {
+				cost += v * lat.At(i, int(j))
+			}
+		}
+	}
+	return cost
 }
 
 // UpdateLoads replaces the per-organization loads. The current allocation
 // is carried over by rescaling each organization's row to its new load
 // (preserving relay fractions), so it stays feasible and close to optimal
 // under moderate churn — the warm start the next Reoptimize exploits.
+//
+// Only the load vector is copied: the latency view, speeds and cluster
+// labels are shared with the previous epoch's instance (which is
+// immutable), so the update is O(m + nnz) in either session mode.
 func (s *Session) UpdateLoads(loads []float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(loads) != s.in.M() {
 		return fmt.Errorf("delaylb: UpdateLoads got %d loads, want %d", len(loads), s.in.M())
 	}
-	next := s.in.Clone()
-	next.Load = append([]float64(nil), loads...)
-	if err := next.Validate(); err != nil {
-		return err
+	for i, n := range loads {
+		if n < 0 || math.IsNaN(n) || math.IsInf(n, 0) {
+			return fmt.Errorf("delaylb: UpdateLoads load[%d]=%v, must be non-negative and finite", i, n)
+		}
 	}
-	s.alloc = dynamic.Rescale(s.alloc, s.in, next)
+	next := &model.Instance{
+		Speed:   s.in.Speed,
+		Load:    append([]float64(nil), loads...),
+		Latency: s.in.Latency,
+		Cluster: s.in.Cluster,
+	}
+	if s.salloc != nil {
+		s.salloc = dynamic.RescaleSparse(s.salloc, s.in.Load, next.Load)
+	} else {
+		s.alloc = dynamic.Rescale(s.alloc, s.in, next)
+	}
 	s.in = next
 	s.epoch++
 	return nil
@@ -160,6 +271,12 @@ func (s *Session) UpdateLoads(loads []float64) error {
 // changed: a link degraded, a route moved). The allocation is unchanged —
 // it remains feasible because loads did not move — but its cost, and the
 // optimum, shift; call Reoptimize to adapt.
+//
+// The replacement is inherently dense: a block-latency session becomes
+// dense-backed from this point on (the new matrix need not be
+// block-structured). Solvers re-verify the preserved cluster hint
+// against the new matrix, so a structure-breaking change degrades them
+// to the generic path, never corrupts.
 func (s *Session) UpdateLatency(latency [][]float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -174,17 +291,18 @@ func (s *Session) UpdateLatency(latency [][]float64) error {
 			return fmt.Errorf("delaylb: UpdateLatency row %d has %d entries, want %d", i, len(row), m)
 		}
 	}
+	rows := make([][]float64, m)
+	for i, row := range latency {
+		rows[i] = append([]float64(nil), row...)
+	}
 	next := &model.Instance{
-		Speed:   append([]float64(nil), s.in.Speed...),
-		Load:    append([]float64(nil), s.in.Load...),
-		Latency: make([][]float64, m),
+		Speed:   s.in.Speed,
+		Load:    s.in.Load,
+		Latency: model.NewDense(rows),
 		// The cluster hint survives the swap: ClusterDelays re-verifies it
 		// against the new matrix, so a change that breaks the block
 		// structure degrades solvers to the generic path, never corrupts.
 		Cluster: append([]int(nil), s.in.Cluster...),
-	}
-	for i, row := range latency {
-		next.Latency[i] = append([]float64(nil), row...)
 	}
 	if err := next.Validate(); err != nil {
 		return err
@@ -204,11 +322,16 @@ type ServerSpec struct {
 	// LatencyTo[j] is the one-way delay from the new server to existing
 	// server j; LatencyFrom[j] the delay from j to the new server. Both
 	// must have length Session.M(); +Inf marks a forbidden link.
+	//
+	// On a block-latency session both may be nil: the rows are implied
+	// by the Cluster label (the newcomer inherits its metro's block
+	// delays), which is the O(m + k²) fast path. Explicit rows that
+	// match the block structure keep it; rows that contradict it densify
+	// the session's instance (the newcomer genuinely breaks the metro
+	// scheme).
 	LatencyTo, LatencyFrom []float64
-	// Cluster is the metro label of the new server, used only when the
+	// Cluster is the metro label of the new server, used when the
 	// session's instance carries cluster labels (NetClustered scenarios).
-	// To keep the sparse solver's block-structure fast path, the latency
-	// rows must agree exactly with the cluster's block delays.
 	Cluster int
 }
 
@@ -224,7 +347,11 @@ func (s *Session) AddServer(spec ServerSpec) error {
 	if err != nil {
 		return err
 	}
-	s.alloc = dynamic.Expand(s.alloc, spec.Load)
+	if s.salloc != nil {
+		s.salloc = dynamic.ExpandSparse(s.salloc, spec.Load)
+	} else {
+		s.alloc = dynamic.Expand(s.alloc, spec.Load)
+	}
 	s.in = next
 	s.epoch++
 	return nil
@@ -243,7 +370,11 @@ func (s *Session) RemoveServer(i int) error {
 	if err != nil {
 		return err
 	}
-	s.alloc = dynamic.Collapse(s.alloc, i)
+	if s.salloc != nil {
+		s.salloc = dynamic.CollapseSparse(s.salloc, i)
+	} else {
+		s.alloc = dynamic.Collapse(s.alloc, i)
+	}
 	s.in = next
 	s.epoch++
 	return nil
@@ -259,10 +390,19 @@ func (s *Session) RemoveServer(i int) error {
 // the Progress callback itself) may use the Session concurrently. If an
 // UpdateLoads/UpdateLatency lands mid-solve the stale result is returned
 // but not adopted — call Reoptimize again for the new epoch.
+//
+// On a sparse session the warm start is handed to the built-in solvers
+// in sparse form; a third-party solver registered via RegisterSolver
+// sees a nil WarmStart on sparse sessions and solves cold (materializing
+// the dense warm matrix would defeat the mode's purpose).
 func (s *Session) Reoptimize(ctx context.Context, opts ...Option) (*Result, error) {
 	s.mu.Lock()
 	o := buildOptions(append(append([]Option(nil), s.base...), opts...))
-	o.WarmStart = s.alloc.R
+	if s.salloc != nil {
+		o.warmSparse = s.salloc
+	} else {
+		o.WarmStart = s.alloc.R
+	}
 	in := s.in
 	epoch := s.epoch
 	s.mu.Unlock()
@@ -273,16 +413,36 @@ func (s *Session) Reoptimize(ctx context.Context, opts ...Option) (*Result, erro
 	// Safe outside the lock: instances and allocation matrices are
 	// replaced wholesale on update, never mutated in place.
 	res, err := solver.Solve(ctx, &System{in: in}, o.SolveOptions)
-	if res != nil && res.Requests != nil {
+	if res != nil && res.hasAllocation() {
 		s.mu.Lock()
 		if s.epoch == epoch {
-			if a, aerr := warmAllocation(in, res.Requests); aerr == nil {
-				s.alloc = a
-			}
+			s.adoptLocked(in, res)
 		}
 		s.mu.Unlock()
 	}
 	return res, err
+}
+
+// adoptLocked installs a result's allocation as the session state,
+// rescaled defensively to the instance's loads (mirroring
+// warmAllocation). Callers hold s.mu.
+func (s *Session) adoptLocked(in *model.Instance, res *Result) {
+	if s.salloc == nil {
+		if a, err := warmAllocation(in, res.Requests()); err == nil {
+			s.alloc = a
+		}
+		return
+	}
+	req := res.sparseRequests()
+	if req == nil || len(req.Idx) != in.M() {
+		return
+	}
+	s.salloc = sparse.ScaleRows(req, func(i int) (float64, float64, bool) {
+		if sum := req.RowSum(i); sum > 0 {
+			return in.Load[i] / sum, 0, true
+		}
+		return 0, in.Load[i], false
+	})
 }
 
 // RunCluster runs the concurrent message-passing runtime (one goroutine
@@ -294,6 +454,9 @@ func (s *Session) Reoptimize(ctx context.Context, opts ...Option) (*Result, erro
 // adopted into the session unless an update landed mid-run.
 //
 // The session lock is not held while the cluster runs; see Reoptimize.
+// The runtime itself is dense (one goroutine per server exchanging full
+// columns), so a sparse session materializes its allocation for the run
+// — RunCluster targets the m≲hundreds regime either way.
 // Unlike SimulateDistributed this exercises true concurrency — message
 // interleavings vary across runs — so treat per-round costs as
 // monotone-ish, not bit-reproducible.
@@ -305,6 +468,9 @@ func (s *Session) RunCluster(ctx context.Context, rounds int, onRound func(round
 	o := buildOptions(append(append([]Option(nil), s.base...), opts...))
 	in := s.in
 	start := s.alloc
+	if s.salloc != nil {
+		start = &model.Allocation{R: s.salloc.Dense()}
+	}
 	epoch := s.epoch
 	s.mu.Unlock()
 	minGain := 1e-6 * (1 + model.TotalCost(in, model.Identity(in)))
@@ -327,7 +493,11 @@ func (s *Session) RunCluster(ctx context.Context, rounds int, onRound func(round
 	reached := cl.Allocation()
 	s.mu.Lock()
 	if s.epoch == epoch {
-		s.alloc = reached
+		if s.salloc != nil {
+			s.salloc = sparse.FromDense(reached.R, 0)
+		} else {
+			s.alloc = reached
+		}
 	}
 	s.mu.Unlock()
 	// The result gets its own copy so callers cannot mutate the adopted

@@ -1,0 +1,90 @@
+package delaylb
+
+import (
+	"testing"
+)
+
+// The allocation-regression smoke of the sparse end-to-end tier: the
+// whole point of the copy-on-write session state is that UpdateLoads
+// touches only the load vector and a churn event touches only the O(m)
+// per-server vectors. A dense m×m latency clone allocates one slice per
+// row — ~m allocations — so an allocation *count* bound at m=500 fails
+// the build the moment such a clone sneaks back into any of these
+// paths, machine-independently (allocation counts, unlike bytes or
+// nanoseconds, are deterministic for a fixed code path).
+//
+// The bounds are intentionally loose (≳4× the measured counts, far
+// below m): they guard the complexity class, not the constant.
+
+const allocSmokeM = 500
+
+func newAllocSmokeSession(t testing.TB, sparse bool) *Session {
+	t.Helper()
+	sc := NewScenario(allocSmokeM).WithClusters(12).WithLoads(LoadZipf, 100).WithSeed(1)
+	sys, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse {
+		return sys.NewSession(WithSparse())
+	}
+	return sys.NewSession()
+}
+
+func TestUpdateLoadsAllocationBound(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		sparse bool
+		bound  float64
+	}{
+		// Dense mode rescales into a fresh contiguous m×m allocation
+		// (3 allocs); sparse mode rebuilds the nnz backing (≈6).
+		{"dense-alloc", false, 30},
+		{"sparse-alloc", true, 30},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			sess := newAllocSmokeSession(t, mode.sparse)
+			loads := sess.Loads()
+			n := testing.AllocsPerRun(20, func() {
+				loads[3] += 1
+				if err := sess.UpdateLoads(loads); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("UpdateLoads at m=%d: %.1f allocs/op", allocSmokeM, n)
+			if n > mode.bound {
+				t.Errorf("UpdateLoads allocates %.1f times per call (bound %v) — an O(m) clone is back on the hot path", n, mode.bound)
+			}
+		})
+	}
+}
+
+func TestChurnEventAllocationBound(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		sparse bool
+		bound  float64
+	}{
+		{"dense-alloc", false, 60},
+		{"sparse-alloc", true, 60},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			sess := newAllocSmokeSession(t, mode.sparse)
+			// One churn event = a metro join (block fast path: nil rows,
+			// label only) followed by the newcomer leaving again, so the
+			// session size is restored every iteration.
+			n := testing.AllocsPerRun(20, func() {
+				if err := sess.AddServer(ServerSpec{Speed: 2, Load: 10, Cluster: 3}); err != nil {
+					t.Fatal(err)
+				}
+				if err := sess.RemoveServer(sess.M() - 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("join+leave at m=%d: %.1f allocs/op", allocSmokeM, n)
+			if n > mode.bound {
+				t.Errorf("churn event allocates %.1f times per join+leave (bound %v) — an O(m²) clone is back on the churn path", n, mode.bound)
+			}
+		})
+	}
+}

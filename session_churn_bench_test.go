@@ -1,0 +1,183 @@
+package delaylb_test
+
+import (
+	"testing"
+	"time"
+
+	"delaylb"
+)
+
+// BenchmarkSessionChurn measures the per-event cost of the session's
+// copy-on-write state under server churn: metro joins, leaves, load
+// updates and a (densifying) latency shift, on the block representation
+// and on the dense oracle. Run with -benchmem: the block path's bytes
+// per event are O(m + k²) while the dense path pays the O(m²) matrix
+// copy — the drop cmd/tables -bench persists into BENCH_scale.json.
+//
+// Costs and allocation counts are deterministic; wall-clock is logged
+// for the trajectory only (1-CPU containers make speedups machine-
+// dependent, so nothing here asserts timings).
+func BenchmarkSessionChurn(b *testing.B) {
+	const m = 2000
+	for _, repr := range []struct {
+		name  string
+		dense bool
+	}{
+		{"block", false},
+		{"dense", true},
+	} {
+		sc := delaylb.NewScenario(m).WithClusters(12).WithLoads(delaylb.LoadZipf, 100).WithSeed(1)
+		if repr.dense {
+			sc = sc.WithDenseLatency()
+		}
+		build := func(b *testing.B) *delaylb.Session {
+			b.Helper()
+			sys, err := sc.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if repr.dense {
+				return sys.NewSession()
+			}
+			return sys.NewSession(delaylb.WithSparse())
+		}
+		b.Run(repr.name+"/join-leave", func(b *testing.B) {
+			sess := build(b)
+			spec := delaylb.ServerSpec{Speed: 2, Load: 10, Cluster: 3}
+			if repr.dense {
+				delay, labels, _ := blockOf(b, sc)
+				spec.LatencyTo, spec.LatencyFrom = deriveRows(delay, labels, 3)
+			}
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.AddServer(spec); err != nil {
+					b.Fatal(err)
+				}
+				if err := sess.RemoveServer(sess.M() - 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.Logf("elapsed %s for %d join+leave events at m=%d", time.Since(start).Round(time.Millisecond), b.N, m)
+		})
+		b.Run(repr.name+"/update-loads", func(b *testing.B) {
+			sess := build(b)
+			loads := sess.Loads()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				loads[i%m] += 1
+				if err := sess.UpdateLoads(loads); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The latency-shift event is dense by nature (the new matrix need
+	// not be block-structured); it is benchmarked once at a smaller m so
+	// -benchtime=1x smoke runs stay fast.
+	b.Run("latency-shift-dense", func(b *testing.B) {
+		sys, err := delaylb.NewScenario(500).WithClusters(8).WithLoads(delaylb.LoadZipf, 100).WithSeed(1).Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess := sys.NewSession()
+		lat := sess.Latency()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lat[1][2] *= 1.0000001
+			if err := sess.UpdateLatency(lat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// blockOf rebuilds the scenario's block table for explicit dense rows.
+func blockOf(tb testing.TB, sc delaylb.Scenario) ([][]float64, []int, bool) {
+	tb.Helper()
+	sys, err := sc.Build()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	delay, labels, ok := sys.NewSession().BlockLatency()
+	if !ok {
+		// Dense scenario: derive through a block twin (same seed).
+		blockSc := sc
+		blockSc.DenseLatency = false
+		bsys, err := blockSc.Build()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		delay, labels, ok = bsys.NewSession().BlockLatency()
+	}
+	return delay, labels, ok
+}
+
+// deriveRows materializes the join rows of a metro-g newcomer.
+func deriveRows(delay [][]float64, labels []int, g int) (latTo, latFrom []float64) {
+	latTo = make([]float64, len(labels))
+	latFrom = make([]float64, len(labels))
+	for j, h := range labels {
+		latTo[j] = delay[g][h]
+		latFrom[j] = delay[h][g]
+	}
+	return latTo, latFrom
+}
+
+// TestSessionChurnDeterministic pins what the churn benchmarks rely on:
+// an identical event sequence drives two sessions to byte-identical
+// state (cost, size, nonzeros), on both representations.
+func TestSessionChurnDeterministic(t *testing.T) {
+	run := func(dense bool) (float64, int, int) {
+		sc := delaylb.NewScenario(300).WithClusters(6).WithLoads(delaylb.LoadZipf, 100).WithSeed(1)
+		if dense {
+			sc = sc.WithDenseLatency()
+		}
+		sys, err := sc.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sess *delaylb.Session
+		if dense {
+			sess = sys.NewSession()
+		} else {
+			sess = sys.NewSession(delaylb.WithSparse())
+		}
+		loads := sess.Loads()
+		for i := range loads {
+			loads[i] = loads[i]*1.25 + float64(i%7)
+		}
+		if err := sess.UpdateLoads(loads); err != nil {
+			t.Fatal(err)
+		}
+		delay, labels, _ := blockOf(t, sc)
+		for ev := 0; ev < 10; ev++ {
+			spec := delaylb.ServerSpec{Speed: 1.5, Load: float64(5 * ev), Cluster: ev % 6}
+			if dense {
+				// The dense oracle receives the rows the block form derives.
+				spec.LatencyTo, spec.LatencyFrom = deriveRows(delay, labels, spec.Cluster)
+			}
+			if err := sess.AddServer(spec); err != nil {
+				t.Fatal(err)
+			}
+			labels = append(labels, spec.Cluster)
+		}
+		for ev := 0; ev < 10; ev++ {
+			if err := sess.RemoveServer(sess.M() - 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res := sess.Result()
+		return sess.Cost(), sess.M(), res.NNZ
+	}
+	cb1, mb1, _ := run(false)
+	cb2, mb2, _ := run(false)
+	if cb1 != cb2 || mb1 != mb2 {
+		t.Fatalf("block churn not deterministic: cost %v vs %v", cb1, cb2)
+	}
+	cd, md, _ := run(true)
+	if cd != cb1 || md != mb1 {
+		t.Fatalf("block and dense churn disagree: cost %v vs %v (m %d vs %d)", cb1, cd, mb1, md)
+	}
+}

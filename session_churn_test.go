@@ -17,10 +17,10 @@ func checkFeasible(t *testing.T, sess *Session) {
 	t.Helper()
 	loads := sess.Loads()
 	res := sess.Result()
-	if len(res.Requests) != len(loads) {
-		t.Fatalf("allocation is %d×?, loads have %d entries", len(res.Requests), len(loads))
+	if len(res.Requests()) != len(loads) {
+		t.Fatalf("allocation is %d×?, loads have %d entries", len(res.Requests()), len(loads))
 	}
-	for i, row := range res.Requests {
+	for i, row := range res.Requests() {
 		var sum float64
 		for j, v := range row {
 			if v < -1e-9 || math.IsNaN(v) {

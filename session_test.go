@@ -79,7 +79,7 @@ func TestSessionUpdateLoadsRescalesAllocation(t *testing.T) {
 	}
 	// The carried-over allocation must place exactly the new loads.
 	res := sess.Result()
-	for i, row := range res.Requests {
+	for i, row := range res.Requests() {
 		var sum float64
 		for _, v := range row {
 			sum += v
@@ -172,7 +172,7 @@ func TestSessionRunClusterConvergesAndAdopts(t *testing.T) {
 	}
 	// And the allocation must remain feasible.
 	loads := sess.Loads()
-	for i, row := range sess.Result().Requests {
+	for i, row := range sess.Result().Requests() {
 		var sum float64
 		for _, v := range row {
 			sum += v
@@ -238,7 +238,7 @@ func TestSessionStaleResultNotAdopted(t *testing.T) {
 	}
 	// The session's allocation must carry the NEW loads: adopting the
 	// stale solve (feasible only for the old loads) would break mass.
-	for i, row := range sess.Result().Requests {
+	for i, row := range sess.Result().Requests() {
 		var sum float64
 		for _, v := range row {
 			sum += v

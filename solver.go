@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"delaylb/internal/sparse"
 )
 
 // SolveOptions carries the tuning knobs a Solver receives. The zero value
@@ -42,6 +44,11 @@ type SolveOptions struct {
 	// Sparse routes the solve through the large-m scale tier (see
 	// WithSparse). Solvers without a sparse path ignore it.
 	Sparse bool
+
+	// warmSparse is the sparse-session warm start (request units), set
+	// by Session.Reoptimize on sparse sessions. Only the built-in
+	// solvers read it; third-party solvers see a nil WarmStart instead.
+	warmSparse *sparse.Matrix
 }
 
 // Solver is a cooperative-optimum or equilibrium algorithm reachable

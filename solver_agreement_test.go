@@ -64,7 +64,7 @@ func TestCrossSolverAgreement(t *testing.T) {
 				t.Fatalf("%v %s: cost %v exceeds optimum %v by more than %g rel", sc, solver, res.Cost, lower, relTol)
 			}
 			// Cross-check each solver's plan against the dense program too.
-			flat := qp.Flatten(res.Fractions)
+			flat := qp.Flatten(res.Fractions())
 			if got := qp.QuadraticForm(q, b, flat); math.Abs(got-res.Cost)/math.Max(1, res.Cost) > 1e-9 {
 				t.Fatalf("%v %s: dense QP evaluates plan to %v, solver reported %v", sc, solver, got, res.Cost)
 			}

@@ -49,7 +49,7 @@ func assertFeasibleResult(t *testing.T, sys *System, sc Scenario, res *Result, s
 		t.Fatalf("%v sparse=%v: cost %v not finite and non-negative", sc, sparse, res.Cost)
 	}
 	const tol = 1e-6
-	for i, row := range res.Fractions {
+	for i, row := range res.Fractions() {
 		var sum float64
 		for j, f := range row {
 			if f < -tol || math.IsNaN(f) {
@@ -64,7 +64,7 @@ func assertFeasibleResult(t *testing.T, sys *System, sc Scenario, res *Result, s
 	// The requests view must be consistent with the loads the instance
 	// defines: row i carries organization i's entire load.
 	loads := sys.in.Load
-	for i, row := range res.Requests {
+	for i, row := range res.Requests() {
 		var sum float64
 		for _, r := range row {
 			sum += r

@@ -84,14 +84,14 @@ func TestAllSolversHonourPreCanceledContext(t *testing.T) {
 		if !errors.Is(err, context.Canceled) {
 			t.Errorf("%s: err = %v, want context.Canceled", name, err)
 		}
-		if res == nil || len(res.Requests) != 10 {
+		if res == nil || len(res.Requests()) != 10 {
 			t.Fatalf("%s: no partial result on cancellation", name)
 		}
 		if res.Converged || res.Reason != "canceled" {
 			t.Errorf("%s: canceled result marked %q converged=%v", name, res.Reason, res.Converged)
 		}
 		// The partial result must still be a feasible allocation.
-		for i, row := range res.Requests {
+		for i, row := range res.Requests() {
 			var sum float64
 			for _, v := range row {
 				sum += v
@@ -229,7 +229,7 @@ func TestWarmStartOptionSkipsWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := sys.Optimize(WithWarmStart(opt.Requests))
+	warm, err := sys.Optimize(WithWarmStart(opt.Requests()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,5 +264,71 @@ func TestPriceOfAnarchyHonoursOptions(t *testing.T) {
 	}
 	if def == coarse {
 		t.Errorf("WithTolerance ignored: PoA %v in both cases", def)
+	}
+}
+
+// customIdentitySolver is a minimal third-party solver: it "solves" by
+// returning the identity allocation through the public NewResult
+// constructor — the extension-point contract RegisterSolver documents.
+type customIdentitySolver struct{}
+
+func (customIdentitySolver) Name() string { return "custom-identity" }
+
+func (customIdentitySolver) Solve(ctx context.Context, sys *System, opts SolveOptions) (*Result, error) {
+	m := sys.M()
+	req := make([][]float64, m)
+	loads := sys.Identity().Loads
+	for i := range req {
+		req[i] = make([]float64, m)
+		req[i][i] = loads[i]
+	}
+	res, err := NewResult(sys, req)
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations = 1
+	res.Converged = true
+	res.Reason = "stable"
+	return res, nil
+}
+
+// TestThirdPartySolverViaNewResult pins the RegisterSolver extension
+// point across the lazy-Result refactor: a custom solver can construct
+// an allocation-carrying Result, sessions adopt it, and the derived
+// fields match what the built-in constructor computes.
+func TestThirdPartySolverViaNewResult(t *testing.T) {
+	if err := RegisterSolver(customIdentitySolver{}); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewScenario(12).WithSeed(4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Optimize(WithSolver("custom-identity"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sys.Identity()
+	if res.Cost != want.Cost {
+		t.Fatalf("custom solver cost %v, want identity cost %v", res.Cost, want.Cost)
+	}
+	if res.M() != 12 || len(res.Requests()) != 12 || len(res.Fractions()) != 12 || len(res.OrgCosts) != 12 {
+		t.Fatal("NewResult did not populate the derived views")
+	}
+	// Sessions must adopt the custom solver's allocation.
+	sess := sys.NewSession(WithSolver("custom-identity"))
+	if _, err := sess.Reoptimize(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Cost(); got != want.Cost {
+		t.Fatalf("session did not adopt the custom result: cost %v, want %v", got, want.Cost)
+	}
+	// And the analysis entry points accept it.
+	if eps := sys.EpsilonNash(res); eps < 0 {
+		t.Fatalf("EpsilonNash on a custom result = %v", eps)
+	}
+	// Shape mismatches are rejected instead of corrupting state.
+	if _, err := NewResult(sys, make([][]float64, 3)); err == nil {
+		t.Fatal("NewResult accepted a wrong-shaped matrix")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"delaylb/internal/game"
 	"delaylb/internal/model"
 	"delaylb/internal/qp"
+	"delaylb/internal/sparse"
 )
 
 // This file implements the built-in solvers behind the registry:
@@ -27,6 +28,16 @@ func init() {
 	mustRegisterSolver(qpSolver{name: "frankwolfe"})
 	mustRegisterSolver(qpSolver{name: "projgrad"})
 	mustRegisterSolver(nashSolver{})
+}
+
+// warmStartDense resolves the effective dense warm start of a solve:
+// the explicit WarmStart, or the sparse-session warm start densified
+// (dense-state solvers like MinE hold an m×m allocation anyway).
+func warmStartDense(opts SolveOptions) [][]float64 {
+	if opts.WarmStart != nil || opts.warmSparse == nil {
+		return opts.WarmStart
+	}
+	return opts.warmSparse.Dense()
 }
 
 // warmAllocation turns a WarmStart requests matrix into an allocation
@@ -113,7 +124,7 @@ func (ms mineSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) 
 			strat = core.StrategyExact
 		}
 	}
-	start, err := warmAllocation(sys.in, opts.WarmStart)
+	start, err := warmAllocation(sys.in, warmStartDense(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +134,7 @@ func (ms mineSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) 
 		MaxIters:          opts.MaxIterations,
 		RemoveCyclesEvery: opts.CycleRemovalEvery,
 		SparseColumns:     opts.Sparse,
+		MetroIndex:        opts.Sparse,
 		Rng:               rand.New(rand.NewSource(seedOrDefault(opts.Seed))),
 		OnIteration:       opts.Progress,
 		Ctx:               ctx,
@@ -157,30 +169,47 @@ func (qs qpSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) (*
 		OnIteration: progress,
 		Ctx:         ctx,
 	}
-	if opts.WarmStart != nil {
-		start, err := warmAllocation(sys.in, opts.WarmStart)
+	sparseFW := qs.name == "frankwolfe" && opts.Sparse
+	if sparseFW && opts.warmSparse != nil {
+		qopt.InitialSparse = warmFractionsSparse(sys.in, opts.warmSparse)
+	} else if warm := warmStartDense(opts); warm != nil {
+		start, err := warmAllocation(sys.in, warm)
 		if err != nil {
 			return nil, err
 		}
 		qopt.Initial = start.Fractions(sys.in)
 	}
-	var qres *qp.Result
-	var nnz int
-	switch {
-	case qs.name == "frankwolfe" && opts.Sparse:
+	if sparseFW {
+		// The scale-tier path: the iterate, the result and everything in
+		// between stay sparse; dense Requests/Fractions materialize only
+		// if a caller asks the Result for them.
 		sres := qp.SolveFrankWolfeSparse(sys.in, qopt)
-		nnz = sres.Rho.NNZ()
-		qres = sres.Dense()
-	case qs.name == "frankwolfe":
+		res := resultFromSparseRequests(sys.in, requestsFromRho(sys.in, sres.Rho))
+		res.Iterations = sres.Iters
+		res.Converged = sres.Converged
+		res.Gap = sres.Gap
+		res.NNZ = sres.Rho.NNZ()
+		switch {
+		case *stopped:
+			res.Reason = "callback"
+			res.Converged = false
+		case sres.Converged:
+			res.Reason = "tolerance"
+		default:
+			res.Reason = "max-iters"
+		}
+		return finishSolve(ctx, res)
+	}
+	var qres *qp.Result
+	if qs.name == "frankwolfe" {
 		qres = qp.SolveFrankWolfe(sys.in, qopt)
-	default:
+	} else {
 		qres = qp.SolveProjectedGradient(sys.in, qopt)
 	}
 	res := resultFromAllocation(sys.in, qres.Allocation(sys.in))
 	res.Iterations = qres.Iters
 	res.Converged = qres.Converged
 	res.Gap = qres.Gap
-	res.NNZ = nnz
 	switch {
 	case *stopped:
 		res.Reason = "callback"
@@ -222,6 +251,27 @@ func (nashSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) (*R
 		res.Reason = "max-iters"
 	}
 	return finishSolve(ctx, res)
+}
+
+// warmFractionsSparse converts a sparse warm start in request units into
+// the relay-fraction matrix a sparse Frank–Wolfe solve starts from: each
+// row normalized by its sum (rows with no mass, or organizations with no
+// load, restart from the identity vertex).
+func warmFractionsSparse(in *model.Instance, req *sparse.Matrix) *sparse.Matrix {
+	return sparse.ScaleRows(req, func(i int) (float64, float64, bool) {
+		if sum := req.RowSum(i); sum > 0 && in.Load[i] > 0 {
+			return 1 / sum, 0, true
+		}
+		return 0, 1, false
+	})
+}
+
+// requestsFromRho scales a relay-fraction iterate into request units:
+// r_ij = n_i ρ_ij, in O(nnz).
+func requestsFromRho(in *model.Instance, rho *sparse.Matrix) *sparse.Matrix {
+	return sparse.ScaleRows(rho, func(i int) (float64, float64, bool) {
+		return in.Load[i], 0, true
+	})
 }
 
 func seedOrDefault(seed int64) int64 {

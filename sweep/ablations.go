@@ -37,17 +37,18 @@ func LatencyEstimationAblation(m int, samplesPerNode int, seed int64) LatencyEst
 	}
 
 	space := coords.NewSpace(m, 3, rand.New(rand.NewSource(seed+1)))
-	space.Train(in.Latency, samplesPerNode)
+	trueLat := in.Latency.Dense()
+	space.Train(trueLat, samplesPerNode)
 	est := space.EstimateMatrix()
 
-	estIn := &model.Instance{Speed: in.Speed, Load: in.Load, Latency: est}
+	estIn := &model.Instance{Speed: in.Speed, Load: in.Load, Latency: model.NewDense(est)}
 	planAlloc, _ := core.Run(estIn, core.Config{Rng: rand.New(rand.NewSource(seed + 2))})
 
 	trueOpt := core.ReferenceOptimum(in, rand.New(rand.NewSource(seed+3)))
 	planCost := model.TotalCost(in, planAlloc) // evaluated under TRUE latencies
 
 	res := LatencyEstimationResult{
-		MedianRelErr: space.MedianRelativeError(in.Latency),
+		MedianRelErr: space.MedianRelativeError(trueLat),
 		TrueOptCost:  trueOpt,
 		EstPlanCost:  planCost,
 	}

@@ -40,6 +40,14 @@ type BenchConfig struct {
 	// MineMax bounds the sizes for the MinE proxy-strategy cells; their
 	// per-iteration cost is O(m²) even on the sparse path.
 	MineMax int
+	// ChurnDenseMax bounds the sizes at which the dense-representation
+	// session-churn cells run (each dense churn event copies the m×m
+	// matrix — the cost the block cells exist to avoid measuring twice
+	// at m=5000).
+	ChurnDenseMax int
+	// ChurnEvents is the number of churn events per session-churn cell
+	// (default 30: joins, leaves and load updates in equal parts).
+	ChurnEvents int
 	// Clusters, AvgLoad and Side shape the scenario: a zipf load of the
 	// given average on a clustered metro network of that backbone scale.
 	Clusters int
@@ -58,16 +66,18 @@ type BenchConfig struct {
 // 2000}, dense baselines up to 500, everything derived from seed 1.
 func DefaultBenchConfig() BenchConfig {
 	return BenchConfig{
-		Sizes:     []int{100, 500, 2000},
-		DenseMax:  500,
-		MineMax:   500,
-		Clusters:  8,
-		AvgLoad:   100,
-		Side:      100,
-		FWIters:   600,
-		FWTol:     1e-6,
-		MineIters: 12,
-		Seed:      1,
+		Sizes:         []int{100, 500, 2000},
+		DenseMax:      500,
+		MineMax:       500,
+		ChurnDenseMax: 2000,
+		ChurnEvents:   30,
+		Clusters:      8,
+		AvgLoad:       100,
+		Side:          100,
+		FWIters:       600,
+		FWTol:         1e-6,
+		MineIters:     12,
+		Seed:          1,
 	}
 }
 
@@ -88,6 +98,14 @@ type BenchEntry struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 	NsPerIter float64 `json:"ns_per_iter"`
 	AllocMB   float64 `json:"alloc_mb"`
+
+	// Session-churn cells only: per-event cost of a join/leave/update
+	// stream against a live Session. The block representation's
+	// ChurnEventAllocKB is O(m + k²); the dense representation's is the
+	// O(m²) matrix copy — the drop this column exists to demonstrate.
+	ChurnEvents       int     `json:"churn_events,omitempty"`
+	ChurnEventNS      float64 `json:"churn_event_ns,omitempty"`
+	ChurnEventAllocKB float64 `json:"churn_event_alloc_kb,omitempty"`
 }
 
 // BenchReport is the persisted form of one harness run.
@@ -126,6 +144,10 @@ func (cfg BenchConfig) cells() []benchCell {
 		if m <= cfg.MineMax {
 			out = append(out, benchCell{m, "proxy-sparse"})
 			out = append(out, benchCell{m, "proxy-dense"})
+		}
+		out = append(out, benchCell{m, "session-churn-block"})
+		if m <= cfg.ChurnDenseMax {
+			out = append(out, benchCell{m, "session-churn-dense"})
 		}
 	}
 	return out
@@ -205,6 +227,10 @@ func (cfg BenchConfig) runCell(ctx context.Context, cell benchCell) (BenchEntry,
 		if cell.solver == "proxy-sparse" {
 			entry.NNZ = st.Alloc.NNZ()
 		}
+	case "session-churn-block", "session-churn-dense":
+		if err := cfg.runChurnCell(&entry, sc, cell.solver == "session-churn-dense"); err != nil {
+			return BenchEntry{}, err
+		}
 	default:
 		return BenchEntry{}, fmt.Errorf("unknown bench solver %q", cell.solver)
 	}
@@ -219,12 +245,98 @@ func (cfg BenchConfig) runCell(ctx context.Context, cell benchCell) (BenchEntry,
 	return entry, ctx.Err()
 }
 
+// runChurnCell replays a deterministic churn stream — metro joins,
+// leaves and load updates in equal parts — against a live Session and
+// records the per-event wall-clock and allocation cost. No solving: the
+// cell isolates the state-maintenance cost the copy-on-write session
+// refactor targets. Cost is the final session ΣC_i, which is identical
+// between the block and dense cells (pinned at test scale by
+// TestSessionChurnDeterministic).
+func (cfg BenchConfig) runChurnCell(entry *BenchEntry, sc delaylb.Scenario, dense bool) error {
+	events := cfg.ChurnEvents
+	if events <= 0 {
+		events = 30
+	}
+	if dense {
+		sc = sc.WithDenseLatency()
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	var sess *delaylb.Session
+	if dense {
+		sess = sys.NewSession()
+	} else {
+		sess = sys.NewSession(delaylb.WithSparse())
+	}
+	// The dense representation needs explicit join rows; derive them
+	// from the block twin of the same seed (identical network).
+	var delay [][]float64
+	labels := sess.Clusters()
+	if d, l, ok := sess.BlockLatency(); ok {
+		delay, labels = d, l
+	} else {
+		blockSc := sc
+		blockSc.DenseLatency = false
+		bsys, err := blockSc.Build()
+		if err != nil {
+			return err
+		}
+		delay, labels, _ = bsys.NewSession().BlockLatency()
+	}
+	k := len(delay)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	loads := sess.Loads()
+	for ev := 0; ev < events; ev++ {
+		switch ev % 3 {
+		case 0: // metro join
+			spec := delaylb.ServerSpec{Speed: 2, Load: float64(10 + ev), Cluster: ev % k}
+			if dense {
+				spec.LatencyTo = make([]float64, len(labels))
+				spec.LatencyFrom = make([]float64, len(labels))
+				for j, h := range labels {
+					spec.LatencyTo[j] = delay[spec.Cluster][h]
+					spec.LatencyFrom[j] = delay[h][spec.Cluster]
+				}
+			}
+			if err := sess.AddServer(spec); err != nil {
+				return err
+			}
+			labels = append(labels, spec.Cluster)
+		case 1: // the newcomer leaves again
+			if err := sess.RemoveServer(sess.M() - 1); err != nil {
+				return err
+			}
+			labels = labels[:len(labels)-1]
+		default: // load update
+			loads[ev%len(loads)] *= 1.25
+			if err := sess.UpdateLoads(loads); err != nil {
+				return err
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	entry.Cost = sess.Cost()
+	entry.Iters = events
+	entry.Converged = true
+	entry.ChurnEvents = events
+	entry.ChurnEventNS = float64(elapsed.Nanoseconds()) / float64(events)
+	entry.ChurnEventAllocKB = float64(after.TotalAlloc-before.TotalAlloc) / float64(events) / 1024
+	return nil
+}
+
 // FprintBenchReport renders the report as the human-readable table the
 // command prints alongside the JSON artifact.
 func FprintBenchReport(w io.Writer, r *BenchReport) {
 	fmt.Fprintf(w, "== Scale tier: zipf loads on a clustered metro network (seed %d) ==\n", r.Seed)
-	fmt.Fprintf(w, "%6s %-18s %12s %10s %6s %9s %12s %10s\n",
-		"m", "solver", "cost", "gap", "iters", "nnz", "ns/iter", "alloc MB")
+	fmt.Fprintf(w, "%6s %-19s %12s %10s %6s %9s %12s %10s %12s %14s\n",
+		"m", "solver", "cost", "gap", "iters", "nnz", "ns/iter", "alloc MB", "ns/event", "KB/event")
 	for _, e := range r.Entries {
 		nnz := "-"
 		if e.NNZ > 0 {
@@ -234,7 +346,12 @@ func FprintBenchReport(w io.Writer, r *BenchReport) {
 		if e.Gap > 0 {
 			gap = fmt.Sprintf("%.3g", e.Gap)
 		}
-		fmt.Fprintf(w, "%6d %-18s %12.6g %10s %6d %9s %12.0f %10.1f\n",
-			e.M, e.Solver, e.Cost, gap, e.Iters, nnz, e.NsPerIter, e.AllocMB)
+		evNS, evKB := "-", "-"
+		if e.ChurnEvents > 0 {
+			evNS = fmt.Sprintf("%.0f", e.ChurnEventNS)
+			evKB = fmt.Sprintf("%.1f", e.ChurnEventAllocKB)
+		}
+		fmt.Fprintf(w, "%6d %-19s %12.6g %10s %6d %9s %12.0f %10.1f %12s %14s\n",
+			e.M, e.Solver, e.Cost, gap, e.Iters, nnz, e.NsPerIter, e.AllocMB, evNS, evKB)
 	}
 }

@@ -31,7 +31,7 @@ func TestRunBenchDeterministicAggregates(t *testing.T) {
 	}
 	t.Logf("two small bench runs in %v", time.Since(start).Round(time.Millisecond))
 
-	wantCells := 2 * 4 // every size runs all four solver variants here
+	wantCells := 2 * 6 // every size runs all four solvers + both churn cells here
 	if len(a.Entries) != wantCells || len(b.Entries) != wantCells {
 		t.Fatalf("entry counts %d/%d, want %d", len(a.Entries), len(b.Entries), wantCells)
 	}

@@ -29,8 +29,8 @@ func TestCellScenarioHomogeneousLatency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if in.Latency[0][1] != 20 {
-		t.Errorf("homogeneous latency = %v, want 20", in.Latency[0][1])
+	if in.LatAt(0, 1) != 20 {
+		t.Errorf("homogeneous latency = %v, want 20", in.LatAt(0, 1))
 	}
 	if in.Speed[0] != 1 || in.Speed[9] != 1 {
 		t.Errorf("const speeds = %v", in.Speed[:3])
