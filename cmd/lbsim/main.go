@@ -10,6 +10,7 @@
 //	lbsim -m 25 -net pl -dist exp -avg 80 -algo runtime -rounds 30
 //	lbsim -m 2000 -net metro -dist zipf -avg 100 -algo frankwolfe -sparse -iters 600
 //	lbsim -replay trace.txt -algo proxy -sparse -timeline timeline.json
+//	lbsim -descend trace.txt -part 0.5 -timeline timeline.json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"delaylb"
+	"delaylb/descent"
 	"delaylb/replay"
 )
 
@@ -38,6 +40,8 @@ type config struct {
 	Sparse   bool
 	Iters    int
 	Replay   string
+	Descend  string
+	Part     float64
 	Timeline string
 }
 
@@ -54,7 +58,9 @@ func main() {
 	flag.BoolVar(&cfg.Sparse, "sparse", false, "use the large-m sparse solver paths (frankwolfe, mine family)")
 	flag.IntVar(&cfg.Iters, "iters", 0, "iteration cap (0 = solver default)")
 	flag.StringVar(&cfg.Replay, "replay", "", "replay a workload trace file instead of a one-shot solve (-algo picks the solver)")
-	flag.StringVar(&cfg.Timeline, "timeline", "", "with -replay: also write the JSON metrics timeline to this file")
+	flag.StringVar(&cfg.Descend, "descend", "", "replay a workload trace file on the distributed descent plane (no central solve)")
+	flag.Float64Var(&cfg.Part, "part", 0, "with -descend: per-row participation probability (0 = plane default)")
+	flag.StringVar(&cfg.Timeline, "timeline", "", "with -replay/-descend: also write the JSON metrics timeline to this file")
 	flag.Parse()
 
 	if err := run(context.Background(), cfg, os.Stdout); err != nil {
@@ -114,11 +120,64 @@ func runReplay(ctx context.Context, cfg config, w io.Writer) error {
 	return nil
 }
 
+// runDescend drives the trace through the distributed control plane:
+// every epoch's rebalancing happens via sharded actors and sparse delta
+// messages instead of a centralized solve, with a per-epoch Frank–Wolfe
+// oracle refereeing the gap.
+func runDescend(ctx context.Context, cfg config, w io.Writer) error {
+	f, err := os.Open(cfg.Descend)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := replay.ParseTrace(f)
+	if err != nil {
+		return err
+	}
+	dcfg := replay.DescentConfig{
+		Plane:      descent.Config{Seed: cfg.Seed, Participation: cfg.Part},
+		StopInBand: true,
+	}
+	if cfg.Iters > 0 {
+		dcfg.RoundBudget = cfg.Iters
+	}
+	fmt.Fprintf(w, "descending %s: %s, %d epochs, %d events\n",
+		cfg.Descend, tr.Scenario, len(tr.Epochs), tr.Events())
+	start := time.Now()
+	tl, err := replay.RunDescent(ctx, tr, dcfg)
+	if err != nil {
+		return err
+	}
+	tl.WriteTable(w)
+	fmt.Fprintf(w, "descended %d epochs in %s\n", len(tl.Epochs), time.Since(start).Round(time.Millisecond))
+	if cfg.Timeline != "" {
+		out, err := os.Create(cfg.Timeline)
+		if err != nil {
+			return err
+		}
+		if err := tl.WriteJSON(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "timeline written to %s\n", cfg.Timeline)
+	}
+	return nil
+}
+
 // run maps the flags onto a Scenario, builds the system and dispatches on
 // the algorithm name.
 func run(ctx context.Context, cfg config, w io.Writer) error {
+	if cfg.Replay != "" && cfg.Descend != "" {
+		return fmt.Errorf("-replay and -descend are mutually exclusive")
+	}
 	if cfg.Replay != "" {
 		return runReplay(ctx, cfg, w)
+	}
+	if cfg.Descend != "" {
+		return runDescend(ctx, cfg, w)
 	}
 	sc, err := delaylb.ParseScenario(cfg.M, cfg.Net, cfg.Dist, cfg.Speeds, cfg.Avg, cfg.Seed)
 	if err != nil {

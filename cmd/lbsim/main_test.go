@@ -163,6 +163,67 @@ func TestRunReplaySmoke(t *testing.T) {
 	}
 }
 
+// TestRunDescendSmoke drives -descend over the committed descent trace:
+// the full command path (parse file → distributed plane → summary
+// table), plus the optional JSON timeline.
+func TestRunDescendSmoke(t *testing.T) {
+	timeline := filepath.Join(t.TempDir(), "timeline.json")
+	var sb strings.Builder
+	cfg := config{Seed: 1, Descend: filepath.Join("testdata", "descend.trace"), Timeline: timeline}
+	if err := run(context.Background(), cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"descending", "epoch", "r2band", "oracle", "descended 4 epochs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("descend output lacks %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl struct {
+		Epochs []struct {
+			Servers int     `json:"servers"`
+			RelGap  float64 `json:"rel_gap"`
+		} `json:"epochs"`
+	}
+	if err := json.Unmarshal(data, &tl); err != nil {
+		t.Fatalf("timeline is not JSON: %v", err)
+	}
+	// m: 8 → 8 → 9 (join) → 7 (two leaves).
+	want := []int{8, 8, 9, 7}
+	if len(tl.Epochs) != len(want) {
+		t.Fatalf("timeline has %d epochs, want %d", len(tl.Epochs), len(want))
+	}
+	for k, row := range tl.Epochs {
+		if row.Servers != want[k] {
+			t.Errorf("epoch %d: m=%d, want %d", k, row.Servers, want[k])
+		}
+		if row.RelGap > 0.02 {
+			t.Errorf("epoch %d: plane ended %.4f above the oracle band", k, row.RelGap)
+		}
+	}
+}
+
+// The descent driver refuses traces with latency shifts (tiny.trace has
+// one) and the two replay modes are mutually exclusive.
+func TestRunDescendRejectsBadConfig(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), config{Descend: filepath.Join("testdata", "tiny.trace")}, &sb); err == nil {
+		t.Error("-descend accepted a trace with latency shifts")
+	}
+	if err := run(context.Background(), config{Algo: "mine",
+		Replay:  filepath.Join("testdata", "tiny.trace"),
+		Descend: filepath.Join("testdata", "descend.trace")}, &sb); err == nil {
+		t.Error("-replay and -descend accepted together")
+	}
+	if err := run(context.Background(), config{Descend: filepath.Join("testdata", "no-such.trace")}, &sb); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
 func TestRunReplayRejectsBadConfig(t *testing.T) {
 	var sb strings.Builder
 	if err := run(context.Background(), config{Algo: "nash", Replay: filepath.Join("testdata", "tiny.trace")}, &sb); err == nil {

@@ -173,6 +173,29 @@ func runDynamicAblation(w io.Writer, seed int64) {
 		sum.AvgWarmIters, sum.AvgColdIters)
 }
 
+// runDescentTable races the distributed control plane against the
+// centralized oracles and prints the convergence/PoA aggregates.
+func runDescentTable(w io.Writer, full bool, seed int64, workers int) []sweep.DescentRow {
+	cfg := sweep.DefaultDescentTableConfig()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	if full {
+		cfg.Sizes = []int{30, 60, 120, 240}
+		cfg.Repeats = 5
+	}
+	rows := sweep.DescentTable(cfg)
+	fmt.Fprintln(w, "== Descent: distributed plane vs frankwolfe/MinE oracles ==")
+	fmt.Fprintf(w, "%5s %-8s %10s %10s %12s %8s %8s %4s\n",
+		"m", "dist", "gap avg", "gap max", "rounds avg", "poa avg", "poa max", "n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%5d %-8s %10.4f %10.4f %12.1f %8.3f %8.3f %4d\n",
+			row.M, row.Dist, row.Gap.Avg, row.Gap.Max, row.Rounds.Avg,
+			row.PoA.Avg, row.PoA.Max, row.PoA.N)
+	}
+	fmt.Fprintln(w)
+	return rows
+}
+
 // runBench runs the scale-tier benchmark grid, prints the table and
 // persists the JSON report.
 func runBench(w io.Writer, full bool, seed int64, outPath string) error {

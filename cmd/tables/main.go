@@ -14,6 +14,7 @@
 //	tables -fig 2            # Figure 2 (convergence on large networks)
 //	tables -ablation cycles  # §VI-B negative-cycle-removal ablation
 //	tables -ablation poa     # Theorem 1 analytic band vs measurement
+//	tables -descent          # distributed plane vs frankwolfe/MinE oracles
 //	tables -all              # everything above
 //	tables -bench            # large-m scale grid → BENCH_scale.json
 //
@@ -44,6 +45,7 @@ func main() {
 	table := flag.Int("table", 0, "regenerate Table 1–4")
 	fig := flag.Int("fig", 0, "regenerate Figure 1 or 2")
 	ablation := flag.String("ablation", "", "run an ablation: cycles | poa | dynamic | coords")
+	descentTable := flag.Bool("descent", false, "run the distributed-plane table (descent vs centralized oracles)")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	all := flag.Bool("all", false, "regenerate everything")
 	bench := flag.Bool("bench", false, "run the large-m scale benchmark grid")
@@ -107,6 +109,10 @@ func main() {
 	}
 	if *all || *ablation == "coords" {
 		runCoordsAblation(w, *seed)
+		ran = true
+	}
+	if *all || *descentTable {
+		report.Descent = runDescentTable(w, *full, *seed, *workers)
 		ran = true
 	}
 	if *bench {

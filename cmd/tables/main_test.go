@@ -111,5 +111,24 @@ func benchTestConfig() sweep.BenchConfig {
 	cfg.MineMax = 25
 	cfg.FWIters = 30
 	cfg.MineIters = 3
+	cfg.DescentSizes = []int{25}
+	cfg.DescentRounds = 60
 	return cfg
+}
+
+// TestRunDescentTablePrints drives the -descent path on the default
+// laptop-scale grid's smallest corner.
+func TestRunDescentTablePrints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("descent table: skipped in -short mode")
+	}
+	var sb strings.Builder
+	rows := runDescentTable(&sb, false, 1, 2)
+	if len(rows) == 0 {
+		t.Fatal("no descent rows produced")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Descent") || !strings.Contains(out, "zipf") {
+		t.Errorf("descent table output missing:\n%s", out)
+	}
 }

@@ -1,0 +1,511 @@
+package descent
+
+// One actor owns a contiguous-by-metro slice of servers and, with them,
+// the allocation rows of the organizations homed there (row i and
+// server i are the same org by the paper's model, so ownership of both
+// coincides). An actor holds:
+//
+//   - rows: its orgs' allocation rows (sorted sparse vectors, request
+//     units — row i sums to Load[i]);
+//   - cols: for each owned server, the per-row contributions currently
+//     routed to it. Columns mirror rows exactly (bit-identical floats)
+//     because delta messages carry absolute values; the column doubles
+//     as the subscription list for price publication;
+//   - load: each owned server's total load, maintained incrementally by
+//     folding deltas in canonical (row, col) order;
+//   - price: last-received (load, speed) for every remote server the
+//     actor's rows currently use.
+//
+// Rounds are bulk-synchronous with three phases, barriered by the
+// plane (publish → step → apply). Every row step reads only state
+// published at the start of the round, so the computation per row is a
+// pure function of global round state — which actor runs it is
+// irrelevant. That is the whole determinism story: sharding changes
+// the partition of work and messages, never the numbers.
+
+import (
+	"sort"
+	"sync"
+)
+
+// vec is a sorted sparse vector: parallel (idx, val) with idx strictly
+// increasing. Values are exact — no epsilon pruning; a coordinate
+// leaves only when its value is exactly 0.
+type vec struct {
+	idx []int32
+	val []float64
+}
+
+func (v *vec) find(j int32) (int, bool) {
+	t := sort.Search(len(v.idx), func(t int) bool { return v.idx[t] >= j })
+	return t, t < len(v.idx) && v.idx[t] == j
+}
+
+func (v *vec) get(j int32) float64 {
+	if t, ok := v.find(j); ok {
+		return v.val[t]
+	}
+	return 0
+}
+
+// set writes coordinate j to x, inserting or removing as needed.
+func (v *vec) set(j int32, x float64) {
+	t, ok := v.find(j)
+	switch {
+	case ok && x == 0:
+		v.idx = append(v.idx[:t], v.idx[t+1:]...)
+		v.val = append(v.val[:t], v.val[t+1:]...)
+	case ok:
+		v.val[t] = x
+	case x != 0:
+		v.idx = append(v.idx, 0)
+		copy(v.idx[t+1:], v.idx[t:])
+		v.idx[t] = j
+		v.val = append(v.val, 0)
+		copy(v.val[t+1:], v.val[t:])
+		v.val[t] = x
+	}
+}
+
+type loadSpeed struct{ load, speed float64 }
+
+// candidate is one merged metro-level offer: a server id with the
+// start-of-round load and speed its owner vouched for.
+type candidate struct {
+	id          int32
+	load, speed float64
+	price       float64
+}
+
+type actor struct {
+	pl  *Plane
+	id  int
+	own []int32 // owned server indices, ascending
+
+	rows  map[int32]*vec      // org row per owned org
+	cols  map[int32]*vec      // per-row contributions per owned server
+	load  map[int32]float64   // total load per owned server
+	price map[int32]loadSpeed // cache of remote server prices
+
+	byMetro [][]int32 // owned servers grouped by metro (block mode)
+
+	inMu  sync.Mutex
+	inbox [][]byte
+
+	// Round-local state, reset by publish.
+	pendingLocal []deltaEntry
+	deferred     [][]byte
+	sentBytes    int64
+	sentMsgs     int64
+	moved        float64
+	stepped      int
+
+	// Reusable buffers.
+	outPrices [][]priceEntry
+	outDeltas [][]deltaEntry
+	marks     []int32 // last server published per dst, +1 (0 = none)
+	partial   []summaryEntry
+	sums      []summaryEntry
+	cand1     []candidate
+	cand2     []candidate
+	ws        []wsEntry
+	wsAt      []int32 // ws membership markers, round-stamped
+	wsStamp   []int32
+	stamp     int32
+	scratch   stepScratch
+	newIdx    []int32
+	newVal    []float64
+	frozenIdx []int32
+	frozenVal []float64
+	batch     []deltaEntry
+}
+
+func (a *actor) enqueue(payload []byte) {
+	a.inMu.Lock()
+	a.inbox = append(a.inbox, payload)
+	a.inMu.Unlock()
+}
+
+func (a *actor) drain() [][]byte {
+	a.inMu.Lock()
+	msgs := a.inbox
+	a.inbox = nil
+	a.inMu.Unlock()
+	return msgs
+}
+
+func (a *actor) send(dst int, payload []byte) {
+	a.sentBytes += int64(len(payload))
+	a.sentMsgs++
+	a.pl.tr.Send(dst, payload)
+}
+
+// publish is phase 1: push start-of-round prices to subscribers and, in
+// block mode, the actor's partial metro summaries to everyone.
+func (a *actor) publish(round int) {
+	p := a.pl
+	a.sentBytes, a.sentMsgs, a.moved, a.stepped = 0, 0, 0, 0
+	if a.outPrices == nil {
+		a.outPrices = make([][]priceEntry, p.shards)
+		a.marks = make([]int32, p.shards)
+	}
+	for d := range a.outPrices {
+		a.outPrices[d] = a.outPrices[d][:0]
+		a.marks[d] = 0
+	}
+
+	if p.block {
+		// Subscription-driven: server j's price goes to the owners of
+		// exactly the rows in its column. Outer loop ascending in j, so
+		// every per-destination payload lists servers in ascending order
+		// — a canonical byte stream.
+		for _, j := range a.own {
+			col := a.cols[j]
+			if len(col.idx) == 0 {
+				continue
+			}
+			e := priceEntry{j: j, load: a.load[j], speed: p.in.Speed[j]}
+			for _, row := range col.idx {
+				dst := int(p.owner[row])
+				if dst == a.id || a.marks[dst] == j+1 {
+					continue
+				}
+				a.marks[dst] = j + 1
+				a.outPrices[dst] = append(a.outPrices[dst], e)
+			}
+		}
+		a.publishSummaries(round)
+	} else {
+		// Dense fallback (no metro structure): broadcast the full owned
+		// price table. O(m) per actor pair — small-m territory only.
+		for _, j := range a.own {
+			e := priceEntry{j: j, load: a.load[j], speed: p.in.Speed[j]}
+			for dst := 0; dst < p.shards; dst++ {
+				if dst != a.id {
+					a.outPrices[dst] = append(a.outPrices[dst], e)
+				}
+			}
+		}
+	}
+	for dst := 0; dst < p.shards; dst++ {
+		if len(a.outPrices[dst]) > 0 {
+			a.send(dst, encodePrices(a.id, round, a.outPrices[dst]))
+		}
+	}
+}
+
+// publishSummaries computes the actor's partial per-metro aggregates —
+// best and second-best priced owned servers per metro plus the owned
+// slice's load — and broadcasts them. Ties break toward the lower
+// server id, so partials are a pure function of round state.
+func (a *actor) publishSummaries(round int) {
+	p := a.pl
+	a.partial = a.partial[:0]
+	for g, servers := range a.byMetro {
+		if len(servers) == 0 {
+			continue
+		}
+		e := summaryEntry{metro: int32(g), best: -1, second: -1}
+		var p1, p2 float64
+		for _, j := range servers {
+			l := a.load[j]
+			s := p.in.Speed[j]
+			pr := l / s
+			e.load += l
+			switch {
+			case e.best < 0 || pr < p1 || (pr == p1 && j < e.best):
+				e.second, e.secondLoad, e.secondSpd, p2 = e.best, e.bestLoad, e.bestSpeed, p1
+				e.best, e.bestLoad, e.bestSpeed, p1 = j, l, s, pr
+			case e.second < 0 || pr < p2 || (pr == p2 && j < e.second):
+				e.second, e.secondLoad, e.secondSpd, p2 = j, l, s, pr
+			}
+		}
+		a.partial = append(a.partial, e)
+	}
+	if len(a.partial) == 0 {
+		return
+	}
+	payload := encodeSummaries(a.id, round, a.partial)
+	for dst := 0; dst < p.shards; dst++ {
+		if dst != a.id {
+			// Payloads are read-only after Send; one encoding fans out.
+			a.send(dst, payload)
+		}
+	}
+}
+
+// mergeSummaries folds every received partial plus the actor's own into
+// per-metro top-2 candidates. The fold is order-independent: server ids
+// are globally unique across partials and selection is by the total
+// order (price, id).
+func (a *actor) mergeSummaries(msgs []message) {
+	p := a.pl
+	if a.cand1 == nil {
+		a.cand1 = make([]candidate, p.k)
+		a.cand2 = make([]candidate, p.k)
+	}
+	for g := range a.cand1 {
+		a.cand1[g].id = -1
+		a.cand2[g].id = -1
+	}
+	offer := func(g int32, id int32, load, speed float64) {
+		if id < 0 {
+			return
+		}
+		c := candidate{id: id, load: load, speed: speed, price: load / speed}
+		b1, b2 := &a.cand1[g], &a.cand2[g]
+		switch {
+		case b1.id < 0 || c.price < b1.price || (c.price == b1.price && c.id < b1.id):
+			*b2 = *b1
+			*b1 = c
+		case b2.id < 0 || c.price < b2.price || (c.price == b2.price && c.id < b2.id):
+			*b2 = c
+		}
+	}
+	fold := func(entries []summaryEntry) {
+		for _, e := range entries {
+			offer(e.metro, e.best, e.bestLoad, e.bestSpeed)
+			offer(e.metro, e.second, e.secondLoad, e.secondSpd)
+		}
+	}
+	fold(a.partial)
+	for _, m := range msgs {
+		fold(m.summaries)
+	}
+}
+
+// step is phase 2: decode this round's prices and summaries, then run
+// the damped projected step on every participating owned row, sending
+// the changed coordinates to their owners.
+func (a *actor) step(round int) {
+	p := a.pl
+	var sumMsgs []message
+	for _, payload := range a.drain() {
+		// Delta payloads for the apply phase may already be here: a peer
+		// that finished its step before we started ours races its sends
+		// against our drain. Defer them — phase 3 owns them.
+		if len(payload) > 0 && msgKind(payload[0]) == kindDelta {
+			a.deferred = append(a.deferred, payload)
+			continue
+		}
+		m, err := decodeMessage(payload)
+		if err != nil {
+			p.noteErr(err)
+			continue
+		}
+		switch m.kind {
+		case kindPrices:
+			for _, e := range m.prices {
+				a.price[e.j] = loadSpeed{load: e.load, speed: e.speed}
+			}
+		case kindSummary:
+			sumMsgs = append(sumMsgs, m)
+		}
+	}
+	if p.block {
+		a.mergeSummaries(sumMsgs)
+	}
+	if a.outDeltas == nil {
+		a.outDeltas = make([][]deltaEntry, p.shards)
+	}
+	for d := range a.outDeltas {
+		a.outDeltas[d] = a.outDeltas[d][:0]
+	}
+	if a.wsStamp == nil {
+		a.wsStamp = make([]int32, p.in.M())
+		a.wsAt = nil
+	}
+	if len(a.wsStamp) < p.in.M() {
+		a.wsStamp = make([]int32, p.in.M())
+		a.stamp = 0
+	}
+
+	eta := p.eta
+	for _, i := range a.own {
+		a.stepRow(i, round, eta)
+	}
+	for dst := 0; dst < p.shards; dst++ {
+		if len(a.outDeltas[dst]) > 0 {
+			a.send(dst, encodeDeltas(a.id, round, a.outDeltas[dst]))
+		}
+	}
+}
+
+// stepRow runs one row's working-set assembly and prox step.
+func (a *actor) stepRow(i int32, round int, eta float64) {
+	p := a.pl
+	n := p.in.Load[i]
+	row := a.rows[i]
+	if n == 0 {
+		return
+	}
+	if p.cfg.Participation < 1 && rowDraw(p.cfg.Seed, i, round) >= p.cfg.Participation {
+		return
+	}
+
+	a.stamp++
+	stamp := a.stamp
+	a.ws = a.ws[:0]
+	a.frozenIdx = a.frozenIdx[:0]
+	a.frozenVal = a.frozenVal[:0]
+	budget := n
+	mark := func(j int32) { a.wsStamp[j] = stamp }
+	inWS := func(j int32) bool { return a.wsStamp[j] == stamp }
+
+	// Current support first.
+	for t, j := range row.idx {
+		r := row.val[t]
+		var ls loadSpeed
+		if p.owner[j] == int32(a.id) {
+			ls = loadSpeed{load: a.load[j], speed: p.in.Speed[j]}
+		} else {
+			var ok bool
+			ls, ok = a.price[j]
+			if !ok {
+				// Defensive: no fresh price (cannot happen on the bus —
+				// columns mirror rows, so owners always publish to us).
+				// Freeze the coordinate this round.
+				budget -= r
+				a.frozenIdx = append(a.frozenIdx, j)
+				a.frozenVal = append(a.frozenVal, r)
+				mark(j)
+				continue
+			}
+		}
+		a.ws = append(a.ws, wsEntry{j: j, r: r, load: ls.load, speed: ls.speed, cij: p.lat.At(int(i), int(j))})
+		mark(j)
+	}
+	// The home server is always a candidate — mass must be able to
+	// return to it.
+	if !inWS(i) {
+		a.ws = append(a.ws, wsEntry{j: i, r: 0, load: a.load[i], speed: p.in.Speed[i], cij: 0})
+		mark(i)
+	}
+	if p.block {
+		// O(k) metro candidates from the merged summaries.
+		for g := 0; g < p.k; g++ {
+			for _, c := range [2]candidate{a.cand1[g], a.cand2[g]} {
+				if c.id < 0 || c.id == i || inWS(c.id) {
+					continue
+				}
+				a.ws = append(a.ws, wsEntry{j: c.id, r: 0, load: c.load, speed: c.speed, cij: p.lat.At(int(i), int(c.id))})
+				mark(c.id)
+			}
+		}
+	} else {
+		// Dense fallback: the whole fleet is the working set.
+		for j := int32(0); j < int32(p.in.M()); j++ {
+			if inWS(j) {
+				continue
+			}
+			var ls loadSpeed
+			if p.owner[j] == int32(a.id) {
+				ls = loadSpeed{load: a.load[j], speed: p.in.Speed[j]}
+			} else {
+				var ok bool
+				ls, ok = a.price[j]
+				if !ok {
+					continue
+				}
+			}
+			a.ws = append(a.ws, wsEntry{j: j, r: 0, load: ls.load, speed: ls.speed, cij: p.lat.At(int(i), int(j))})
+		}
+	}
+	if budget <= 0 || len(a.ws) == 0 {
+		return
+	}
+
+	x := proxStep(p.cfg.Mode, eta, budget, a.ws, &a.scratch)
+
+	// Rebuild the row (frozen coordinates kept as-is) and route the
+	// changed coordinates to their owners.
+	a.newIdx = append(a.newIdx[:0], a.frozenIdx...)
+	a.newVal = append(a.newVal[:0], a.frozenVal...)
+	changed := false
+	for t, e := range a.ws {
+		if x[t] != 0 {
+			a.newIdx = append(a.newIdx, e.j)
+			a.newVal = append(a.newVal, x[t])
+		}
+		if x[t] != e.r {
+			changed = true
+			a.moved += abs(x[t] - e.r)
+			d := deltaEntry{row: i, col: e.j, val: x[t]}
+			if dst := int(p.owner[e.j]); dst == a.id {
+				a.pendingLocal = append(a.pendingLocal, d)
+			} else {
+				a.outDeltas[dst] = append(a.outDeltas[dst], d)
+			}
+		}
+	}
+	a.stepped++
+	if !changed {
+		return
+	}
+	// Sort the rebuilt row back into index order (support was sorted,
+	// candidates were appended at the end).
+	sortPairs(a.newIdx, a.newVal)
+	row.idx = append(row.idx[:0], a.newIdx...)
+	row.val = append(row.val[:0], a.newVal...)
+}
+
+// apply is phase 3: fold every delta destined to this actor's servers —
+// remote and local alike — in canonical (row, col) order.
+func (a *actor) apply(round int) {
+	p := a.pl
+	a.batch = append(a.batch[:0], a.pendingLocal...)
+	a.pendingLocal = a.pendingLocal[:0]
+	payloads := append(a.deferred, a.drain()...)
+	a.deferred = nil
+	for _, payload := range payloads {
+		m, err := decodeMessage(payload)
+		if err != nil {
+			p.noteErr(err)
+			continue
+		}
+		if m.kind == kindDelta {
+			a.batch = append(a.batch, m.deltas...)
+		}
+	}
+	sortDeltas(a.batch)
+	for _, d := range a.batch {
+		col := a.cols[d.col]
+		old := col.get(d.row)
+		col.set(d.row, d.val)
+		a.load[d.col] += d.val - old
+	}
+}
+
+// nnz reports the entry count across the actor's rows.
+func (a *actor) nnz() int {
+	n := 0
+	for _, row := range a.rows {
+		n += len(row.idx)
+	}
+	return n
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// sortPairs sorts parallel (idx, val) by idx ascending. Indices are
+// unique by construction.
+func sortPairs(idx []int32, val []float64) {
+	sort.Sort(&pairSort{idx, val})
+}
+
+type pairSort struct {
+	idx []int32
+	val []float64
+}
+
+func (p *pairSort) Len() int           { return len(p.idx) }
+func (p *pairSort) Less(a, b int) bool { return p.idx[a] < p.idx[b] }
+func (p *pairSort) Swap(a, b int) {
+	p.idx[a], p.idx[b] = p.idx[b], p.idx[a]
+	p.val[a], p.val[b] = p.val[b], p.val[a]
+}

@@ -1,0 +1,68 @@
+package descent
+
+// Membership and load churn. The plane treats every mutation the same
+// way: assemble the global rows, project them through the exact same
+// O(nnz + m) transforms the session tier uses (internal/dynamic), then
+// reshard. Rebuilding from rows is what makes mid-round churn safe —
+// columns, loads, subscriptions and price caches are derived state, and
+// any in-flight payload (including a delta addressed to a server that
+// just left) is dropped with the old inboxes rather than applied to a
+// stale index space. Rows stay row-stochastic by construction: a
+// leaving server's orphaned mass folds back onto each organization's
+// home server, exactly like the centralized failover.
+//
+// Churn calls must come between rounds (or, in tests, between phases) —
+// never concurrently with one.
+
+import (
+	"fmt"
+	"math"
+
+	"delaylb/internal/dynamic"
+)
+
+// UpdateLoads replaces the per-organization loads, rescaling each row
+// to its new load so relay fractions survive moderate churn.
+func (p *Plane) UpdateLoads(loads []float64) error {
+	if len(loads) != p.in.M() {
+		return fmt.Errorf("descent: UpdateLoads got %d loads, fleet has %d", len(loads), p.in.M())
+	}
+	for i, l := range loads {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return fmt.Errorf("descent: UpdateLoads load[%d]=%v, must be non-negative and finite", i, l)
+		}
+	}
+	next := dynamic.RescaleSparse(p.Allocation(), p.in.Load, loads)
+	in := p.in.Clone()
+	copy(in.Load, loads)
+	return p.rebuild(in, next)
+}
+
+// Join adds a server/organization with the given speed and load. On
+// block (metro) instances pass latTo = latFrom = nil and the metro in
+// cluster; dense instances need the explicit latency rows. The newcomer
+// starts by serving its own load, like every cold start.
+func (p *Plane) Join(speed, load float64, latTo, latFrom []float64, cluster int) error {
+	in, err := p.in.WithServer(speed, load, latTo, latFrom, cluster)
+	if err != nil {
+		return err
+	}
+	next := dynamic.ExpandSparse(p.Allocation(), load)
+	return p.rebuild(in, next)
+}
+
+// Leave removes server/organization i. Every index above i shifts down
+// by one; mass other organizations had routed to i folds back onto
+// their home servers. In-flight messages addressed to i are dropped
+// with the rebuild.
+func (p *Plane) Leave(i int) error {
+	if i < 0 || i >= p.in.M() {
+		return fmt.Errorf("descent: Leave(%d) out of range, fleet has %d", i, p.in.M())
+	}
+	in, err := p.in.WithoutServer(i)
+	if err != nil {
+		return err
+	}
+	next := dynamic.CollapseSparse(p.Allocation(), i)
+	return p.rebuild(in, next)
+}

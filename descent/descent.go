@@ -1,0 +1,486 @@
+// Package descent is the distributed control plane of the repo: the
+// paper's delay-aware balancing objective descended by sharded actors
+// with no central solve.
+//
+// The centralized tiers (qp solvers, the replay engine) hold the whole
+// allocation in one place. This package splits it: each actor owns a
+// slice of servers — one metro's worth under the clustered scenarios —
+// together with the allocation rows of the organizations homed there,
+// and improves them with damped projected gradient steps. Everything an
+// actor learns about the rest of the fleet arrives as messages over a
+// pluggable Transport:
+//
+//   - per-server congestion prices, sent only to current users of the
+//     server (volume bounded by the allocation's nonzeros);
+//   - per-metro summaries (best/second-best priced server, metro load),
+//     O(k) per actor pair, which keep every row's working set at
+//     O(support + k) — gradients are read through the model.Latency
+//     view and never materialize a dense row or column.
+//
+// Rounds are bulk-synchronous (publish → step → apply). The phases run
+// concurrently across actors, but each row step is a pure function of
+// state published at the start of the round and all cross-actor folds
+// are sorted into canonical orders, so a run's numeric trajectory —
+// costs and allocations, bit for bit — depends only on (instance,
+// Config.Seed, mode, step schedule) and not on the shard count or the
+// goroutine schedule. The Messages/Bytes counters measure traffic that
+// crosses an actor boundary, so they additionally depend on the shard
+// count (more shards, less locality) — deterministically: for a fixed
+// configuration two runs agree on them exactly. See DESIGN.md
+// "Distributed control plane" for the contract.
+//
+// Cooperative mode descends the social objective ΣC_i; its fixed points
+// are blockwise-optimal and, the objective being convex over a product
+// of simplices, global optima — the plane converges toward the same
+// cost the centralized Frank–Wolfe tier computes. Selfish mode has each
+// organization descend its own cost; fixed points are Nash equilibria,
+// and the reported cost ratio against a cooperative oracle is a
+// measured price of anarchy.
+package descent
+
+import (
+	"fmt"
+	"sync"
+
+	"delaylb/internal/model"
+	"delaylb/internal/sparse"
+)
+
+// Config tunes a Plane. The zero value is usable: metro-count shards,
+// cooperative mode, η=0.5, full participation, seed 0.
+type Config struct {
+	// Shards is the actor count. 0 means one actor per metro on
+	// clustered instances and min(m, 4) otherwise.
+	Shards int
+	// Mode selects the gradient (Cooperative or Selfish).
+	Mode Mode
+	// Step is the initial damping η ∈ (0, 1]. η=1 is the exact local
+	// best response; concurrent rows stepping at η=1 can overshoot
+	// jointly, so the default is 0.5. The plane halves η whenever a
+	// round increases the observed cost (deterministically — every
+	// shard count sees the same cost stream).
+	Step float64
+	// Participation is the per-row probability of stepping each round,
+	// drawn from a splitmix64 stream keyed by (Seed, row, round) — not
+	// by actor, so schedules survive resharding. Default 1.
+	Participation float64
+	// Seed drives the participation streams.
+	Seed int64
+	// Target is the centralized oracle cost, when known. It feeds the
+	// RelGap/RoundsToBand metrics; 0 disables them.
+	Target float64
+	// Band is the relative band around Target that counts as converged
+	// for RoundsToBand. Default 0.02.
+	Band float64
+	// Transport carries payloads between actors. Default: NewBus().
+	Transport Transport
+	// OnRound, when set, observes every round's metrics; returning
+	// false stops the current Run.
+	OnRound func(RoundMetrics) bool
+}
+
+// RoundMetrics is one round of the plane's metrics stream.
+type RoundMetrics struct {
+	Round    int     `json:"round"`
+	Cost     float64 `json:"cost"`
+	RelGap   float64 `json:"rel_gap"`  // cost/Target − 1; 0 when no target
+	Moved    float64 `json:"moved"`    // total |Δr| in request units
+	Stepped  int     `json:"stepped"`  // rows that ran a prox step
+	Messages int64   `json:"messages"` // cross-actor payloads
+	Bytes    int64   `json:"bytes"`    // cross-actor payload bytes
+	NNZ      int     `json:"nnz"`      // allocation entries after the round
+	Step     float64 `json:"step"`     // η in effect
+}
+
+// Report aggregates one Run call.
+type Report struct {
+	Cost         float64 `json:"cost"`
+	Target       float64 `json:"target,omitempty"`
+	RelGap       float64 `json:"rel_gap,omitempty"`
+	Rounds       int     `json:"rounds"`
+	RoundsToBand int     `json:"rounds_to_band"` // -1: never entered the band
+	Converged    bool    `json:"converged"`      // hit a fixed point before the round budget
+	Messages     int64   `json:"messages"`
+	Bytes        int64   `json:"bytes"`
+	NNZ          int     `json:"nnz"`
+}
+
+// Plane is a running control plane: the sharded actors, their
+// transport, and the observer state. Methods are not safe for
+// concurrent use — the concurrency lives inside a round, not across
+// calls.
+type Plane struct {
+	cfg Config
+	in  *model.Instance
+	lat model.Latency
+
+	shards int
+	block  bool
+	k      int     // metro count (block mode)
+	labels []int   // metro per server (block mode)
+	owner  []int32 // owning actor per server/org
+	actors []*actor
+	tr     Transport
+
+	round      int
+	eta        float64
+	minEta     float64
+	lastCost   float64
+	totalLoad  float64
+	quietFor   int
+	goodStreak int
+
+	loads []float64 // observer scratch
+
+	errMu  sync.Mutex
+	errSet error
+}
+
+// NewPlane builds a plane over a private clone of the instance, with
+// every organization initially serving its own load at home (the same
+// cold start the centralized tiers use).
+func NewPlane(in *model.Instance, cfg Config) (*Plane, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 0.5
+	}
+	if cfg.Step < 0 || cfg.Step > 1 {
+		return nil, fmt.Errorf("descent: Step=%v, must be in (0, 1]", cfg.Step)
+	}
+	if cfg.Participation == 0 {
+		cfg.Participation = 1
+	}
+	if cfg.Participation < 0 || cfg.Participation > 1 {
+		return nil, fmt.Errorf("descent: Participation=%v, must be in (0, 1]", cfg.Participation)
+	}
+	if cfg.Band == 0 {
+		cfg.Band = 0.02
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = NewBus()
+	}
+	p := &Plane{cfg: cfg, eta: cfg.Step, minEta: cfg.Step / 1024}
+	alloc := sparse.New(in.M(), in.M())
+	for i, l := range in.Load {
+		if l > 0 {
+			alloc.Idx[i] = []int32{int32(i)}
+			alloc.Val[i] = []float64{l}
+		}
+	}
+	if err := p.rebuild(in.Clone(), alloc); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// rebuild (re)shards the plane over instance in with allocation rows
+// from alloc. It is the single entry point for both construction and
+// membership churn: all derived state — ownership, columns, loads,
+// price caches — is recomputed from the rows, and any in-flight
+// payloads are dropped (messages to servers that no longer exist must
+// vanish, not fault).
+func (p *Plane) rebuild(in *model.Instance, alloc *sparse.Matrix) error {
+	m := in.M()
+	p.in = in
+	p.lat = in.Latency
+
+	p.labels = nil
+	p.k = 0
+	p.block = false
+	if b, ok := in.Latency.(*model.BlockLatency); ok {
+		p.labels = b.Label
+		p.k = b.K()
+		p.block = true
+	} else if in.Cluster != nil {
+		if _, ok := model.ClusterDelays(in); ok {
+			p.labels = in.Cluster
+			for _, g := range p.labels {
+				if g+1 > p.k {
+					p.k = g + 1
+				}
+			}
+			p.block = true
+		}
+	}
+
+	shards := p.cfg.Shards
+	if shards <= 0 {
+		if p.block {
+			shards = p.k
+		} else {
+			shards = min(m, 4)
+		}
+	}
+	if shards > m && m > 0 {
+		shards = m
+	}
+	p.shards = shards
+
+	p.owner = make([]int32, m)
+	for j := 0; j < m; j++ {
+		if p.block {
+			p.owner[j] = int32(p.labels[j] % shards)
+		} else {
+			p.owner[j] = int32(j % shards)
+		}
+	}
+
+	p.actors = make([]*actor, shards)
+	for id := range p.actors {
+		a := &actor{
+			pl:    p,
+			id:    id,
+			rows:  make(map[int32]*vec),
+			cols:  make(map[int32]*vec),
+			load:  make(map[int32]float64),
+			price: make(map[int32]loadSpeed),
+		}
+		if p.block {
+			a.byMetro = make([][]int32, p.k)
+		}
+		p.actors[id] = a
+	}
+	for j := 0; j < m; j++ {
+		a := p.actors[p.owner[j]]
+		a.own = append(a.own, int32(j))
+		a.cols[int32(j)] = &vec{}
+		a.load[int32(j)] = 0
+		if p.block {
+			g := p.labels[j]
+			a.byMetro[g] = append(a.byMetro[g], int32(j))
+		}
+	}
+
+	// Distribute rows and derive columns/loads in global index order —
+	// the canonical fold the incremental delta application continues.
+	p.totalLoad = 0
+	for i := 0; i < m; i++ {
+		p.totalLoad += in.Load[i]
+		row := &vec{}
+		for t, j := range alloc.Idx[i] {
+			// The dynamic projections may leave explicit zeros (e.g. a
+			// zero-load row restarted on its diagonal); the plane's rows
+			// never carry them.
+			if v := alloc.Val[i][t]; v != 0 {
+				row.idx = append(row.idx, j)
+				row.val = append(row.val, v)
+			}
+		}
+		p.actors[p.owner[i]].rows[int32(i)] = row
+		for t, j := range row.idx {
+			oa := p.actors[p.owner[j]]
+			col := oa.cols[j]
+			col.idx = append(col.idx, int32(i))
+			col.val = append(col.val, row.val[t])
+			oa.load[j] += row.val[t]
+		}
+	}
+	// Seed the price caches from the global loads so the first round
+	// after a rebuild steps against consistent state even before the
+	// first publish lands.
+	for _, a := range p.actors {
+		for _, row := range a.rows {
+			for _, j := range row.idx {
+				if p.owner[j] != int32(a.id) {
+					a.price[j] = loadSpeed{load: p.actors[p.owner[j]].load[j], speed: in.Speed[j]}
+				}
+			}
+		}
+	}
+
+	p.tr = p.cfg.Transport
+	p.tr.Attach(p.shards, func(dst int, payload []byte) {
+		p.actors[dst].enqueue(payload)
+	})
+	p.loads = make([]float64, m)
+	p.lastCost = p.observeCost()
+	p.quietFor = 0
+	return nil
+}
+
+func (p *Plane) noteErr(err error) {
+	p.errMu.Lock()
+	if p.errSet == nil {
+		p.errSet = err
+	}
+	p.errMu.Unlock()
+}
+
+// par runs f once per actor, concurrently when there is more than one.
+func (p *Plane) par(f func(a *actor)) {
+	if len(p.actors) == 1 {
+		f(p.actors[0])
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(p.actors))
+	for _, a := range p.actors {
+		go func(a *actor) {
+			defer wg.Done()
+			f(a)
+		}(a)
+	}
+	wg.Wait()
+}
+
+// Round runs one bulk-synchronous round and returns its metrics.
+func (p *Plane) Round() (RoundMetrics, error) {
+	p.round++
+	r := p.round
+	p.par(func(a *actor) { a.publish(r) })
+	p.tr.Flush()
+	p.par(func(a *actor) { a.step(r) })
+	p.tr.Flush()
+	p.par(func(a *actor) { a.apply(r) })
+	if p.errSet != nil {
+		return RoundMetrics{}, p.errSet
+	}
+	return p.observe(), nil
+}
+
+// observe computes the round's metrics and advances the deterministic
+// step schedule.
+func (p *Plane) observe() RoundMetrics {
+	met := RoundMetrics{Round: p.round, Step: p.eta}
+	for _, a := range p.actors {
+		met.Moved += a.moved
+		met.Stepped += a.stepped
+		met.Messages += a.sentMsgs
+		met.Bytes += a.sentBytes
+		met.NNZ += a.nnz()
+	}
+	met.Cost = p.observeCost()
+	if p.cfg.Target > 0 {
+		met.RelGap = met.Cost/p.cfg.Target - 1
+	}
+	// Deterministic step schedule: a cost increase means concurrent
+	// rows overshot jointly — halve the damping; three improving rounds
+	// in a row earn a doubling back toward the configured step, so one
+	// early thrash does not condemn the run to a crawl. Every shard
+	// count observes the same cost stream, so the η schedule is part of
+	// the determinism contract.
+	switch {
+	case met.Cost > p.lastCost:
+		if p.eta > p.minEta {
+			p.eta /= 2
+		}
+		p.goodStreak = 0
+	case met.Cost < p.lastCost:
+		p.goodStreak++
+		if p.goodStreak >= 3 && p.eta < p.cfg.Step {
+			p.eta *= 2
+			if p.eta > p.cfg.Step {
+				p.eta = p.cfg.Step
+			}
+			p.goodStreak = 0
+		}
+	}
+	if met.Moved == 0 {
+		p.quietFor++
+	} else {
+		p.quietFor = 0
+	}
+	p.lastCost = met.Cost
+	return met
+}
+
+// observeCost recomputes the social cost from the rows in global index
+// order — the same O(nnz + m) accumulation the centralized sparse tiers
+// use, and independent of sharding.
+func (p *Plane) observeCost() float64 {
+	m := p.in.M()
+	loads := p.loads
+	for j := range loads {
+		loads[j] = 0
+	}
+	for i := 0; i < m; i++ {
+		row := p.actors[p.owner[i]].rows[int32(i)]
+		for t, j := range row.idx {
+			loads[j] += row.val[t]
+		}
+	}
+	var cost float64
+	for j, l := range loads {
+		cost += l * l / (2 * p.in.Speed[j])
+	}
+	for i := 0; i < m; i++ {
+		row := p.actors[p.owner[i]].rows[int32(i)]
+		for t, j := range row.idx {
+			if v := row.val[t]; v != 0 && int(j) != i {
+				cost += v * p.lat.At(i, int(j))
+			}
+		}
+	}
+	return cost
+}
+
+// Run executes up to rounds rounds, stopping early at a fixed point
+// (two consecutive rounds moving no mass with full participation —
+// under partial participation, four) or when OnRound says stop.
+func (p *Plane) Run(rounds int) (*Report, error) {
+	rep := &Report{Target: p.cfg.Target, RoundsToBand: -1, Cost: p.lastCost}
+	quietNeed := 2
+	if p.cfg.Participation < 1 {
+		quietNeed = 4
+	}
+	for t := 0; t < rounds; t++ {
+		met, err := p.Round()
+		if err != nil {
+			return nil, err
+		}
+		rep.Rounds++
+		rep.Cost = met.Cost
+		rep.Messages += met.Messages
+		rep.Bytes += met.Bytes
+		rep.NNZ = met.NNZ
+		if p.cfg.Target > 0 && rep.RoundsToBand < 0 &&
+			met.Cost <= p.cfg.Target*(1+p.cfg.Band) {
+			rep.RoundsToBand = rep.Rounds
+		}
+		if p.cfg.OnRound != nil && !p.cfg.OnRound(met) {
+			break
+		}
+		if p.quietFor >= quietNeed {
+			rep.Converged = true
+			break
+		}
+	}
+	if p.cfg.Target > 0 {
+		rep.RelGap = rep.Cost/p.cfg.Target - 1
+	}
+	return rep, nil
+}
+
+// Cost reports the current social cost ΣC_i.
+func (p *Plane) Cost() float64 { return p.lastCost }
+
+// Rounds reports how many rounds the plane has run.
+func (p *Plane) Rounds() int { return p.round }
+
+// Shards reports the actor count.
+func (p *Plane) Shards() int { return p.shards }
+
+// M reports the current fleet size.
+func (p *Plane) M() int { return p.in.M() }
+
+// Instance exposes the plane's private instance clone (read-only).
+func (p *Plane) Instance() *model.Instance { return p.in }
+
+// Allocation assembles the global allocation matrix (request units)
+// from the actors' rows, in global index order.
+func (p *Plane) Allocation() *sparse.Matrix {
+	m := p.in.M()
+	out := sparse.New(m, m)
+	for i := 0; i < m; i++ {
+		row := p.actors[p.owner[i]].rows[int32(i)]
+		out.Idx[i] = append([]int32(nil), row.idx...)
+		out.Val[i] = append([]float64(nil), row.val...)
+	}
+	return out
+}
+
+// SetTarget replaces the oracle cost the metrics stream compares
+// against (the replay driver refreshes it every epoch).
+func (p *Plane) SetTarget(target float64) { p.cfg.Target = target }

@@ -1,0 +1,206 @@
+package descent
+
+// The wire format of the control plane. Every cross-actor datum travels
+// as one of three message kinds, encoded into a flat little-endian byte
+// payload so (a) the measured bytes/round is the real wire volume, not a
+// proxy, and (b) a socket transport can ship payloads verbatim (the
+// Transport seam — see transport.go).
+//
+//   - prices: (server, load, speed) triples. Sent by the owner of a
+//     server to exactly the actors that currently route requests to it —
+//     the per-round volume is bounded by the allocation's nonzeros, never
+//     by m².
+//   - summary: per-metro aggregates — the best and second-best priced
+//     servers of the metro plus the metro's total load. O(k) per actor
+//     pair; this is what keeps the remote term of every gradient O(k).
+//   - delta: sparse allocation deltas — only the coordinates a
+//     projected step actually changed, each carrying its new absolute
+//     value (0 = the row dropped the server). Absolute values rather
+//     than increments keep the owner's column copy bit-identical to the
+//     row (r + (x−r) ≠ x in floats; plain x is exact), which is what
+//     makes "value == 0 ⇒ remove" sound. This retires the dense-column
+//     exchange of internal/runtime for good: message volume is O(nnz),
+//     independent of m².
+//
+// Encoding is deliberately not gob: fixed-width little-endian fields make
+// payload bytes a pure function of the values, so byte counts are
+// deterministic and two runs of the same seed produce identical traffic.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+type msgKind byte
+
+const (
+	kindPrices  msgKind = 1
+	kindSummary msgKind = 2
+	kindDelta   msgKind = 3
+)
+
+// header: kind(1) + from(4) + round(4) + count(4)
+const headerBytes = 13
+
+const (
+	priceEntryBytes   = 4 + 8 + 8
+	summaryEntryBytes = 4 + 4 + 8 + 8 + 4 + 8 + 8 + 8
+	deltaEntryBytes   = 4 + 4 + 8
+)
+
+// priceEntry is one (server, load, speed) triple of a prices message.
+type priceEntry struct {
+	j           int32
+	load, speed float64
+}
+
+// summaryEntry is one metro's aggregate: its two cheapest servers by
+// congestion price (id −1 when the metro slice holds fewer servers) and
+// the slice's total load.
+type summaryEntry struct {
+	metro                 int32
+	best                  int32
+	bestLoad, bestSpeed   float64
+	second                int32
+	secondLoad, secondSpd float64
+	load                  float64
+}
+
+// deltaEntry is one changed allocation coordinate: the row's new
+// absolute request volume on that server (0 = dropped).
+type deltaEntry struct {
+	row, col int32
+	val      float64
+}
+
+// message is the decoded form of a payload.
+type message struct {
+	kind      msgKind
+	from      int32
+	round     int32
+	prices    []priceEntry
+	summaries []summaryEntry
+	deltas    []deltaEntry
+}
+
+func putHeader(buf []byte, kind msgKind, from, round, count int) []byte {
+	buf = append(buf, byte(kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(from))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(round))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(count))
+	return buf
+}
+
+func encodePrices(from, round int, entries []priceEntry) []byte {
+	buf := make([]byte, 0, headerBytes+len(entries)*priceEntryBytes)
+	buf = putHeader(buf, kindPrices, from, round, len(entries))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.j))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.load))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.speed))
+	}
+	return buf
+}
+
+func encodeSummaries(from, round int, entries []summaryEntry) []byte {
+	buf := make([]byte, 0, headerBytes+len(entries)*summaryEntryBytes)
+	buf = putHeader(buf, kindSummary, from, round, len(entries))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.metro))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.best))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.bestLoad))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.bestSpeed))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.second))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.secondLoad))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.secondSpd))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.load))
+	}
+	return buf
+}
+
+func encodeDeltas(from, round int, entries []deltaEntry) []byte {
+	buf := make([]byte, 0, headerBytes+len(entries)*deltaEntryBytes)
+	buf = putHeader(buf, kindDelta, from, round, len(entries))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.row))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.col))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.val))
+	}
+	return buf
+}
+
+func decodeMessage(payload []byte) (message, error) {
+	var m message
+	if len(payload) < headerBytes {
+		return m, fmt.Errorf("descent: payload of %d bytes is shorter than the header", len(payload))
+	}
+	m.kind = msgKind(payload[0])
+	m.from = int32(binary.LittleEndian.Uint32(payload[1:]))
+	m.round = int32(binary.LittleEndian.Uint32(payload[5:]))
+	count := int(binary.LittleEndian.Uint32(payload[9:]))
+	body := payload[headerBytes:]
+	switch m.kind {
+	case kindPrices:
+		if len(body) != count*priceEntryBytes {
+			return m, fmt.Errorf("descent: prices payload has %d body bytes, want %d", len(body), count*priceEntryBytes)
+		}
+		m.prices = make([]priceEntry, count)
+		for t := range m.prices {
+			off := t * priceEntryBytes
+			m.prices[t] = priceEntry{
+				j:     int32(binary.LittleEndian.Uint32(body[off:])),
+				load:  math.Float64frombits(binary.LittleEndian.Uint64(body[off+4:])),
+				speed: math.Float64frombits(binary.LittleEndian.Uint64(body[off+12:])),
+			}
+		}
+	case kindSummary:
+		if len(body) != count*summaryEntryBytes {
+			return m, fmt.Errorf("descent: summary payload has %d body bytes, want %d", len(body), count*summaryEntryBytes)
+		}
+		m.summaries = make([]summaryEntry, count)
+		for t := range m.summaries {
+			off := t * summaryEntryBytes
+			m.summaries[t] = summaryEntry{
+				metro:      int32(binary.LittleEndian.Uint32(body[off:])),
+				best:       int32(binary.LittleEndian.Uint32(body[off+4:])),
+				bestLoad:   math.Float64frombits(binary.LittleEndian.Uint64(body[off+8:])),
+				bestSpeed:  math.Float64frombits(binary.LittleEndian.Uint64(body[off+16:])),
+				second:     int32(binary.LittleEndian.Uint32(body[off+24:])),
+				secondLoad: math.Float64frombits(binary.LittleEndian.Uint64(body[off+28:])),
+				secondSpd:  math.Float64frombits(binary.LittleEndian.Uint64(body[off+36:])),
+				load:       math.Float64frombits(binary.LittleEndian.Uint64(body[off+44:])),
+			}
+		}
+	case kindDelta:
+		if len(body) != count*deltaEntryBytes {
+			return m, fmt.Errorf("descent: delta payload has %d body bytes, want %d", len(body), count*deltaEntryBytes)
+		}
+		m.deltas = make([]deltaEntry, count)
+		for t := range m.deltas {
+			off := t * deltaEntryBytes
+			m.deltas[t] = deltaEntry{
+				row: int32(binary.LittleEndian.Uint32(body[off:])),
+				col: int32(binary.LittleEndian.Uint32(body[off+4:])),
+				val: math.Float64frombits(binary.LittleEndian.Uint64(body[off+8:])),
+			}
+		}
+	default:
+		return m, fmt.Errorf("descent: unknown message kind %d", m.kind)
+	}
+	return m, nil
+}
+
+// sortDeltas puts delta entries into the canonical (row, col) order.
+// Owners apply every round's deltas in this order, which makes the
+// floating-point fold over l_j independent of message arrival order —
+// the property the cross-shard determinism contract rests on.
+func sortDeltas(entries []deltaEntry) {
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].row != entries[b].row {
+			return entries[a].row < entries[b].row
+		}
+		return entries[a].col < entries[b].col
+	})
+}

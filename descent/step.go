@@ -1,0 +1,168 @@
+package descent
+
+// The per-row update rule. Restricted to one organization's row, the
+// system objective F(R) = Σ_j l_j²/(2s_j) + Σ_ij c_ij·r_ij is exactly
+// quadratic with a diagonal Hessian diag(1/s_j): loads are sums over
+// rows, so no cross-terms appear within a row. The natural step is
+// therefore a *weighted* prox step — minimize
+//
+//	Σ_j g_j·δ_j + (1/(2η))·Σ_j δ_j²/s_j
+//
+// over δ with x = r + δ ≥ 0, Σ x = n_i. At η=1 this is the exact local
+// best response (the quadratic model is the true restricted objective),
+// and damping η<1 is plain damped Jacobi across concurrently stepping
+// rows. The KKT solution has the closed form
+//
+//	x_j = max(0, η·s_j·(c_j − λ)),   c_j = r_j/(η·s_j) − g_j,
+//
+// with λ chosen so the row sums to its load — found by the standard
+// sort-descending breakpoint scan in O(|W| log |W|), |W| the working
+// set (current support plus O(k) metro candidates), never m.
+//
+// The gradient g_j encodes the regime split of the paper:
+//
+//	cooperative:  ∂F/∂r_ij   = l_j/s_j + c_ij
+//	selfish:      ∂C_i/∂r_ij = (l_j + r_ij)/(2s_j) + c_ij
+//
+// Cooperative fixed points are blockwise-optimal and hence global optima
+// of the (convex) system objective; selfish fixed points are Nash
+// equilibria, which is what makes the plane's PoA stream meaningful.
+
+import "sort"
+
+// Mode selects which gradient the actors descend.
+type Mode int
+
+const (
+	// Cooperative descends the system objective ΣC_i; fixed points are
+	// social optima (the paper's cooperative regime).
+	Cooperative Mode = iota
+	// Selfish has every organization descend its own cost C_i; fixed
+	// points are Nash equilibria (the paper's selfish regime).
+	Selfish
+)
+
+func (m Mode) String() string {
+	if m == Selfish {
+		return "selfish"
+	}
+	return "cooperative"
+}
+
+// wsEntry is one working-set coordinate of a row step: the server, the
+// row's current requests on it, the server's start-of-round load and
+// speed, and the communication delay c_ij.
+type wsEntry struct {
+	j           int32
+	r           float64
+	load, speed float64
+	cij         float64
+}
+
+// stepScratch holds the reusable buffers of proxStep so steady-state
+// rounds allocate nothing.
+type stepScratch struct {
+	c   []float64
+	ord []int
+	x   []float64
+}
+
+func (s *stepScratch) grow(n int) {
+	if cap(s.c) < n {
+		s.c = make([]float64, n)
+		s.ord = make([]int, n)
+		s.x = make([]float64, n)
+	}
+	s.c = s.c[:n]
+	s.ord = s.ord[:n]
+	s.x = s.x[:n]
+}
+
+// gradient evaluates the mode's partial derivative at a working-set
+// entry. The row's own contribution r is already part of load.
+func gradient(mode Mode, e wsEntry) float64 {
+	if mode == Selfish {
+		return (e.load+e.r)/(2*e.speed) + e.cij
+	}
+	return e.load/e.speed + e.cij
+}
+
+// proxStep computes the damped projected step for one row over its
+// working set: the minimizer of the prox objective above subject to
+// x ≥ 0 and Σx = budget. The result lands in scratch.x, aligned with
+// ws. budget must be > 0 and ws non-empty.
+//
+// Determinism: the only data-dependent branch is the breakpoint scan
+// over coordinates sorted by (c desc, j asc) — a total order on the
+// working set — so identical inputs give bit-identical outputs
+// regardless of which shard runs the row.
+func proxStep(mode Mode, eta, budget float64, ws []wsEntry, scratch *stepScratch) []float64 {
+	n := len(ws)
+	scratch.grow(n)
+	c, ord, x := scratch.c, scratch.ord, scratch.x
+	for t, e := range ws {
+		c[t] = e.r/(eta*e.speed) - gradient(mode, e)
+		ord[t] = t
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		if c[ord[a]] != c[ord[b]] {
+			return c[ord[a]] > c[ord[b]]
+		}
+		return ws[ord[a]].j < ws[ord[b]].j
+	})
+	// Breakpoint scan: λ_t = (Σ_{u≤t} w_u·c_u − budget)/Σ_{u≤t} w_u with
+	// w = η·s. The active prefix is the largest t whose λ_t stays below
+	// the next coordinate's c.
+	var wSum, wcSum, lam float64
+	for t := 0; t < n; t++ {
+		u := ord[t]
+		w := eta * ws[u].speed
+		wSum += w
+		wcSum += w * c[u]
+		lam = (wcSum - budget) / wSum
+		if t+1 < n && lam >= c[ord[t+1]] {
+			break
+		}
+	}
+	// Evaluate the closed form and repair the float residual so the row
+	// keeps its exact load: dump the difference on the largest
+	// coordinate (always ≥ budget/n > 0, so it stays nonnegative).
+	var sum float64
+	big := 0
+	for t, e := range ws {
+		v := eta * e.speed * (c[t] - lam)
+		if v < 0 {
+			v = 0
+		}
+		x[t] = v
+		sum += v
+		if v > x[big] {
+			big = t
+		}
+	}
+	x[big] += budget - sum
+	return x
+}
+
+// splitmix64 is the same generator the sweep uses for cell seeds: a
+// single multiply-xorshift pass with strong avalanche, so derived
+// streams are independent for any (seed, row, round) triple.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// rowDraw returns a uniform [0,1) draw for (seed, row, round). The
+// stream is keyed by the *row*, not by the actor that happens to own
+// it, which is exactly why participation schedules survive resharding:
+// any shard count draws the same coin for the same row and round.
+func rowDraw(seed int64, row int32, round int) float64 {
+	z := uint64(seed) +
+		(uint64(uint32(row))+1)*0x9E3779B97F4A7C15 +
+		(uint64(uint32(round))+1)*0xD1B54A32D192ED03
+	return float64(splitmix64(z)>>11) / (1 << 53)
+}

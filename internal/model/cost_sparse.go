@@ -1,0 +1,33 @@
+package model
+
+import "delaylb/internal/sparse"
+
+// TotalCostSparse is TotalCost on a sparse requests matrix (request
+// units: row i sums to Load[i]). The accumulation order — loads first
+// in row-major entry order, then congestion over servers ascending,
+// then communication in row-major entry order — is the canonical fold
+// every sparse tier (session, replay, descent) shares, so their costs
+// are bit-comparable. O(nnz + m).
+func TotalCostSparse(in *Instance, req *sparse.Matrix) float64 {
+	loads := make([]float64, in.M())
+	for i := range req.Idx {
+		val := req.Val[i]
+		for t, j := range req.Idx[i] {
+			loads[j] += val[t]
+		}
+	}
+	var cost float64
+	for j, l := range loads {
+		cost += l * l / (2 * in.Speed[j])
+	}
+	lat := in.Latency
+	for i := range req.Idx {
+		val := req.Val[i]
+		for t, j := range req.Idx[i] {
+			if v := val[t]; v != 0 && int(j) != i {
+				cost += v * lat.At(i, int(j))
+			}
+		}
+	}
+	return cost
+}

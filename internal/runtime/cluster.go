@@ -125,8 +125,8 @@ func (c *Cluster) Allocation() *model.Allocation {
 	a := model.NewAllocation(m)
 	for j, s := range c.servers {
 		c.mu[j].Lock()
-		for k, v := range s.col {
-			a.R[k][j] = v
+		for t, k := range s.col.Idx {
+			a.R[k][j] = s.col.Val[t]
 		}
 		c.mu[j].Unlock()
 	}

@@ -47,6 +47,59 @@ type GossipEntry struct {
 	Known   bool
 }
 
+// SparseCol is a server column in coordinate form: Val[t] requests of
+// organization Idx[t] execute on the server, indices strictly ascending,
+// no explicit zeros. Columns converge to a handful of organizations per
+// server, so shipping coordinates instead of a length-m vector keeps
+// proposal traffic O(nnz) rather than O(m).
+type SparseCol struct {
+	Idx []int32
+	Val []float64
+}
+
+// PackCol converts a dense column to coordinate form, dropping exact
+// zeros only — UnpackInto(PackCol(x)) restores x bit for bit.
+func PackCol(dense []float64) SparseCol {
+	var c SparseCol
+	for k, v := range dense {
+		if v != 0 {
+			c.Idx = append(c.Idx, int32(k))
+			c.Val = append(c.Val, v)
+		}
+	}
+	return c
+}
+
+// UnpackInto writes the column into dst (zeroing it first).
+func (c SparseCol) UnpackInto(dst []float64) {
+	for k := range dst {
+		dst[k] = 0
+	}
+	for t, k := range c.Idx {
+		dst[k] = c.Val[t]
+	}
+}
+
+// Sum is the column total: the server's load.
+func (c SparseCol) Sum() float64 {
+	var l float64
+	for _, v := range c.Val {
+		l += v
+	}
+	return l
+}
+
+// Clone deep-copies the column.
+func (c SparseCol) Clone() SparseCol {
+	return SparseCol{
+		Idx: append([]int32(nil), c.Idx...),
+		Val: append([]float64(nil), c.Val...),
+	}
+}
+
+// NNZ is the number of stored coordinates.
+func (c SparseCol) NNZ() int { return len(c.Idx) }
+
 // Message is the single wire format of the protocol; unused fields stay
 // zero. Keeping one concrete struct makes gob encoding trivial.
 type Message struct {
@@ -59,11 +112,12 @@ type Message struct {
 	Reply bool
 
 	// MsgPropose: proposer's state.
-	Col   []float64 // r_k,From for every organization k
+	Col   SparseCol // r_k,From in coordinate form
 	Lat   []float64 // proposer's latency row (== its latency column)
 	Speed float64
 	Load  float64 // proposer's current server load
 
-	// MsgAccept: the proposer's new column after Algorithm 1.
-	NewCol []float64
+	// MsgAccept: the proposer's new column after Algorithm 1, again in
+	// coordinate form.
+	NewCol SparseCol
 }

@@ -185,7 +185,7 @@ func TestServerRejectsWhenBusy(t *testing.T) {
 	bus := NewSimBus(in, 1e-9, 22)
 	s := bus.Servers[0]
 	s.busy = true
-	out := s.Handle(Message{Kind: MsgPropose, From: 1, To: 0, Col: make([]float64, 4),
+	out := s.Handle(Message{Kind: MsgPropose, From: 1, To: 0, Col: SparseCol{},
 		Lat: in.Latency.(model.DenseLatency)[1], Speed: in.Speed[1]})
 	if len(out) != 1 || out[0].Kind != MsgReject {
 		t.Fatalf("busy server answered %v, want reject", out)
@@ -200,7 +200,7 @@ func TestServerIgnoresStaleAccept(t *testing.T) {
 	s.busy = true
 	s.pending = 2
 	// Accept from the wrong partner must not overwrite the column.
-	s.Handle(Message{Kind: MsgAccept, From: 1, To: 0, NewCol: make([]float64, 4)})
+	s.Handle(Message{Kind: MsgAccept, From: 1, To: 0, NewCol: PackCol(make([]float64, 4))})
 	for k, v := range s.Column() {
 		if v != col[k] {
 			t.Fatal("stale accept overwrote the column")

@@ -16,7 +16,7 @@ type Server struct {
 
 	speed  float64
 	latRow []float64 // c_{ID,k}; assumed symmetric so it doubles as c_{k,ID}
-	col    []float64 // col[k] = requests of organization k executing here
+	col    SparseCol // requests of each organization executing here
 
 	table   []GossipEntry // local view of everyone's (load, speed)
 	version uint64        // own announcement version
@@ -28,9 +28,13 @@ type Server struct {
 	minGain float64
 	rng     *rand.Rand
 
-	// scratch buffers for Algorithm 1
+	// scratch buffers for Algorithm 1, which works on dense columns:
+	// sparse columns are unpacked into ri/rj around the call and packed
+	// back after. The dense form never crosses the wire.
 	order []int
 	keys  []float64
+	ri    []float64
+	rj    []float64
 }
 
 // NewServer creates a node. col is the server's initial column (e.g. the
@@ -42,29 +46,34 @@ func NewServer(id, m int, speed float64, latRow, col []float64, minGain float64,
 		ID:      id,
 		speed:   speed,
 		latRow:  append([]float64(nil), latRow...),
-		col:     append([]float64(nil), col...),
+		col:     PackCol(col),
 		table:   make([]GossipEntry, m),
 		minGain: minGain,
 		rng:     rng,
 		order:   make([]int, m),
 		keys:    make([]float64, m),
+		ri:      make([]float64, m),
+		rj:      make([]float64, m),
 	}
 	s.announce()
 	return s
 }
 
-// Column returns a copy of the server's current column.
+// Column returns the server's current column, densified.
 func (s *Server) Column() []float64 {
-	return append([]float64(nil), s.col...)
+	col := make([]float64, len(s.table))
+	s.col.UnpackInto(col)
+	return col
+}
+
+// SparseColumn returns a copy of the column in coordinate form.
+func (s *Server) SparseColumn() SparseCol {
+	return s.col.Clone()
 }
 
 // load is the server's true current load: the sum of its column.
 func (s *Server) load() float64 {
-	var l float64
-	for _, v := range s.col {
-		l += v
-	}
-	return l
+	return s.col.Sum()
 }
 
 // announce refreshes the server's own gossip entry.
@@ -148,7 +157,7 @@ func (s *Server) onTick() []Message {
 			Kind:  MsgPropose,
 			From:  s.ID,
 			To:    partner,
-			Col:   s.Column(),
+			Col:   s.col.Clone(),
 			Lat:   append([]float64(nil), s.latRow...),
 			Speed: s.speed,
 			Load:  s.load(),
@@ -220,28 +229,33 @@ func (s *Server) onPropose(msg Message) []Message {
 	if s.busy {
 		return []Message{{Kind: MsgReject, From: s.ID, To: msg.From}}
 	}
-	ri := append([]float64(nil), msg.Col...)
-	rj := append([]float64(nil), s.col...)
-	core.BalanceColumns(msg.Speed, s.speed, ri, rj, msg.Lat, s.latRow, s.order, s.keys)
-	s.col = rj
+	// Densify both sparse columns into scratch for Algorithm 1: it sees
+	// exactly the vectors the dense wire used to carry (packing drops
+	// exact zeros only), so the exchange is bit-identical to the old
+	// protocol while the wire stays O(nnz).
+	msg.Col.UnpackInto(s.ri)
+	s.col.UnpackInto(s.rj)
+	core.BalanceColumns(msg.Speed, s.speed, s.ri, s.rj, msg.Lat, s.latRow, s.order, s.keys)
+	newMine := PackCol(s.rj)
+	newTheirs := PackCol(s.ri)
+	s.col = newMine
 	s.announce()
 	// Track the proposer's new load in the local table.
-	var li float64
-	for _, v := range ri {
-		li += v
-	}
+	li := newTheirs.Sum()
 	if e := &s.table[msg.From]; e.Known {
 		e.Load = li
 		e.Version++
 	} else {
 		*e = GossipEntry{Origin: msg.From, Load: li, Speed: msg.Speed, Version: 1, Known: true}
 	}
-	return []Message{{Kind: MsgAccept, From: s.ID, To: msg.From, NewCol: ri}}
+	return []Message{{Kind: MsgAccept, From: s.ID, To: msg.From, NewCol: newTheirs}}
 }
 
 func (s *Server) onAccept(msg Message) []Message {
 	if msg.From == s.pending {
-		s.col = append(s.col[:0], msg.NewCol...)
+		// The acceptor packed this column fresh and keeps no reference;
+		// adopt it without copying.
+		s.col = msg.NewCol
 		s.announce()
 	}
 	s.busy = false

@@ -71,13 +71,14 @@ func (b *SimBus) drain() {
 	}
 }
 
-// Allocation assembles the global allocation from all server columns.
+// Allocation assembles the global allocation from all servers' sparse
+// columns.
 func (b *SimBus) Allocation() *model.Allocation {
 	m := len(b.Servers)
 	a := model.NewAllocation(m)
 	for j, s := range b.Servers {
-		for k, v := range s.col {
-			a.R[k][j] = v
+		for t, k := range s.col.Idx {
+			a.R[k][j] = s.col.Val[t]
 		}
 	}
 	return a

@@ -1,0 +1,386 @@
+package replay
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"delaylb"
+	"delaylb/descent"
+	"delaylb/internal/qp"
+)
+
+// DescentConfig tunes a descent-backed replay: the trace's events are
+// applied to a live descent.Plane (loads rescaled, actors joining and
+// leaving mid-flight) and each epoch runs gradient rounds until the
+// plane goes quiet or the budget runs out — the distributed third tier
+// of the engine, where Config drives the centralized second tier.
+type DescentConfig struct {
+	// Plane configures the control plane. Target and Band are managed by
+	// the driver: the per-epoch oracle refreshes Target, Band mirrors the
+	// config's Band.
+	Plane descent.Config
+	// RoundBudget caps gradient rounds per epoch (default 300).
+	RoundBudget int
+	// Band is the relative optimality band for rounds-to-band (default
+	// 0.02, the paper's Table I target).
+	Band float64
+	// OracleIters / OracleTol budget the per-epoch centralized sparse
+	// Frank–Wolfe oracle (defaults 400 and 1e-7). The oracle is the
+	// observer's reference only — no actor ever sees it.
+	OracleIters int
+	OracleTol   float64
+	// SkipOracle drops the per-epoch oracle; OracleCost/RelGap stay zero
+	// and RoundsToBand is reported as -1.
+	SkipOracle bool
+	// StopInBand ends an epoch's rounds as soon as the cost enters the
+	// oracle band instead of spending the whole budget — the online
+	// operating mode: rebalance until good enough, then wait for the
+	// next epoch. No effect when the oracle is skipped.
+	StopInBand bool
+	// Verify re-checks row-stochastic feasibility after every epoch.
+	Verify bool
+	// Progress, if non-nil, is called after each completed epoch.
+	Progress func(done, total int)
+}
+
+func (c DescentConfig) band() float64 {
+	if c.Band > 0 {
+		return c.Band
+	}
+	return 0.02
+}
+
+func (c DescentConfig) budget() int {
+	if c.RoundBudget > 0 {
+		return c.RoundBudget
+	}
+	return 300
+}
+
+func (c DescentConfig) oracleOptions() qp.Options {
+	opt := qp.Options{MaxIters: 400, Tol: 1e-7}
+	if c.OracleIters > 0 {
+		opt.MaxIters = c.OracleIters
+	}
+	if c.OracleTol > 0 {
+		opt.Tol = c.OracleTol
+	}
+	return opt
+}
+
+// DescentEpoch is one row of the descent replay timeline. Wall-clock
+// stays out of the JSON form (see EpochMetrics).
+type DescentEpoch struct {
+	Epoch   int     `json:"epoch"`
+	Time    float64 `json:"time"`
+	Events  int     `json:"events"`
+	Servers int     `json:"servers"`
+	// TotalLoad is Σ n_i after the epoch's events.
+	TotalLoad float64 `json:"total_load"`
+	// StartCost is ΣC_i of the carried-over rows after the events landed
+	// but before any gradient round — how stale churn left the plane.
+	StartCost float64 `json:"start_cost"`
+	// Cost is ΣC_i when the epoch's rounds stopped.
+	Cost float64 `json:"cost"`
+	// OracleCost is the centralized sparse Frank–Wolfe reference on the
+	// post-event instance; RelGap is Cost/OracleCost − 1. Zero when the
+	// oracle is skipped.
+	OracleCost float64 `json:"oracle_cost,omitempty"`
+	RelGap     float64 `json:"rel_gap,omitempty"`
+	// Rounds actually run; RoundsToBand is the first round at or under
+	// (1+Band)·OracleCost, -1 when never reached (or no oracle).
+	Rounds       int  `json:"rounds"`
+	RoundsToBand int  `json:"rounds_to_band"`
+	Converged    bool `json:"converged"`
+	// Messages/Bytes are the epoch's total cross-actor traffic; NNZ the
+	// allocation's support size after the rounds.
+	Messages int64         `json:"messages"`
+	Bytes    int64         `json:"bytes"`
+	NNZ      int           `json:"nnz"`
+	Elapsed  time.Duration `json:"-"`
+}
+
+// BytesPerRound is the epoch's mean message volume per gradient round.
+func (e DescentEpoch) BytesPerRound() float64 {
+	if e.Rounds == 0 {
+		return 0
+	}
+	return float64(e.Bytes) / float64(e.Rounds)
+}
+
+// DescentTimeline is RunDescent's output.
+type DescentTimeline struct {
+	Scenario delaylb.Scenario `json:"scenario"`
+	Band     float64          `json:"band"`
+	Shards   int              `json:"shards"`
+	Epochs   []DescentEpoch   `json:"epochs"`
+}
+
+// WriteJSON writes the timeline as indented JSON; deterministic for a
+// fixed (trace, DescentConfig) pair — wall-clock never appears in it.
+func (tl *DescentTimeline) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tl)
+}
+
+// WriteTable renders the human summary, wall-clock last.
+func (tl *DescentTimeline) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-5s %-8s %-6s %-6s %-10s %-12s %-12s %-12s %-7s %-7s %-10s %-8s %s\n",
+		"epoch", "time", "events", "m", "load", "start", "cost", "oracle", "rounds", "r2band", "bytes/rnd", "nnz", "elapsed")
+	for _, e := range tl.Epochs {
+		fmt.Fprintf(w, "%-5d %-8.4g %-6d %-6d %-10.6g %-12.6g %-12.6g %-12.6g %-7d %-7d %-10.4g %-8d %s\n",
+			e.Epoch, e.Time, e.Events, e.Servers, e.TotalLoad, e.StartCost, e.Cost, e.OracleCost,
+			e.Rounds, e.RoundsToBand, e.BytesPerRound(), e.NNZ, e.Elapsed.Round(time.Millisecond))
+	}
+}
+
+// RunDescent replays the trace on a distributed descent plane. Like Run
+// it is deterministic for a fixed (trace, config) pair; on context
+// cancellation the timeline built so far is returned with ctx.Err().
+// LatencyShift events are rejected: the plane's actors gossip loads,
+// not delays, so a delay change would desynchronize them silently (the
+// ROADMAP records WAN-transport realism as the follow-on).
+func RunDescent(ctx context.Context, tr *Trace, cfg DescentConfig) (*DescentTimeline, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	in, err := tr.Scenario.Instance()
+	if err != nil {
+		return nil, err
+	}
+	en := &descentEngine{cfg: cfg, idx: make(map[int64]int)}
+	pcfg := cfg.Plane
+	pcfg.Band = cfg.band()
+	pcfg.Target = 0
+	userRound := pcfg.OnRound
+	pcfg.OnRound = func(met descent.RoundMetrics) bool {
+		if userRound != nil && !userRound(met) {
+			return false
+		}
+		// RelGap is only meaningful once the epoch's oracle has set a
+		// positive target.
+		if cfg.StopInBand && en.target > 0 && met.RelGap <= cfg.band() {
+			return false
+		}
+		return true
+	}
+	p, err := descent.NewPlane(in, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	en.p = p
+	m := p.M()
+	en.ids = make([]int64, m)
+	for i := 0; i < m; i++ {
+		en.ids[i] = int64(i)
+		en.idx[int64(i)] = i
+	}
+
+	tl := &DescentTimeline{Scenario: tr.Scenario, Band: cfg.band(), Shards: p.Shards()}
+	total := len(tr.Epochs) + 1
+	if err := en.measure(ctx, tl, 0, 0, 0, total); err != nil {
+		return tl, err
+	}
+	for k, ep := range tr.Epochs {
+		for _, ev := range ep.Events {
+			if err := en.apply(ev); err != nil {
+				return tl, fmt.Errorf("replay: descent epoch %d (t=%v): %w", k+1, ep.Time, err)
+			}
+		}
+		if err := en.flush(); err != nil {
+			return tl, fmt.Errorf("replay: descent epoch %d (t=%v): %w", k+1, ep.Time, err)
+		}
+		if err := en.measure(ctx, tl, k+1, ep.Time, len(ep.Events), total); err != nil {
+			return tl, err
+		}
+	}
+	return tl, nil
+}
+
+// descentEngine is the mutable driver state: the live plane plus the
+// stable id ↔ index mapping surviving churn (see engine).
+type descentEngine struct {
+	cfg     DescentConfig
+	p       *descent.Plane
+	ids     []int64
+	idx     map[int64]int
+	pending []float64
+	// target is the current epoch's oracle cost (0: none yet) — read by
+	// the StopInBand round hook.
+	target float64
+}
+
+func (en *descentEngine) liveIndex(id int64) (int, error) {
+	i, ok := en.idx[id]
+	if !ok {
+		return 0, fmt.Errorf("no live server with id %d", id)
+	}
+	return i, nil
+}
+
+func (en *descentEngine) ensurePending() {
+	if en.pending == nil {
+		en.pending = append([]float64(nil), en.p.Instance().Load...)
+	}
+}
+
+func (en *descentEngine) flush() error {
+	if en.pending == nil {
+		return nil
+	}
+	loads := en.pending
+	en.pending = nil
+	return en.p.UpdateLoads(loads)
+}
+
+func (en *descentEngine) apply(ev Event) error {
+	switch ev.Kind {
+	case LoadDelta:
+		i, err := en.liveIndex(ev.ID)
+		if err != nil {
+			return err
+		}
+		en.ensurePending()
+		en.pending[i] = math.Max(0, en.pending[i]+ev.Value)
+	case Spike:
+		i, err := en.liveIndex(ev.ID)
+		if err != nil {
+			return err
+		}
+		en.ensurePending()
+		en.pending[i] *= ev.Value
+	case LatencyShift:
+		return fmt.Errorf("descent driver does not support latency shifts")
+	case ServerJoin:
+		if err := en.flush(); err != nil {
+			return err
+		}
+		return en.applyJoin(ev)
+	case ServerLeave:
+		if err := en.flush(); err != nil {
+			return err
+		}
+		i, err := en.liveIndex(ev.ID)
+		if err != nil {
+			return err
+		}
+		if err := en.p.Leave(i); err != nil {
+			return err
+		}
+		en.ids = append(en.ids[:i], en.ids[i+1:]...)
+		delete(en.idx, ev.ID)
+		for _, id := range en.ids[i:] {
+			en.idx[id]--
+		}
+	default:
+		return fmt.Errorf("unknown event kind %q", ev.Kind)
+	}
+	return nil
+}
+
+func (en *descentEngine) applyJoin(ev Event) error {
+	if _, dup := en.idx[ev.ID]; dup {
+		return fmt.Errorf("join id %d already live", ev.ID)
+	}
+	m := en.p.M()
+	switch ev.Join {
+	case JoinCluster:
+		// Block fast path only: nil rows tell the instance to derive the
+		// newcomer's delays from its metro label.
+		if err := en.p.Join(ev.Speed, ev.Load, nil, nil, ev.Cluster); err != nil {
+			return err
+		}
+	case JoinUniform:
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = ev.Latency
+		}
+		if err := en.p.Join(ev.Speed, ev.Load, row, append([]float64(nil), row...), 0); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown join latency mode %q", ev.Join)
+	}
+	en.ids = append(en.ids, ev.ID)
+	en.idx[ev.ID] = m
+	return nil
+}
+
+func (en *descentEngine) measure(ctx context.Context, tl *DescentTimeline, epoch int, t float64, events, total int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := time.Now()
+	p := en.p
+	row := DescentEpoch{
+		Epoch:        epoch,
+		Time:         t,
+		Events:       events,
+		Servers:      p.M(),
+		StartCost:    p.Cost(),
+		RoundsToBand: -1,
+	}
+	for _, n := range p.Instance().Load {
+		row.TotalLoad += n
+	}
+	if !en.cfg.SkipOracle {
+		res := qp.SolveFrankWolfeSparse(p.Instance(), en.cfg.oracleOptions())
+		row.OracleCost = res.Cost
+		en.target = res.Cost
+	} else {
+		en.target = 0
+	}
+	p.SetTarget(en.target)
+	rep, err := p.Run(en.cfg.budget())
+	if err != nil {
+		return err
+	}
+	row.Cost = rep.Cost
+	row.RelGap = rep.RelGap
+	row.Rounds = rep.Rounds
+	row.RoundsToBand = rep.RoundsToBand
+	row.Converged = rep.Converged
+	row.Messages = rep.Messages
+	row.Bytes = rep.Bytes
+	row.NNZ = rep.NNZ
+	row.Elapsed = time.Since(start)
+	tl.Epochs = append(tl.Epochs, row)
+
+	if en.cfg.Verify {
+		if err := en.verifyFeasible(); err != nil {
+			return fmt.Errorf("replay: descent epoch %d: %w", epoch, err)
+		}
+	}
+	if en.cfg.Progress != nil {
+		en.cfg.Progress(len(tl.Epochs), total)
+	}
+	return nil
+}
+
+// verifyFeasible asserts every actor row is non-negative and sums to
+// its organization's live load.
+func (en *descentEngine) verifyFeasible() error {
+	loads := en.p.Instance().Load
+	alloc := en.p.Allocation()
+	if len(alloc.Idx) != len(loads) {
+		return fmt.Errorf("allocation has %d rows, loads %d", len(alloc.Idx), len(loads))
+	}
+	for i := range alloc.Idx {
+		sum := 0.0
+		for t, v := range alloc.Val[i] {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("r[%d][%d]=%v", i, alloc.Idx[i][t], v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-loads[i]) > 1e-6*math.Max(1, loads[i]) {
+			return fmt.Errorf("row %d sums to %v, want %v", i, sum, loads[i])
+		}
+	}
+	return nil
+}

@@ -207,29 +207,10 @@ func (s *Session) Cost() float64 {
 }
 
 // sparseTotalCost is model.TotalCost on a sparse requests matrix, with
-// the same accumulation order (O(nnz + m)).
+// the same accumulation order (O(nnz + m)). It lives in the model
+// package now so the descent plane shares the exact fold.
 func sparseTotalCost(in *model.Instance, req *sparse.Matrix) float64 {
-	loads := make([]float64, in.M())
-	for i := range req.Idx {
-		val := req.Val[i]
-		for t, j := range req.Idx[i] {
-			loads[j] += val[t]
-		}
-	}
-	var cost float64
-	for j, l := range loads {
-		cost += l * l / (2 * in.Speed[j])
-	}
-	lat := in.Latency
-	for i := range req.Idx {
-		val := req.Val[i]
-		for t, j := range req.Idx[i] {
-			if v := val[t]; v != 0 && int(j) != i {
-				cost += v * lat.At(i, int(j))
-			}
-		}
-	}
-	return cost
+	return model.TotalCostSparse(in, req)
 }
 
 // UpdateLoads replaces the per-organization loads. The current allocation

@@ -25,7 +25,9 @@ import (
 	"time"
 
 	"delaylb"
+	"delaylb/descent"
 	"delaylb/internal/core"
+	"delaylb/internal/model"
 	"delaylb/internal/qp"
 )
 
@@ -58,6 +60,14 @@ type BenchConfig struct {
 	FWIters   int
 	FWTol     float64
 	MineIters int
+	// DescentSizes is the grid for the distributed control-plane cells;
+	// they run after every centralized cell so the persisted report's
+	// existing rows keep their positions. DescentRounds bounds the
+	// gradient rounds per cell and DescentParticipation the per-row step
+	// probability (simultaneous play herds at scale — see descent).
+	DescentSizes         []int
+	DescentRounds        int
+	DescentParticipation float64
 	// Seed is the base seed; cell i uses CellSeed(Seed, i).
 	Seed int64
 }
@@ -66,18 +76,21 @@ type BenchConfig struct {
 // 2000}, dense baselines up to 500, everything derived from seed 1.
 func DefaultBenchConfig() BenchConfig {
 	return BenchConfig{
-		Sizes:         []int{100, 500, 2000},
-		DenseMax:      500,
-		MineMax:       500,
-		ChurnDenseMax: 2000,
-		ChurnEvents:   30,
-		Clusters:      8,
-		AvgLoad:       100,
-		Side:          100,
-		FWIters:       600,
-		FWTol:         1e-6,
-		MineIters:     12,
-		Seed:          1,
+		Sizes:                []int{100, 500, 2000},
+		DenseMax:             500,
+		MineMax:              500,
+		ChurnDenseMax:        2000,
+		ChurnEvents:          30,
+		Clusters:             8,
+		AvgLoad:              100,
+		Side:                 100,
+		FWIters:              600,
+		FWTol:                1e-6,
+		MineIters:            12,
+		DescentSizes:         []int{500, 2000, 5000},
+		DescentRounds:        1000,
+		DescentParticipation: 0.2,
+		Seed:                 1,
 	}
 }
 
@@ -106,6 +119,17 @@ type BenchEntry struct {
 	ChurnEvents       int     `json:"churn_events,omitempty"`
 	ChurnEventNS      float64 `json:"churn_event_ns,omitempty"`
 	ChurnEventAllocKB float64 `json:"churn_event_alloc_kb,omitempty"`
+
+	// Descent cells only. RoundsToBand is the first gradient round at or
+	// under (1+2%)·oracle (-1: never); BytesPerRound the mean cross-actor
+	// message volume per round (deterministic — the O(nnz) wire claim);
+	// RoundNS the wall-clock per round with the oracle solve excluded
+	// (machine fact). For these cells Gap is the signed relative gap to
+	// the oracle (descent can finish below a budgeted Frank–Wolfe cost)
+	// and Iters counts gradient rounds.
+	RoundsToBand  int     `json:"rounds_to_band,omitempty"`
+	BytesPerRound float64 `json:"bytes_per_round,omitempty"`
+	RoundNS       float64 `json:"descent_round_ns,omitempty"`
 }
 
 // BenchReport is the persisted form of one harness run.
@@ -149,6 +173,11 @@ func (cfg BenchConfig) cells() []benchCell {
 		if m <= cfg.ChurnDenseMax {
 			out = append(out, benchCell{m, "session-churn-dense"})
 		}
+	}
+	// The distributed tier runs last: the centralized rows above keep
+	// the positions the persisted report already has.
+	for _, m := range cfg.DescentSizes {
+		out = append(out, benchCell{m, "descent"})
 	}
 	return out
 }
@@ -229,6 +258,10 @@ func (cfg BenchConfig) runCell(ctx context.Context, cell benchCell) (BenchEntry,
 		}
 	case "session-churn-block", "session-churn-dense":
 		if err := cfg.runChurnCell(&entry, sc, cell.solver == "session-churn-dense"); err != nil {
+			return BenchEntry{}, err
+		}
+	case "descent":
+		if err := cfg.runDescentCell(ctx, &entry, in, cell.m); err != nil {
 			return BenchEntry{}, err
 		}
 	default:
@@ -331,19 +364,59 @@ func (cfg BenchConfig) runChurnCell(entry *BenchEntry, sc delaylb.Scenario, dens
 	return nil
 }
 
+// runDescentCell measures the distributed control plane on the same
+// instance the centralized cells of this size solve: a sparse
+// Frank–Wolfe oracle sets the target, then the plane runs gradient
+// rounds until quiet or the budget. RoundNS times the rounds only —
+// the oracle is the observer's reference, not part of the tier.
+func (cfg BenchConfig) runDescentCell(ctx context.Context, entry *BenchEntry, in *model.Instance, m int) error {
+	oracle := qp.SolveFrankWolfeSparse(in, qp.Options{MaxIters: cfg.FWIters, Tol: cfg.FWTol, Ctx: ctx})
+	rounds := cfg.DescentRounds
+	if rounds <= 0 {
+		rounds = 1000
+	}
+	part := cfg.DescentParticipation
+	if part <= 0 {
+		part = 0.2
+	}
+	p, err := descent.NewPlane(in, descent.Config{
+		Seed:          CellSeed(cfg.Seed, m),
+		Target:        oracle.Cost,
+		Participation: part,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	rep, err := p.Run(rounds)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	entry.Cost = rep.Cost
+	entry.Gap = rep.RelGap
+	entry.Iters = rep.Rounds
+	entry.NNZ = rep.NNZ
+	entry.Converged = rep.RoundsToBand >= 0
+	entry.RoundsToBand = rep.RoundsToBand
+	entry.BytesPerRound = float64(rep.Bytes) / float64(rep.Rounds)
+	entry.RoundNS = float64(elapsed.Nanoseconds()) / float64(rep.Rounds)
+	return nil
+}
+
 // FprintBenchReport renders the report as the human-readable table the
 // command prints alongside the JSON artifact.
 func FprintBenchReport(w io.Writer, r *BenchReport) {
 	fmt.Fprintf(w, "== Scale tier: zipf loads on a clustered metro network (seed %d) ==\n", r.Seed)
-	fmt.Fprintf(w, "%6s %-19s %12s %10s %6s %9s %12s %10s %12s %14s\n",
-		"m", "solver", "cost", "gap", "iters", "nnz", "ns/iter", "alloc MB", "ns/event", "KB/event")
+	fmt.Fprintf(w, "%6s %-19s %12s %10s %6s %9s %12s %10s %12s %14s %7s %11s\n",
+		"m", "solver", "cost", "gap", "iters", "nnz", "ns/iter", "alloc MB", "ns/event", "KB/event", "r2band", "B/round")
 	for _, e := range r.Entries {
 		nnz := "-"
 		if e.NNZ > 0 {
 			nnz = fmt.Sprintf("%d", e.NNZ)
 		}
 		gap := "-"
-		if e.Gap > 0 {
+		if e.Gap != 0 {
 			gap = fmt.Sprintf("%.3g", e.Gap)
 		}
 		evNS, evKB := "-", "-"
@@ -351,7 +424,12 @@ func FprintBenchReport(w io.Writer, r *BenchReport) {
 			evNS = fmt.Sprintf("%.0f", e.ChurnEventNS)
 			evKB = fmt.Sprintf("%.1f", e.ChurnEventAllocKB)
 		}
-		fmt.Fprintf(w, "%6d %-19s %12.6g %10s %6d %9s %12.0f %10.1f %12s %14s\n",
-			e.M, e.Solver, e.Cost, gap, e.Iters, nnz, e.NsPerIter, e.AllocMB, evNS, evKB)
+		band, bpr := "-", "-"
+		if e.Solver == "descent" {
+			band = fmt.Sprintf("%d", e.RoundsToBand)
+			bpr = fmt.Sprintf("%.4g", e.BytesPerRound)
+		}
+		fmt.Fprintf(w, "%6d %-19s %12.6g %10s %6d %9s %12.0f %10.1f %12s %14s %7s %11s\n",
+			e.M, e.Solver, e.Cost, gap, e.Iters, nnz, e.NsPerIter, e.AllocMB, evNS, evKB, band, bpr)
 	}
 }

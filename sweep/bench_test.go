@@ -15,6 +15,8 @@ func smallBenchConfig() BenchConfig {
 	cfg.MineMax = 60
 	cfg.FWIters = 50
 	cfg.MineIters = 4
+	cfg.DescentSizes = []int{30}
+	cfg.DescentRounds = 80
 	return cfg
 }
 
@@ -31,7 +33,7 @@ func TestRunBenchDeterministicAggregates(t *testing.T) {
 	}
 	t.Logf("two small bench runs in %v", time.Since(start).Round(time.Millisecond))
 
-	wantCells := 2 * 6 // every size runs all four solvers + both churn cells here
+	wantCells := 2*6 + 1 // every size runs all four solvers + both churn cells, plus one descent cell
 	if len(a.Entries) != wantCells || len(b.Entries) != wantCells {
 		t.Fatalf("entry counts %d/%d, want %d", len(a.Entries), len(b.Entries), wantCells)
 	}
@@ -44,6 +46,11 @@ func TestRunBenchDeterministicAggregates(t *testing.T) {
 		// allocations are machine facts and deliberately unchecked.
 		if x.Cost != y.Cost || x.Gap != y.Gap || x.Iters != y.Iters || x.NNZ != y.NNZ || x.Converged != y.Converged {
 			t.Fatalf("cell %d (m=%d %s) not deterministic: %+v vs %+v", i, x.M, x.Solver, x, y)
+		}
+		// Descent cells add two more deterministic columns (bytes and
+		// rounds are seed facts; only RoundNS is a machine fact).
+		if x.RoundsToBand != y.RoundsToBand || x.BytesPerRound != y.BytesPerRound {
+			t.Fatalf("cell %d (m=%d %s) descent columns not deterministic: %+v vs %+v", i, x.M, x.Solver, x, y)
 		}
 		if x.Cost <= 0 || x.Iters <= 0 {
 			t.Fatalf("cell %d (m=%d %s) has degenerate aggregates: %+v", i, x.M, x.Solver, x)

@@ -33,6 +33,7 @@ type Report struct {
 	Table3  []SelfishnessRow `json:"table3,omitempty"`
 	Table4  *Table4Result    `json:"table4,omitempty"`
 	Figure2 []Figure2Series  `json:"figure2,omitempty"`
+	Descent []DescentRow     `json:"descent,omitempty"`
 }
 
 // WriteJSON writes the report as one indented JSON document.
@@ -72,6 +73,11 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		for it, c := range s.Costs {
 			write("figure2", strconv.Itoa(s.M), strconv.Itoa(it), "", ftoa(c), "", "", "", "")
 		}
+	}
+	for _, row := range r.Descent {
+		write(append([]string{"descent-gap", strconv.Itoa(row.M), string(row.Dist), ""}, summaryFields(row.Gap)...)...)
+		write(append([]string{"descent-rounds", strconv.Itoa(row.M), string(row.Dist), ""}, summaryFields(row.Rounds)...)...)
+		write(append([]string{"descent-poa", strconv.Itoa(row.M), string(row.Dist), ""}, summaryFields(row.PoA)...)...)
 	}
 	cw.Flush()
 	return cw.Error()

@@ -154,6 +154,52 @@ func TestGoldenFigure2(t *testing.T) {
 	goldenCompare(t, "figure2.golden", sb.String())
 }
 
+// goldenDescentConfig is the reduced descent-vs-oracles grid: 8 cells,
+// a few seconds of CPU.
+func goldenDescentConfig() DescentTableConfig {
+	cfg := DefaultDescentTableConfig()
+	cfg.Sizes = []int{24, 48}
+	cfg.Rounds = 300
+	cfg.FWIters = 300
+	cfg.MineIters = 8
+	cfg.Repeats = 2
+	cfg.Seed = 1
+	return cfg
+}
+
+func renderDescent(rows []DescentRow) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "m=%d %s gap[%s] rounds[%s] poa[%s]\n",
+			r.M, r.Dist, fmtSummary(r.Gap), fmtSummary(r.Rounds), fmtSummary(r.PoA))
+	}
+	return sb.String()
+}
+
+// TestGoldenDescent pins the distributed plane against the frankwolfe
+// and MinE oracles: cooperative gap and rounds-to-band, selfish PoA.
+func TestGoldenDescent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	rows := DescentTable(goldenDescentConfig())
+	goldenCompare(t, "descent.golden", renderDescent(rows))
+}
+
+// The descent golden must also be worker-count independent.
+func TestGoldenDescentParallelMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	if *update {
+		t.Skip("golden files being rewritten")
+	}
+	cfg := goldenDescentConfig()
+	cfg.Workers = 3
+	rows := DescentTable(cfg)
+	goldenCompare(t, "descent.golden", renderDescent(rows))
+}
+
 // The golden files themselves must be worker-count independent: rerun
 // Table I's golden grid at workers=3 and compare against the same file.
 func TestGoldenTable1ParallelMatches(t *testing.T) {
