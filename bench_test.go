@@ -344,6 +344,38 @@ func BenchmarkFrankWolfeSparse(b *testing.B) {
 	}
 }
 
+// benchmarkFrankWolfeVariant is benchmarkFrankWolfe for the active-set
+// engine: same fixed budget, same determinism assertion, so the CI
+// bench smoke exercises the away/pairwise sweeps at every tier size.
+func benchmarkFrankWolfeVariant(b *testing.B, m int, variant qp.Variant) {
+	in := scaleTierInstance(b, m)
+	opt := qp.Options{MaxIters: 30, Tol: 1e-12, Variant: variant}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var first float64
+	for i := 0; i < b.N; i++ {
+		cost := qp.SolveFrankWolfeSparse(in, opt).Cost
+		if i == 0 {
+			first = cost
+		} else if cost != first {
+			b.Fatalf("run %d cost %v differs from first run %v", i, cost, first)
+		}
+	}
+	b.ReportMetric(first, "final-cost")
+}
+
+func BenchmarkFrankWolfeAway(b *testing.B) {
+	for _, m := range []int{100, 500, 2000} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) { benchmarkFrankWolfeVariant(b, m, qp.VariantAway) })
+	}
+}
+
+func BenchmarkFrankWolfePairwise(b *testing.B) {
+	for _, m := range []int{100, 500, 2000} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) { benchmarkFrankWolfeVariant(b, m, qp.VariantPairwise) })
+	}
+}
+
 // BenchmarkMineSparseColumns compares the MinE proxy strategy with and
 // without the column-owner index at a mid-tier size.
 func BenchmarkMineSparseColumns(b *testing.B) {

@@ -9,6 +9,7 @@
 //	lbsim -m 30 -net pl -dist uniform -avg 50 -algo frankwolfe
 //	lbsim -m 25 -net pl -dist exp -avg 80 -algo runtime -rounds 30
 //	lbsim -m 2000 -net metro -dist zipf -avg 100 -algo frankwolfe -sparse -iters 600
+//	lbsim -m 2000 -net metro -dist zipf -avg 100 -algo frankwolfe -variant away -sparse
 //	lbsim -replay trace.txt -algo proxy -sparse -timeline timeline.json
 //	lbsim -descend trace.txt -part 0.5 -timeline timeline.json
 package main
@@ -34,6 +35,7 @@ type config struct {
 	Dist     string
 	Speeds   string
 	Algo     string
+	Variant  string
 	Avg      float64
 	Rounds   int
 	Seed     int64
@@ -53,6 +55,7 @@ func main() {
 	flag.Float64Var(&cfg.Avg, "avg", 100, "average load (peak: total)")
 	flag.StringVar(&cfg.Speeds, "speeds", "uniform", "speeds: uniform | const")
 	flag.StringVar(&cfg.Algo, "algo", "mine", "algorithm: mine | hybrid | proxy | frankwolfe | projgrad | nash | runtime")
+	flag.StringVar(&cfg.Variant, "variant", "", "Frank–Wolfe step rule with -algo frankwolfe: classic | away | pairwise")
 	flag.IntVar(&cfg.Rounds, "rounds", 30, "rounds for -algo runtime")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&cfg.Sparse, "sparse", false, "use the large-m sparse solver paths (frankwolfe, mine family)")
@@ -67,6 +70,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+}
+
+// variantOptions maps -variant onto the option list: empty means "leave
+// the solver's default alone", anything else must parse and is only
+// meaningful for the Frank–Wolfe solver — failing loudly here beats the
+// registry's later error, which would not mention the flag.
+func variantOptions(cfg config) ([]delaylb.Option, error) {
+	if cfg.Variant == "" {
+		return nil, nil
+	}
+	v, err := delaylb.ParseFWVariant(cfg.Variant)
+	if err != nil {
+		return nil, fmt.Errorf("-variant: %w", err)
+	}
+	if cfg.Algo != "frankwolfe" {
+		return nil, fmt.Errorf("-variant %q needs -algo frankwolfe, got %q", cfg.Variant, cfg.Algo)
+	}
+	return []delaylb.Option{delaylb.WithFWVariant(v)}, nil
 }
 
 // runReplay drives the trace-driven online engine: parse the trace file,
@@ -88,6 +109,11 @@ func runReplay(ctx context.Context, cfg config, w io.Writer) error {
 		return err
 	}
 	opts := []delaylb.Option{delaylb.WithSolver(cfg.Algo), delaylb.WithSeed(cfg.Seed)}
+	vopts, err := variantOptions(cfg)
+	if err != nil {
+		return err
+	}
+	opts = append(opts, vopts...)
 	if cfg.Sparse {
 		opts = append(opts, delaylb.WithSparse())
 	}
@@ -173,6 +199,11 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 	if cfg.Replay != "" && cfg.Descend != "" {
 		return fmt.Errorf("-replay and -descend are mutually exclusive")
 	}
+	// Validate -variant up front so a typo (or pairing it with a solver
+	// that ignores it, like nash or runtime) fails before any solving.
+	if _, err := variantOptions(cfg); err != nil {
+		return err
+	}
 	if cfg.Replay != "" {
 		return runReplay(ctx, cfg, w)
 	}
@@ -204,6 +235,11 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 			delaylb.WithSeed(cfg.Seed),
 			delaylb.WithProgress(progress),
 		}
+		vopts, err := variantOptions(cfg)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, vopts...)
 		if cfg.Algo == "frankwolfe" {
 			opts = append(opts, delaylb.WithTolerance(1e-8))
 		} else if cfg.Algo == "projgrad" {

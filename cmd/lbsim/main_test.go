@@ -123,6 +123,51 @@ func TestRunRejectsUnknownAlgo(t *testing.T) {
 	}
 }
 
+// TestRunVariantFlag drives -variant through the one-shot path: every
+// accepted spelling solves, and misuse — an unknown step rule, or
+// pairing the flag with a solver that would silently ignore it — fails
+// before any solving.
+func TestRunVariantFlag(t *testing.T) {
+	base := config{M: 10, Net: "metro", Dist: "zipf", Speeds: "uniform", Algo: "frankwolfe", Avg: 50, Seed: 3}
+	for _, variant := range []string{"classic", "away", "away-step", "pairwise", "pair"} {
+		var sb strings.Builder
+		cfg := base
+		cfg.Variant = variant
+		cfg.Sparse = true
+		if err := run(context.Background(), cfg, &sb); err != nil {
+			t.Fatalf("-variant %s: %v", variant, err)
+		}
+		if out := sb.String(); !strings.Contains(out, "final") {
+			t.Errorf("-variant %s produced no result line:\n%s", variant, out)
+		}
+	}
+	for name, cfg := range map[string]config{
+		"unknown-rule":   {M: 10, Net: "pl", Dist: "exp", Speeds: "uniform", Algo: "frankwolfe", Variant: "sideways", Avg: 50, Seed: 3},
+		"wrong-solver":   {M: 10, Net: "pl", Dist: "exp", Speeds: "uniform", Algo: "mine", Variant: "away", Avg: 50, Seed: 3},
+		"nash-ignores":   {M: 10, Net: "pl", Dist: "exp", Speeds: "uniform", Algo: "nash", Variant: "away", Avg: 50, Seed: 3},
+		"replay-nonsolv": {Algo: "proxy", Variant: "pairwise", Replay: filepath.Join("testdata", "tiny.trace"), Seed: 1},
+	} {
+		var sb strings.Builder
+		if err := run(context.Background(), cfg, &sb); err == nil {
+			t.Errorf("%s: bad -variant combination accepted", name)
+		}
+	}
+}
+
+// TestRunReplayVariant replays the committed trace with the away-step
+// rule — the -replay path must thread -variant into the engine options.
+func TestRunReplayVariant(t *testing.T) {
+	var sb strings.Builder
+	cfg := config{Algo: "frankwolfe", Variant: "away", Sparse: true, Seed: 1,
+		Replay: filepath.Join("testdata", "tiny.trace")}
+	if err := run(context.Background(), cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); !strings.Contains(out, "replayed 4 epochs") {
+		t.Errorf("away-step replay did not complete:\n%s", out)
+	}
+}
+
 // TestRunReplaySmoke drives -replay over the committed tiny trace: the
 // full command path (parse file → engine → summary table), plus the
 // optional JSON timeline.

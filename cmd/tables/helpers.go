@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -233,6 +234,57 @@ func runBenchWith(w io.Writer, cfg sweep.BenchConfig, outPath string) error {
 		return err
 	}
 	fmt.Fprintf(w, "scale benchmark report written to %s\n", outPath)
+	return nil
+}
+
+// runBenchAppend loads the persisted report and runs only the grid
+// cells it is missing, appending them and rewriting the file. Existing
+// entries — timings included — survive byte-for-byte, so landing a new
+// solver tier does not force a re-run of the historical grid.
+func runBenchAppend(w io.Writer, full bool, seed int64, outPath string) error {
+	cfg := sweep.DefaultBenchConfig()
+	cfg.Seed = seed
+	if full {
+		cfg.Sizes = append(cfg.Sizes, 5000)
+	}
+	return runBenchAppendWith(w, cfg, outPath)
+}
+
+// runBenchAppendWith is runBenchAppend with an explicit configuration
+// (tests use a tiny grid).
+func runBenchAppendWith(w io.Writer, cfg sweep.BenchConfig, outPath string) error {
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		return err
+	}
+	var report sweep.BenchReport
+	if err := json.Unmarshal(data, &report); err != nil {
+		return fmt.Errorf("%s: %w", outPath, err)
+	}
+	added, err := sweep.AppendBench(context.Background(), cfg, &report, func(done, total int) {
+		fmt.Fprintf(w, "bench append cell %d/%d done\n", done, total)
+	})
+	if err != nil {
+		return err
+	}
+	sweep.FprintBenchReport(w, &report)
+	fmt.Fprintln(w)
+	if added == 0 {
+		fmt.Fprintf(w, "%s already covers the grid; nothing appended\n", outPath)
+		return nil
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d cells appended to %s\n", added, outPath)
 	return nil
 }
 

@@ -28,7 +28,10 @@
 // cells are timed, so no worker pool — and persists the report to
 // -benchout (default BENCH_scale.json). It is not part of -all: the
 // paper tables are about fidelity, the bench grid about the perf
-// trajectory of this repository.
+// trajectory of this repository. -benchappend instead loads the
+// existing -benchout report and runs only the grid cells it is missing
+// (e.g. a newly landed solver tier), leaving every historical entry —
+// including its timings — byte-for-byte intact.
 package main
 
 import (
@@ -49,7 +52,8 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	all := flag.Bool("all", false, "regenerate everything")
 	bench := flag.Bool("bench", false, "run the large-m scale benchmark grid")
-	benchOut := flag.String("benchout", "BENCH_scale.json", "path for the scale benchmark report (with -bench)")
+	benchAppend := flag.Bool("benchappend", false, "append missing grid cells to the existing -benchout report (no re-run of present cells)")
+	benchOut := flag.String("benchout", "BENCH_scale.json", "path for the scale benchmark report (with -bench/-benchappend)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs); does not affect results")
 	out := flag.String("out", "", "persist aggregate rows to this .json or .csv file")
@@ -117,6 +121,13 @@ func main() {
 	}
 	if *bench {
 		if err := runBench(w, *full, *seed, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ran = true
+	}
+	if *benchAppend {
+		if err := runBenchAppend(w, *full, *seed, *benchOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -113,7 +113,66 @@ func benchTestConfig() sweep.BenchConfig {
 	cfg.MineIters = 3
 	cfg.DescentSizes = []int{25}
 	cfg.DescentRounds = 60
+	cfg.FWVariantSizes = []int{25}
 	return cfg
+}
+
+// TestRunBenchAppendExtendsReport drives the -benchappend path: a report
+// generated without the FW-variant tier gains exactly those cells, with
+// the original JSON prefix preserved byte for byte.
+func TestRunBenchAppendExtendsReport(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	old := benchTestConfig()
+	old.FWVariantSizes = nil
+	var sb strings.Builder
+	if err := runBenchWith(&sb, old, path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sb.Reset()
+	if err := runBenchAppendWith(&sb, benchTestConfig(), path); err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); !strings.Contains(out, "cells appended") {
+		t.Errorf("append path reported nothing appended:\n%s", out)
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, solver := range []string{"frankwolfe-away", "frankwolfe-pairwise"} {
+		if !strings.Contains(string(after), "\"solver\": \""+solver+"\"") {
+			t.Errorf("appended report missing %s entries", solver)
+		}
+		if strings.Contains(string(before), solver) {
+			t.Errorf("pre-append report unexpectedly contains %s", solver)
+		}
+	}
+	// Pure append at the JSON level: the old document's entries open the
+	// new one unchanged (WriteJSON is deterministic, so everything up to
+	// the closing bracket of the last old entry is a shared prefix).
+	cut := strings.LastIndex(string(before), "}\n  ]")
+	if cut < 0 || string(after[:cut]) != string(before[:cut]) {
+		t.Error("append rewrote the pre-existing JSON prefix")
+	}
+
+	// Saturated grid: a second append leaves the file untouched.
+	sb.Reset()
+	if err := runBenchAppendWith(&sb, benchTestConfig(), path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(after) {
+		t.Error("no-op append rewrote the report")
+	}
 }
 
 // TestRunDescentTablePrints drives the -descent path on the default

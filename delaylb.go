@@ -409,6 +409,15 @@ func WithCycleRemoval(n int) Option { return func(o *options) { o.CycleRemovalEv
 // RegisterSolver are selectable the same way.
 func WithSolver(name string) Option { return func(o *options) { o.solver = name } }
 
+// WithFWVariant selects the Frank–Wolfe step rule for the "frankwolfe"
+// solver: FWClassic (plain conditional gradient, the default), FWAway
+// (away steps over the active vertex set — linear convergence, lean warm
+// iterates) or FWPairwise (pairwise steps, same properties). The choice
+// applies to both the dense and the sparse (WithSparse) paths, which stay
+// bit-identical; solvers other than "frankwolfe" reject non-classic
+// variants. Use ParseFWVariant to map command-line spellings.
+func WithFWVariant(v FWVariant) Option { return func(o *options) { o.FWVariant = v } }
+
 // WithTolerance sets the convergence tolerance of the QP baselines and
 // of best-response dynamics (default solver-specific).
 func WithTolerance(tol float64) Option { return func(o *options) { o.Tolerance = tol } }

@@ -14,7 +14,15 @@ import (
 //
 // so the returned Result.Gap certifies how far the final cost can be from
 // the optimum. The run stops when gap ≤ Tol·max(1, cost).
+// Options.Variant selects the step rule: VariantAway and VariantPairwise
+// route through the active-vertex-set engine (see frankwolfe_active.go),
+// which runs on the sparse representation internally and densifies the
+// result — the iterate of any FW variant has O(iters) nonzeros per row,
+// so the dense façade loses nothing.
 func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
+	if opt.Variant != VariantClassic {
+		return solveFrankWolfeActive(in, opt).Dense()
+	}
 	opt = opt.withDefaults()
 	m := in.M()
 	var rho [][]float64
@@ -67,6 +75,9 @@ func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
 		cost := objectiveBuf(in, rho, rowBuf)
 		res.Iters = it
 		res.Gap = gap
+		if opt.TraceGaps {
+			res.Gaps = append(res.Gaps, gap)
+		}
 		if gap <= opt.Tol*math.Max(1, cost) {
 			res.Converged = true
 			break

@@ -1,0 +1,503 @@
+package qp
+
+import (
+	"math"
+
+	"delaylb/internal/model"
+	"delaylb/internal/sparse"
+)
+
+// This file implements the away-step and pairwise Frank–Wolfe variants
+// on an explicit active vertex set. The feasible region is a product of
+// per-organization simplices, so every LMO vertex is a coordinate vector
+// e_j — which makes the active-set representation collapse into the
+// sparse iterate itself: row i's active vertices ARE its stored columns
+// and the convex-combination weights ARE the stored values. There is no
+// separate atom bookkeeping to keep consistent, and a warm start that
+// hands the solver a sparse iterate hands it the active set for free.
+//
+// Where the classic solver takes one global step per iteration (every
+// row blends toward its LMO vertex by the same ratio t), the variants
+// sweep the rows sequentially: each loaded row takes its own exact
+// line-search step along the best of its candidate directions —
+//
+//	FW:       e_s − ρ_i          (toward the LMO vertex s, cap γ ≤ 1)
+//	away:     ρ_i − e_a          (off the worst active vertex a,
+//	                              cap γ ≤ ρ_a/(1−ρ_a))
+//	pairwise: e_s − e_a          (mass straight from a to s, cap γ ≤ ρ_a)
+//
+// with loads maintained incrementally (Gauss–Seidel), so every step sees
+// the congestion the previous rows just created. Per-row exact steps are
+// what plain FW cannot do: its single global ratio is throttled by the
+// most fragile row, which is why its duality gap stalls sublinearly,
+// while per-row steps that bind at the cap *drop* the away vertex from
+// the support entirely — the iterate sheds stale vertices instead of
+// shrinking them geometrically forever.
+//
+// The away direction is found by scanning only the row's active vertices
+// (O(nnz_i), fused with the score pass the sparse solver already does),
+// and the FW vertex comes from the same per-cluster minima structure as
+// the classic sparse path — maintained incrementally under the sweep's
+// load updates with dirty-cluster rescans, so the oracle stays O(k) per
+// row on verified metro networks.
+//
+// Convergence is still certified exactly like the classic solver: at
+// every sweep start the loads are recomputed from scratch and the true
+// duality gap  Σ_i n_i(⟨ρ_i, ∇_i⟩ − min_j ∇_ij)  is measured with the
+// exact LMO, so Cost − Gap lower-bounds the optimum regardless of what
+// the sweep in between did.
+
+// maxRowSteps bounds the chained line-search steps one row may take per
+// sweep. One step moves mass toward (or off) a single vertex; a heavily
+// loaded row that must spread over several servers needs several — and
+// giving it those within the sweep is what keeps the sweep count roughly
+// flat as m grows. Four is enough in practice; the certificate pass at
+// the next sweep start keeps the stopping rule exact no matter the value.
+const maxRowSteps = 4
+
+// activeLMO maintains per-cluster congestion minima (the O(k) oracle of
+// the classic sparse solver) under incremental load updates: a change
+// that can affect a cluster's two smallest base scores marks the cluster
+// dirty, and the next query rescans just that cluster's members in
+// ascending index order — preserving the lowest-index-wins tie-breaking
+// of a dense ascending scan.
+type activeLMO struct {
+	labels  []int
+	delay   [][]float64
+	members [][]int32 // per-cluster server indices, ascending
+	min1    []int32   // per-cluster argmin of base (−1: empty)
+	min2    []int32   // per-cluster second argmin (−1: singleton)
+	dirty   []bool
+}
+
+func newActiveLMO(in *model.Instance) *activeLMO {
+	delay, ok := model.ClusterDelays(in)
+	if !ok {
+		return nil
+	}
+	k := len(delay)
+	lmo := &activeLMO{
+		labels:  in.Cluster,
+		delay:   delay,
+		members: make([][]int32, k),
+		min1:    make([]int32, k),
+		min2:    make([]int32, k),
+		dirty:   make([]bool, k),
+	}
+	for j, g := range in.Cluster {
+		lmo.members[g] = append(lmo.members[g], int32(j))
+	}
+	return lmo
+}
+
+// prepareAll rebuilds every cluster's minima from the given base scores.
+func (c *activeLMO) prepareAll(base []float64) {
+	for g := range c.min1 {
+		c.rescan(g, base)
+	}
+}
+
+func (c *activeLMO) rescan(g int, base []float64) {
+	m1, m2 := int32(-1), int32(-1)
+	for _, j := range c.members[g] {
+		switch {
+		case m1 < 0 || base[j] < base[m1]:
+			m2, m1 = m1, j
+		case m2 < 0 || base[j] < base[m2]:
+			m2 = j
+		}
+	}
+	c.min1[g], c.min2[g], c.dirty[g] = m1, m2, false
+}
+
+// touch records that base[j] changed from old: the cluster is marked
+// dirty whenever the change could perturb its two smallest scores.
+func (c *activeLMO) touch(j int, old, now float64, base []float64) {
+	g := c.labels[j]
+	if c.dirty[g] {
+		return
+	}
+	jj := int32(j)
+	if jj == c.min1[g] || jj == c.min2[g] {
+		switch {
+		case now > old:
+			c.dirty[g] = true // a tracked minimum got worse
+		case jj == c.min2[g] && (c.min1[g] < 0 || now <= base[c.min1[g]]):
+			// min2 improved past (or onto) min1: the pair's order — which
+			// best() relies on to pick the cluster's candidate — is stale.
+			c.dirty[g] = true
+		}
+		return
+	}
+	if now < old && (c.min2[g] < 0 || now <= base[c.min2[g]]) {
+		c.dirty[g] = true // an untracked member may now beat the minima
+	}
+}
+
+// best returns row i's LMO vertex and score under the current base,
+// rescanning dirty clusters on the way — the same candidate argument and
+// tie-breaking as the classic clusterLMO.
+func (c *activeLMO) best(i int, base []float64) (int, float64) {
+	gi := c.labels[i]
+	bestJ, bestScore := i, base[i]
+	drow := c.delay[gi]
+	for h := range drow {
+		if c.dirty[h] {
+			c.rescan(h, base)
+		}
+		j := c.min1[h]
+		if int(j) == i {
+			j = c.min2[h]
+		}
+		if j < 0 {
+			continue
+		}
+		score := base[j] + drow[h]
+		// Adding the same block delay can collapse two distinct bases onto
+		// one score; the dense ascending scan then keeps the lower index,
+		// so check the cluster's second candidate for an index-improving
+		// exact tie.
+		if j2 := c.min2[h]; j2 >= 0 && int(j2) != i && j2 < j && base[j2]+drow[h] == score {
+			j = j2
+		}
+		if score < bestScore || (score == bestScore && bestJ != i && int(j) < bestJ) {
+			bestJ, bestScore = int(j), score
+		}
+	}
+	return bestJ, bestScore
+}
+
+// activeState is the mutable sweep state shared by the per-row steps.
+type activeState struct {
+	in    *model.Instance
+	rho   *sparse.Matrix
+	loads []float64 // l_j, maintained incrementally during a sweep
+	base  []float64 // l_j / s_j, kept in lockstep with loads
+	lmo   *activeLMO
+	buf   []float64 // latency-row scratch for the generic oracle
+}
+
+// shift moves delta requests onto server j, updating the congestion
+// score and the cluster oracle.
+func (st *activeState) shift(j int, delta float64) {
+	st.loads[j] += delta
+	old := st.base[j]
+	st.base[j] = st.loads[j] / st.in.Speed[j]
+	if st.lmo != nil {
+		st.lmo.touch(j, old, st.base[j], st.base)
+	}
+}
+
+// rowScores scans row i's active set under the current base: the
+// current score cur = ⟨ρ_i, ∇_i⟩/n_i and the away vertex (position in
+// the support, score) — the argmax over active vertices, first-wins on
+// ties like every ascending scan in this package.
+func (st *activeState) rowScores(i int, lat []float64) (cur, aScore float64, aPos int) {
+	idx, val := st.rho.Idx[i], st.rho.Val[i]
+	aPos = -1
+	if st.lmo != nil {
+		drow := st.lmo.delay[st.lmo.labels[i]]
+		for t, j := range idx {
+			score := st.base[j]
+			if int(j) != i {
+				score += drow[st.lmo.labels[j]]
+			}
+			cur += val[t] * score
+			if aPos < 0 || score > aScore {
+				aPos, aScore = t, score
+			}
+		}
+		return cur, aScore, aPos
+	}
+	for t, j := range idx {
+		score := st.base[j] + lat[j]
+		cur += val[t] * score
+		if aPos < 0 || score > aScore {
+			aPos, aScore = t, score
+		}
+	}
+	return cur, aScore, aPos
+}
+
+// oracle returns row i's LMO vertex under the current base.
+func (st *activeState) oracle(i int, lat []float64) (int, float64) {
+	if st.lmo != nil {
+		return st.lmo.best(i, st.base)
+	}
+	bestJ, bestScore := i, st.base[i] // c_ii = 0
+	for j := range st.base {
+		if score := st.base[j] + lat[j]; score < bestScore {
+			bestScore, bestJ = score, j
+		}
+	}
+	return bestJ, bestScore
+}
+
+// latRow materializes row i's latency row for the generic path (nil on
+// clustered instances, where the block table is used directly).
+func (st *activeState) latRow(i int) []float64 {
+	if st.lmo != nil {
+		return nil
+	}
+	return model.RowView(st.in.Latency, i, st.buf)
+}
+
+// fwRowStep takes row i's exact line-search step toward vertex s:
+// ρ_i ← (1−γ)ρ_i + γ e_s with γ = min(1, n_i·gFW/φ″). A γ = 1 step
+// lands on the vertex and drops the entire previous support.
+func (st *activeState) fwRowStep(i, s int, gFW float64) {
+	ni := st.in.Load[i]
+	idx, val := st.rho.Idx[i], st.rho.Val[i]
+	var q float64 // Σ_j d_j²/s_j for d = e_s − ρ_i
+	sIn := false
+	for t, j := range idx {
+		d := -val[t]
+		if int(j) == s {
+			d++
+			sIn = true
+		}
+		q += d * d / st.in.Speed[j]
+	}
+	if !sIn {
+		q += 1 / st.in.Speed[s]
+	}
+	gamma := 1.0
+	if curv := ni * ni * q; curv > 0 {
+		gamma = math.Min(1, ni*gFW/curv)
+	}
+	if gamma <= 0 {
+		return
+	}
+	if gamma == 1 {
+		for t, j := range idx {
+			st.shift(int(j), -ni*val[t])
+		}
+		st.rho.Idx[i] = append(idx[:0], int32(s))
+		st.rho.Val[i] = append(val[:0], 1)
+		st.shift(s, ni)
+		return
+	}
+	for t, j := range idx {
+		st.shift(int(j), -ni*gamma*val[t])
+		val[t] *= 1 - gamma
+	}
+	st.rho.Add(i, s, gamma)
+	st.shift(s, ni*gamma)
+}
+
+// awayRowStep takes row i's exact line-search step off its away vertex:
+// ρ_i ← (1+γ)ρ_i − γ e_a with γ capped at ρ_a/(1−ρ_a), the step that
+// empties the away vertex. A cap-binding step is a drop step: the vertex
+// leaves the support and the survivors renormalize to an exact unit sum.
+func (st *activeState) awayRowStep(i, aPos int, gAway float64) {
+	ni := st.in.Load[i]
+	idx, val := st.rho.Idx[i], st.rho.Val[i]
+	wa := val[aPos]
+	if len(idx) < 2 || wa >= 1 {
+		return // single-vertex row: no away direction
+	}
+	maxStep := wa / (1 - wa)
+	var q float64 // Σ_j d_j²/s_j for d = ρ_i − e_a
+	for t, j := range idx {
+		d := val[t]
+		if t == aPos {
+			d--
+		}
+		q += d * d / st.in.Speed[j]
+	}
+	gamma := maxStep
+	if curv := ni * ni * q; curv > 0 {
+		gamma = math.Min(maxStep, ni*gAway/curv)
+	}
+	if gamma <= 0 {
+		return
+	}
+	if gamma == maxStep {
+		st.dropRow(i, aPos)
+		return
+	}
+	scale := 1 + gamma
+	for t, j := range idx {
+		old := val[t]
+		val[t] = old * scale
+		delta := gamma * old
+		if t == aPos {
+			val[t] -= gamma
+			delta -= gamma
+		}
+		st.shift(int(j), ni*delta)
+	}
+	if val[aPos] <= 0 {
+		// Rounding carried the away weight to (or past) zero: treat it
+		// as the drop it mathematically is.
+		st.dropRow(i, aPos)
+	}
+}
+
+// pairRowStep moves mass straight from row i's away vertex a to vertex
+// s: ρ_i ← ρ_i + γ(e_s − e_a) with γ capped at ρ_a. Cap-binding steps
+// drop a from the support exactly.
+func (st *activeState) pairRowStep(i, s, aPos int, sScore, aScore float64) {
+	ni := st.in.Load[i]
+	idx, val := st.rho.Idx[i], st.rho.Val[i]
+	a := int(idx[aPos])
+	if a == s {
+		return
+	}
+	wa := val[aPos]
+	gamma := wa
+	if curv := ni * ni * (1/st.in.Speed[s] + 1/st.in.Speed[a]); curv > 0 {
+		gamma = math.Min(wa, ni*(aScore-sScore)/curv)
+	}
+	if gamma <= 0 {
+		return
+	}
+	if left := wa - gamma; gamma < wa && left > 0 {
+		val[aPos] = left
+	} else {
+		gamma = wa
+		st.rho.RemoveAt(i, aPos)
+	}
+	st.rho.Add(i, s, gamma)
+	st.shift(a, -ni*gamma)
+	st.shift(s, ni*gamma)
+}
+
+// dropRow removes row i's vertex at support position aPos, renormalizes
+// the survivors to an exact unit sum, and reconciles the load vector
+// with the row's actual before/after values.
+func (st *activeState) dropRow(i, aPos int) {
+	ni := st.in.Load[i]
+	idx, val := st.rho.Idx[i], st.rho.Val[i]
+	for t, j := range idx {
+		st.shift(int(j), -ni*val[t])
+	}
+	st.rho.RemoveAt(i, aPos)
+	if sum := st.rho.RowSum(i); sum > 0 {
+		// Renormalize by division: a single survivor lands on exactly 1
+		// (x/x == 1 in IEEE arithmetic), so the "one active vertex"
+		// fast paths keep firing on later sweeps.
+		vals := st.rho.Val[i]
+		for t := range vals {
+			vals[t] /= sum
+		}
+	}
+	for t, j := range st.rho.Idx[i] {
+		st.shift(int(j), ni*st.rho.Val[i][t])
+	}
+}
+
+// solveFrankWolfeActive runs the away-step or pairwise Frank–Wolfe
+// variant selected by opt.Variant. Iterations are row sweeps; the
+// reported Gap is the exact classic duality gap measured at the last
+// sweep start, so Cost − Gap still lower-bounds the optimum.
+func solveFrankWolfeActive(in *model.Instance, opt Options) *SparseResult {
+	opt = opt.withDefaults()
+	m := in.M()
+	var rho *sparse.Matrix
+	switch {
+	case opt.InitialSparse != nil:
+		rho = opt.InitialSparse.Clone()
+	case opt.Initial != nil:
+		rho = sparse.FromDense(opt.Initial, 0)
+	default:
+		rho = sparse.Identity(m)
+	}
+	// The invariant "stored entries are exactly the active set" starts
+	// here: warm starts may carry explicit zeros from earlier dense
+	// round-trips; they are not active vertices.
+	rho.Prune(0)
+
+	st := &activeState{
+		in:    in,
+		rho:   rho,
+		loads: make([]float64, m),
+		base:  make([]float64, m),
+		lmo:   newActiveLMO(in),
+	}
+	if st.lmo == nil {
+		st.buf = latRowBuf(in)
+	}
+	pairwise := opt.Variant == VariantPairwise
+
+	res := &SparseResult{ClusteredLMO: st.lmo != nil}
+	for it := 1; it <= opt.MaxIters; it++ {
+		if model.Canceled(opt.Ctx) {
+			break
+		}
+		// Certificate pass: exact loads, exact LMO, exact duality gap —
+		// identical to the classic solver's measurement, untouched by
+		// whatever the incremental sweep below does.
+		LoadsSparse(in, rho, st.loads)
+		for j := range st.base {
+			st.base[j] = st.loads[j] / in.Speed[j]
+		}
+		if st.lmo != nil {
+			st.lmo.prepareAll(st.base)
+		}
+		var gap float64
+		for i := 0; i < m; i++ {
+			ni := in.Load[i]
+			if ni == 0 {
+				continue
+			}
+			lat := st.latRow(i)
+			cur, _, _ := st.rowScores(i, lat)
+			_, bestScore := st.oracle(i, lat)
+			gap += ni * (cur - bestScore)
+		}
+
+		cost := ObjectiveSparse(in, rho)
+		res.Iters = it
+		res.Gap = gap
+		if opt.TraceGaps {
+			res.Gaps = append(res.Gaps, gap)
+		}
+		if gap <= opt.Tol*math.Max(1, cost) {
+			res.Converged = true
+			break
+		}
+		if opt.OnIteration != nil && !opt.OnIteration(it, cost) {
+			res.Converged = true
+			break
+		}
+
+		// Sweep: every loaded row takes its own exact steps against the
+		// loads the previous rows just left behind. A row gets up to
+		// maxRowSteps chained steps — heavy rows whose mass must spread
+		// over several servers make a sweep's worth of progress at once,
+		// which is what keeps the sweep count flat as m grows.
+		for i := 0; i < m; i++ {
+			ni := in.Load[i]
+			if ni == 0 {
+				continue
+			}
+			lat := st.latRow(i)
+			for k := 0; k < maxRowSteps; k++ {
+				cur, aScore, aPos := st.rowScores(i, lat)
+				if aPos < 0 {
+					break // infeasible empty row; nothing to move
+				}
+				s, sScore := st.oracle(i, lat)
+				if pairwise {
+					if aScore <= sScore {
+						break
+					}
+					st.pairRowStep(i, s, aPos, sScore, aScore)
+					continue
+				}
+				gFW, gAway := cur-sScore, aScore-cur
+				if gAway > gFW {
+					st.awayRowStep(i, aPos, gAway)
+				} else if gFW > 0 {
+					st.fwRowStep(i, s, gFW)
+				} else {
+					break
+				}
+			}
+		}
+	}
+	res.Rho = rho
+	res.Cost = ObjectiveSparse(in, rho)
+	return res
+}

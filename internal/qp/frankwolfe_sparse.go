@@ -38,6 +38,8 @@ type SparseResult struct {
 	Converged bool
 	// Gap is the final duality gap; Cost − Gap lower-bounds the optimum.
 	Gap float64
+	// Gaps is the per-iteration duality-gap trace (Options.TraceGaps).
+	Gaps []float64
 	// ClusteredLMO reports whether the block-structured oracle was in
 	// effect (the instance carried a verified cluster hint).
 	ClusteredLMO bool
@@ -52,6 +54,7 @@ func (r *SparseResult) Dense() *Result {
 		Iters:     r.Iters,
 		Converged: r.Converged,
 		Gap:       r.Gap,
+		Gaps:      r.Gaps,
 	}
 }
 
@@ -122,6 +125,12 @@ func (c *clusterLMO) best(i int) (int, float64) {
 			continue
 		}
 		score := c.base[j] + drow[h]
+		// Rounding can collapse two distinct bases onto one score when the
+		// block delay dominates; the dense ascending scan keeps the lower
+		// index among such ties, so check the second candidate too.
+		if j2 := c.min2[h]; j2 >= 0 && int(j2) != i && j2 < j && c.base[j2]+drow[h] == score {
+			j = j2
+		}
 		if score < bestScore || (score == bestScore && bestJ != i && int(j) < bestJ) {
 			bestJ, bestScore = int(j), score
 		}
@@ -135,6 +144,9 @@ func (c *clusterLMO) best(i int) (int, float64) {
 // clustered networks or O(nnz + m²) with the generic oracle (still
 // skipping the dense iterate updates and objective scans).
 func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
+	if opt.Variant != VariantClassic {
+		return solveFrankWolfeActive(in, opt)
+	}
 	opt = opt.withDefaults()
 	m := in.M()
 	var rho *sparse.Matrix
@@ -216,6 +228,9 @@ func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
 		cost := ObjectiveSparse(in, rho)
 		res.Iters = it
 		res.Gap = gap
+		if opt.TraceGaps {
+			res.Gaps = append(res.Gaps, gap)
+		}
 		if gap <= opt.Tol*math.Max(1, cost) {
 			res.Converged = true
 			break

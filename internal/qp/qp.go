@@ -139,6 +139,42 @@ func cloneMatrix(src [][]float64) [][]float64 {
 	return out
 }
 
+// Variant selects the Frank–Wolfe step rule.
+type Variant int
+
+const (
+	// VariantClassic is the plain conditional gradient of the paper's
+	// §III baseline: every step blends toward an LMO vertex. Sublinear
+	// (O(1/t)) on this QP — the gap stalls near the optimum because late
+	// steps keep re-shrinking mass that earlier steps spread out.
+	VariantClassic Variant = iota
+	// VariantAway augments classic FW with away steps over the active
+	// vertex set: when shifting mass *off* the worst active vertex
+	// descends faster than shifting onto the best vertex, the step moves
+	// away from it instead, and a maximal away step drops the vertex
+	// from the support entirely. Restores linear convergence on this
+	// strongly-convex-over-the-simplex objective and keeps warm iterates
+	// lean.
+	VariantAway
+	// VariantPairwise moves mass directly from each row's worst active
+	// vertex to its LMO vertex in one step — the pairwise FW rule. Same
+	// linear-convergence and support-hygiene story as VariantAway with a
+	// single fused direction.
+	VariantPairwise
+)
+
+// String returns the registry spelling of the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantAway:
+		return "away"
+	case VariantPairwise:
+		return "pairwise"
+	default:
+		return "classic"
+	}
+}
+
 // Options configures the iterative solvers.
 type Options struct {
 	// MaxIters bounds the number of iterations (default 10 000).
@@ -152,8 +188,17 @@ type Options struct {
 	Initial [][]float64
 	// InitialSparse, if non-nil, is the starting ρ in sparse form
 	// (copied, not mutated); it takes precedence over Initial in
-	// SolveFrankWolfeSparse and is ignored by the dense solvers.
+	// SolveFrankWolfeSparse and in the away/pairwise Frank–Wolfe
+	// variants (whose engine is sparse even behind the dense façade),
+	// and is ignored by the other dense solvers.
 	InitialSparse *sparse.Matrix
+	// Variant selects the Frank–Wolfe step rule (classic, away-step or
+	// pairwise). Ignored by SolveProjectedGradient.
+	Variant Variant
+	// TraceGaps records the per-iteration duality gap into Result.Gaps /
+	// SparseResult.Gaps — the convergence-regression harness's raw
+	// signal. Off by default: gap curves are test/diagnostic data.
+	TraceGaps bool
 	// OnIteration, if non-nil, is called after each iteration with the
 	// 1-based iteration number and current objective; returning false
 	// stops the run early with Converged == true (a deliberate stop).
@@ -186,6 +231,10 @@ type Result struct {
 	// Gap is the final Frank–Wolfe duality gap (0 for projected
 	// gradient). Cost − Gap is a lower bound on the optimal cost.
 	Gap float64
+	// Gaps is the per-iteration duality-gap trace, recorded only when
+	// Options.TraceGaps is set; Gaps[k] is the gap measured at iteration
+	// k+1, including the final (converged) one.
+	Gaps []float64
 }
 
 // Allocation converts the result into a model.Allocation.

@@ -175,6 +175,23 @@ func (mx *Matrix) ScaleRowAdd(i int, scale float64, j int, add float64) {
 	mx.Add(i, j, add)
 }
 
+// RemoveAt deletes row i's stored entry at position t (not column t),
+// shifting later entries left — the away-step "drop" primitive that
+// removes a vertex whose weight hit zero. O(nnz_i).
+func (mx *Matrix) RemoveAt(i, t int) {
+	mx.Idx[i] = append(mx.Idx[i][:t], mx.Idx[i][t+1:]...)
+	mx.Val[i] = append(mx.Val[i][:t], mx.Val[i][t+1:]...)
+}
+
+// ScaleRow multiplies every stored entry of row i by scale — e.g. the
+// renormalization after a drop step. O(nnz_i).
+func (mx *Matrix) ScaleRow(i int, scale float64) {
+	vals := mx.Val[i]
+	for t := range vals {
+		vals[t] *= scale
+	}
+}
+
 // RowSum returns the sum of row i's stored entries, in ascending column
 // order.
 func (mx *Matrix) RowSum(i int) float64 {

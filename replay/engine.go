@@ -19,9 +19,7 @@
 // seeding discipline as the sweep engine.
 //
 //	tr, _ := replay.FlashCrowd(delaylb.NewScenario(2000).WithClusters(12).WithLoads(delaylb.LoadZipf, 100), 8, 6, 10, 1)
-//	tl, _ := replay.Run(ctx, tr, replay.Config{
-//	    Options: []delaylb.Option{delaylb.WithSolver("frankwolfe"), delaylb.WithSparse(), delaylb.WithMaxIterations(150)},
-//	})
+//	tl, _ := replay.Run(ctx, tr, replay.Config{}) // DefaultOptions: sparse away-step Frank–Wolfe
 //	tl.WriteTable(os.Stdout)
 package replay
 
@@ -41,6 +39,8 @@ type Config struct {
 	// iteration caps, tolerances, seed. Do not pass WithProgress or
 	// WithWarmStart here — the engine owns both (warm starts come from
 	// the session, progress callbacks record the cost trajectories).
+	// Nil means DefaultOptions(); pass a non-nil empty slice to run the
+	// registry defaults (MinE, dense) instead.
 	Options []delaylb.Option
 	// Band is the relative optimality band used for iterations-to-band
 	// (default 0.02, the paper's Table I target).
@@ -66,6 +66,24 @@ func (c Config) band() float64 {
 	return 0.02
 }
 
+// DefaultOptions is the engine's default solver configuration, used when
+// Config.Options is nil: sparse away-step Frank–Wolfe. Away steps make
+// the warm re-solves linearly convergent AND keep the warm iterate's
+// support bounded across epochs — classic FW warm starts accumulate
+// stale vertices every epoch (hundreds of thousands of nnz at m=5000)
+// because nothing ever removes them, while drop steps shed exactly that
+// support. The previous default (MinE) remains available by passing the
+// options explicitly.
+func DefaultOptions() []delaylb.Option {
+	return []delaylb.Option{
+		delaylb.WithSolver("frankwolfe"),
+		delaylb.WithFWVariant(delaylb.FWAway),
+		delaylb.WithSparse(),
+		delaylb.WithTolerance(1e-6),
+		delaylb.WithMaxIterations(600),
+	}
+}
+
 // Run replays the trace and returns the metrics timeline. The run is
 // deterministic for a fixed (trace, Config.Options) pair — byte-identical
 // timelines per seed, with wall-clock kept out of the JSON form. On
@@ -78,6 +96,9 @@ func Run(ctx context.Context, tr *Trace, cfg Config) (*Timeline, error) {
 	sys, err := tr.Scenario.Build()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Options == nil {
+		cfg.Options = DefaultOptions()
 	}
 	en := &engine{
 		cfg:  cfg,

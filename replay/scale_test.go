@@ -222,15 +222,83 @@ func TestScaleTierReplayM5000NoDense(t *testing.T) {
 	}
 	// A single dense m×m float64 matrix at m=5000 is ~190 MiB; the whole
 	// replay's resident state (sparse allocation + block table + metrics)
-	// must stay far below it. Frank–Wolfe warm starts do accumulate nnz
-	// across epochs (the away-step follow-on in ROADMAP), so nnz grows
-	// with iters·epochs — sparse relative to m² = 25M, and bounded here.
+	// must stay far below it. Classic Frank–Wolfe warm starts accumulate
+	// nnz across epochs (the failure mode TestScaleTierAwayFWWarmSupport
+	// pins, fixed by WithFWVariant(FWAway)), so nnz grows with
+	// iters·epochs — sparse relative to m² = 25M, and bounded here.
 	if residentMB > 150 {
 		t.Errorf("%.1f MB resident after the replay — an O(m²) structure is being retained", residentMB)
 	}
 	for _, row := range tl.Epochs {
 		if row.NNZ == 0 || row.NNZ >= 5000*5000/10 {
 			t.Errorf("epoch %d: nnz=%d, expected sparse (0 < nnz ≪ m²)", row.Epoch, row.NNZ)
+		}
+	}
+}
+
+// TestScaleTierAwayFWWarmSupport is the warm-epoch support regression at
+// full scale: on an m=5000 clustered flash-crowd replay, classic FW warm
+// starts accumulate iterate support every epoch (each iteration spreads a
+// little mass onto a new vertex and nothing ever removes it — hundreds of
+// thousands of nnz per epoch), while the away-step variant's drop steps
+// shed stale vertices and keep every epoch's nnz bounded. Both runs share
+// the trace, the budget and the sparse path; only the step rule differs.
+func TestScaleTierAwayFWWarmSupport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("m=5000 replay pair: skipped in -short mode")
+	}
+	const epochs = 3
+	sc := delaylb.NewScenario(5000).WithClusters(16).WithLoads(delaylb.LoadZipf, 100).WithSeed(1)
+	tr, err := FlashCrowd(sc, epochs, 5, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(variant delaylb.FWVariant) *Timeline {
+		tl, err := Run(context.Background(), tr, Config{
+			Options: []delaylb.Option{
+				delaylb.WithSolver("frankwolfe"),
+				delaylb.WithFWVariant(variant),
+				delaylb.WithSparse(),
+				delaylb.WithMaxIterations(120),
+			},
+			SkipCold: true,
+			Verify:   true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range tl.Epochs {
+			t.Logf("%s epoch %d: cost=%.6g warm_iters=%d nnz=%d", variant, row.Epoch, row.Cost, row.WarmIters, row.NNZ)
+		}
+		return tl
+	}
+	classic := run(delaylb.FWClassic)
+	away := run(delaylb.FWAway)
+
+	// The documented failure mode must still reproduce: classic's warm
+	// support grows at every epoch.
+	for e := 1; e <= epochs; e++ {
+		if classic.Epochs[e].NNZ <= classic.Epochs[e-1].NNZ {
+			t.Errorf("classic epoch %d nnz %d did not grow from %d — the failure mode this test documents is gone",
+				e, classic.Epochs[e].NNZ, classic.Epochs[e-1].NNZ)
+		}
+	}
+	// And the fix must hold: away's per-epoch nnz stays within a small
+	// multiple of its cold-start support and decisively under classic's.
+	bound := 3 * away.Epochs[0].NNZ
+	for _, row := range away.Epochs {
+		if row.NNZ > bound {
+			t.Errorf("away epoch %d nnz %d exceeds bound %d — warm iterates are no longer lean", row.Epoch, row.NNZ, bound)
+		}
+	}
+	if a, c := away.Epochs[epochs].NNZ, classic.Epochs[epochs].NNZ; 4*a >= c {
+		t.Errorf("away final nnz %d not decisively leaner than classic's %d", a, c)
+	}
+	// Leaner must not mean worse: at the shared budget, away ends every
+	// epoch at a cost no worse than classic's.
+	for e := range away.Epochs {
+		if away.Epochs[e].Cost > classic.Epochs[e].Cost*(1+1e-9) {
+			t.Errorf("epoch %d: away cost %v worse than classic %v", e, away.Epochs[e].Cost, classic.Epochs[e].Cost)
 		}
 	}
 }

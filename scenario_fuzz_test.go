@@ -10,6 +10,37 @@ import (
 // parsing the same flag strings twice yields identical scenarios, and a
 // successfully parsed scenario builds a valid instance (for sizes small
 // enough to materialize under the fuzzer's time budget).
+// FuzzParseFWVariant covers the other CLI-facing parser: arbitrary
+// -variant strings must never panic, must parse deterministically, and
+// every accepted spelling must normalize to a canonical constant that
+// re-parses to itself (so WithFWVariant(ParseFWVariant(s)) is stable).
+func FuzzParseFWVariant(f *testing.F) {
+	for _, s := range []string{"", "classic", "plain", "away", "away-step", "pairwise", "pair", "sideways", "AWAY", "frankwolfe"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseFWVariant(s)
+		v2, err2 := ParseFWVariant(s)
+		if v != v2 || (err == nil) != (err2 == nil) {
+			t.Fatalf("ParseFWVariant(%q) not deterministic: (%v, %v) vs (%v, %v)", s, v, err, v2, err2)
+		}
+		if err != nil {
+			if v != "" {
+				t.Fatalf("ParseFWVariant(%q) returned %q alongside error %v", s, v, err)
+			}
+			return
+		}
+		switch v {
+		case FWClassic, FWAway, FWPairwise:
+		default:
+			t.Fatalf("ParseFWVariant(%q) normalized to unknown constant %q", s, v)
+		}
+		if back, berr := ParseFWVariant(string(v)); berr != nil || back != v {
+			t.Fatalf("canonical %q does not re-parse to itself: (%v, %v)", v, back, berr)
+		}
+	})
+}
+
 func FuzzParseScenario(f *testing.F) {
 	f.Add(50, "pl", "exp", "uniform", 100.0, int64(1))
 	f.Add(20, "c20", "peak", "const", 100000.0, int64(7))

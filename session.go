@@ -376,6 +376,15 @@ func (s *Session) RemoveServer(i int) error {
 // in sparse form; a third-party solver registered via RegisterSolver
 // sees a nil WarmStart on sparse sessions and solves cold (materializing
 // the dense warm matrix would defeat the mode's purpose).
+//
+// For the away/pairwise Frank–Wolfe variants (WithFWVariant) the sparse
+// warm start carries the active vertex set itself: a simplex vertex is a
+// coordinate vector, so a row's stored support IS its active set and the
+// stored values ARE the vertex weights. Reoptimize therefore resumes the
+// variant exactly where the previous epoch left off, and the drop steps
+// that pruned stale vertices last epoch keep this epoch's iterate lean —
+// warm nnz stays bounded across epochs instead of growing by ~m·iters
+// the way classic FW warm starts do.
 func (s *Session) Reoptimize(ctx context.Context, opts ...Option) (*Result, error) {
 	s.mu.Lock()
 	o := buildOptions(append(append([]Option(nil), s.base...), opts...))

@@ -1,6 +1,7 @@
 package delaylb
 
 import (
+	"context"
 	"testing"
 )
 
@@ -54,6 +55,40 @@ func TestUpdateLoadsAllocationBound(t *testing.T) {
 			t.Logf("UpdateLoads at m=%d: %.1f allocs/op", allocSmokeM, n)
 			if n > mode.bound {
 				t.Errorf("UpdateLoads allocates %.1f times per call (bound %v) — an O(m) clone is back on the hot path", n, mode.bound)
+			}
+		})
+	}
+}
+
+// TestFWVariantReoptimizeAllocationBound bounds the active-set
+// bookkeeping of the away/pairwise Frank–Wolfe engine on the warm
+// session path. The engine's per-solve allocations are O(m) — the warm
+// iterate clone (two slices per row) plus a constant number of state
+// vectors (loads, base, per-cluster minima) — and per-row steps reuse
+// the row slices in place, so the count must not scale with
+// iterations×rows. Measured ≈1450 at m=500 with a 10-iteration budget;
+// the 4× bound fails the build if drop-step bookkeeping ever starts
+// allocating per step (≥50 000 at this shape) or anything O(m²) sneaks
+// in (≥250 000).
+func TestFWVariantReoptimizeAllocationBound(t *testing.T) {
+	for _, variant := range []FWVariant{FWClassic, FWAway, FWPairwise} {
+		t.Run(string(variant), func(t *testing.T) {
+			sess := newAllocSmokeSession(t, true)
+			opts := []Option{WithSolver("frankwolfe"), WithFWVariant(variant), WithMaxIterations(10)}
+			ctx := context.Background()
+			// Prime once so the measured runs start from a realistic warm
+			// (non-identity) active set.
+			if _, err := sess.Reoptimize(ctx, opts...); err != nil {
+				t.Fatal(err)
+			}
+			n := testing.AllocsPerRun(10, func() {
+				if _, err := sess.Reoptimize(ctx, opts...); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Logf("warm Reoptimize fw/%s at m=%d: %.1f allocs/op", variant, allocSmokeM, n)
+			if n > 6000 {
+				t.Errorf("fw/%s warm Reoptimize allocates %.1f times per solve (bound 6000) — active-set bookkeeping is allocating per step", variant, n)
 			}
 		})
 	}

@@ -44,11 +44,55 @@ type SolveOptions struct {
 	// Sparse routes the solve through the large-m scale tier (see
 	// WithSparse). Solvers without a sparse path ignore it.
 	Sparse bool
+	// FWVariant selects the Frank–Wolfe step rule for the "frankwolfe"
+	// solver: FWClassic (default), FWAway or FWPairwise (see
+	// WithFWVariant). "projgrad" rejects non-classic values rather than
+	// silently running a different algorithm; the non-QP solvers ignore
+	// the field.
+	FWVariant FWVariant
 
 	// warmSparse is the sparse-session warm start (request units), set
 	// by Session.Reoptimize on sparse sessions. Only the built-in
 	// solvers read it; third-party solvers see a nil WarmStart instead.
 	warmSparse *sparse.Matrix
+}
+
+// FWVariant names a Frank–Wolfe step rule. The spellings double as the
+// command-line vocabulary (see ParseFWVariant).
+type FWVariant string
+
+const (
+	// FWClassic is the plain conditional gradient of the paper's §III
+	// baseline. Sublinear: the duality gap decays like O(1/t) and stalls
+	// near the optimum, and warm iterates accumulate support because
+	// every step spreads a little mass onto a new vertex.
+	FWClassic FWVariant = "classic"
+	// FWAway adds away steps over the active vertex set: when shifting
+	// mass off the worst active vertex descends faster than shifting
+	// onto the best one, the step moves away instead, and a maximal away
+	// step drops the vertex from the support. Linear convergence on this
+	// strongly-convex-over-the-simplex QP, lean warm iterates.
+	FWAway FWVariant = "away"
+	// FWPairwise moves mass directly from each row's worst active vertex
+	// to its oracle vertex in one fused step — same linear-convergence
+	// and support-hygiene story as FWAway.
+	FWPairwise FWVariant = "pairwise"
+)
+
+// ParseFWVariant maps a user-facing spelling to an FWVariant. It accepts
+// the canonical names plus common aliases: "" and "plain" mean classic,
+// "away-step" means away, "pair" means pairwise. Unknown spellings are an
+// error naming the accepted ones.
+func ParseFWVariant(s string) (FWVariant, error) {
+	switch s {
+	case "", "classic", "plain":
+		return FWClassic, nil
+	case "away", "away-step":
+		return FWAway, nil
+	case "pairwise", "pair":
+		return FWPairwise, nil
+	}
+	return "", fmt.Errorf("delaylb: unknown Frank–Wolfe variant %q (accepted: classic, away, pairwise)", s)
 }
 
 // Solver is a cooperative-optimum or equilibrium algorithm reachable

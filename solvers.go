@@ -161,11 +161,37 @@ type qpSolver struct {
 
 func (qs qpSolver) Name() string { return qs.name }
 
+// fwVariant maps the public FWVariant spelling onto the qp engine's
+// enum, normalizing aliases through ParseFWVariant so WithFWVariant and
+// command-line flags share one vocabulary.
+func fwVariant(v FWVariant) (qp.Variant, error) {
+	canon, err := ParseFWVariant(string(v))
+	if err != nil {
+		return qp.VariantClassic, err
+	}
+	switch canon {
+	case FWAway:
+		return qp.VariantAway, nil
+	case FWPairwise:
+		return qp.VariantPairwise, nil
+	default:
+		return qp.VariantClassic, nil
+	}
+}
+
 func (qs qpSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) (*Result, error) {
+	variant, err := fwVariant(opts.FWVariant)
+	if err != nil {
+		return nil, err
+	}
+	if qs.name == "projgrad" && variant != qp.VariantClassic {
+		return nil, fmt.Errorf("delaylb: solver %q does not support Frank–Wolfe variant %q", qs.name, opts.FWVariant)
+	}
 	progress, stopped := callbackTracker(opts.Progress)
 	qopt := qp.Options{
 		MaxIters:    opts.MaxIterations,
 		Tol:         opts.Tolerance,
+		Variant:     variant,
 		OnIteration: progress,
 		Ctx:         ctx,
 	}

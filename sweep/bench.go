@@ -26,6 +26,7 @@ import (
 
 	"delaylb"
 	"delaylb/descent"
+	"delaylb/internal/convtest"
 	"delaylb/internal/core"
 	"delaylb/internal/model"
 	"delaylb/internal/qp"
@@ -68,6 +69,12 @@ type BenchConfig struct {
 	DescentSizes         []int
 	DescentRounds        int
 	DescentParticipation float64
+	// FWVariantSizes is the grid for the away-step and pairwise
+	// Frank–Wolfe cells. Like the descent tier they run after every
+	// pre-existing cell — the persisted report grows by appending, never
+	// by renumbering. Same FWIters/FWTol budget as the classic cells, so
+	// the gap and iters-to-band columns are directly comparable.
+	FWVariantSizes []int
 	// Seed is the base seed; cell i uses CellSeed(Seed, i).
 	Seed int64
 }
@@ -90,6 +97,7 @@ func DefaultBenchConfig() BenchConfig {
 		DescentSizes:         []int{500, 2000, 5000},
 		DescentRounds:        1000,
 		DescentParticipation: 0.2,
+		FWVariantSizes:       []int{100, 500, 2000, 5000},
 		Seed:                 1,
 	}
 }
@@ -130,6 +138,11 @@ type BenchEntry struct {
 	RoundsToBand  int     `json:"rounds_to_band,omitempty"`
 	BytesPerRound float64 `json:"bytes_per_round,omitempty"`
 	RoundNS       float64 `json:"descent_round_ns,omitempty"`
+
+	// Frank–Wolfe variant cells only: the first sweep whose cost is
+	// within 2% of the run's own certified lower bound (Cost − Gap);
+	// -1 if the budget never reached the band. Deterministic.
+	ItersToBand int `json:"iters_to_band,omitempty"`
 }
 
 // BenchReport is the persisted form of one harness run.
@@ -179,6 +192,13 @@ func (cfg BenchConfig) cells() []benchCell {
 	for _, m := range cfg.DescentSizes {
 		out = append(out, benchCell{m, "descent"})
 	}
+	// The active-set Frank–Wolfe tier appends after descent for the same
+	// reason: reports regenerated with these cells leave every earlier
+	// entry untouched (bench_test.go and cmd/tables pin the pure append).
+	for _, m := range cfg.FWVariantSizes {
+		out = append(out, benchCell{m, "frankwolfe-away"})
+		out = append(out, benchCell{m, "frankwolfe-pairwise"})
+	}
 	return out
 }
 
@@ -223,6 +243,40 @@ func RunBench(ctx context.Context, cfg BenchConfig, progress func(done, total in
 	return report, nil
 }
 
+// AppendBench extends an existing report in place with every cell of
+// cfg's grid the report does not already contain, appending the new
+// entries in grid order. Entries already present are left byte-for-byte
+// untouched — this is how BENCH_scale.json grows when a new solver tier
+// lands without re-running (or re-timing) the historical cells. Returns
+// the number of entries appended. progress, if non-nil, is called after
+// each new cell.
+func AppendBench(ctx context.Context, cfg BenchConfig, report *BenchReport, progress func(done, total int)) (int, error) {
+	have := make(map[benchCell]bool, len(report.Entries))
+	for _, e := range report.Entries {
+		have[benchCell{e.M, e.Solver}] = true
+	}
+	var missing []benchCell
+	for _, cell := range cfg.cells() {
+		if !have[cell] {
+			missing = append(missing, cell)
+		}
+	}
+	for i, cell := range missing {
+		if err := ctx.Err(); err != nil {
+			return i, err
+		}
+		entry, err := cfg.runCell(ctx, cell)
+		if err != nil {
+			return i, fmt.Errorf("sweep: bench cell m=%d solver=%s: %w", cell.m, cell.solver, err)
+		}
+		report.Entries = append(report.Entries, entry)
+		if progress != nil {
+			progress(i+1, len(missing))
+		}
+	}
+	return len(missing), nil
+}
+
 func (cfg BenchConfig) runCell(ctx context.Context, cell benchCell) (BenchEntry, error) {
 	sc := cfg.scenario(cell.m)
 	in, err := sc.Instance()
@@ -243,6 +297,15 @@ func (cfg BenchConfig) runCell(ctx context.Context, cell benchCell) (BenchEntry,
 	case "frankwolfe-dense":
 		res := qp.SolveFrankWolfe(in, qp.Options{MaxIters: cfg.FWIters, Tol: cfg.FWTol, Ctx: ctx})
 		entry.Cost, entry.Gap, entry.Iters, entry.Converged = res.Cost, res.Gap, res.Iters, res.Converged
+	case "frankwolfe-away", "frankwolfe-pairwise":
+		variant := qp.VariantAway
+		if cell.solver == "frankwolfe-pairwise" {
+			variant = qp.VariantPairwise
+		}
+		c := convtest.Run(in, variant, qp.Options{MaxIters: cfg.FWIters, Tol: cfg.FWTol, Ctx: ctx})
+		entry.Cost, entry.Gap, entry.Iters, entry.Converged = c.Cost, c.Gap, c.Iters, c.Converged
+		entry.NNZ = c.NNZ
+		entry.ItersToBand = convtest.ItersToBand(c.Costs, c.Cost-c.Gap, 0.02)
 	case "proxy-sparse", "proxy-dense":
 		st := core.NewIdentityState(in)
 		tr := core.RunState(st, core.Config{
@@ -428,6 +491,8 @@ func FprintBenchReport(w io.Writer, r *BenchReport) {
 		if e.Solver == "descent" {
 			band = fmt.Sprintf("%d", e.RoundsToBand)
 			bpr = fmt.Sprintf("%.4g", e.BytesPerRound)
+		} else if e.ItersToBand != 0 {
+			band = fmt.Sprintf("%d", e.ItersToBand)
 		}
 		fmt.Fprintf(w, "%6d %-19s %12.6g %10s %6d %9s %12.0f %10.1f %12s %14s %7s %11s\n",
 			e.M, e.Solver, e.Cost, gap, e.Iters, nnz, e.NsPerIter, e.AllocMB, evNS, evKB, band, bpr)

@@ -1,0 +1,120 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestPersistedBenchReport pins the repository's committed
+// BENCH_scale.json against the code that (re)generates it.
+//
+// Structure: the Frank–Wolfe variant tier landed as a pure append — the
+// away/pairwise cells sit strictly after every historical entry, so the
+// diff that introduced them touched no pre-existing line. Content: the
+// deterministic columns of the cheap cells must reproduce exactly when
+// re-run here (same seed, same budget), which both proves the committed
+// numbers are honest and proves the variant engine did not perturb the
+// classic solver's trajectory. And the headline acceptance fact: the
+// away-step variant reaches the 2% optimality band within the
+// 600-iteration budget at every grid size, including the m where the
+// classic cells' persisted gap shows them still unconverged.
+func TestPersistedBenchReport(t *testing.T) {
+	data, err := os.ReadFile("../BENCH_scale.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultBenchConfig()
+	cfg.Seed = rep.Seed
+	if rep.FWIters != cfg.FWIters || rep.FWTol != cfg.FWTol {
+		t.Fatalf("report budget (%d, %g) differs from DefaultBenchConfig (%d, %g) — regenerate",
+			rep.FWIters, rep.FWTol, cfg.FWIters, cfg.FWTol)
+	}
+
+	isVariant := func(s string) bool { return s == "frankwolfe-away" || s == "frankwolfe-pairwise" }
+
+	// Pure append: no historical cell after the first variant cell.
+	firstVariant := -1
+	for i, e := range rep.Entries {
+		if isVariant(e.Solver) {
+			if firstVariant < 0 {
+				firstVariant = i
+			}
+		} else if firstVariant >= 0 {
+			t.Fatalf("entry %d (%s) follows the variant tier — the append invariant is broken", i, e.Solver)
+		}
+	}
+	if firstVariant < 0 {
+		t.Fatal("report has no Frank–Wolfe variant cells — run cmd/tables -benchappend")
+	}
+
+	classicCost := map[int]float64{}
+	classicGap := map[int]float64{}
+	for _, e := range rep.Entries {
+		if e.Solver == "frankwolfe-sparse" {
+			classicCost[e.M], classicGap[e.M] = e.Cost, e.Gap
+		}
+	}
+	for _, e := range rep.Entries[firstVariant:] {
+		if e.ItersToBand <= 0 || e.ItersToBand > rep.FWIters {
+			t.Errorf("m=%d %s: iters_to_band %d outside (0, %d] — the 2%% band was not reached within budget",
+				e.M, e.Solver, e.ItersToBand, rep.FWIters)
+		}
+		if cost, ok := classicCost[e.M]; ok {
+			if e.Cost > cost*(1+1e-9) {
+				t.Errorf("m=%d %s: cost %v above the classic 600-iteration cost %v", e.M, e.Solver, e.Cost, cost)
+			}
+			if classicGap[e.M] <= 0 {
+				t.Errorf("m=%d: classic gap %v not positive — the stall the variant tier fixes is gone, revisit the grid",
+					e.M, classicGap[e.M])
+			}
+		}
+		if e.NNZ <= 0 {
+			t.Errorf("m=%d %s: no nnz recorded", e.M, e.Solver)
+		}
+	}
+	for _, m := range cfg.FWVariantSizes {
+		for _, solver := range []string{"frankwolfe-away", "frankwolfe-pairwise"} {
+			found := false
+			for _, e := range rep.Entries[firstVariant:] {
+				if e.M == m && e.Solver == solver {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("grid cell m=%d %s missing from the persisted report", m, solver)
+			}
+		}
+	}
+
+	// Reproduce the cheap cells' deterministic columns bit for bit — the
+	// m=100 classic cell predates this tier, so its reproduction is the
+	// "pre-existing cells untouched" check in executable form. Timings
+	// and allocations are machine facts and deliberately unchecked.
+	for _, want := range rep.Entries {
+		if want.M != 100 {
+			continue
+		}
+		switch want.Solver {
+		case "frankwolfe-sparse", "frankwolfe-away", "frankwolfe-pairwise":
+		default:
+			continue
+		}
+		got, err := cfg.runCell(context.Background(), benchCell{want.M, want.Solver})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cost != want.Cost || got.Gap != want.Gap || got.Iters != want.Iters ||
+			got.NNZ != want.NNZ || got.Converged != want.Converged || got.ItersToBand != want.ItersToBand {
+			t.Errorf("m=%d %s: persisted (cost %v gap %v iters %d nnz %d conv %v band %d) != recomputed (cost %v gap %v iters %d nnz %d conv %v band %d)",
+				want.M, want.Solver,
+				want.Cost, want.Gap, want.Iters, want.NNZ, want.Converged, want.ItersToBand,
+				got.Cost, got.Gap, got.Iters, got.NNZ, got.Converged, got.ItersToBand)
+		}
+	}
+}

@@ -17,6 +17,7 @@ func smallBenchConfig() BenchConfig {
 	cfg.MineIters = 4
 	cfg.DescentSizes = []int{30}
 	cfg.DescentRounds = 80
+	cfg.FWVariantSizes = []int{30, 60}
 	return cfg
 }
 
@@ -33,7 +34,7 @@ func TestRunBenchDeterministicAggregates(t *testing.T) {
 	}
 	t.Logf("two small bench runs in %v", time.Since(start).Round(time.Millisecond))
 
-	wantCells := 2*6 + 1 // every size runs all four solvers + both churn cells, plus one descent cell
+	wantCells := 2*6 + 1 + 2*2 // four solvers + both churn cells per size, one descent cell, two FW-variant cells per size
 	if len(a.Entries) != wantCells || len(b.Entries) != wantCells {
 		t.Fatalf("entry counts %d/%d, want %d", len(a.Entries), len(b.Entries), wantCells)
 	}
@@ -48,9 +49,10 @@ func TestRunBenchDeterministicAggregates(t *testing.T) {
 			t.Fatalf("cell %d (m=%d %s) not deterministic: %+v vs %+v", i, x.M, x.Solver, x, y)
 		}
 		// Descent cells add two more deterministic columns (bytes and
-		// rounds are seed facts; only RoundNS is a machine fact).
-		if x.RoundsToBand != y.RoundsToBand || x.BytesPerRound != y.BytesPerRound {
-			t.Fatalf("cell %d (m=%d %s) descent columns not deterministic: %+v vs %+v", i, x.M, x.Solver, x, y)
+		// rounds are seed facts; only RoundNS is a machine fact), the
+		// FW-variant cells one (iterations to the 2% band).
+		if x.RoundsToBand != y.RoundsToBand || x.BytesPerRound != y.BytesPerRound || x.ItersToBand != y.ItersToBand {
+			t.Fatalf("cell %d (m=%d %s) band columns not deterministic: %+v vs %+v", i, x.M, x.Solver, x, y)
 		}
 		if x.Cost <= 0 || x.Iters <= 0 {
 			t.Fatalf("cell %d (m=%d %s) has degenerate aggregates: %+v", i, x.M, x.Solver, x)
@@ -111,6 +113,54 @@ func TestBenchReportJSON(t *testing.T) {
 	FprintBenchReport(&table, rep)
 	if table.Len() == 0 {
 		t.Fatal("FprintBenchReport wrote nothing")
+	}
+}
+
+// TestAppendBenchPureAppend pins the contract cmd/tables -benchappend
+// relies on: extending a report that predates the FW-variant tier runs
+// only the missing cells and leaves every historical entry — including
+// its machine-fact timings — byte-for-byte untouched.
+func TestAppendBenchPureAppend(t *testing.T) {
+	old := smallBenchConfig()
+	old.FWVariantSizes = nil
+	rep, err := RunBench(context.Background(), old, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := json.Marshal(rep.Entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(rep.Entries)
+
+	added, err := AppendBench(context.Background(), smallBenchConfig(), rep, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2; added != want {
+		t.Fatalf("AppendBench added %d cells, want %d", added, want)
+	}
+	got, err := json.Marshal(rep.Entries[:before])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frozen, got) {
+		t.Fatal("AppendBench modified pre-existing entries")
+	}
+	for _, e := range rep.Entries[before:] {
+		if e.Solver != "frankwolfe-away" && e.Solver != "frankwolfe-pairwise" {
+			t.Fatalf("appended unexpected cell %q", e.Solver)
+		}
+		if e.Cost <= 0 || e.Iters <= 0 || e.NNZ <= 0 {
+			t.Fatalf("appended cell m=%d %s has degenerate aggregates: %+v", e.M, e.Solver, e)
+		}
+		if e.ItersToBand <= 0 {
+			t.Fatalf("appended cell m=%d %s never reached the 2%% band (iters_to_band %d)", e.M, e.Solver, e.ItersToBand)
+		}
+	}
+	// A second append is a no-op: the grid is saturated.
+	if added, err := AppendBench(context.Background(), smallBenchConfig(), rep, nil); err != nil || added != 0 {
+		t.Fatalf("saturated AppendBench = (%d, %v), want (0, nil)", added, err)
 	}
 }
 

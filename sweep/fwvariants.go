@@ -1,0 +1,152 @@
+package sweep
+
+// The Frank–Wolfe variant comparison table: classic, away-step and
+// pairwise runs on the same clustered zipf instances, reporting the
+// convergence facts the variant tier claims — final duality gap,
+// iterations to the 2% band, iterate support, and the geometric decay
+// rate of the gap curve (bounded away from 1 for the active-set
+// variants, drifting to 1 for classic). Like every table in this
+// package the rows are a pure function of the seed, independent of the
+// worker count; the golden test pins them at workers 1 and 3.
+
+import (
+	"context"
+	"math/rand"
+
+	"delaylb"
+	"delaylb/internal/convtest"
+	"delaylb/internal/qp"
+)
+
+// FWVariantConfig drives the variant comparison grid.
+type FWVariantConfig struct {
+	// Sizes are the network sizes; every size runs all three variants on
+	// the identical instance (the scenario seed derives from the size,
+	// not the cell index).
+	Sizes []int
+	// Clusters, AvgLoad and Side shape the scenario exactly as the bench
+	// grid does: zipf loads on a clustered metro network.
+	Clusters int
+	AvgLoad  float64
+	Side     float64
+	// Iters and Tol bound every run; Band is the optimality band of the
+	// iterations-to-band column, relative to each run's own certified
+	// lower bound (cost − gap).
+	Iters int
+	Tol   float64
+	Band  float64
+	// Seed is the base seed; size m draws its scenario from
+	// CellSeed(Seed, m).
+	Seed int64
+	// Workers bounds the worker pool (<= 0: all CPUs); results are
+	// identical for every worker count.
+	Workers int
+	// Progress, if non-nil, receives (completed cells, total cells).
+	Progress func(done, total int)
+}
+
+// DefaultFWVariantConfig returns the reduced-scale standing grid: two
+// sizes, a few seconds of CPU, tolerance tight enough that classic FW
+// stalls while the active-set variants converge.
+func DefaultFWVariantConfig() FWVariantConfig {
+	return FWVariantConfig{
+		Sizes:    []int{60, 150},
+		Clusters: 5,
+		AvgLoad:  100,
+		Side:     100,
+		Iters:    600,
+		Tol:      1e-7,
+		Band:     0.02,
+		Seed:     1,
+	}
+}
+
+// FWVariantRow is one (size, variant) cell of the comparison.
+type FWVariantRow struct {
+	M       int     `json:"m"`
+	Variant string  `json:"variant"`
+	Cost    float64 `json:"cost"`
+	// Gap is the final duality gap; Cost − Gap certifies a lower bound.
+	Gap float64 `json:"gap"`
+	// Iters is the sweeps consumed; Converged whether the gap tolerance
+	// was met inside the budget.
+	Iters     int  `json:"iters"`
+	Converged bool `json:"converged"`
+	// ItersToBand is the first sweep within Band of the run's certified
+	// lower bound (-1: never).
+	ItersToBand int `json:"iters_to_band"`
+	// NNZ is the final iterate's stored-nonzero count.
+	NNZ int `json:"nnz"`
+	// Rate is the geometric mean per-sweep contraction of the gap curve.
+	Rate float64 `json:"rate"`
+}
+
+type fwVariantCell struct {
+	m       int
+	variant qp.Variant
+}
+
+var fwVariantOrder = []qp.Variant{qp.VariantClassic, qp.VariantAway, qp.VariantPairwise}
+
+func (cfg FWVariantConfig) cells() []fwVariantCell {
+	var out []fwVariantCell
+	for _, m := range cfg.Sizes {
+		for _, v := range fwVariantOrder {
+			out = append(out, fwVariantCell{m, v})
+		}
+	}
+	return out
+}
+
+// FWVariantTable runs the grid and returns one row per cell, in cell
+// order.
+func FWVariantTable(cfg FWVariantConfig) []FWVariantRow {
+	rows, _ := FWVariantTableContext(context.Background(), cfg)
+	return rows
+}
+
+// FWVariantTableContext is FWVariantTable with cancellation: on ctx
+// cancellation it returns the completed rows and ctx.Err().
+func FWVariantTableContext(ctx context.Context, cfg FWVariantConfig) ([]FWVariantRow, error) {
+	cells := cfg.cells()
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	results, done, err := RunCells(ctx, run, cells,
+		func(ctx context.Context, _ int, c fwVariantCell, _ *rand.Rand) (FWVariantRow, error) {
+			return cfg.runCell(ctx, c)
+		})
+	rows := make([]FWVariantRow, 0, len(results))
+	for i, r := range results {
+		if done[i] {
+			rows = append(rows, r)
+		}
+	}
+	return rows, err
+}
+
+// runCell solves one (size, variant) cell. The solvers are
+// deterministic, so the cell needs no randomness beyond the scenario
+// seed — which derives from the size so that all three variants of one
+// m referee the identical instance.
+func (cfg FWVariantConfig) runCell(ctx context.Context, c fwVariantCell) (FWVariantRow, error) {
+	sc := delaylb.NewScenario(c.m).
+		WithClusters(cfg.Clusters).
+		WithLatency(cfg.Side).
+		WithLoads(delaylb.LoadZipf, cfg.AvgLoad).
+		WithSeed(CellSeed(cfg.Seed, c.m))
+	in, err := sc.Instance()
+	if err != nil {
+		return FWVariantRow{}, err
+	}
+	curve := convtest.Run(in, c.variant, qp.Options{MaxIters: cfg.Iters, Tol: cfg.Tol, Ctx: ctx})
+	return FWVariantRow{
+		M:           c.m,
+		Variant:     c.variant.String(),
+		Cost:        curve.Cost,
+		Gap:         curve.Gap,
+		Iters:       curve.Iters,
+		Converged:   curve.Converged,
+		ItersToBand: convtest.ItersToBand(curve.Costs, curve.Cost-curve.Gap, cfg.Band),
+		NNZ:         curve.NNZ,
+		Rate:        convtest.GeometricRate(curve.Gaps),
+	}, ctx.Err()
+}

@@ -200,6 +200,41 @@ func TestGoldenDescentParallelMatches(t *testing.T) {
 	goldenCompare(t, "descent.golden", renderDescent(rows))
 }
 
+func renderFWVariants(rows []FWVariantRow) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "m=%d %s cost=%.6g gap=%.6g iters=%d conv=%v band=%d nnz=%d rate=%.6g\n",
+			r.M, r.Variant, r.Cost, r.Gap, r.Iters, r.Converged, r.ItersToBand, r.NNZ, r.Rate)
+	}
+	return sb.String()
+}
+
+// TestGoldenFWVariants pins the Frank–Wolfe variant comparison — gaps,
+// iterations to the 2% band, support sizes, gap decay rates — for the
+// serial runner. Any drift in the active-set engine's iterates (a step
+// rule, a tie-break, the incremental oracle) lands here as a diff.
+func TestGoldenFWVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	cfg := DefaultFWVariantConfig()
+	cfg.Workers = 1
+	goldenCompare(t, "fwvariants.golden", renderFWVariants(FWVariantTable(cfg)))
+}
+
+// The variant golden must also be worker-count independent.
+func TestGoldenFWVariantsParallelMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	if *update {
+		t.Skip("golden files being rewritten")
+	}
+	cfg := DefaultFWVariantConfig()
+	cfg.Workers = 3
+	goldenCompare(t, "fwvariants.golden", renderFWVariants(FWVariantTable(cfg)))
+}
+
 // The golden files themselves must be worker-count independent: rerun
 // Table I's golden grid at workers=3 and compare against the same file.
 func TestGoldenTable1ParallelMatches(t *testing.T) {
