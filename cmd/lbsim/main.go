@@ -44,6 +44,8 @@ type config struct {
 	Replay   string
 	Descend  string
 	Part     float64
+	Faults   string
+	Crashes  int
 	Timeline string
 }
 
@@ -63,6 +65,8 @@ func main() {
 	flag.StringVar(&cfg.Replay, "replay", "", "replay a workload trace file instead of a one-shot solve (-algo picks the solver)")
 	flag.StringVar(&cfg.Descend, "descend", "", "replay a workload trace file on the distributed descent plane (no central solve)")
 	flag.Float64Var(&cfg.Part, "part", 0, "with -descend: per-row participation probability (0 = plane default)")
+	flag.StringVar(&cfg.Faults, "faults", "", "with -descend: fault-plan spec, e.g. drop=0.05,dup=0.05,reorder=0.1,delay=0.25,crashevery=40,maxcrashes=1")
+	flag.IntVar(&cfg.Crashes, "crashes", 0, "with -descend: driver-side crash drills per epoch (kills one actor's servers before the epoch runs)")
 	flag.StringVar(&cfg.Timeline, "timeline", "", "with -replay/-descend: also write the JSON metrics timeline to this file")
 	flag.Parse()
 
@@ -161,8 +165,19 @@ func runDescend(ctx context.Context, cfg config, w io.Writer) error {
 		return err
 	}
 	dcfg := replay.DescentConfig{
-		Plane:      descent.Config{Seed: cfg.Seed, Participation: cfg.Part},
-		StopInBand: true,
+		Plane:         descent.Config{Seed: cfg.Seed, Participation: cfg.Part},
+		StopInBand:    true,
+		CrashPerEpoch: cfg.Crashes,
+	}
+	if cfg.Faults != "" {
+		fp, err := descent.ParseFaultPlan(cfg.Faults)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		if fp.Seed == 0 {
+			fp.Seed = cfg.Seed // one -seed steers the whole run unless the spec pins its own
+		}
+		dcfg.Plane.Faults = fp
 	}
 	if cfg.Iters > 0 {
 		dcfg.RoundBudget = cfg.Iters
@@ -198,6 +213,9 @@ func runDescend(ctx context.Context, cfg config, w io.Writer) error {
 func run(ctx context.Context, cfg config, w io.Writer) error {
 	if cfg.Replay != "" && cfg.Descend != "" {
 		return fmt.Errorf("-replay and -descend are mutually exclusive")
+	}
+	if (cfg.Faults != "" || cfg.Crashes != 0) && cfg.Descend == "" {
+		return fmt.Errorf("-faults and -crashes need -descend")
 	}
 	// Validate -variant up front so a typo (or pairing it with a solver
 	// that ignores it, like nash or runtime) fails before any solving.

@@ -252,6 +252,31 @@ func TestRunDescendSmoke(t *testing.T) {
 	}
 }
 
+// TestRunDescendFaultedSmoke drives -descend with a fault plan and a
+// per-epoch crash drill: the run must finish, report fault counters in
+// the per-epoch table, and stay byte-deterministic across reruns.
+func TestRunDescendFaultedSmoke(t *testing.T) {
+	trace := filepath.Join("testdata", "faulted.trace")
+	runOnce := func() string {
+		var sb strings.Builder
+		cfg := config{Seed: 1, Descend: trace,
+			Faults: "drop=0.2,dup=0.1,reorder=0.2", Crashes: 1}
+		if err := run(context.Background(), cfg, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	out := runOnce()
+	for _, want := range []string{"descending", "faults:", "crashes=", "descended 3 epochs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("faulted descend output lacks %q:\n%s", want, out)
+		}
+	}
+	if again := runOnce(); again != out {
+		t.Error("faulted descend run is not deterministic across reruns")
+	}
+}
+
 // The descent driver refuses traces with latency shifts (tiny.trace has
 // one) and the two replay modes are mutually exclusive.
 func TestRunDescendRejectsBadConfig(t *testing.T) {
@@ -266,6 +291,20 @@ func TestRunDescendRejectsBadConfig(t *testing.T) {
 	}
 	if err := run(context.Background(), config{Descend: filepath.Join("testdata", "no-such.trace")}, &sb); err == nil {
 		t.Error("missing trace file accepted")
+	}
+	if err := run(context.Background(), config{Algo: "mine", Faults: "drop=0.1"}, &sb); err == nil {
+		t.Error("-faults without -descend accepted")
+	}
+	if err := run(context.Background(), config{Algo: "mine", Crashes: 1}, &sb); err == nil {
+		t.Error("-crashes without -descend accepted")
+	}
+	if err := run(context.Background(), config{Descend: filepath.Join("testdata", "descend.trace"),
+		Faults: "drop=2"}, &sb); err == nil {
+		t.Error("out-of-range fault probability accepted")
+	}
+	if err := run(context.Background(), config{Descend: filepath.Join("testdata", "descend.trace"),
+		Faults: "warp=0.1"}, &sb); err == nil {
+		t.Error("unknown fault key accepted")
 	}
 }
 

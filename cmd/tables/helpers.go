@@ -197,6 +197,29 @@ func runDescentTable(w io.Writer, full bool, seed int64, workers int) []sweep.De
 	return rows
 }
 
+// runFaultsTable runs the WAN fault-tolerance table: the plane under
+// every injected fault class, with the crash drill's mass accounting.
+func runFaultsTable(w io.Writer, full bool, seed int64, workers int) []sweep.FaultsRow {
+	cfg := sweep.DefaultFaultsConfig()
+	cfg.Seed = seed
+	cfg.Workers = workers
+	if full {
+		cfg.M = 120
+		cfg.Repeats = 5
+	}
+	rows := sweep.FaultsTable(cfg)
+	fmt.Fprintln(w, "== Faults: descent plane over a lossy, crashing transport ==")
+	fmt.Fprintf(w, "%-10s %10s %10s %12s %10s %10s %4s\n",
+		"fault", "gap avg", "gap max", "rounds avg", "lost avg", "recov avg", "n")
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-10s %10.4f %10.4f %12.1f %10.1f %10.1f %4d\n",
+			row.Fault, row.Gap.Avg, row.Gap.Max, row.Rounds.Avg,
+			row.LostMass.Avg, row.RecoveredMass.Avg, row.Gap.N)
+	}
+	fmt.Fprintln(w)
+	return rows
+}
+
 // runBench runs the scale-tier benchmark grid, prints the table and
 // persists the JSON report.
 func runBench(w io.Writer, full bool, seed int64, outPath string) error {

@@ -15,6 +15,7 @@
 //	tables -ablation cycles  # §VI-B negative-cycle-removal ablation
 //	tables -ablation poa     # Theorem 1 analytic band vs measurement
 //	tables -descent          # distributed plane vs frankwolfe/MinE oracles
+//	tables -faults           # descent plane under injected WAN faults
 //	tables -all              # everything above
 //	tables -bench            # large-m scale grid → BENCH_scale.json
 //
@@ -49,6 +50,7 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate Figure 1 or 2")
 	ablation := flag.String("ablation", "", "run an ablation: cycles | poa | dynamic | coords")
 	descentTable := flag.Bool("descent", false, "run the distributed-plane table (descent vs centralized oracles)")
+	faultsTable := flag.Bool("faults", false, "run the WAN fault-tolerance table (descent plane under drop/dup/reorder/delay/byzantine/crash)")
 	full := flag.Bool("full", false, "paper-scale parameters (slow)")
 	all := flag.Bool("all", false, "regenerate everything")
 	bench := flag.Bool("bench", false, "run the large-m scale benchmark grid")
@@ -117,6 +119,10 @@ func main() {
 	}
 	if *all || *descentTable {
 		report.Descent = runDescentTable(w, *full, *seed, *workers)
+		ran = true
+	}
+	if *all || *faultsTable {
+		report.Faults = runFaultsTable(w, *full, *seed, *workers)
 		ran = true
 	}
 	if *bench {

@@ -177,6 +177,28 @@ func TestRunBenchAppendExtendsReport(t *testing.T) {
 
 // TestRunDescentTablePrints drives the -descent path on the default
 // laptop-scale grid's smallest corner.
+func TestRunFaultsTablePrints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("faults table: skipped in -short mode")
+	}
+	var sb strings.Builder
+	rows := runFaultsTable(&sb, false, 1, 2)
+	if len(rows) != 8 {
+		t.Fatalf("faults table has %d rows, want 8 scenarios", len(rows))
+	}
+	out := sb.String()
+	for _, want := range []string{"Faults", "lossless", "byzantine", "storm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("faults table output missing %q:\n%s", want, out)
+		}
+	}
+	for _, r := range rows {
+		if r.Fault == "crash" && r.LostMass.Max <= 0 {
+			t.Error("crash row accounts no lost mass — the drill never fired")
+		}
+	}
+}
+
 func TestRunDescentTablePrints(t *testing.T) {
 	if testing.Short() {
 		t.Skip("descent table: skipped in -short mode")

@@ -118,6 +118,27 @@ type actor struct {
 	frozenIdx []int32
 	frozenVal []float64
 	batch     []deltaEntry
+
+	// Hardened-transport state (harden.go), allocated by hardInit only
+	// when the plane runs over a lossy transport.
+	curRound  int                  // round of the current publish, for envelope headers
+	hardSeq   []uint32             // next envelope seq per destination stream
+	hardSent  []map[uint32]sentRec // retransmit buffer per destination
+	hardRecv  []recvState          // receive stream per source
+	priceRnd  map[int32]int32      // round of each cached price
+	lastSum   []summaryState       // freshest summary per source
+	deltaPend []taggedDelta        // round-tagged deltas awaiting apply
+	nackOut   [][]uint32           // retransmit requests per source, for next publish
+	colRnd    map[int64]int32      // per (col, row) round of the applied value
+	refreshIn []refreshSnap        // pending anti-entropy snapshots per source
+
+	// Round-local recovery counters, reset by publish.
+	dupsDropped    int64
+	staleDropped   int64
+	invalidDropped int64
+	nacksSent      int64
+	resendsServed  int64
+	unrecovered    int64
 }
 
 func (a *actor) enqueue(payload []byte) {
@@ -134,7 +155,25 @@ func (a *actor) drain() [][]byte {
 	return msgs
 }
 
+// send ships one logical message. On a lossy transport it is wrapped in
+// a kindEnvelope with the destination stream's next sequence number and
+// buffered for retransmission; on the Bus the payload goes out verbatim
+// (the Bus wire format — and with it the byte counters — is unchanged).
 func (a *actor) send(dst int, payload []byte) {
+	if a.pl.harden {
+		seq := a.hardSeq[dst]
+		a.hardSeq[dst]++
+		env := encodeEnvelope(a.id, a.curRound, seq, payload)
+		a.hardSent[dst][seq] = sentRec{round: int32(a.curRound), data: env}
+		a.raw(dst, env)
+		return
+	}
+	a.raw(dst, payload)
+}
+
+// raw ships payload without envelope framing: Bus traffic, NACKs, and
+// retransmits (which replay their original envelope verbatim).
+func (a *actor) raw(dst int, payload []byte) {
 	a.sentBytes += int64(len(payload))
 	a.sentMsgs++
 	a.pl.tr.Send(dst, payload)
@@ -145,6 +184,13 @@ func (a *actor) send(dst int, payload []byte) {
 func (a *actor) publish(round int) {
 	p := a.pl
 	a.sentBytes, a.sentMsgs, a.moved, a.stepped = 0, 0, 0, 0
+	if p.harden {
+		a.curRound = round
+		a.dupsDropped, a.staleDropped, a.invalidDropped = 0, 0, 0
+		a.nacksSent, a.resendsServed, a.unrecovered = 0, 0, 0
+		a.pruneSent(int32(round))
+		a.sendNacks(round)
+	}
 	if a.outPrices == nil {
 		a.outPrices = make([][]priceEntry, p.shards)
 		a.marks = make([]int32, p.shards)
@@ -279,31 +325,48 @@ func (a *actor) mergeSummaries(msgs []message) {
 // the changed coordinates to their owners.
 func (a *actor) step(round int) {
 	p := a.pl
-	var sumMsgs []message
-	for _, payload := range a.drain() {
-		// Delta payloads for the apply phase may already be here: a peer
-		// that finished its step before we started ours races its sends
-		// against our drain. Defer them — phase 3 owns them.
-		if len(payload) > 0 && msgKind(payload[0]) == kindDelta {
-			a.deferred = append(a.deferred, payload)
-			continue
+	if p.harden {
+		// Lossy transport: everything routes through the hardened
+		// unwrap/dedup/validate pipeline. Deltas land in deltaPend for
+		// the apply phase, prices and summaries in the round-tagged
+		// caches read below.
+		a.ingest(int32(round))
+		if p.block {
+			a.mergeSummariesHard()
+			a.seedCandidatePrices()
 		}
-		m, err := decodeMessage(payload)
-		if err != nil {
-			p.noteErr(err)
-			continue
-		}
-		switch m.kind {
-		case kindPrices:
-			for _, e := range m.prices {
-				a.price[e.j] = loadSpeed{load: e.load, speed: e.speed}
+	} else {
+		var sumMsgs []message
+		for _, payload := range a.drain() {
+			// Delta payloads for the apply phase may already be here: a peer
+			// that finished its step before we started ours races its sends
+			// against our drain. Defer them — phase 3 owns them.
+			if len(payload) > 0 && msgKind(payload[0]) == kindDelta {
+				a.deferred = append(a.deferred, payload)
+				continue
 			}
-		case kindSummary:
-			sumMsgs = append(sumMsgs, m)
+			m, err := decodeMessage(payload)
+			if err == nil {
+				// On the reliable Bus a malformed message is a bug, not
+				// weather — validation failures are fatal.
+				err = a.validateMessage(&m)
+			}
+			if err != nil {
+				p.noteErr(err)
+				continue
+			}
+			switch m.kind {
+			case kindPrices:
+				for _, e := range m.prices {
+					a.price[e.j] = loadSpeed{load: e.load, speed: e.speed}
+				}
+			case kindSummary:
+				sumMsgs = append(sumMsgs, m)
+			}
 		}
-	}
-	if p.block {
-		a.mergeSummaries(sumMsgs)
+		if p.block {
+			a.mergeSummaries(sumMsgs)
+		}
 	}
 	if a.outDeltas == nil {
 		a.outDeltas = make([][]deltaEntry, p.shards)
@@ -328,6 +391,9 @@ func (a *actor) step(round int) {
 		if len(a.outDeltas[dst]) > 0 {
 			a.send(dst, encodeDeltas(a.id, round, a.outDeltas[dst]))
 		}
+	}
+	if p.harden && round%refreshRounds == 0 {
+		a.refreshRows(round)
 	}
 }
 
@@ -362,9 +428,12 @@ func (a *actor) stepRow(i int32, round int, eta float64) {
 			var ok bool
 			ls, ok = a.price[j]
 			if !ok {
-				// Defensive: no fresh price (cannot happen on the bus —
-				// columns mirror rows, so owners always publish to us).
-				// Freeze the coordinate this round.
+				// No price for a support coordinate: impossible on the
+				// Bus (columns mirror rows, so owners always publish to
+				// us), routine under a lossy transport when the price
+				// payload was dropped and neither a retransmit nor a
+				// summary seed has refilled the cache yet. Freeze the
+				// coordinate this round.
 				budget -= r
 				a.frozenIdx = append(a.frozenIdx, j)
 				a.frozenVal = append(a.frozenVal, r)
@@ -453,12 +522,19 @@ func (a *actor) stepRow(i int32, round int, eta float64) {
 // remote and local alike — in canonical (row, col) order.
 func (a *actor) apply(round int) {
 	p := a.pl
+	if p.harden {
+		a.applyHard(round)
+		return
+	}
 	a.batch = append(a.batch[:0], a.pendingLocal...)
 	a.pendingLocal = a.pendingLocal[:0]
 	payloads := append(a.deferred, a.drain()...)
 	a.deferred = nil
 	for _, payload := range payloads {
 		m, err := decodeMessage(payload)
+		if err == nil {
+			err = a.validateMessage(&m)
+		}
 		if err != nil {
 			p.noteErr(err)
 			continue

@@ -66,3 +66,68 @@ func (p *Plane) Leave(i int) error {
 	next := dynamic.CollapseSparse(p.Allocation(), i)
 	return p.rebuild(in, next)
 }
+
+// CrashEvent describes one actor crash executed by the plane.
+type CrashEvent struct {
+	Round         int     `json:"round"`
+	Victim        int     `json:"victim"`  // actor id at crash time
+	Servers       int     `json:"servers"` // servers the victim owned
+	LostMass      float64 `json:"lost_mass"`
+	RecoveredMass float64 `json:"recovered_mass"`
+	// Removed lists the victim's server indices as they were numbered
+	// at crash time, ascending — what a driver tracking stable ids
+	// needs to mirror the removals.
+	Removed []int32 `json:"removed,omitempty"`
+}
+
+// Crash kills actor victim: every server — and with it every
+// organization homed there — that the victim owns leaves the fleet
+// through the Leave churn path, highest index first, and the survivors
+// reshard. LostMass is the crashed organizations' own load, which
+// exits the system with them; RecoveredMass is the surviving
+// organizations' mass that was routed to the dying servers and is
+// folded back onto their home servers by the failover instead of being
+// lost. A victim owning the whole fleet cannot fail over and is an
+// error; a victim owning nothing is a no-op.
+func (p *Plane) Crash(victim int) (CrashEvent, error) {
+	if victim < 0 || victim >= p.shards {
+		return CrashEvent{}, fmt.Errorf("descent: Crash(%d) out of range, plane has %d actors", victim, p.shards)
+	}
+	own := append([]int32(nil), p.actors[victim].own...)
+	ev := CrashEvent{Round: p.round, Victim: victim, Servers: len(own), Removed: own}
+	if len(own) == 0 {
+		return ev, nil
+	}
+	if len(own) == p.in.M() {
+		return ev, fmt.Errorf("descent: Crash(%d) would remove every server — no survivor to fail over to", victim)
+	}
+	vic := make([]bool, p.in.M())
+	for _, j := range own {
+		vic[j] = true
+		ev.LostMass += p.in.Load[j]
+	}
+	for i := 0; i < p.in.M(); i++ {
+		if vic[i] {
+			continue
+		}
+		row := p.actors[p.owner[i]].rows[int32(i)]
+		for t, j := range row.idx {
+			if vic[j] {
+				ev.RecoveredMass += row.val[t]
+			}
+		}
+	}
+	// Highest index first, so the remaining owned indices stay valid
+	// across the shift every Leave applies.
+	for t := len(own) - 1; t >= 0; t-- {
+		if err := p.Leave(int(own[t])); err != nil {
+			return ev, err
+		}
+	}
+	p.crashes++
+	p.roundCrash = &ev
+	if p.cfg.OnCrash != nil {
+		p.cfg.OnCrash(ev)
+	}
+	return ev, nil
+}

@@ -72,11 +72,28 @@ type Config struct {
 	// Band is the relative band around Target that counts as converged
 	// for RoundsToBand. Default 0.02.
 	Band float64
-	// Transport carries payloads between actors. Default: NewBus().
+	// Transport carries payloads between actors. Default: NewBus(),
+	// unless Faults is set, in which case a SimTransport over the plan.
 	Transport Transport
+	// Faults, when set, is the deterministic fault schedule: message
+	// faults are injected by the transport (a SimTransport is built
+	// when Transport is nil), and the plan's CrashEvery/MaxCrashes
+	// fields schedule actor crashes executed by the plane between the
+	// step and apply barriers.
+	Faults *FaultPlan
+	// RoundMs is the modeled round duration for delay-aware transports,
+	// in the latency view's milliseconds. Each phase barrier is half a
+	// round, so a payload crossing a d-ms actor pair arrives
+	// floor(d / (RoundMs/2)) flushes late. 0 means the largest
+	// actor-pair delay of the instance — cross-metro payloads between
+	// the farthest actors then land about two phases late, nearer pairs
+	// proportionally sooner.
+	RoundMs float64
 	// OnRound, when set, observes every round's metrics; returning
 	// false stops the current Run.
 	OnRound func(RoundMetrics) bool
+	// OnCrash, when set, observes every crash the plane executes.
+	OnCrash func(CrashEvent)
 }
 
 // RoundMetrics is one round of the plane's metrics stream.
@@ -90,6 +107,55 @@ type RoundMetrics struct {
 	Bytes    int64   `json:"bytes"`    // cross-actor payload bytes
 	NNZ      int     `json:"nnz"`      // allocation entries after the round
 	Step     float64 `json:"step"`     // η in effect
+
+	// Faults is set only on rounds where faults were injected, detected
+	// or recovered — nil on a clean transport, so zero-fault metric
+	// streams serialize exactly as before.
+	Faults *FaultTotals `json:"faults,omitempty"`
+}
+
+// FaultTotals aggregates injected faults (transport counters) and the
+// recovery protocol's responses (receiver counters) over one round or
+// one Run.
+type FaultTotals struct {
+	// Injected by the transport.
+	Dropped     int64 `json:"dropped,omitempty"`
+	Duplicated  int64 `json:"duplicated,omitempty"`
+	Reordered   int64 `json:"reordered,omitempty"`
+	Delayed     int64 `json:"delayed,omitempty"`
+	Corrupted   int64 `json:"corrupted,omitempty"`
+	FalsePriced int64 `json:"false_priced,omitempty"`
+	// Detected and handled by the receivers.
+	DupsDropped    int64 `json:"dups_dropped,omitempty"`
+	StaleDropped   int64 `json:"stale_dropped,omitempty"`
+	InvalidDropped int64 `json:"invalid_dropped,omitempty"`
+	NacksSent      int64 `json:"nacks_sent,omitempty"`
+	ResendsServed  int64 `json:"resends_served,omitempty"`
+	Unrecovered    int64 `json:"unrecovered,omitempty"`
+	// Crash failovers executed by the plane.
+	Crashes       int     `json:"crashes,omitempty"`
+	LostMass      float64 `json:"lost_mass,omitempty"`
+	RecoveredMass float64 `json:"recovered_mass,omitempty"`
+}
+
+// Add folds g's counters into f — callers aggregating several Run
+// reports (the replay driver's segmented epochs) sum with it.
+func (f *FaultTotals) Add(g FaultTotals) {
+	f.Dropped += g.Dropped
+	f.Duplicated += g.Duplicated
+	f.Reordered += g.Reordered
+	f.Delayed += g.Delayed
+	f.Corrupted += g.Corrupted
+	f.FalsePriced += g.FalsePriced
+	f.DupsDropped += g.DupsDropped
+	f.StaleDropped += g.StaleDropped
+	f.InvalidDropped += g.InvalidDropped
+	f.NacksSent += g.NacksSent
+	f.ResendsServed += g.ResendsServed
+	f.Unrecovered += g.Unrecovered
+	f.Crashes += g.Crashes
+	f.LostMass += g.LostMass
+	f.RecoveredMass += g.RecoveredMass
 }
 
 // Report aggregates one Run call.
@@ -103,6 +169,10 @@ type Report struct {
 	Messages     int64   `json:"messages"`
 	Bytes        int64   `json:"bytes"`
 	NNZ          int     `json:"nnz"`
+
+	// Faults aggregates the run's fault and recovery counters; nil when
+	// nothing was injected, detected or crashed.
+	Faults *FaultTotals `json:"faults,omitempty"`
 }
 
 // Plane is a running control plane: the sharded actors, their
@@ -129,6 +199,14 @@ type Plane struct {
 	totalLoad  float64
 	quietFor   int
 	goodStreak int
+
+	// Fault-tolerance state.
+	harden      bool        // transport is lossy: actors run the recovery protocol
+	metroDelays [][]float64 // metro-pair delay table (block mode)
+	crashes     int         // crashes executed so far
+	roundCrash  *CrashEvent // crash executed this round, consumed by observe
+	lastStats   TransportStats
+	carry       carryState // pre-crash round counters, consumed by observe
 
 	loads []float64 // observer scratch
 
@@ -158,8 +236,20 @@ func NewPlane(in *model.Instance, cfg Config) (*Plane, error) {
 	if cfg.Band == 0 {
 		cfg.Band = 0.02
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.RoundMs < 0 {
+		return nil, fmt.Errorf("descent: RoundMs=%v, must be >= 0", cfg.RoundMs)
+	}
 	if cfg.Transport == nil {
-		cfg.Transport = NewBus()
+		if cfg.Faults != nil {
+			cfg.Transport = NewSimTransport(cfg.Faults)
+		} else {
+			cfg.Transport = NewBus()
+		}
 	}
 	p := &Plane{cfg: cfg, eta: cfg.Step, minEta: cfg.Step / 1024}
 	alloc := sparse.New(in.M(), in.M())
@@ -189,12 +279,15 @@ func (p *Plane) rebuild(in *model.Instance, alloc *sparse.Matrix) error {
 	p.labels = nil
 	p.k = 0
 	p.block = false
+	p.metroDelays = nil
 	if b, ok := in.Latency.(*model.BlockLatency); ok {
 		p.labels = b.Label
 		p.k = b.K()
 		p.block = true
+		p.metroDelays = b.Delay
 	} else if in.Cluster != nil {
-		if _, ok := model.ClusterDelays(in); ok {
+		if d, ok := model.ClusterDelays(in); ok {
+			p.metroDelays = d
 			p.labels = in.Cluster
 			for _, g := range p.labels {
 				if g+1 > p.k {
@@ -227,6 +320,10 @@ func (p *Plane) rebuild(in *model.Instance, alloc *sparse.Matrix) error {
 		}
 	}
 
+	if lt, ok := p.cfg.Transport.(LossyTransport); ok && lt.Lossy() {
+		p.harden = true
+	}
+
 	p.actors = make([]*actor, shards)
 	for id := range p.actors {
 		a := &actor{
@@ -239,6 +336,9 @@ func (p *Plane) rebuild(in *model.Instance, alloc *sparse.Matrix) error {
 		}
 		if p.block {
 			a.byMetro = make([][]int32, p.k)
+		}
+		if p.harden {
+			a.hardInit(shards)
 		}
 		p.actors[id] = a
 	}
@@ -294,6 +394,20 @@ func (p *Plane) rebuild(in *model.Instance, alloc *sparse.Matrix) error {
 	p.tr.Attach(p.shards, func(dst int, payload []byte) {
 		p.actors[dst].enqueue(payload)
 	})
+	if da, ok := p.tr.(DelayAware); ok {
+		ms := p.pairDelays()
+		rd := p.cfg.RoundMs
+		if rd <= 0 {
+			for _, row := range ms {
+				for _, d := range row {
+					if d > rd {
+						rd = d
+					}
+				}
+			}
+		}
+		da.SetDelays(ms, rd)
+	}
 	p.loads = make([]float64, m)
 	p.lastCost = p.observeCost()
 	p.quietFor = 0
@@ -333,11 +447,108 @@ func (p *Plane) Round() (RoundMetrics, error) {
 	p.tr.Flush()
 	p.par(func(a *actor) { a.step(r) })
 	p.tr.Flush()
-	p.par(func(a *actor) { a.apply(r) })
+	if victim, ok := p.scheduledCrash(r); ok {
+		// The victim dies between its step and the apply barrier: its
+		// round state and every payload in flight to or from it are
+		// lost, and the failover reshards the survivors through the
+		// Leave churn path.
+		p.captureRound()
+		if _, err := p.Crash(victim); err != nil {
+			return RoundMetrics{}, err
+		}
+	} else {
+		p.par(func(a *actor) { a.apply(r) })
+	}
 	if p.errSet != nil {
 		return RoundMetrics{}, p.errSet
 	}
 	return p.observe(), nil
+}
+
+// scheduledCrash consults the fault plan's crash schedule for round r.
+// Crashes need a survivor: a single-actor plane, an empty victim, or a
+// victim owning the whole fleet skips the draw.
+func (p *Plane) scheduledCrash(r int) (int, bool) {
+	fp := p.cfg.Faults
+	if fp == nil || fp.CrashEvery <= 0 || r%fp.CrashEvery != 0 {
+		return 0, false
+	}
+	if fp.MaxCrashes > 0 && p.crashes >= fp.MaxCrashes {
+		return 0, false
+	}
+	if p.shards < 2 {
+		return 0, false
+	}
+	victim := int(fp.draw(int32(r), 0, 0, 0, saltCrash) % uint64(p.shards))
+	if n := len(p.actors[victim].own); n == 0 || n == p.in.M() {
+		return 0, false
+	}
+	return victim, true
+}
+
+// carryState preserves a crashed round's counters across the failover
+// rebuild (which replaces every actor) so observe still reports them.
+type carryState struct {
+	moved   float64
+	stepped int
+	msgs    int64
+	bytes   int64
+	faults  FaultTotals
+}
+
+// captureRound folds the current actors' round-local counters into the
+// carry before a crash rebuild discards them.
+func (p *Plane) captureRound() {
+	for _, a := range p.actors {
+		p.carry.moved += a.moved
+		p.carry.stepped += a.stepped
+		p.carry.msgs += a.sentMsgs
+		p.carry.bytes += a.sentBytes
+		p.carry.faults.DupsDropped += a.dupsDropped
+		p.carry.faults.StaleDropped += a.staleDropped
+		p.carry.faults.InvalidDropped += a.invalidDropped
+		p.carry.faults.NacksSent += a.nacksSent
+		p.carry.faults.ResendsServed += a.resendsServed
+		p.carry.faults.Unrecovered += a.unrecovered
+	}
+}
+
+// pairDelays derives the actor-pair delay matrix from the latency view:
+// a pair's payloads pay the largest delay between servers the two
+// actors own. Block mode folds the O(k²) metro table (actor a owns the
+// metros ≡ a mod shards); the dense fallback scans owned server pairs.
+func (p *Plane) pairDelays() [][]float64 {
+	d := make([][]float64, p.shards)
+	for i := range d {
+		d[i] = make([]float64, p.shards)
+	}
+	if p.block && p.metroDelays != nil {
+		for g := 0; g < p.k; g++ {
+			for h := 0; h < p.k; h++ {
+				a, b := g%p.shards, h%p.shards
+				if a == b || g == h {
+					continue
+				}
+				if v := p.metroDelays[g][h]; v > d[a][b] {
+					d[a][b] = v
+				}
+			}
+		}
+		return d
+	}
+	m := p.in.M()
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			a, b := int(p.owner[i]), int(p.owner[j])
+			if a == b || i == j {
+				continue
+			}
+			if v := p.lat.At(i, j); v > d[a][b] {
+				d[a][b] = v
+			}
+		}
+	}
+	return d
 }
 
 // observe computes the round's metrics and advances the deterministic
@@ -350,6 +561,41 @@ func (p *Plane) observe() RoundMetrics {
 		met.Messages += a.sentMsgs
 		met.Bytes += a.sentBytes
 		met.NNZ += a.nnz()
+	}
+	met.Moved += p.carry.moved
+	met.Stepped += p.carry.stepped
+	met.Messages += p.carry.msgs
+	met.Bytes += p.carry.bytes
+	ft := p.carry.faults
+	p.carry = carryState{}
+	if p.harden {
+		for _, a := range p.actors {
+			ft.DupsDropped += a.dupsDropped
+			ft.StaleDropped += a.staleDropped
+			ft.InvalidDropped += a.invalidDropped
+			ft.NacksSent += a.nacksSent
+			ft.ResendsServed += a.resendsServed
+			ft.Unrecovered += a.unrecovered
+		}
+	}
+	if sr, ok := p.tr.(FaultStatsReader); ok {
+		s := sr.FaultStats()
+		ft.Dropped += s.Dropped - p.lastStats.Dropped
+		ft.Duplicated += s.Duplicated - p.lastStats.Duplicated
+		ft.Reordered += s.Reordered - p.lastStats.Reordered
+		ft.Delayed += s.Delayed - p.lastStats.Delayed
+		ft.Corrupted += s.Corrupted - p.lastStats.Corrupted
+		ft.FalsePriced += s.FalsePriced - p.lastStats.FalsePriced
+		p.lastStats = s
+	}
+	if p.roundCrash != nil {
+		ft.Crashes++
+		ft.LostMass += p.roundCrash.LostMass
+		ft.RecoveredMass += p.roundCrash.RecoveredMass
+		p.roundCrash = nil
+	}
+	if ft != (FaultTotals{}) {
+		met.Faults = &ft
 	}
 	met.Cost = p.observeCost()
 	if p.cfg.Target > 0 {
@@ -435,6 +681,12 @@ func (p *Plane) Run(rounds int) (*Report, error) {
 		rep.Messages += met.Messages
 		rep.Bytes += met.Bytes
 		rep.NNZ = met.NNZ
+		if met.Faults != nil {
+			if rep.Faults == nil {
+				rep.Faults = &FaultTotals{}
+			}
+			rep.Faults.Add(*met.Faults)
+		}
 		if p.cfg.Target > 0 && rep.RoundsToBand < 0 &&
 			met.Cost <= p.cfg.Target*(1+p.cfg.Band) {
 			rep.RoundsToBand = rep.Rounds

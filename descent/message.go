@@ -39,6 +39,23 @@ const (
 	kindPrices  msgKind = 1
 	kindSummary msgKind = 2
 	kindDelta   msgKind = 3
+	// kindEnvelope wraps any of the above with a per-(sender, receiver)
+	// stream sequence number (carried in the count field). Only lossy
+	// transports see envelopes — the Bus wire format is untouched, so
+	// its byte counters stay comparable across releases.
+	kindEnvelope msgKind = 4
+	// kindResend asks the sender to retransmit the listed envelope
+	// sequence numbers (one uint32 per entry). Sent raw (no envelope):
+	// requests are idempotent, so they need no stream of their own.
+	kindResend msgKind = 5
+	// kindRefresh is the anti-entropy snapshot (delta entry layout): the
+	// sender's complete (row, col, val) set for the receiver's columns.
+	// NACK/retransmit gives up on a gap after a bounded number of
+	// rounds, so a lost delta can leave an owner column stale
+	// indefinitely; the periodic refresh overwrites stale values and —
+	// because the snapshot is complete per (sender, receiver) — lets
+	// the owner prune entries the sender's rows no longer hold.
+	kindRefresh msgKind = 6
 )
 
 // header: kind(1) + from(4) + round(4) + count(4)
@@ -83,6 +100,9 @@ type message struct {
 	prices    []priceEntry
 	summaries []summaryEntry
 	deltas    []deltaEntry
+	seq       uint32   // envelope stream sequence (kindEnvelope)
+	inner     []byte   // wrapped payload (kindEnvelope)
+	resend    []uint32 // requested sequence numbers (kindResend)
 }
 
 func putHeader(buf []byte, kind msgKind, from, round, count int) []byte {
@@ -121,12 +141,41 @@ func encodeSummaries(from, round int, entries []summaryEntry) []byte {
 }
 
 func encodeDeltas(from, round int, entries []deltaEntry) []byte {
+	return encodeDeltaKind(kindDelta, from, round, entries)
+}
+
+// encodeRefresh builds an anti-entropy snapshot payload — delta layout
+// under kindRefresh.
+func encodeRefresh(from, round int, entries []deltaEntry) []byte {
+	return encodeDeltaKind(kindRefresh, from, round, entries)
+}
+
+func encodeDeltaKind(kind msgKind, from, round int, entries []deltaEntry) []byte {
 	buf := make([]byte, 0, headerBytes+len(entries)*deltaEntryBytes)
-	buf = putHeader(buf, kindDelta, from, round, len(entries))
+	buf = putHeader(buf, kind, from, round, len(entries))
 	for _, e := range entries {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.row))
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.col))
 		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.val))
+	}
+	return buf
+}
+
+// encodeEnvelope wraps an encoded message with the sender's stream
+// sequence number for dst (carried in the header's count field).
+func encodeEnvelope(from, round int, seq uint32, inner []byte) []byte {
+	buf := make([]byte, 0, headerBytes+len(inner))
+	buf = putHeader(buf, kindEnvelope, from, round, int(seq))
+	return append(buf, inner...)
+}
+
+// encodeResend builds a retransmit request for the given envelope
+// sequence numbers (ascending by construction — see scanGaps).
+func encodeResend(from, round int, seqs []uint32) []byte {
+	buf := make([]byte, 0, headerBytes+4*len(seqs))
+	buf = putHeader(buf, kindResend, from, round, len(seqs))
+	for _, s := range seqs {
+		buf = binary.LittleEndian.AppendUint32(buf, s)
 	}
 	return buf
 }
@@ -173,7 +222,7 @@ func decodeMessage(payload []byte) (message, error) {
 				load:       math.Float64frombits(binary.LittleEndian.Uint64(body[off+44:])),
 			}
 		}
-	case kindDelta:
+	case kindDelta, kindRefresh:
 		if len(body) != count*deltaEntryBytes {
 			return m, fmt.Errorf("descent: delta payload has %d body bytes, want %d", len(body), count*deltaEntryBytes)
 		}
@@ -185,6 +234,17 @@ func decodeMessage(payload []byte) (message, error) {
 				col: int32(binary.LittleEndian.Uint32(body[off+4:])),
 				val: math.Float64frombits(binary.LittleEndian.Uint64(body[off+8:])),
 			}
+		}
+	case kindEnvelope:
+		m.seq = uint32(count)
+		m.inner = body
+	case kindResend:
+		if len(body) != count*4 {
+			return m, fmt.Errorf("descent: resend payload has %d body bytes, want %d", len(body), count*4)
+		}
+		m.resend = make([]uint32, count)
+		for t := range m.resend {
+			m.resend[t] = binary.LittleEndian.Uint32(body[t*4:])
 		}
 	default:
 		return m, fmt.Errorf("descent: unknown message kind %d", m.kind)

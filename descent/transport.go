@@ -43,6 +43,11 @@ func (b *Bus) Attach(actors int, deliver func(dst int, payload []byte)) {
 	b.deliver = deliver
 }
 
-func (b *Bus) Send(dst int, payload []byte) { b.deliver(dst, payload) }
+func (b *Bus) Send(dst int, payload []byte) {
+	if b.deliver == nil {
+		panic("descent: Bus.Send before Attach — construct the plane (which attaches the transport) before sending")
+	}
+	b.deliver(dst, payload)
+}
 
 func (b *Bus) Flush() {}

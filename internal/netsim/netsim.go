@@ -20,6 +20,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
@@ -78,9 +79,21 @@ type Sim struct {
 }
 
 // New builds a simulator over the given one-way latency matrix (ms); the
-// matrix must be at least cfg.Servers large. Neighbor sets are drawn with
-// rng.
+// matrix must be at least cfg.Servers large in both dimensions — checked
+// here, because an undersized matrix would otherwise surface only as an
+// index panic deep inside ProbeRTT. Neighbor sets are drawn with rng.
 func New(cfg Config, lat [][]float64, rng *rand.Rand) *Sim {
+	if cfg.Servers < 1 {
+		panic(fmt.Sprintf("netsim: config has %d servers, need at least 1", cfg.Servers))
+	}
+	if len(lat) < cfg.Servers {
+		panic(fmt.Sprintf("netsim: latency matrix has %d rows, need at least cfg.Servers=%d", len(lat), cfg.Servers))
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		if len(lat[i]) < cfg.Servers {
+			panic(fmt.Sprintf("netsim: latency row %d has %d entries, need at least cfg.Servers=%d", i, len(lat[i]), cfg.Servers))
+		}
+	}
 	if rng == nil {
 		rng = rand.New(rand.NewSource(1))
 	}
@@ -139,9 +152,10 @@ func (s *Sim) SetBackgroundThroughput(perFlowKBps float64) {
 // node i's egress shaper. Probe packets are far smaller than the
 // background packets that fill the queue, so the low-utilization delay
 // is essentially zero; we model the waiting time with the convex ramp
-// util³/(1−util), which stays negligible below ~60% utilization and
+// util⁴/(1−util), which stays negligible below ~60% utilization and
 // blows up near saturation — matching the flat-then-rising Table IV
-// profile.
+// profile. (The exponent is load-bearing: table4.golden pins this exact
+// curve, so the comment documents the code, not the other way around.)
 func (s *Sim) shaperDelay(i int) float64 {
 	util := s.egress[i] / s.cfg.ShapingRateKBps
 	if util > s.cfg.MaxUtilization {

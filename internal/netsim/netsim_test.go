@@ -31,6 +31,47 @@ func newSim(t *testing.T, seed int64) *Sim {
 	return New(cfg, lat, rng)
 }
 
+// TestNewRejectsUndersizedLatency pins the dimension check: an
+// undersized matrix must fail loudly at construction, not as an index
+// panic inside ProbeRTT rounds later.
+func TestNewRejectsUndersizedLatency(t *testing.T) {
+	square := func(n int) [][]float64 {
+		m := make([][]float64, n)
+		for i := range m {
+			m[i] = make([]float64, n)
+		}
+		return m
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		lat  [][]float64
+	}{
+		{"too few rows", DefaultConfig(), square(59)},
+		{"short row", DefaultConfig(), func() [][]float64 {
+			m := square(60)
+			m[41] = m[41][:59]
+			return m
+		}()},
+		{"zero servers", Config{}, square(0)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("New accepted an undersized latency matrix")
+				}
+			}()
+			New(tc.cfg, tc.lat, rand.New(rand.NewSource(1)))
+		})
+	}
+	// An oversized matrix stays fine — "at least" is the contract.
+	cfg := DefaultConfig()
+	cfg.Servers = 10
+	if s := New(cfg, square(60), rand.New(rand.NewSource(1))); s == nil {
+		t.Fatal("New rejected a larger-than-needed matrix")
+	}
+}
+
 func TestTopology(t *testing.T) {
 	s := newSim(t, 1)
 	for i := 0; i < 60; i++ {

@@ -9,6 +9,7 @@ package replay
 //	spike 5 4
 //	load 3 150
 //	latshift * * 1.5
+//	latrestore * *
 //	join 40 speed=2.5 load=0 cluster=2
 //	join 41 speed=1 load=50 uniform=20
 //	leave 7
@@ -211,6 +212,19 @@ func parseEvent(fields []string) (Event, error) {
 			return ev, fmt.Errorf("bad factor %q", fields[3])
 		}
 		ev = Event{Kind: LatencyShift, ID: from, To: to, Value: v}
+	case "latrestore":
+		if len(fields) != 3 {
+			return ev, fmt.Errorf("want `latrestore <id|*> <id|*>`")
+		}
+		from, err := parseID(fields[1])
+		if err != nil {
+			return ev, err
+		}
+		to, err := parseID(fields[2])
+		if err != nil {
+			return ev, err
+		}
+		ev = Event{Kind: LatencyRestore, ID: from, To: to}
 	case "join":
 		if len(fields) != 5 {
 			return ev, fmt.Errorf("want `join <id> speed=<s> load=<n> uniform=<c>|cluster=<g>`")
@@ -294,6 +308,8 @@ func (tr *Trace) Encode(w io.Writer) error {
 				fmt.Fprintf(bw, "%s %d %s\n", e.Kind, e.ID, g(e.Value))
 			case LatencyShift:
 				fmt.Fprintf(bw, "latshift %s %s %s\n", idStr(e.ID), idStr(e.To), g(e.Value))
+			case LatencyRestore:
+				fmt.Fprintf(bw, "latrestore %s %s\n", idStr(e.ID), idStr(e.To))
 			case ServerJoin:
 				mode := fmt.Sprintf("cluster=%d", e.Cluster)
 				if e.Join == JoinUniform {

@@ -3,6 +3,7 @@ package replay
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -45,6 +46,18 @@ type DescentConfig struct {
 	Verify bool
 	// Progress, if non-nil, is called after each completed epoch.
 	Progress func(done, total int)
+	// CrashPerEpoch crashes that many plan-chosen actors at the start
+	// of every epoch (after the epoch's events, before its rounds) —
+	// the "one actor crash per epoch" resilience drill. The victim is
+	// drawn from Plane.Faults (an epoch-salted CrashVictim draw; a zero
+	// plan seeded from Plane.Seed is used when Faults is nil), probing
+	// forward when the draw lands on an actor that owns nothing or
+	// cannot fail over, and the failover runs the plane's Leave churn
+	// path. With any crash schedule active — this field or
+	// Plane.Faults.CrashEvery — trace events addressed to servers a
+	// crash already removed are skipped and counted instead of failing
+	// the replay.
+	CrashPerEpoch int
 }
 
 func (c DescentConfig) band() float64 {
@@ -98,10 +111,17 @@ type DescentEpoch struct {
 	Converged    bool `json:"converged"`
 	// Messages/Bytes are the epoch's total cross-actor traffic; NNZ the
 	// allocation's support size after the rounds.
-	Messages int64         `json:"messages"`
-	Bytes    int64         `json:"bytes"`
-	NNZ      int           `json:"nnz"`
-	Elapsed  time.Duration `json:"-"`
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+	NNZ      int   `json:"nnz"`
+	// SkippedEvents counts trace events addressed to servers a crash
+	// had already removed; Faults aggregates the epoch's injected
+	// faults, recovery counters and crash mass. Both stay zero-valued
+	// (and out of the JSON) on fault-free runs, so existing timelines
+	// serialize byte-identically.
+	SkippedEvents int                  `json:"skipped_events,omitempty"`
+	Faults        *descent.FaultTotals `json:"faults,omitempty"`
+	Elapsed       time.Duration        `json:"-"`
 }
 
 // BytesPerRound is the epoch's mean message volume per gradient round.
@@ -136,15 +156,28 @@ func (tl *DescentTimeline) WriteTable(w io.Writer) {
 		fmt.Fprintf(w, "%-5d %-8.4g %-6d %-6d %-10.6g %-12.6g %-12.6g %-12.6g %-7d %-7d %-10.4g %-8d %s\n",
 			e.Epoch, e.Time, e.Events, e.Servers, e.TotalLoad, e.StartCost, e.Cost, e.OracleCost,
 			e.Rounds, e.RoundsToBand, e.BytesPerRound(), e.NNZ, e.Elapsed.Round(time.Millisecond))
+		if f := e.Faults; f != nil || e.SkippedEvents > 0 {
+			if f == nil {
+				f = &descent.FaultTotals{}
+			}
+			fmt.Fprintf(w, "      faults: drop=%d dup=%d reorder=%d delay=%d corrupt=%d lie=%d | nack=%d resend=%d stale=%d invalid=%d unrecovered=%d | crashes=%d lost=%.6g recovered=%.6g skipped=%d\n",
+				f.Dropped, f.Duplicated, f.Reordered, f.Delayed, f.Corrupted, f.FalsePriced,
+				f.NacksSent, f.ResendsServed, f.StaleDropped, f.InvalidDropped, f.Unrecovered,
+				f.Crashes, f.LostMass, f.RecoveredMass, e.SkippedEvents)
+		}
 	}
 }
 
 // RunDescent replays the trace on a distributed descent plane. Like Run
-// it is deterministic for a fixed (trace, config) pair; on context
+// it is deterministic for a fixed (trace, config) pair — including any
+// Plane.Faults schedule, which replays byte-for-byte — and on context
 // cancellation the timeline built so far is returned with ctx.Err().
-// LatencyShift events are rejected: the plane's actors gossip loads,
-// not delays, so a delay change would desynchronize them silently (the
-// ROADMAP records WAN-transport realism as the follow-on).
+// LatencyShift/LatencyRestore events are rejected: the plane's actors
+// gossip loads, not delays, so a delay change would desynchronize them
+// silently. The WAN transport (descent.SimTransport) now carries the
+// static delay geometry; the ROADMAP records delay *gossip* — actors
+// exchanging latency updates so shift events can replay — as the
+// unblocked follow-on.
 func RunDescent(ctx context.Context, tr *Trace, cfg DescentConfig) (*DescentTimeline, error) {
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -162,6 +195,11 @@ func RunDescent(ctx context.Context, tr *Trace, cfg DescentConfig) (*DescentTime
 		if userRound != nil && !userRound(met) {
 			return false
 		}
+		// A crash mid-run stales the oracle and the id map's picture of
+		// the fleet: stop this Run segment so measure can re-anchor.
+		if en.crashed {
+			return false
+		}
 		// RelGap is only meaningful once the epoch's oracle has set a
 		// positive target.
 		if cfg.StopInBand && en.target > 0 && met.RelGap <= cfg.band() {
@@ -169,11 +207,20 @@ func RunDescent(ctx context.Context, tr *Trace, cfg DescentConfig) (*DescentTime
 		}
 		return true
 	}
+	userCrash := pcfg.OnCrash
+	pcfg.OnCrash = func(ev descent.CrashEvent) {
+		en.noteCrash(ev)
+		if userCrash != nil {
+			userCrash(ev)
+		}
+	}
 	p, err := descent.NewPlane(in, pcfg)
 	if err != nil {
 		return nil, err
 	}
 	en.p = p
+	en.tolerateDeadIDs = cfg.CrashPerEpoch > 0 ||
+		(cfg.Plane.Faults != nil && cfg.Plane.Faults.CrashEvery > 0)
 	m := p.M()
 	en.ids = make([]int64, m)
 	for i := 0; i < m; i++ {
@@ -189,6 +236,12 @@ func RunDescent(ctx context.Context, tr *Trace, cfg DescentConfig) (*DescentTime
 	for k, ep := range tr.Epochs {
 		for _, ev := range ep.Events {
 			if err := en.apply(ev); err != nil {
+				if en.tolerateDeadIDs && errors.Is(err, errNoLiveServer) {
+					// The event addresses a server a crash removed —
+					// real traces keep naming dead hosts for a while.
+					en.skipped++
+					continue
+				}
 				return tl, fmt.Errorf("replay: descent epoch %d (t=%v): %w", k+1, ep.Time, err)
 			}
 		}
@@ -213,14 +266,53 @@ type descentEngine struct {
 	// target is the current epoch's oracle cost (0: none yet) — read by
 	// the StopInBand round hook.
 	target float64
+	// crashed flips when the plane reports a crash mid-run; the OnRound
+	// hook reads it to end the Run segment so measure can re-anchor the
+	// oracle and keep going. crashEvs collects the epoch's crash events
+	// (mass accounting comes from here, not the fault counters, so a
+	// driver-invoked crash and a plane-scheduled one report the same
+	// way); skipped counts trace events that named dead servers.
+	crashed         bool
+	crashEvs        []descent.CrashEvent
+	skipped         int
+	tolerateDeadIDs bool
 }
+
+// errNoLiveServer marks a trace event addressed to a server that is not
+// (or no longer) in the fleet — with a crash schedule active these are
+// skipped rather than fatal.
+var errNoLiveServer = errors.New("no live server")
 
 func (en *descentEngine) liveIndex(id int64) (int, error) {
 	i, ok := en.idx[id]
 	if !ok {
-		return 0, fmt.Errorf("no live server with id %d", id)
+		return 0, fmt.Errorf("%w with id %d", errNoLiveServer, id)
 	}
 	return i, nil
+}
+
+// noteCrash mirrors a plane crash into the driver's stable-id map: the
+// event's Removed indices (crash-time numbering, ascending) come out of
+// ids highest-first so earlier removals don't shift later ones.
+func (en *descentEngine) noteCrash(ev descent.CrashEvent) {
+	en.crashed = true
+	en.crashEvs = append(en.crashEvs, ev)
+	for t := len(ev.Removed) - 1; t >= 0; t-- {
+		i := int(ev.Removed[t])
+		if i < 0 || i >= len(en.ids) {
+			continue
+		}
+		delete(en.idx, en.ids[i])
+		en.ids = append(en.ids[:i], en.ids[i+1:]...)
+		for _, id := range en.ids[i:] {
+			en.idx[id]--
+		}
+	}
+	// Any staged-but-unflushed load edits index the pre-crash fleet;
+	// drop them rather than apply them to shifted rows. (Crashes land
+	// between epochs or mid-Run, when pending is already flushed, so
+	// this is belt and braces.)
+	en.pending = nil
 }
 
 func (en *descentEngine) ensurePending() {
@@ -254,7 +346,7 @@ func (en *descentEngine) apply(ev Event) error {
 		}
 		en.ensurePending()
 		en.pending[i] *= ev.Value
-	case LatencyShift:
+	case LatencyShift, LatencyRestore:
 		return fmt.Errorf("descent driver does not support latency shifts")
 	case ServerJoin:
 		if err := en.flush(); err != nil {
@@ -317,6 +409,36 @@ func (en *descentEngine) measure(ctx context.Context, tl *DescentTimeline, epoch
 	}
 	start := time.Now()
 	p := en.p
+	en.crashEvs = en.crashEvs[:0]
+
+	// The per-epoch crash drill fires before any measurement, so
+	// StartCost already shows what the failover left behind. The victim
+	// draw is epoch-salted from the fault plan (a zero plan carrying the
+	// plane's seed when none is configured) — deterministic, and
+	// independent of how many rounds earlier epochs ran.
+	if en.cfg.CrashPerEpoch > 0 {
+		plan := descent.FaultPlan{Seed: en.cfg.Plane.Seed}
+		if en.cfg.Plane.Faults != nil {
+			plan = *en.cfg.Plane.Faults
+		}
+		for c := 0; c < en.cfg.CrashPerEpoch && p.Shards() >= 2; c++ {
+			// On block instances actors own whole metros, so the drawn
+			// victim may own nothing (a crash no-op) or — late in a
+			// shrinking fleet — everything (no survivor to fail over to).
+			// Probe forward from the draw until someone actually dies;
+			// when nobody can (one metro left), the drill skips. Both
+			// outcomes are functions of (plan, epoch, fleet), so the
+			// replay stays deterministic.
+			victim := plan.CrashVictim(int64(epoch)<<8|int64(c), p.Shards())
+			for k, n := 0, p.Shards(); k < n; k++ {
+				ev, err := p.Crash((victim + k) % n)
+				if err == nil && ev.Servers > 0 {
+					break
+				}
+			}
+		}
+	}
+
 	row := DescentEpoch{
 		Epoch:        epoch,
 		Time:         t,
@@ -328,26 +450,58 @@ func (en *descentEngine) measure(ctx context.Context, tl *DescentTimeline, epoch
 	for _, n := range p.Instance().Load {
 		row.TotalLoad += n
 	}
-	if !en.cfg.SkipOracle {
-		res := qp.SolveFrankWolfeSparse(p.Instance(), en.cfg.oracleOptions())
-		row.OracleCost = res.Cost
-		en.target = res.Cost
-	} else {
-		en.target = 0
+	// A plane-scheduled crash (Faults.CrashEvery) lands mid-Run and
+	// stales both the oracle and the id map, so the budget is spent in
+	// segments: each crash ends its segment, the oracle re-solves the
+	// shrunken instance, and the remaining budget continues.
+	var faults descent.FaultTotals
+	budget := en.cfg.budget()
+	for {
+		en.crashed = false
+		if !en.cfg.SkipOracle {
+			res := qp.SolveFrankWolfeSparse(p.Instance(), en.cfg.oracleOptions())
+			row.OracleCost = res.Cost
+			en.target = res.Cost
+		} else {
+			en.target = 0
+		}
+		p.SetTarget(en.target)
+		rep, err := p.Run(budget - row.Rounds)
+		if err != nil {
+			return err
+		}
+		if row.RoundsToBand < 0 && rep.RoundsToBand >= 0 {
+			row.RoundsToBand = row.Rounds + rep.RoundsToBand
+		}
+		row.Rounds += rep.Rounds
+		row.Messages += rep.Messages
+		row.Bytes += rep.Bytes
+		row.Cost = rep.Cost
+		row.RelGap = rep.RelGap
+		row.Converged = rep.Converged
+		row.NNZ = rep.NNZ
+		if rep.Faults != nil {
+			// Crash mass is taken from the crash events below — one
+			// source for both driver-drill and plane-scheduled crashes —
+			// so the report's copy is zeroed before folding.
+			f := *rep.Faults
+			f.Crashes, f.LostMass, f.RecoveredMass = 0, 0, 0
+			faults.Add(f)
+		}
+		if !en.crashed || row.Rounds >= budget {
+			break
+		}
 	}
-	p.SetTarget(en.target)
-	rep, err := p.Run(en.cfg.budget())
-	if err != nil {
-		return err
+	faults.Crashes = len(en.crashEvs)
+	for _, ev := range en.crashEvs {
+		faults.LostMass += ev.LostMass
+		faults.RecoveredMass += ev.RecoveredMass
 	}
-	row.Cost = rep.Cost
-	row.RelGap = rep.RelGap
-	row.Rounds = rep.Rounds
-	row.RoundsToBand = rep.RoundsToBand
-	row.Converged = rep.Converged
-	row.Messages = rep.Messages
-	row.Bytes = rep.Bytes
-	row.NNZ = rep.NNZ
+	if faults != (descent.FaultTotals{}) {
+		row.Faults = &faults
+	}
+	row.SkippedEvents = en.skipped
+	en.skipped = 0
 	row.Elapsed = time.Since(start)
 	tl.Epochs = append(tl.Epochs, row)
 

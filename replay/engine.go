@@ -161,6 +161,20 @@ type engine struct {
 	// per event.
 	pending    []float64
 	pendingLat [][]float64
+	// latSnaps is the stack of pre-shift latency values: every
+	// LatencyShift pushes one, LatencyRestore pops the most recent with
+	// matching endpoints and writes the exact bytes back.
+	latSnaps []latSnap
+}
+
+// latSnap records the entries a LatencyShift scaled, in the shift's own
+// iteration order, so a LatencyRestore can undo it bit-exactly —
+// multiplying by the inverse factor cannot (IEEE round-off).
+type latSnap struct {
+	id, to    int64 // the shift's trace-level endpoints (Wildcard allowed)
+	from, dst int   // resolved instance indices at shift time (-1: all)
+	m         int   // fleet size at shift time
+	vals      []float64
 }
 
 func (en *engine) liveIndex(id int64) (int, error) {
@@ -222,6 +236,8 @@ func (en *engine) apply(ev Event) error {
 		en.pending[i] *= ev.Value
 	case LatencyShift:
 		return en.applyLatencyShift(ev)
+	case LatencyRestore:
+		return en.applyLatencyRestore(ev)
 	case ServerJoin:
 		if err := en.flush(); err != nil {
 			return err
@@ -270,6 +286,7 @@ func (en *engine) applyLatencyShift(ev Event) error {
 		}
 		to = j
 	}
+	snap := latSnap{id: ev.ID, to: ev.To, from: from, dst: to, m: m}
 	for i := 0; i < m; i++ {
 		if from >= 0 && i != from {
 			continue
@@ -278,7 +295,49 @@ func (en *engine) applyLatencyShift(ev Event) error {
 			if i == j || (to >= 0 && j != to) {
 				continue
 			}
+			snap.vals = append(snap.vals, lat[i][j])
 			lat[i][j] *= ev.Value
+		}
+	}
+	en.latSnaps = append(en.latSnaps, snap)
+	en.blockStale = true
+	return nil
+}
+
+func (en *engine) applyLatencyRestore(ev Event) error {
+	k := -1
+	for t := len(en.latSnaps) - 1; t >= 0; t-- {
+		if en.latSnaps[t].id == ev.ID && en.latSnaps[t].to == ev.To {
+			k = t
+			break
+		}
+	}
+	if k < 0 {
+		return fmt.Errorf("latrestore %s→%s has no un-restored latshift to undo", idStr(ev.ID), idStr(ev.To))
+	}
+	snap := en.latSnaps[k]
+	en.latSnaps = append(en.latSnaps[:k], en.latSnaps[k+1:]...)
+	if en.pendingLat == nil {
+		en.pendingLat = en.sess.Latency()
+	}
+	lat := en.pendingLat
+	// Server churn between shift and restore renumbers the matrix; the
+	// snapshot's coordinates would land on the wrong links.
+	if len(lat) != snap.m {
+		return fmt.Errorf("latrestore %s→%s: fleet has %d servers, had %d when the shift landed",
+			idStr(ev.ID), idStr(ev.To), len(lat), snap.m)
+	}
+	t := 0
+	for i := 0; i < snap.m; i++ {
+		if snap.from >= 0 && i != snap.from {
+			continue
+		}
+		for j := 0; j < snap.m; j++ {
+			if i == j || (snap.dst >= 0 && j != snap.dst) {
+				continue
+			}
+			lat[i][j] = snap.vals[t]
+			t++
 		}
 	}
 	en.blockStale = true

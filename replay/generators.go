@@ -228,7 +228,9 @@ func RollingRestart(sc delaylb.Scenario, batch, downFor int, seed int64) (*Trace
 // and the surviving backbone degrades ×1.25 (rerouted traffic); after
 // downFor epochs of degraded operation the metro rejoins — its
 // organizations return with their original loads and speeds — and the
-// backbone recovers. Survivor loads jitter every epoch.
+// backbone recovers to its exact pre-outage delays (a LatencyRestore,
+// so the recovery is bit-identical, not a lossy inverse multiply).
+// Survivor loads jitter every epoch.
 func MetroOutage(sc delaylb.Scenario, metro, downFor int, seed int64) (*Trace, error) {
 	if sc.Network != delaylb.NetClustered {
 		return nil, fmt.Errorf("replay: MetroOutage needs a NetClustered scenario, got %q", sc.Network)
@@ -267,7 +269,10 @@ func MetroOutage(sc delaylb.Scenario, metro, downFor int, seed int64) (*Trace, e
 			}
 			ep.Events = append(ep.Events, Event{Kind: LatencyShift, ID: Wildcard, To: Wildcard, Value: degrade})
 		case t == downFor+1:
-			ep.Events = append(ep.Events, Event{Kind: LatencyShift, ID: Wildcard, To: Wildcard, Value: 1 / degrade})
+			// Restore, not ×(1/degrade): the inverse multiply leaves IEEE
+			// round-off in every link and the recovered backbone would
+			// never again match its pre-outage delays bit-for-bit.
+			ep.Events = append(ep.Events, Event{Kind: LatencyRestore, ID: Wildcard, To: Wildcard})
 			for _, id := range members {
 				i := int(id)
 				ep.Events = append(ep.Events, Event{

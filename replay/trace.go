@@ -20,6 +20,13 @@ const (
 	// To by Value; Wildcard on either side selects all servers. The
 	// diagonal is never touched.
 	LatencyShift EventKind = "latshift"
+	// LatencyRestore undoes the most recent un-restored LatencyShift
+	// with the same (ID, To) endpoints, writing the exact pre-shift
+	// delays back. Multiplying by the inverse factor cannot do that:
+	// IEEE round-off makes x·f·(1/f) drift off x, and a degrade/restore
+	// cycle would leave the matrix — and every downstream golden —
+	// permanently perturbed.
+	LatencyRestore EventKind = "latrestore"
 	// ServerJoin adds a server with the given ID, Speed and Load; its
 	// latency rows come from the Join mode (JoinUniform / JoinCluster).
 	ServerJoin EventKind = "join"
@@ -115,6 +122,10 @@ func (e *Event) validate() error {
 		}
 		if e.Value < 0 || !finite(e.Value) {
 			return fmt.Errorf("replay: latency factor %v, must be >= 0 and finite", e.Value)
+		}
+	case LatencyRestore:
+		if e.ID < Wildcard || e.To < Wildcard {
+			return fmt.Errorf("replay: latrestore endpoints %d→%d invalid", e.ID, e.To)
 		}
 	case ServerJoin:
 		if e.ID < 0 {

@@ -34,6 +34,7 @@ type Report struct {
 	Table4  *Table4Result    `json:"table4,omitempty"`
 	Figure2 []Figure2Series  `json:"figure2,omitempty"`
 	Descent []DescentRow     `json:"descent,omitempty"`
+	Faults  []FaultsRow      `json:"faults,omitempty"`
 }
 
 // WriteJSON writes the report as one indented JSON document.
@@ -78,6 +79,12 @@ func (r *Report) WriteCSV(w io.Writer) error {
 		write(append([]string{"descent-gap", strconv.Itoa(row.M), string(row.Dist), ""}, summaryFields(row.Gap)...)...)
 		write(append([]string{"descent-rounds", strconv.Itoa(row.M), string(row.Dist), ""}, summaryFields(row.Rounds)...)...)
 		write(append([]string{"descent-poa", strconv.Itoa(row.M), string(row.Dist), ""}, summaryFields(row.PoA)...)...)
+	}
+	for _, row := range r.Faults {
+		write(append([]string{"faults-gap", row.Fault, "", ""}, summaryFields(row.Gap)...)...)
+		write(append([]string{"faults-rounds", row.Fault, "", ""}, summaryFields(row.Rounds)...)...)
+		write(append([]string{"faults-lost", row.Fault, "", ""}, summaryFields(row.LostMass)...)...)
+		write(append([]string{"faults-recovered", row.Fault, "", ""}, summaryFields(row.RecoveredMass)...)...)
 	}
 	cw.Flush()
 	return cw.Error()

@@ -1,0 +1,211 @@
+package sweep
+
+// The WAN fault-tolerance table: the descent plane racing its
+// centralized oracle over a descent.SimTransport while one fault class
+// at a time — and finally all of them at once, plus a crash — batters
+// the wire. Each row aggregates the cooperative gap, the rounds back
+// into the 2% band, and the crash drill's lost-vs-recovered mass over a
+// few seeds. The golden test pins the rows for a fixed seed; like every
+// table in this package they are independent of the worker count,
+// because fault schedules are pure functions of (plan seed, round,
+// edge), never of scheduling.
+
+import (
+	"context"
+	"math/rand"
+
+	"delaylb"
+	"delaylb/descent"
+	"delaylb/internal/qp"
+	"delaylb/internal/stats"
+)
+
+// FaultsConfig drives the fault-tolerance table.
+type FaultsConfig struct {
+	// M / Clusters / Dist / AvgLoad fix the clustered instance family
+	// every cell draws from.
+	M        int
+	Clusters int
+	Dist     delaylb.LoadKind
+	AvgLoad  float64
+	// Rounds bounds each plane run; cells that never enter the 2% band
+	// report the full budget (censored, not a sentinel).
+	Rounds int
+	// Participation is the per-row step probability (0: full).
+	Participation float64
+	// FWIters/FWTol bound the centralized Frank–Wolfe oracle.
+	FWIters int
+	FWTol   float64
+	// Repeats is the number of seeds per fault scenario.
+	Repeats int
+	// Seed is the base seed; cell i derives its stream from
+	// CellSeed(Seed, i).
+	Seed int64
+	// Workers bounds the worker pool (<= 0: all CPUs); results are
+	// identical for every worker count.
+	Workers int
+	// Progress, if non-nil, receives (completed cells, total cells).
+	Progress func(done, total int)
+}
+
+// DefaultFaultsConfig returns the standing grid: one small clustered
+// family under every fault class the transport can inject.
+func DefaultFaultsConfig() FaultsConfig {
+	return FaultsConfig{
+		M:             60,
+		Clusters:      4,
+		Dist:          delaylb.LoadZipf,
+		AvgLoad:       100,
+		Rounds:        300,
+		Participation: 0.5,
+		FWIters:       600,
+		FWTol:         1e-6,
+		Repeats:       3,
+		Seed:          1,
+	}
+}
+
+// faultScenario is one named column of the table; the plan's Seed field
+// is filled per cell.
+type faultScenario struct {
+	name string
+	plan descent.FaultPlan
+}
+
+// faultScenarios is the fixed scenario order — part of the golden
+// contract, so append rather than reorder.
+func faultScenarios() []faultScenario {
+	return []faultScenario{
+		{"lossless", descent.FaultPlan{}},
+		{"drop5", descent.FaultPlan{Drop: 0.05}},
+		{"dup5", descent.FaultPlan{Duplicate: 0.05}},
+		{"reorder10", descent.FaultPlan{Reorder: 0.1}},
+		{"delay25", descent.FaultPlan{Delay: 0.25, DelayPhases: 2}},
+		{"byzantine", descent.FaultPlan{Corrupt: 0.02, FalsePrice: 0.05}},
+		{"crash", descent.FaultPlan{CrashEvery: 25, MaxCrashes: 1}},
+		{"storm", descent.FaultPlan{Drop: 0.05, Duplicate: 0.05, Reorder: 0.05, Delay: 0.05, DelayPhases: 1, CrashEvery: 40, MaxCrashes: 1}},
+	}
+}
+
+// FaultsRow is one aggregated row of the fault-tolerance table.
+type FaultsRow struct {
+	// Fault names the scenario (one fault class, or "storm" for all).
+	Fault string `json:"fault"`
+	// Gap summarizes the plane's signed final relative gap against the
+	// pre-fault centralized oracle.
+	Gap stats.Summary `json:"gap"`
+	// Rounds summarizes gradient rounds to the 2% band (censored at the
+	// budget when never reached).
+	Rounds stats.Summary `json:"rounds"`
+	// LostMass / RecoveredMass summarize the crash drill's accounting:
+	// load that left with the dead servers vs. surviving mass the
+	// failover folded home. All-zero for crash-free scenarios.
+	LostMass      stats.Summary `json:"lost_mass"`
+	RecoveredMass stats.Summary `json:"recovered_mass"`
+}
+
+type faultCell struct {
+	scenario int
+	rep      int
+}
+
+// FaultsTable runs the grid and aggregates per fault scenario.
+func FaultsTable(cfg FaultsConfig) []FaultsRow {
+	rows, _ := FaultsTableContext(context.Background(), cfg)
+	return rows
+}
+
+// FaultsTableContext is FaultsTable with cancellation: on ctx
+// cancellation it aggregates the completed cells and returns ctx.Err().
+func FaultsTableContext(ctx context.Context, cfg FaultsConfig) ([]FaultsRow, error) {
+	scenarios := faultScenarios()
+	var cells []faultCell
+	for s := range scenarios {
+		for rep := 0; rep < cfg.Repeats; rep++ {
+			cells = append(cells, faultCell{s, rep})
+		}
+	}
+	type sample struct {
+		scenario                     int
+		gap, rounds, lost, recovered float64
+	}
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	results, done, err := RunCells(ctx, run, cells,
+		func(ctx context.Context, i int, c faultCell, rng *rand.Rand) (sample, error) {
+			s, cerr := cfg.runCell(ctx, scenarios[c.scenario], rng)
+			if cerr != nil {
+				return sample{}, cerr
+			}
+			return sample{scenario: c.scenario, gap: s[0], rounds: s[1], lost: s[2], recovered: s[3]}, nil
+		})
+	rows := make([]FaultsRow, 0, len(scenarios))
+	for sidx, sc := range scenarios {
+		var gaps, rounds, lost, recovered []float64
+		for i, s := range results {
+			if done[i] && s.scenario == sidx {
+				gaps = append(gaps, s.gap)
+				rounds = append(rounds, s.rounds)
+				lost = append(lost, s.lost)
+				recovered = append(recovered, s.recovered)
+			}
+		}
+		if len(gaps) == 0 {
+			continue
+		}
+		rows = append(rows, FaultsRow{
+			Fault:         sc.name,
+			Gap:           stats.Summarize(gaps),
+			Rounds:        stats.Summarize(rounds),
+			LostMass:      stats.Summarize(lost),
+			RecoveredMass: stats.Summarize(recovered),
+		})
+	}
+	return rows, err
+}
+
+// runCell measures one instance under one fault plan:
+// [gap, rounds-to-band, lost mass, recovered mass]. The RNG draw order —
+// scenario seed, plan seed, plane seed — is part of the determinism
+// contract.
+func (cfg FaultsConfig) runCell(ctx context.Context, sc faultScenario, rng *rand.Rand) ([4]float64, error) {
+	var out [4]float64
+	scSeed, planSeed, planeSeed := rng.Int63(), rng.Int63(), rng.Int63()
+	in, err := delaylb.NewScenario(cfg.M).
+		WithClusters(cfg.Clusters).
+		WithLoads(cfg.Dist, cfg.AvgLoad).
+		WithSeed(scSeed).
+		Instance()
+	if err != nil {
+		return out, err
+	}
+	fw := qp.SolveFrankWolfeSparse(in, qp.Options{MaxIters: cfg.FWIters, Tol: cfg.FWTol, Ctx: ctx})
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	plan := sc.plan
+	plan.Seed = planSeed
+	p, err := descent.NewPlane(in, descent.Config{
+		Seed:          planeSeed,
+		Shards:        cfg.Clusters,
+		Target:        fw.Cost,
+		Participation: cfg.Participation,
+		Faults:        &plan,
+	})
+	if err != nil {
+		return out, err
+	}
+	rep, err := p.Run(cfg.Rounds)
+	if err != nil {
+		return out, err
+	}
+	out[0] = rep.RelGap
+	out[1] = float64(rep.RoundsToBand)
+	if rep.RoundsToBand < 0 {
+		out[1] = float64(cfg.Rounds) // censored at the budget
+	}
+	if rep.Faults != nil {
+		out[2] = rep.Faults.LostMass
+		out[3] = rep.Faults.RecoveredMass
+	}
+	return out, ctx.Err()
+}

@@ -200,6 +200,55 @@ func TestGoldenDescentParallelMatches(t *testing.T) {
 	goldenCompare(t, "descent.golden", renderDescent(rows))
 }
 
+// goldenFaultsConfig is the reduced fault-tolerance grid: 8 scenarios
+// × 2 seeds on one small clustered family.
+func goldenFaultsConfig() FaultsConfig {
+	cfg := DefaultFaultsConfig()
+	cfg.M = 48
+	cfg.FWIters = 300
+	cfg.Repeats = 2
+	cfg.Seed = 1
+	return cfg
+}
+
+func renderFaults(rows []FaultsRow) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "fault=%s gap[%s] rounds[%s] lost[%s] recovered[%s]\n",
+			r.Fault, fmtSummary(r.Gap), fmtSummary(r.Rounds), fmtSummary(r.LostMass), fmtSummary(r.RecoveredMass))
+	}
+	return sb.String()
+}
+
+// TestGoldenFaults pins the WAN fault-tolerance table: the plane's gap
+// and rounds-to-band under every injected fault class, plus the crash
+// drill's lost-vs-recovered mass. A drift in the fault injector's
+// draw order, the recovery protocol, or the failover path lands here
+// as a diff.
+func TestGoldenFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	rows := FaultsTable(goldenFaultsConfig())
+	goldenCompare(t, "faults.golden", renderFaults(rows))
+}
+
+// The faults golden must also be worker-count independent: fault
+// schedules are pure functions of (plan seed, round, edge), so a
+// parallel run must reproduce the serial rows byte-for-byte.
+func TestGoldenFaultsParallelMatches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep: skipped in -short mode")
+	}
+	if *update {
+		t.Skip("golden files being rewritten")
+	}
+	cfg := goldenFaultsConfig()
+	cfg.Workers = 3
+	rows := FaultsTable(cfg)
+	goldenCompare(t, "faults.golden", renderFaults(rows))
+}
+
 func renderFWVariants(rows []FWVariantRow) string {
 	var sb strings.Builder
 	for _, r := range rows {
