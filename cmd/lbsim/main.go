@@ -24,6 +24,7 @@ import (
 
 	"delaylb"
 	"delaylb/descent"
+	"delaylb/obs"
 	"delaylb/replay"
 )
 
@@ -47,6 +48,20 @@ type config struct {
 	Faults   string
 	Crashes  int
 	Timeline string
+
+	// Observability outputs. All are one-way side channels: enabling any
+	// of them leaves every deterministic output (stdout tables, -timeline
+	// JSON) byte-identical.
+	MetricsOut    string // Prometheus text snapshot written at exit
+	TraceOut      string // Chrome trace-event JSON (Perfetto-loadable)
+	CPUProfile    string // pprof CPU profile of the whole run
+	MemProfile    string // pprof heap profile written at exit
+	MetricsListen string // addr for a live /metrics + /debug/pprof server
+}
+
+// wantObs reports whether any flag asks for a metrics/trace scope.
+func (c config) wantObs() bool {
+	return c.MetricsOut != "" || c.TraceOut != "" || c.MetricsListen != ""
 }
 
 func main() {
@@ -68,6 +83,11 @@ func main() {
 	flag.StringVar(&cfg.Faults, "faults", "", "with -descend: fault-plan spec, e.g. drop=0.05,dup=0.05,reorder=0.1,delay=0.25,crashevery=40,maxcrashes=1")
 	flag.IntVar(&cfg.Crashes, "crashes", 0, "with -descend: driver-side crash drills per epoch (kills one actor's servers before the epoch runs)")
 	flag.StringVar(&cfg.Timeline, "timeline", "", "with -replay/-descend: also write the JSON metrics timeline to this file")
+	flag.StringVar(&cfg.MetricsOut, "metrics-out", "", "write a Prometheus text metrics snapshot to this file at exit")
+	flag.StringVar(&cfg.TraceOut, "trace-out", "", "write a Chrome trace-event JSON (load in Perfetto) to this file at exit")
+	flag.StringVar(&cfg.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	flag.StringVar(&cfg.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	flag.StringVar(&cfg.MetricsListen, "metrics-listen", "", "serve live /metrics (Prometheus text) and /debug/pprof on this address while the run executes")
 	flag.Parse()
 
 	if err := run(context.Background(), cfg, os.Stdout); err != nil {
@@ -97,7 +117,7 @@ func variantOptions(cfg config) ([]delaylb.Option, error) {
 // runReplay drives the trace-driven online engine: parse the trace file,
 // replay it with the selected solver, print the per-epoch summary table
 // and optionally persist the JSON timeline.
-func runReplay(ctx context.Context, cfg config, w io.Writer) error {
+func runReplay(ctx context.Context, cfg config, scope *obs.Scope, w io.Writer) error {
 	switch cfg.Algo {
 	case "mine", "hybrid", "proxy", "frankwolfe", "projgrad":
 	default:
@@ -127,7 +147,7 @@ func runReplay(ctx context.Context, cfg config, w io.Writer) error {
 	fmt.Fprintf(w, "replaying %s: %s, %d epochs, %d events, algo=%s\n",
 		cfg.Replay, tr.Scenario, len(tr.Epochs), tr.Events(), cfg.Algo)
 	start := time.Now()
-	tl, err := replay.Run(ctx, tr, replay.Config{Options: opts})
+	tl, err := replay.Run(ctx, tr, replay.Config{Options: opts, Obs: scope})
 	if err != nil {
 		return err
 	}
@@ -154,7 +174,7 @@ func runReplay(ctx context.Context, cfg config, w io.Writer) error {
 // every epoch's rebalancing happens via sharded actors and sparse delta
 // messages instead of a centralized solve, with a per-epoch Frank–Wolfe
 // oracle refereeing the gap.
-func runDescend(ctx context.Context, cfg config, w io.Writer) error {
+func runDescend(ctx context.Context, cfg config, scope *obs.Scope, w io.Writer) error {
 	f, err := os.Open(cfg.Descend)
 	if err != nil {
 		return err
@@ -168,6 +188,7 @@ func runDescend(ctx context.Context, cfg config, w io.Writer) error {
 		Plane:         descent.Config{Seed: cfg.Seed, Participation: cfg.Part},
 		StopInBand:    true,
 		CrashPerEpoch: cfg.Crashes,
+		Obs:           scope,
 	}
 	if cfg.Faults != "" {
 		fp, err := descent.ParseFaultPlan(cfg.Faults)
@@ -209,7 +230,9 @@ func runDescend(ctx context.Context, cfg config, w io.Writer) error {
 }
 
 // run maps the flags onto a Scenario, builds the system and dispatches on
-// the algorithm name.
+// the algorithm name. Observability flags wrap the dispatch: the scope
+// (nil unless asked for) threads into every mode, and the snapshot files
+// are written after the mode's own output.
 func run(ctx context.Context, cfg config, w io.Writer) error {
 	if cfg.Replay != "" && cfg.Descend != "" {
 		return fmt.Errorf("-replay and -descend are mutually exclusive")
@@ -222,11 +245,25 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 	if _, err := variantOptions(cfg); err != nil {
 		return err
 	}
+	ob, err := startObs(cfg)
+	if err != nil {
+		return err
+	}
+	err = runMode(ctx, cfg, ob.scope, w)
+	if ferr := ob.finish(w); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// runMode dispatches to the selected mode with the (possibly nil)
+// observability scope.
+func runMode(ctx context.Context, cfg config, scope *obs.Scope, w io.Writer) error {
 	if cfg.Replay != "" {
-		return runReplay(ctx, cfg, w)
+		return runReplay(ctx, cfg, scope, w)
 	}
 	if cfg.Descend != "" {
-		return runDescend(ctx, cfg, w)
+		return runDescend(ctx, cfg, scope, w)
 	}
 	sc, err := delaylb.ParseScenario(cfg.M, cfg.Net, cfg.Dist, cfg.Speeds, cfg.Avg, cfg.Seed)
 	if err != nil {
@@ -252,6 +289,7 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 			delaylb.WithSolver(cfg.Algo),
 			delaylb.WithSeed(cfg.Seed),
 			delaylb.WithProgress(progress),
+			delaylb.WithObs(scope),
 		}
 		vopts, err := variantOptions(cfg)
 		if err != nil {

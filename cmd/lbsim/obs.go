@@ -1,0 +1,147 @@
+package main
+
+// Observability plumbing for lbsim: the -metrics-out/-trace-out flags
+// attach an obs.Scope to whichever mode runs (one-shot solve, -replay,
+// -descend), -cpuprofile/-memprofile wrap the run in pprof, and
+// -metrics-listen serves the live registry plus net/http/pprof while
+// the run executes. Everything here is a side channel: the solve paths
+// never read the scope back, so stdout tables and -timeline JSON stay
+// byte-identical with or without any of these flags.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"delaylb/obs"
+)
+
+// obsRun is the per-invocation observability state: built before the
+// selected mode runs, finished (files written, server stopped) after.
+type obsRun struct {
+	cfg   config
+	scope *obs.Scope
+	reg   *obs.Registry
+	tr    *obs.Tracer
+	cpuF  *os.File
+	srv   *http.Server
+	ln    net.Listener
+}
+
+// startObs sets up profiling, the metrics/trace scope and the live
+// endpoint according to the flags. A config with none of them set
+// returns a zero obsRun whose scope is nil — the zero-cost default.
+func startObs(cfg config) (*obsRun, error) {
+	o := &obsRun{cfg: cfg}
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		o.cpuF = f
+	}
+	if cfg.wantObs() {
+		o.reg = obs.NewRegistry()
+		if cfg.TraceOut != "" {
+			o.tr = obs.NewTracer()
+		}
+		o.scope = obs.NewScope(o.reg, o.tr)
+	}
+	if cfg.MetricsListen != "" {
+		mux := http.NewServeMux()
+		reg := o.reg
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		ln, err := net.Listen("tcp", cfg.MetricsListen)
+		if err != nil {
+			o.stopProfiles()
+			return nil, fmt.Errorf("-metrics-listen: %w", err)
+		}
+		o.ln = ln
+		o.srv = &http.Server{Handler: mux}
+		go o.srv.Serve(ln)
+	}
+	return o, nil
+}
+
+func (o *obsRun) stopProfiles() {
+	if o.cpuF != nil {
+		pprof.StopCPUProfile()
+		o.cpuF.Close()
+		o.cpuF = nil
+	}
+}
+
+// finish stops the profiles and the live endpoint and writes the
+// requested snapshot files. Confirmation lines go to w after the mode's
+// own (deterministic) output.
+func (o *obsRun) finish(w io.Writer) error {
+	o.stopProfiles()
+	if o.srv != nil {
+		o.srv.Close()
+		o.srv, o.ln = nil, nil
+	}
+	if o.cfg.MemProfile != "" {
+		f, err := os.Create(o.cfg.MemProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC() // materialize up-to-date heap stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "heap profile written to %s\n", o.cfg.MemProfile)
+	}
+	if o.cfg.CPUProfile != "" {
+		fmt.Fprintf(w, "cpu profile written to %s\n", o.cfg.CPUProfile)
+	}
+	if o.cfg.MetricsOut != "" {
+		f, err := os.Create(o.cfg.MetricsOut)
+		if err != nil {
+			return err
+		}
+		if err := o.reg.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "metrics written to %s\n", o.cfg.MetricsOut)
+	}
+	if o.cfg.TraceOut != "" {
+		f, err := os.Create(o.cfg.TraceOut)
+		if err != nil {
+			return err
+		}
+		if err := o.tr.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace written to %s\n", o.cfg.TraceOut)
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"delaylb/obs"
+)
+
+// TestDescendObsArtifactsAndByteIdentity is the observability layer's
+// end-to-end contract on the CLI: -metrics-out and -trace-out produce
+// non-empty, parseable artifacts, and the deterministic -timeline file
+// is byte-for-byte identical whether or not any obs flag is set.
+func TestDescendObsArtifactsAndByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join("testdata", "descend.trace")
+	runOnce := func(cfg config) string {
+		t.Helper()
+		var sb strings.Builder
+		if err := run(context.Background(), cfg, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	bare := filepath.Join(dir, "bare.json")
+	runOnce(config{Seed: 1, Descend: trace, Timeline: bare})
+
+	instrumented := filepath.Join(dir, "instrumented.json")
+	metrics := filepath.Join(dir, "metrics.prom")
+	chrome := filepath.Join(dir, "trace.json")
+	out := runOnce(config{Seed: 1, Descend: trace, Timeline: instrumented,
+		MetricsOut: metrics, TraceOut: chrome})
+	for _, want := range []string{"metrics written to", "trace written to"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("instrumented run did not confirm %q:\n%s", want, out)
+		}
+	}
+
+	a, err := os.ReadFile(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(instrumented)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("-metrics-out/-trace-out changed the timeline bytes — telemetry leaked into the deterministic path")
+	}
+
+	prom, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prom) == 0 {
+		t.Fatal("metrics file is empty")
+	}
+	for _, want := range []string{"# TYPE", "descent_rounds_total", "qp_sweeps_total", "replay_epochs_total"} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics exposition lacks %q", want)
+		}
+	}
+
+	f, err := os.Open(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadChrome(f)
+	if err != nil {
+		t.Fatalf("trace file is not Chrome trace-event JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace file has no events")
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"replay.epoch", "descent.round", "qp.solve"} {
+		if !names[want] {
+			t.Errorf("trace has no %q spans (saw %v)", want, names)
+		}
+	}
+}
+
+// TestOneShotObsProfilesSmoke covers the remaining flags on the plain
+// solve path: -cpuprofile/-memprofile produce non-empty pprof files and
+// the result line is unchanged.
+func TestOneShotObsProfilesSmoke(t *testing.T) {
+	dir := t.TempDir()
+	base := config{M: 10, Net: "pl", Dist: "exp", Speeds: "uniform",
+		Algo: "frankwolfe", Avg: 10, Seed: 1}
+	runOnce := func(cfg config) string {
+		t.Helper()
+		var sb strings.Builder
+		if err := run(context.Background(), cfg, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+
+	prof := base
+	prof.CPUProfile = filepath.Join(dir, "cpu.pprof")
+	prof.MemProfile = filepath.Join(dir, "mem.pprof")
+	prof.MetricsOut = filepath.Join(dir, "metrics.prom")
+	out := runOnce(prof)
+	// The one-shot result line carries wall-clock, so byte-identity is
+	// pinned on the -timeline path (test above), not on stdout here.
+	if !strings.Contains(out, "final ΣC_i") {
+		t.Errorf("profiled run produced no result line:\n%s", out)
+	}
+	for _, p := range []string{prof.CPUProfile, prof.MemProfile, prof.MetricsOut} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s not written: %v", p, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

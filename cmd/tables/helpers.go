@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"delaylb"
+	"delaylb/obs"
 	"delaylb/sweep"
 )
 
@@ -15,7 +16,7 @@ import (
 // ablation (tests use a shorter list).
 var defaultPoALavs = []float64{50, 100, 200, 500, 1000, 5000}
 
-func runConvergence(w io.Writer, which int, full bool, seed int64, workers int) []sweep.ConvergenceRow {
+func runConvergence(w io.Writer, which int, full bool, seed int64, workers int, stats *obs.RuntimeStats) []sweep.ConvergenceRow {
 	var cfg sweep.ConvergenceConfig
 	if which == 1 {
 		cfg = sweep.DefaultTable1Config()
@@ -24,6 +25,7 @@ func runConvergence(w io.Writer, which int, full bool, seed int64, workers int) 
 	}
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Stats = stats
 	if full {
 		cfg.Sizes = []int{20, 30, 50, 100, 200, 300}
 		cfg.AvgLoads = []float64{10, 20, 50, 200, 1000}
@@ -48,10 +50,11 @@ func runConvergence(w io.Writer, which int, full bool, seed int64, workers int) 
 	return rows
 }
 
-func runTable3(w io.Writer, full bool, seed int64, workers int) []sweep.SelfishnessRow {
+func runTable3(w io.Writer, full bool, seed int64, workers int, stats *obs.RuntimeStats) []sweep.SelfishnessRow {
 	cfg := sweep.DefaultTable3Config()
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Stats = stats
 	if full {
 		cfg.Sizes = []int{20, 30, 50, 100}
 		cfg.Repeats = 5
@@ -95,10 +98,11 @@ func runFigure1(w io.Writer) error {
 	return nil
 }
 
-func runFigure2(w io.Writer, full bool, seed int64, workers int) []sweep.Figure2Series {
+func runFigure2(w io.Writer, full bool, seed int64, workers int, stats *obs.RuntimeStats) []sweep.Figure2Series {
 	cfg := sweep.DefaultFigure2Config()
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Stats = stats
 	if full {
 		cfg.Sizes = []int{500, 1000, 2000, 3000, 5000}
 	}
@@ -176,10 +180,11 @@ func runDynamicAblation(w io.Writer, seed int64) {
 
 // runDescentTable races the distributed control plane against the
 // centralized oracles and prints the convergence/PoA aggregates.
-func runDescentTable(w io.Writer, full bool, seed int64, workers int) []sweep.DescentRow {
+func runDescentTable(w io.Writer, full bool, seed int64, workers int, stats *obs.RuntimeStats) []sweep.DescentRow {
 	cfg := sweep.DefaultDescentTableConfig()
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Stats = stats
 	if full {
 		cfg.Sizes = []int{30, 60, 120, 240}
 		cfg.Repeats = 5
@@ -199,10 +204,11 @@ func runDescentTable(w io.Writer, full bool, seed int64, workers int) []sweep.De
 
 // runFaultsTable runs the WAN fault-tolerance table: the plane under
 // every injected fault class, with the crash drill's mass accounting.
-func runFaultsTable(w io.Writer, full bool, seed int64, workers int) []sweep.FaultsRow {
+func runFaultsTable(w io.Writer, full bool, seed int64, workers int, stats *obs.RuntimeStats) []sweep.FaultsRow {
 	cfg := sweep.DefaultFaultsConfig()
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Stats = stats
 	if full {
 		cfg.M = 120
 		cfg.Repeats = 5

@@ -42,6 +42,7 @@ import (
 	"os"
 	"time"
 
+	"delaylb/obs"
 	"delaylb/sweep"
 )
 
@@ -59,6 +60,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = all CPUs); does not affect results")
 	out := flag.String("out", "", "persist aggregate rows to this .json or .csv file")
+	statsOut := flag.String("statsout", "", "write per-cell wall-clock/alloc CSV to this file (machine-dependent; never part of -out)")
 	flag.Parse()
 
 	// Reject a bad -out up front: discovering a typo'd extension only
@@ -72,18 +74,24 @@ func main() {
 
 	w := io.Writer(os.Stdout)
 	report := &sweep.Report{Seed: *seed, Workers: *workers}
+	// Per-cell runtime rows go to -statsout only — wall-clock never
+	// enters the report (see sweep.Report).
+	var stats *obs.RuntimeStats
+	if *statsOut != "" {
+		stats = &obs.RuntimeStats{}
+	}
 	start := time.Now()
 	ran := false
 	if *all || *table == 1 {
-		report.Table1 = runConvergence(w, 1, *full, *seed, *workers)
+		report.Table1 = runConvergence(w, 1, *full, *seed, *workers, stats)
 		ran = true
 	}
 	if *all || *table == 2 {
-		report.Table2 = runConvergence(w, 2, *full, *seed, *workers)
+		report.Table2 = runConvergence(w, 2, *full, *seed, *workers, stats)
 		ran = true
 	}
 	if *all || *table == 3 {
-		report.Table3 = runTable3(w, *full, *seed, *workers)
+		report.Table3 = runTable3(w, *full, *seed, *workers, stats)
 		ran = true
 	}
 	if *all || *table == 4 {
@@ -98,7 +106,7 @@ func main() {
 		ran = true
 	}
 	if *all || *fig == 2 {
-		report.Figure2 = runFigure2(w, *full, *seed, *workers)
+		report.Figure2 = runFigure2(w, *full, *seed, *workers, stats)
 		ran = true
 	}
 	if *all || *ablation == "cycles" {
@@ -118,11 +126,11 @@ func main() {
 		ran = true
 	}
 	if *all || *descentTable {
-		report.Descent = runDescentTable(w, *full, *seed, *workers)
+		report.Descent = runDescentTable(w, *full, *seed, *workers, stats)
 		ran = true
 	}
 	if *all || *faultsTable {
-		report.Faults = runFaultsTable(w, *full, *seed, *workers)
+		report.Faults = runFaultsTable(w, *full, *seed, *workers, stats)
 		ran = true
 	}
 	if *bench {
@@ -144,7 +152,6 @@ func main() {
 		os.Exit(2)
 	}
 	elapsed := time.Since(start)
-	report.ElapsedMS = elapsed.Milliseconds()
 	fmt.Fprintf(w, "wall-clock: %.2fs (workers=%s)\n", elapsed.Seconds(), workersLabel(*workers))
 	if *out != "" {
 		if err := writeReport(report, *out); err != nil {
@@ -153,6 +160,28 @@ func main() {
 		}
 		fmt.Fprintf(w, "aggregates written to %s\n", *out)
 	}
+	if *statsOut != "" {
+		if err := writeStats(stats, *statsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "per-cell runtime stats written to %s\n", *statsOut)
+	}
+}
+
+// writeStats persists the per-cell runtime rows — the one output that is
+// allowed to carry wall-clock, kept in its own file so it can never leak
+// into a golden-compared report.
+func writeStats(stats *obs.RuntimeStats, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := stats.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeReport(report *sweep.Report, path string) error {

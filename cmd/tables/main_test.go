@@ -182,7 +182,7 @@ func TestRunFaultsTablePrints(t *testing.T) {
 		t.Skip("faults table: skipped in -short mode")
 	}
 	var sb strings.Builder
-	rows := runFaultsTable(&sb, false, 1, 2)
+	rows := runFaultsTable(&sb, false, 1, 2, nil)
 	if len(rows) != 8 {
 		t.Fatalf("faults table has %d rows, want 8 scenarios", len(rows))
 	}
@@ -204,7 +204,7 @@ func TestRunDescentTablePrints(t *testing.T) {
 		t.Skip("descent table: skipped in -short mode")
 	}
 	var sb strings.Builder
-	rows := runDescentTable(&sb, false, 1, 2)
+	rows := runDescentTable(&sb, false, 1, 2, nil)
 	if len(rows) == 0 {
 		t.Fatal("no descent rows produced")
 	}

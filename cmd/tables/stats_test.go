@@ -1,0 +1,60 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"delaylb/obs"
+)
+
+// TestStatsOutWorkerIndependence pins the -statsout contract: attaching
+// a RuntimeStats collector perturbs nothing deterministic (table text
+// and report rows are byte-identical to a bare run and across worker
+// counts), and the stats rows themselves come out in cell order no
+// matter how the pool interleaved them.
+func TestStatsOutWorkerIndependence(t *testing.T) {
+	type result struct {
+		out    string
+		rows   interface{}
+		labels []string
+	}
+	runWith := func(workers int, withStats bool) result {
+		var sb strings.Builder
+		var stats *obs.RuntimeStats
+		if withStats {
+			stats = &obs.RuntimeStats{}
+		}
+		rows := runFaultsTable(&sb, false, 1, workers, stats)
+		var labels []string
+		for i := 0; i < stats.Len(); i++ {
+			labels = append(labels, stats.At(i).Label)
+		}
+		return result{out: sb.String(), rows: rows, labels: labels}
+	}
+
+	bare := runWith(1, false)
+	seq := runWith(1, true)
+	par := runWith(3, true)
+
+	if seq.out != bare.out {
+		t.Error("attaching stats changed the table text")
+	}
+	if par.out != seq.out {
+		t.Error("faults table text differs between workers=1 and workers=3 with stats attached")
+	}
+	if !reflect.DeepEqual(seq.rows, bare.rows) || !reflect.DeepEqual(par.rows, seq.rows) {
+		t.Error("report rows differ across worker counts / stats attachment")
+	}
+	if len(seq.labels) == 0 {
+		t.Fatal("stats collected no rows")
+	}
+	if !reflect.DeepEqual(par.labels, seq.labels) {
+		t.Errorf("stats row order depends on worker count:\nworkers=1: %v\nworkers=3: %v", seq.labels, par.labels)
+	}
+	for _, l := range seq.labels {
+		if !strings.HasPrefix(l, "faults/cell") {
+			t.Errorf("unexpected stats label %q", l)
+		}
+	}
+}

@@ -54,6 +54,7 @@ import (
 	"delaylb/internal/model"
 	"delaylb/internal/runtime"
 	"delaylb/internal/sparse"
+	"delaylb/obs"
 )
 
 // System is an immutable problem description: servers, their speeds,
@@ -439,6 +440,13 @@ func WithProgress(fn func(iteration int, cost float64) bool) Option {
 // order for MinE — and deterministic for a fixed seed. Solvers without
 // a sparse path ("projgrad", "nash") ignore the option.
 func WithSparse() Option { return func(o *options) { o.Sparse = true } }
+
+// WithObs attaches an observability scope to the solve: the QP solvers
+// report per-sweep duality gap, oracle-call and drop-step counts, and a
+// "qp.solve" span into it. Telemetry is one-way — results and iteration
+// trajectories are bit-identical with or without a scope, and the nil
+// default (no WithObs) costs zero allocations on the solve hot paths.
+func WithObs(sc *obs.Scope) Option { return func(o *options) { o.Obs = sc } }
 
 // WithWarmStart starts the solve from the given requests matrix instead
 // of the identity allocation. Rows are rescaled to the system's loads

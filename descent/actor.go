@@ -100,6 +100,13 @@ type actor struct {
 	moved        float64
 	stepped      int
 
+	// Per-kind traffic tallies (indexed by wire kind byte, envelopes
+	// unwrapped — see tallyKind). Plain round-local int64s kept always
+	// on: two integer adds per payload, no allocation, no output
+	// change; observe folds them into the obs scope when one is set.
+	kindMsgs  [8]int64
+	kindBytes [8]int64
+
 	// Reusable buffers.
 	outPrices [][]priceEntry
 	outDeltas [][]deltaEntry
@@ -176,6 +183,9 @@ func (a *actor) send(dst int, payload []byte) {
 func (a *actor) raw(dst int, payload []byte) {
 	a.sentBytes += int64(len(payload))
 	a.sentMsgs++
+	k := tallyKind(payload)
+	a.kindMsgs[k]++
+	a.kindBytes[k] += int64(len(payload))
 	a.pl.tr.Send(dst, payload)
 }
 
@@ -184,6 +194,8 @@ func (a *actor) raw(dst int, payload []byte) {
 func (a *actor) publish(round int) {
 	p := a.pl
 	a.sentBytes, a.sentMsgs, a.moved, a.stepped = 0, 0, 0, 0
+	a.kindMsgs = [8]int64{}
+	a.kindBytes = [8]int64{}
 	if p.harden {
 		a.curRound = round
 		a.dupsDropped, a.staleDropped, a.invalidDropped = 0, 0, 0

@@ -44,6 +44,7 @@ import (
 
 	"delaylb/internal/model"
 	"delaylb/internal/sparse"
+	"delaylb/obs"
 )
 
 // Config tunes a Plane. The zero value is usable: metro-count shards,
@@ -94,6 +95,12 @@ type Config struct {
 	OnRound func(RoundMetrics) bool
 	// OnCrash, when set, observes every crash the plane executes.
 	OnCrash func(CrashEvent)
+	// Obs, if non-nil, receives side-channel telemetry: per-round cost,
+	// step-size and movement, messages/bytes by wire kind, and the full
+	// fault/recovery counter set. It never feeds back into the round
+	// computation — instrumented runs stay byte-identical — and the nil
+	// default adds zero allocations per round (see obs_alloc_test.go).
+	Obs *obs.Scope
 }
 
 // RoundMetrics is one round of the plane's metrics stream.
@@ -210,6 +217,8 @@ type Plane struct {
 
 	loads []float64 // observer scratch
 
+	obs planeObs // resolved instruments (all nil when Config.Obs is nil)
+
 	errMu  sync.Mutex
 	errSet error
 }
@@ -252,6 +261,7 @@ func NewPlane(in *model.Instance, cfg Config) (*Plane, error) {
 		}
 	}
 	p := &Plane{cfg: cfg, eta: cfg.Step, minEta: cfg.Step / 1024}
+	p.obs = newPlaneObs(cfg.Obs, cfg.Mode)
 	alloc := sparse.New(in.M(), in.M())
 	for i, l := range in.Load {
 		if l > 0 {
@@ -441,6 +451,7 @@ func (p *Plane) par(f func(a *actor)) {
 
 // Round runs one bulk-synchronous round and returns its metrics.
 func (p *Plane) Round() (RoundMetrics, error) {
+	span := p.cfg.Obs.Start("descent.round")
 	p.round++
 	r := p.round
 	p.par(func(a *actor) { a.publish(r) })
@@ -462,7 +473,13 @@ func (p *Plane) Round() (RoundMetrics, error) {
 	if p.errSet != nil {
 		return RoundMetrics{}, p.errSet
 	}
-	return p.observe(), nil
+	met := p.observe()
+	span.With(obs.Int("round", int64(met.Round))).
+		With(obs.Float("cost", met.Cost)).
+		With(obs.Float("moved", met.Moved)).
+		With(obs.Int("bytes", met.Bytes)).
+		End()
+	return met, nil
 }
 
 // scheduledCrash consults the fault plan's crash schedule for round r.
@@ -489,11 +506,13 @@ func (p *Plane) scheduledCrash(r int) (int, bool) {
 // carryState preserves a crashed round's counters across the failover
 // rebuild (which replaces every actor) so observe still reports them.
 type carryState struct {
-	moved   float64
-	stepped int
-	msgs    int64
-	bytes   int64
-	faults  FaultTotals
+	moved     float64
+	stepped   int
+	msgs      int64
+	bytes     int64
+	kindMsgs  [8]int64
+	kindBytes [8]int64
+	faults    FaultTotals
 }
 
 // captureRound folds the current actors' round-local counters into the
@@ -504,6 +523,10 @@ func (p *Plane) captureRound() {
 		p.carry.stepped += a.stepped
 		p.carry.msgs += a.sentMsgs
 		p.carry.bytes += a.sentBytes
+		for k := range a.kindMsgs {
+			p.carry.kindMsgs[k] += a.kindMsgs[k]
+			p.carry.kindBytes[k] += a.kindBytes[k]
+		}
 		p.carry.faults.DupsDropped += a.dupsDropped
 		p.carry.faults.StaleDropped += a.staleDropped
 		p.carry.faults.InvalidDropped += a.invalidDropped
@@ -555,17 +578,31 @@ func (p *Plane) pairDelays() [][]float64 {
 // step schedule.
 func (p *Plane) observe() RoundMetrics {
 	met := RoundMetrics{Round: p.round, Step: p.eta}
+	var kindMsgs, kindBytes [8]int64 // stack tallies for the obs fold
+	tallies := p.obs.enabled()
 	for _, a := range p.actors {
 		met.Moved += a.moved
 		met.Stepped += a.stepped
 		met.Messages += a.sentMsgs
 		met.Bytes += a.sentBytes
 		met.NNZ += a.nnz()
+		if tallies {
+			for k := range a.kindMsgs {
+				kindMsgs[k] += a.kindMsgs[k]
+				kindBytes[k] += a.kindBytes[k]
+			}
+		}
 	}
 	met.Moved += p.carry.moved
 	met.Stepped += p.carry.stepped
 	met.Messages += p.carry.msgs
 	met.Bytes += p.carry.bytes
+	if tallies {
+		for k := range p.carry.kindMsgs {
+			kindMsgs[k] += p.carry.kindMsgs[k]
+			kindBytes[k] += p.carry.kindBytes[k]
+		}
+	}
 	ft := p.carry.faults
 	p.carry = carryState{}
 	if p.harden {
@@ -629,6 +666,7 @@ func (p *Plane) observe() RoundMetrics {
 		p.quietFor = 0
 	}
 	p.lastCost = met.Cost
+	p.obs.observeRound(met, &kindMsgs, &kindBytes)
 	return met
 }
 

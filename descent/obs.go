@@ -1,0 +1,131 @@
+package descent
+
+import "delaylb/obs"
+
+// kindNames maps wire kind bytes to metric label values; slot 0 is the
+// catch-all for unframed payloads (none are currently emitted).
+var kindNames = [8]string{"unknown", "prices", "summary", "delta", "envelope", "resend", "refresh", "unused"}
+
+// tallyKind is the slot a payload's tallies land in: the semantic kind,
+// unwrapping envelope framing so a lossy run's traffic breaks down by
+// what the messages carry, not by the recovery protocol's wrapper.
+func tallyKind(payload []byte) int {
+	if len(payload) == 0 {
+		return 0
+	}
+	k := payload[0]
+	if msgKind(k) == kindEnvelope && len(payload) > headerBytes {
+		k = payload[headerBytes]
+	}
+	if int(k) >= len(kindNames) {
+		return 0
+	}
+	return int(k)
+}
+
+// faultFields names FaultTotals' counter fields in declaration order;
+// faultValues extracts them the same way. Keeping the two in one place
+// makes the obs fold and the consistency test share a definition.
+var faultFields = []string{
+	"dropped", "duplicated", "reordered", "delayed", "corrupted", "false_priced",
+	"dups_dropped", "stale_dropped", "invalid_dropped", "nacks_sent", "resends_served", "unrecovered",
+	"crashes",
+}
+
+func faultValues(ft FaultTotals) []int64 {
+	return []int64{
+		ft.Dropped, ft.Duplicated, ft.Reordered, ft.Delayed, ft.Corrupted, ft.FalsePriced,
+		ft.DupsDropped, ft.StaleDropped, ft.InvalidDropped, ft.NacksSent, ft.ResendsServed, ft.Unrecovered,
+		int64(ft.Crashes),
+	}
+}
+
+// planeObs is the plane's resolved instrument bundle, built once per
+// Plane from Config.Obs. With a nil scope every field is nil and the
+// per-round fold in observe degrades to nil-check no-ops — zero
+// allocations, pinned by obs_alloc_test.go. Telemetry is one-way: the
+// plane never reads any of these back, so instrumented runs keep the
+// byte-identical determinism contract.
+type planeObs struct {
+	rounds    *obs.Counter
+	moved     *obs.Counter
+	stepped   *obs.Counter
+	msgs      [8]*obs.Counter // descent_messages_total by kind
+	bytes     [8]*obs.Counter // descent_bytes_total by kind
+	faults    []*obs.Counter  // descent_faults_total by type, parallel to faultFields
+	lostMass  *obs.Counter
+	recovered *obs.Counter
+	cost      *obs.Gauge
+	relGap    *obs.Gauge
+	step      *obs.Gauge
+	nnz       *obs.Gauge
+	movedHist *obs.Histogram
+}
+
+func newPlaneObs(sc *obs.Scope, mode Mode) planeObs {
+	if !sc.Enabled() {
+		return planeObs{}
+	}
+	md := mode.String()
+	po := planeObs{
+		rounds:    sc.Counter("descent_rounds_total", "mode", md),
+		moved:     sc.Counter("descent_moved_requests_total", "mode", md),
+		stepped:   sc.Counter("descent_stepped_rows_total", "mode", md),
+		lostMass:  sc.Counter("descent_crash_lost_mass_total", "mode", md),
+		recovered: sc.Counter("descent_crash_recovered_mass_total", "mode", md),
+		cost:      sc.Gauge("descent_cost", "mode", md),
+		relGap:    sc.Gauge("descent_rel_gap", "mode", md),
+		step:      sc.Gauge("descent_step", "mode", md),
+		nnz:       sc.Gauge("descent_nnz", "mode", md),
+		movedHist: sc.Histogram("descent_round_moved", obs.ExpBuckets(1, 4, 12), "mode", md),
+	}
+	for k := 1; k < len(kindNames)-1; k++ {
+		po.msgs[k] = sc.Counter("descent_messages_total", "kind", kindNames[k])
+		po.bytes[k] = sc.Counter("descent_bytes_total", "kind", kindNames[k])
+	}
+	po.faults = make([]*obs.Counter, len(faultFields))
+	for i, f := range faultFields {
+		po.faults[i] = sc.Counter("descent_faults_total", "type", f)
+	}
+	return po
+}
+
+// enabled reports whether the bundle was resolved against a live scope.
+func (po *planeObs) enabled() bool { return po.rounds != nil }
+
+// observeRound folds one round's already-computed metrics into the
+// scope. met.Faults (when set) holds this round's deltas by
+// construction, so plain counter adds keep descent_faults_total equal
+// to the run's FaultTotals — the consistency the satellite test pins.
+func (po *planeObs) observeRound(met RoundMetrics, kindMsgs, kindBytes *[8]int64) {
+	if !po.enabled() {
+		return
+	}
+	po.rounds.Inc()
+	po.moved.Add(int64(met.Moved))
+	po.stepped.Add(int64(met.Stepped))
+	po.cost.Set(met.Cost)
+	po.relGap.Set(met.RelGap)
+	po.step.Set(met.Step)
+	po.nnz.Set(float64(met.NNZ))
+	po.movedHist.Observe(met.Moved)
+	for k := range kindMsgs {
+		if kindMsgs[k] != 0 {
+			po.msgs[k].Add(kindMsgs[k])
+			po.bytes[k].Add(kindBytes[k])
+		}
+	}
+	if met.Faults != nil {
+		for i, v := range faultValues(*met.Faults) {
+			if v != 0 {
+				po.faults[i].Add(v)
+			}
+		}
+		if met.Faults.LostMass != 0 {
+			po.lostMass.Add(int64(met.Faults.LostMass))
+		}
+		if met.Faults.RecoveredMass != 0 {
+			po.recovered.Add(int64(met.Faults.RecoveredMass))
+		}
+	}
+}

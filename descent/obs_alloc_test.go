@@ -1,0 +1,34 @@
+package descent
+
+import (
+	"testing"
+
+	"delaylb/obs"
+)
+
+// The plane's telemetry contract: with no scope attached, the per-round
+// obs calls Round makes — the bundle fold and the round span — must cost
+// zero allocations. The plane's own per-round allocations (message
+// buffers, shard scratch) are outside obs's budget; this isolates
+// exactly the instrumentation the observability layer added to the
+// round loop.
+func TestDisabledPlaneObsZeroAlloc(t *testing.T) {
+	var po planeObs // what newPlaneObs resolves from a nil scope
+	var sc *obs.Scope
+	ft := FaultTotals{Dropped: 3, Crashes: 1}
+	met := RoundMetrics{Round: 7, Cost: 12.5, Moved: 2.5, Stepped: 40, NNZ: 90, Faults: &ft}
+	var kindMsgs, kindBytes [8]int64
+	kindMsgs[1], kindBytes[1] = 6, 384
+	allocs := testing.AllocsPerRun(200, func() {
+		span := sc.Start("descent.round")
+		po.observeRound(met, &kindMsgs, &kindBytes)
+		span.With(obs.Int("round", int64(met.Round))).
+			With(obs.Float("cost", met.Cost)).
+			With(obs.Float("moved", met.Moved)).
+			With(obs.Int("bytes", met.Bytes)).
+			End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled round instrumentation allocated %.1f per round, want 0", allocs)
+	}
+}

@@ -1,0 +1,125 @@
+package descent
+
+import (
+	"testing"
+
+	"delaylb/obs"
+)
+
+// TestFaultTotalsMatchPerRoundDeltas pins the single-bookkeeping
+// contract: over a faulted run, the Report's FaultTotals, the sum of the
+// per-round RoundMetrics.Faults deltas, and the descent_faults_total
+// counters in an attached obs registry are three views of the same
+// numbers. Before the obs layer the per-round and per-run totals were
+// folded by separate code paths; this test keeps them from drifting
+// apart again.
+func TestFaultTotalsMatchPerRoundDeltas(t *testing.T) {
+	plan := &FaultPlan{
+		Seed: 11, Drop: 0.05, Duplicate: 0.05, Reorder: 0.1,
+		Delay: 0.2, DelayPhases: 2, Corrupt: 0.01, FalsePrice: 0.02,
+		CrashEvery: 25, MaxCrashes: 1,
+	}
+	in := clusteredInstance(t, 80, 6, 17)
+	reg := obs.NewRegistry()
+	var sum FaultTotals
+	p, err := NewPlane(in, Config{
+		Shards: 6, Seed: 17, Faults: plan,
+		Obs: obs.NewScope(reg, nil),
+		OnRound: func(met RoundMetrics) bool {
+			if met.Faults != nil {
+				sum.Add(*met.Faults)
+			}
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults == nil {
+		t.Fatal("faulted run reported no fault totals")
+	}
+	if rep.Faults.Dropped == 0 || rep.Faults.Crashes != 1 {
+		t.Fatalf("fault schedule did not bite: %+v", rep.Faults)
+	}
+
+	// View 1 vs view 2: the Report is exactly the sum of the per-round
+	// deltas the OnRound hook saw.
+	if sum != *rep.Faults {
+		t.Errorf("per-round fault deltas sum to %+v, Report says %+v", sum, *rep.Faults)
+	}
+
+	// View 3: the metrics counters. Counter registration is idempotent,
+	// so looking the instruments up again returns the ones the plane fed.
+	sc := obs.NewScope(reg, nil)
+	vals := faultValues(*rep.Faults)
+	for i, field := range faultFields {
+		if got := sc.Counter("descent_faults_total", "type", field).Value(); got != vals[i] {
+			t.Errorf("descent_faults_total{type=%q} = %d, FaultTotals says %d", field, got, vals[i])
+		}
+	}
+
+	// The per-kind traffic tallies partition the Report's totals: every
+	// payload lands in exactly one kind bucket.
+	var msgs, bytes int64
+	for k := 1; k < len(kindNames)-1; k++ {
+		msgs += sc.Counter("descent_messages_total", "kind", kindNames[k]).Value()
+		bytes += sc.Counter("descent_bytes_total", "kind", kindNames[k]).Value()
+	}
+	if msgs != rep.Messages || bytes != rep.Bytes {
+		t.Errorf("kind tallies sum to %d msgs / %d bytes, Report says %d / %d",
+			msgs, bytes, rep.Messages, rep.Bytes)
+	}
+	if rounds := sc.Counter("descent_rounds_total", "mode", p.cfg.Mode.String()).Value(); rounds != int64(rep.Rounds) {
+		t.Errorf("descent_rounds_total = %d, Report ran %d rounds", rounds, rep.Rounds)
+	}
+}
+
+// TestRoundMetricsIdenticalWithObs pins the one-way contract: attaching
+// a scope must not change a single deterministic number the plane
+// produces.
+func TestRoundMetricsIdenticalWithObs(t *testing.T) {
+	plan := FaultPlan{Seed: 7, Drop: 0.1, Duplicate: 0.05}
+	runPlane := func(sc *obs.Scope) []RoundMetrics {
+		pl := plan
+		var mets []RoundMetrics
+		p, err := NewPlane(clusteredInstance(t, 60, 4, 5), Config{
+			Shards: 4, Seed: 5, Faults: &pl, Obs: sc,
+			OnRound: func(met RoundMetrics) bool {
+				m := met
+				if met.Faults != nil {
+					f := *met.Faults
+					m.Faults = &f
+				}
+				mets = append(mets, m)
+				return true
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(40); err != nil {
+			t.Fatal(err)
+		}
+		return mets
+	}
+	bare := runPlane(nil)
+	inst := runPlane(obs.NewScope(obs.NewRegistry(), obs.NewTracer()))
+	if len(bare) != len(inst) {
+		t.Fatalf("round counts differ: %d without obs, %d with", len(bare), len(inst))
+	}
+	for i := range bare {
+		a, b := bare[i], inst[i]
+		af, bf := a.Faults, b.Faults
+		a.Faults, b.Faults = nil, nil
+		if a != b {
+			t.Fatalf("round %d metrics differ with obs attached: %+v vs %+v", i, bare[i], inst[i])
+		}
+		if (af == nil) != (bf == nil) || (af != nil && *af != *bf) {
+			t.Fatalf("round %d fault deltas differ with obs attached", i)
+		}
+	}
+}

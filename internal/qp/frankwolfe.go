@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"delaylb/internal/model"
+	"delaylb/obs"
 )
 
 // SolveFrankWolfe minimizes ΣC_i over the product of per-organization
@@ -36,6 +37,8 @@ func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
 	best := make([]int, m)         // FW vertex column per row
 	rowBuf := latRowBuf(in)
 
+	sobs := newSolveObs(opt.Obs, VariantClassic)
+	span := opt.Obs.Start("qp.solve")
 	res := &Result{}
 	for it := 1; it <= opt.MaxIters; it++ {
 		if model.Canceled(opt.Ctx) {
@@ -75,6 +78,7 @@ func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
 		cost := objectiveBuf(in, rho, rowBuf)
 		res.Iters = it
 		res.Gap = gap
+		sobs.sweep(gap, cost, int64(m), nil)
 		if opt.TraceGaps {
 			res.Gaps = append(res.Gaps, gap)
 		}
@@ -115,5 +119,9 @@ func SolveFrankWolfe(in *model.Instance, opt Options) *Result {
 	}
 	res.Rho = rho
 	res.Cost = objectiveBuf(in, rho, rowBuf)
+	span.With(obs.Int("iters", int64(res.Iters))).
+		With(obs.Float("gap", res.Gap)).
+		With(obs.Float("cost", res.Cost)).
+		End()
 	return res
 }

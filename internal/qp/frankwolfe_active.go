@@ -5,6 +5,7 @@ import (
 
 	"delaylb/internal/model"
 	"delaylb/internal/sparse"
+	"delaylb/obs"
 )
 
 // This file implements the away-step and pairwise Frank–Wolfe variants
@@ -175,6 +176,11 @@ type activeState struct {
 	base  []float64 // l_j / s_j, kept in lockstep with loads
 	lmo   *activeLMO
 	buf   []float64 // latency-row scratch for the generic oracle
+
+	// Side-channel telemetry, accumulated locally and folded into the
+	// solve's instrument bundle once per sweep; reads nothing back.
+	oracleCalls int64
+	drops       int64
 }
 
 // shift moves delta requests onto server j, updating the congestion
@@ -221,6 +227,7 @@ func (st *activeState) rowScores(i int, lat []float64) (cur, aScore float64, aPo
 
 // oracle returns row i's LMO vertex under the current base.
 func (st *activeState) oracle(i int, lat []float64) (int, float64) {
+	st.oracleCalls++
 	if st.lmo != nil {
 		return st.lmo.best(i, st.base)
 	}
@@ -356,6 +363,7 @@ func (st *activeState) pairRowStep(i, s, aPos int, sScore, aScore float64) {
 		val[aPos] = left
 	} else {
 		gamma = wa
+		st.drops++
 		st.rho.RemoveAt(i, aPos)
 	}
 	st.rho.Add(i, s, gamma)
@@ -367,6 +375,7 @@ func (st *activeState) pairRowStep(i, s, aPos int, sScore, aScore float64) {
 // the survivors to an exact unit sum, and reconciles the load vector
 // with the row's actual before/after values.
 func (st *activeState) dropRow(i, aPos int) {
+	st.drops++
 	ni := st.in.Load[i]
 	idx, val := st.rho.Idx[i], st.rho.Val[i]
 	for t, j := range idx {
@@ -419,6 +428,8 @@ func solveFrankWolfeActive(in *model.Instance, opt Options) *SparseResult {
 		st.buf = latRowBuf(in)
 	}
 	pairwise := opt.Variant == VariantPairwise
+	sobs := newSolveObs(opt.Obs, opt.Variant)
+	span := opt.Obs.Start("qp.solve")
 
 	res := &SparseResult{ClusteredLMO: st.lmo != nil}
 	for it := 1; it <= opt.MaxIters; it++ {
@@ -450,6 +461,9 @@ func solveFrankWolfeActive(in *model.Instance, opt Options) *SparseResult {
 		cost := ObjectiveSparse(in, rho)
 		res.Iters = it
 		res.Gap = gap
+		sobs.sweep(gap, cost, st.oracleCalls, rho)
+		sobs.dropSteps.Add(st.drops)
+		st.oracleCalls, st.drops = 0, 0
 		if opt.TraceGaps {
 			res.Gaps = append(res.Gaps, gap)
 		}
@@ -499,5 +513,15 @@ func solveFrankWolfeActive(in *model.Instance, opt Options) *SparseResult {
 	}
 	res.Rho = rho
 	res.Cost = ObjectiveSparse(in, rho)
+	// Fold the tail sweep's tallies (a MaxIters exit breaks before the
+	// next certificate pass would have folded them).
+	sobs.lmoCalls.Add(st.oracleCalls)
+	sobs.dropSteps.Add(st.drops)
+	st.oracleCalls, st.drops = 0, 0
+	span.With(obs.Int("iters", int64(res.Iters))).
+		With(obs.Float("gap", res.Gap)).
+		With(obs.Float("cost", res.Cost)).
+		With(obs.Int("nnz", int64(rho.NNZ()))).
+		End()
 	return res
 }

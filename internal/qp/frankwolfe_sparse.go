@@ -5,6 +5,7 @@ import (
 
 	"delaylb/internal/model"
 	"delaylb/internal/sparse"
+	"delaylb/obs"
 )
 
 // This file is the large-m scale tier of the Frank–Wolfe solver. The
@@ -166,6 +167,8 @@ func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
 	if lmo == nil {
 		rowBuf = latRowBuf(in) // the generic oracle scans whole rows
 	}
+	sobs := newSolveObs(opt.Obs, VariantClassic)
+	span := opt.Obs.Start("qp.solve")
 
 	res := &SparseResult{ClusteredLMO: lmo != nil}
 	for it := 1; it <= opt.MaxIters; it++ {
@@ -178,6 +181,7 @@ func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
 		}
 
 		var gap float64
+		var oracleCalls int64
 		for j := range incoming {
 			incoming[j] = 0
 		}
@@ -206,6 +210,7 @@ func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
 					}
 				}
 				bestJ, bestScore = lmo.best(i)
+				oracleCalls++
 			} else {
 				lat := model.RowView(in.Latency, i, rowBuf)
 				for t, j := range idx {
@@ -219,6 +224,7 @@ func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
 						bestScore, bestJ = score, j
 					}
 				}
+				oracleCalls++
 			}
 			best[i] = bestJ
 			incoming[bestJ] += ni
@@ -228,6 +234,7 @@ func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
 		cost := ObjectiveSparse(in, rho)
 		res.Iters = it
 		res.Gap = gap
+		sobs.sweep(gap, cost, oracleCalls, rho)
 		if opt.TraceGaps {
 			res.Gaps = append(res.Gaps, gap)
 		}
@@ -266,5 +273,10 @@ func SolveFrankWolfeSparse(in *model.Instance, opt Options) *SparseResult {
 	rho.Prune(0)
 	res.Rho = rho
 	res.Cost = ObjectiveSparse(in, rho)
+	span.With(obs.Int("iters", int64(res.Iters))).
+		With(obs.Float("gap", res.Gap)).
+		With(obs.Float("cost", res.Cost)).
+		With(obs.Int("nnz", int64(rho.NNZ()))).
+		End()
 	return res
 }

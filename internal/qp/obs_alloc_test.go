@@ -1,0 +1,86 @@
+package qp
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"delaylb/obs"
+)
+
+// The solver's telemetry contract: with a nil scope, every obs call the
+// sweep loop makes — the resolved bundle fold and the solve span — must
+// cost zero allocations. The solver's own per-iteration allocations
+// (direction rows, line-search state) are not obs's to answer for; this
+// test isolates exactly the instrumentation that SolveFrankWolfeSparse
+// and the active-set variants added.
+func TestDisabledSolveObsZeroAlloc(t *testing.T) {
+	in := clusteredInstance(t, 100, 4, 9)
+	rho := SolveFrankWolfeSparse(in, Options{Tol: 1e-6, MaxIters: 100}).Rho
+	for _, v := range []Variant{VariantClassic, VariantAway, VariantPairwise} {
+		sobs := newSolveObs(nil, v)
+		var opt Options // Obs deliberately nil: the default every caller gets
+		allocs := testing.AllocsPerRun(200, func() {
+			span := opt.Obs.Start("qp.solve")
+			sobs.sweep(1.5e-3, 42.0, 7, rho)
+			sobs.dropSteps.Add(1)
+			sobs.lmoCalls.Add(3)
+			span.With(obs.Float("gap", 1.5e-3)).With(obs.Int("iters", 12)).End()
+		})
+		if allocs != 0 {
+			t.Errorf("%v: disabled solve instrumentation allocated %.1f per sweep, want 0", v, allocs)
+		}
+	}
+}
+
+// TestSolverObsOverheadSmoke compares wall-clock of instrumented vs
+// uninstrumented solves. Timing under arbitrary CI load is inherently
+// noisy, so the check only arms when OBS_OVERHEAD_SMOKE is set (the
+// dedicated CI step does; the regular test job does not).
+func TestSolverObsOverheadSmoke(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_SMOKE") == "" {
+		t.Skip("set OBS_OVERHEAD_SMOKE=1 to arm the overhead check")
+	}
+	in := clusteredInstance(t, 400, 8, 21)
+	opt := Options{Tol: 1e-7, MaxIters: 300}
+	solve := func(sc *obs.Scope) time.Duration {
+		o := opt
+		o.Obs = sc
+		start := time.Now()
+		for i := 0; i < 5; i++ {
+			SolveFrankWolfeSparse(in, o)
+		}
+		return time.Since(start)
+	}
+	solve(nil) // warm caches before either timed pass
+	off := solve(nil)
+	on := solve(obs.NewScope(obs.NewRegistry(), obs.NewTracer()))
+	t.Logf("off=%v on=%v overhead=%.1f%%", off, on, 100*(on.Seconds()-off.Seconds())/off.Seconds())
+	if on.Seconds() > off.Seconds()*1.10 {
+		t.Errorf("enabled obs overhead above 10%%: off=%v on=%v", off, on)
+	}
+}
+
+// BenchmarkSparseSolveObs reports the enabled-path cost next to the
+// disabled baseline so the overhead trend is visible in routine bench
+// runs, not only in the gated smoke test.
+func BenchmarkSparseSolveObs(b *testing.B) {
+	in := randInstance(rand.New(rand.NewSource(1)), 200)
+	for _, bc := range []struct {
+		name  string
+		scope func() *obs.Scope
+	}{
+		{"off", func() *obs.Scope { return nil }},
+		{"on", func() *obs.Scope { return obs.NewScope(obs.NewRegistry(), obs.NewTracer()) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			opt := Options{Tol: 1e-6, MaxIters: 200, Obs: bc.scope()}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				SolveFrankWolfeSparse(in, opt)
+			}
+		})
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"delaylb/internal/model"
 	"delaylb/internal/sparse"
+	"delaylb/obs"
 )
 
 // Objective evaluates ΣC_i at the relay-fraction matrix rho in O(m²).
@@ -206,6 +207,12 @@ type Options struct {
 	// Ctx, if non-nil, is polled between iterations; once canceled the
 	// run stops with Converged == false, returning the best-so-far ρ.
 	Ctx context.Context
+	// Obs, if non-nil, receives side-channel telemetry (per-sweep
+	// duality gap, LMO calls, drop steps, active-set nnz, solve spans).
+	// It never influences the iterates: instrumented runs are
+	// bit-identical to uninstrumented ones, and the nil default adds
+	// zero allocations to the sweep loops (see obs_alloc_test.go).
+	Obs *obs.Scope
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+// The disabled path is the contract: a nil Scope (and everything it
+// resolves) must add zero allocations to hot loops. These tests pin
+// that at the primitive level; solver- and descent-level pins live in
+// internal/qp and descent.
+
+func TestNilScopeZeroAlloc(t *testing.T) {
+	var sc *Scope
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		c.Inc()
+		g.Set(3.5)
+		h.Observe(0.25)
+		sp := sc.Start("hot").With(Float("gap", 0.1)).With(Int("nnz", 10)).OnLane(1)
+		sp.End()
+		sc.Emit("tick", Int("n", 1))
+		_ = sc.Counter("c")
+		_ = sc.Gauge("g")
+		_ = sc.Histogram("h", nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled scope allocated %.1f per run, want 0", allocs)
+	}
+}
+
+func TestEnabledPrimitivesSteadyStateAlloc(t *testing.T) {
+	// Counter/gauge/histogram updates on an *enabled* registry must
+	// also be allocation-free once resolved — exposition pays the cost,
+	// not the hot path.
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", DefBuckets)
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(1.25)
+		h.Observe(0.004)
+	})
+	if allocs != 0 {
+		t.Fatalf("resolved instruments allocated %.1f per update run, want 0", allocs)
+	}
+}

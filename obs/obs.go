@@ -1,0 +1,174 @@
+// Package obs is the repo's zero-dependency observability substrate: a
+// metrics registry (counters, gauges, fixed-bucket histograms with a
+// Prometheus text exposition) and a span/event tracer (Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing), joined
+// by a Scope handle that the hot layers — qp solver sweeps, descent
+// rounds, replay epochs, session re-optimizations — thread through
+// their option structs.
+//
+// The design is governed by the repo's determinism contract: every
+// golden table, benchmark entry and byte-identical timeline must be
+// unaffected by instrumentation, whether compiled in or actively
+// recording. Two rules enforce that:
+//
+//   - Telemetry is a side channel. Nothing read from a Scope ever flows
+//     back into solver state, message bytes, or any deterministic
+//     encode path. Wall-clock lives here (and in the RuntimeStats side
+//     structs fed from here), never in golden JSON.
+//
+//   - A nil *Scope is the disabled state, and it is free. Every method
+//     on a nil Scope, Counter, Gauge, Histogram or zero Span is a
+//     nil-check and a return — no allocation, no time.Now call, no
+//     atomic. Hot paths therefore resolve their instruments once at
+//     setup (nil scope → nil instruments) and call them unconditionally
+//     per sweep or per round; obs/alloc_test.go pins the disabled path
+//     at zero allocations.
+//
+// Typical wiring (cmd/lbsim -metrics-out/-trace-out does exactly this):
+//
+//	reg := obs.NewRegistry()
+//	tr := obs.NewTracer()
+//	scope := obs.NewScope(reg, tr)
+//	... run with the scope threaded through qp.Options / descent.Config /
+//	    replay.Config / delaylb.WithObs ...
+//	reg.WritePrometheus(metricsFile)  // Prometheus text format
+//	tr.WriteChrome(traceFile)         // Perfetto-loadable JSON
+package obs
+
+import "time"
+
+// Scope bundles a metrics registry and a tracer. The nil *Scope is the
+// disabled scope: every method is safe, allocation-free and side-effect
+// free on it, so instrumented code never branches on "is observability
+// on" — it just calls.
+type Scope struct {
+	reg *Registry
+	tr  *Tracer
+}
+
+// NewScope builds a scope over the given registry and tracer; either
+// may be nil to enable only the other half.
+func NewScope(reg *Registry, tr *Tracer) *Scope {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	return &Scope{reg: reg, tr: tr}
+}
+
+// Enabled reports whether the scope records anything at all.
+func (s *Scope) Enabled() bool { return s != nil }
+
+// Registry returns the scope's metrics registry (nil when disabled).
+func (s *Scope) Registry() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.reg
+}
+
+// Tracer returns the scope's tracer (nil when disabled).
+func (s *Scope) Tracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Counter resolves (registering on first use) a counter. Labels are
+// alternating key/value pairs. A nil scope resolves to a nil counter,
+// whose Add is a no-op — resolve once at setup, call freely on the hot
+// path.
+func (s *Scope) Counter(name string, labels ...string) *Counter {
+	if s == nil || s.reg == nil {
+		return nil
+	}
+	return s.reg.Counter(name, labels...)
+}
+
+// Gauge resolves (registering on first use) a gauge; nil scope → nil.
+func (s *Scope) Gauge(name string, labels ...string) *Gauge {
+	if s == nil || s.reg == nil {
+		return nil
+	}
+	return s.reg.Gauge(name, labels...)
+}
+
+// Histogram resolves (registering on first use) a histogram with the
+// given upper bucket bounds; nil scope → nil.
+func (s *Scope) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if s == nil || s.reg == nil {
+		return nil
+	}
+	return s.reg.Histogram(name, buckets, labels...)
+}
+
+// Start opens a span. On a disabled scope (or one without a tracer) the
+// returned zero Span costs nothing — no clock read, no allocation — and
+// its End/With methods are no-ops.
+func (s *Scope) Start(name string) Span {
+	if s == nil || s.tr == nil {
+		return Span{}
+	}
+	return Span{tr: s.tr, name: name, start: time.Now()}
+}
+
+// Emit records an instant event (a vertical marker in the trace view).
+// No-op on a disabled scope.
+func (s *Scope) Emit(name string, attrs ...Attr) {
+	if s == nil || s.tr == nil {
+		return
+	}
+	s.tr.emit(name, attrs)
+}
+
+// Span is one timed region of a trace. Spans are values: a zero Span
+// (from a disabled scope) is inert, so callers End unconditionally.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+	lane  int64
+	attrs []Attr
+}
+
+// Attr is one span/event attribute. Use Float/Int to build attrs
+// without boxing through interface{} on the caller side.
+type Attr struct {
+	Key string
+	// Exactly one of F/I is meaningful, per IsInt.
+	F     float64
+	I     int64
+	IsInt bool
+}
+
+// Float builds a float-valued attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, F: v} }
+
+// Int builds an integer-valued attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, I: v, IsInt: true} }
+
+// With attaches an attribute to the span (shown under "args" in the
+// trace viewer). No-op — and allocation-free — on a zero Span.
+func (sp Span) With(a Attr) Span {
+	if sp.tr == nil {
+		return sp
+	}
+	sp.attrs = append(sp.attrs, a)
+	return sp
+}
+
+// OnLane assigns the span to a trace lane (rendered as a thread row in
+// Perfetto); lane 0 is the default. Use stable small integers — shard
+// ids, worker ids — so related spans stack on one row.
+func (sp Span) OnLane(lane int) Span {
+	sp.lane = int64(lane)
+	return sp
+}
+
+// End closes the span and records it. No-op on a zero Span.
+func (sp Span) End() {
+	if sp.tr == nil {
+		return
+	}
+	sp.tr.complete(sp.name, sp.lane, sp.start, time.Since(sp.start), sp.attrs)
+}

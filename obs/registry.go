@@ -1,0 +1,397 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named instruments. Registration is idempotent: asking
+// for the same (name, labels) pair returns the same instrument, so
+// layers that re-run (replay epochs, descent rebuilds) resolve freely.
+// All instruments are safe for concurrent use; Counter/Gauge updates
+// are lock-free atomics, Histogram takes a short per-instrument mutex.
+type Registry struct {
+	mu   sync.Mutex
+	keys map[string]*series // exposition key → series
+}
+
+// series is one (name, labels) time series holding exactly one of the
+// three instrument kinds.
+type series struct {
+	name   string
+	labels []string // alternating k,v, sorted by key
+	kind   kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type kind uint8
+
+const (
+	kindCounter kind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{keys: make(map[string]*series)}
+}
+
+// seriesKey builds the canonical map key: name plus sorted label pairs.
+func seriesKey(name string, labels []string) (string, []string) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be alternating key/value pairs")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	sorted := make([]string, 0, len(labels))
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(p.v))
+		sorted = append(sorted, p.k, p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String(), sorted
+}
+
+func (r *Registry) lookup(name string, labels []string, k kind) *series {
+	key, sorted := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.keys[key]; ok {
+		if s.kind != k {
+			panic(fmt.Sprintf("obs: %s already registered with a different kind", key))
+		}
+		return s
+	}
+	s := &series{name: name, labels: sorted, kind: k}
+	r.keys[key] = s
+	return s
+}
+
+// Counter returns (registering on first use) the counter for the given
+// name and label pairs.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels, kindCounter)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns (registering on first use) the gauge for the given
+// name and label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels, kindGauge)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns (registering on first use) the histogram for the
+// given name, upper bucket bounds, and label pairs. Bounds must be
+// strictly ascending; an implicit +Inf bucket is always appended. If
+// the histogram already exists the bounds argument is ignored.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.lookup(name, labels, kindHistogram)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.h == nil {
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic("obs: histogram buckets must be strictly ascending")
+			}
+		}
+		bounds := make([]float64, len(buckets))
+		copy(bounds, buckets)
+		s.h = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	}
+	return s.h
+}
+
+// Counter is a monotonically increasing sum. The nil *Counter is a
+// no-op, so disabled scopes cost one predictable branch.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (no-op on nil).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current sum (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float value. The nil *Gauge is a no-op.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed upper-bound buckets
+// (cumulative on exposition, per Prometheus convention). The nil
+// *Histogram is a no-op.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []uint64  // len(bounds)+1, non-cumulative
+	sum    float64
+	count  uint64
+}
+
+// Observe records one sample (no-op on nil). NaN samples are dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Binary search for the first bound >= v; small fixed layouts make
+	// this a handful of comparisons.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.mu.Lock()
+	h.counts[lo]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// DefBuckets is a general-purpose layout for unit-scale quantities
+// (duality gaps, relative errors, seconds).
+var DefBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// ExpBuckets returns n strictly ascending buckets starting at start and
+// multiplying by factor: start, start*factor, ... Useful for latency
+// and byte-size layouts.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if n <= 0 || start <= 0 || factor <= 1 {
+		panic("obs: ExpBuckets needs start>0, factor>1, n>0")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// SeriesPoint is one exported time series in a Snapshot.
+type SeriesPoint struct {
+	Name   string
+	Labels []string // alternating k,v, sorted by key
+	Kind   string   // "counter" | "gauge" | "histogram"
+
+	// Counter/gauge value.
+	Value float64
+
+	// Histogram payload (Kind=="histogram" only).
+	Bounds []float64 // upper bounds, +Inf implicit
+	Counts []uint64  // per-bucket (non-cumulative), len(Bounds)+1
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot returns a point-in-time copy of every registered series,
+// sorted by exposition key. It is safe to call concurrently with
+// updates (each instrument is read atomically / under its mutex, though
+// the snapshot as a whole is not one global atomic cut).
+func (r *Registry) Snapshot() []SeriesPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	keys := make([]string, 0, len(r.keys))
+	byKey := make(map[string]*series, len(r.keys))
+	for k, s := range r.keys {
+		keys = append(keys, k)
+		byKey[k] = s
+	}
+	r.mu.Unlock()
+	sort.Strings(keys)
+
+	out := make([]SeriesPoint, 0, len(keys))
+	for _, k := range keys {
+		s := byKey[k]
+		p := SeriesPoint{Name: s.name, Labels: append([]string(nil), s.labels...)}
+		switch s.kind {
+		case kindCounter:
+			p.Kind = "counter"
+			p.Value = float64(s.c.Value())
+		case kindGauge:
+			p.Kind = "gauge"
+			p.Value = s.g.Value()
+		case kindHistogram:
+			p.Kind = "histogram"
+			s.h.mu.Lock()
+			p.Bounds = append([]float64(nil), s.h.bounds...)
+			p.Counts = append([]uint64(nil), s.h.counts...)
+			p.Sum = s.h.sum
+			p.Count = s.h.count
+			s.h.mu.Unlock()
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// formatValue renders a float the way Prometheus text format expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func labelString(labels []string, extra ...string) string {
+	all := append(append([]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i := 0; i < len(all); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(all[i])
+		sb.WriteByte('=')
+		sb.WriteString(strconv.Quote(all[i+1]))
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// WritePrometheus writes the registry contents in the Prometheus text
+// exposition format (version 0.0.4): `# TYPE` headers, one line per
+// sample, histograms expanded to cumulative `_bucket{le=...}` plus
+// `_sum`/`_count`. Output is deterministically ordered (sorted by
+// series key) so snapshots diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	typed := make(map[string]bool)
+	for _, p := range r.Snapshot() {
+		if !typed[p.Name] {
+			typed[p.Name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, p.Kind); err != nil {
+				return err
+			}
+		}
+		switch p.Kind {
+		case "counter", "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", p.Name, labelString(p.Labels), formatValue(p.Value)); err != nil {
+				return err
+			}
+		case "histogram":
+			var cum uint64
+			for i, c := range p.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(p.Bounds) {
+					le = formatValue(p.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", p.Name, labelString(p.Labels, "le", le), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, labelString(p.Labels), formatValue(p.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, labelString(p.Labels), p.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

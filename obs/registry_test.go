@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("rounds_total", "mode", "coop")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value = %d, want 5", got)
+	}
+	// Same (name, labels) resolves to the same instrument regardless of
+	// label order.
+	c2 := r.Counter("rounds_total", "mode", "coop")
+	if c2 != c {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	g := r.Gauge("nnz", "layer", "qp", "variant", "away")
+	g.Set(42.5)
+	if got := g.Value(); got != 42.5 {
+		t.Fatalf("gauge value = %v, want 42.5", got)
+	}
+	g2 := r.Gauge("nnz", "variant", "away", "layer", "qp")
+	if g2 != g {
+		t.Fatalf("label order should not distinguish series")
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("gap", []float64{0.1, 1, 10})
+	// Boundary semantics are Prometheus's: le is inclusive, so a sample
+	// exactly on a bound lands in that bound's bucket.
+	samples := []struct {
+		v      float64
+		bucket int // index into non-cumulative counts
+	}{
+		{0.05, 0}, // below first bound
+		{0.1, 0},  // exactly on first bound → first bucket (le inclusive)
+		{0.1001, 1},
+		{1, 1}, // exactly on second bound
+		{5, 2},
+		{10, 2},   // exactly on last finite bound
+		{10.5, 3}, // overflow → +Inf bucket
+		{math.Inf(1), 3},
+	}
+	for _, s := range samples {
+		h.Observe(s.v)
+	}
+	h.Observe(math.NaN()) // dropped
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot has %d series, want 1", len(snap))
+	}
+	p := snap[0]
+	if p.Kind != "histogram" {
+		t.Fatalf("kind = %q", p.Kind)
+	}
+	want := make([]uint64, 4)
+	for _, s := range samples {
+		want[s.bucket]++
+	}
+	for i, w := range want {
+		if p.Counts[i] != w {
+			t.Fatalf("bucket %d count = %d, want %d (counts %v)", i, p.Counts[i], w, p.Counts)
+		}
+	}
+	if p.Count != uint64(len(samples)) {
+		t.Fatalf("count = %d, want %d (NaN must be dropped)", p.Count, len(samples))
+	}
+	if !math.IsInf(p.Sum, 1) {
+		t.Fatalf("sum = %v, want +Inf from the Inf sample", p.Sum)
+	}
+}
+
+func TestHistogramRejectsBadBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on non-ascending buckets")
+		}
+	}()
+	NewRegistry().Histogram("bad", []float64{1, 1})
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("descent_messages_total", "kind", "prices").Add(12)
+	r.Counter("descent_messages_total", "kind", "delta").Add(7)
+	r.Gauge("qp_active_nnz").Set(1531)
+	h := r.Histogram("qp_sweep_gap", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Prometheus exposition drifted from golden.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+	// Exposition must be deterministic run to run.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("two expositions of the same registry differ")
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			h := r.Histogram("lat", DefBuckets)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) / 1000)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("lat", DefBuckets).Count(); got != 8000 {
+		t.Fatalf("concurrent histogram count = %d, want 8000", got)
+	}
+}
+
+func TestNilRegistryAndInstruments(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x", DefBuckets) != nil {
+		t.Fatalf("nil registry must resolve nil instruments")
+	}
+	if r.Snapshot() != nil {
+		t.Fatalf("nil registry snapshot must be nil")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry exposition must be empty")
+	}
+	var c *Counter
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(1)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram must read 0")
+	}
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// RuntimeStats is the repo's one pattern for wall-clock (and other
+// machine-dependent measurements) alongside deterministic results:
+// a side struct, attached to timelines and reports under a `json:"-"`
+// field, populated from the obs layer, and rendered only by human
+// outputs (text tables, -statsout files) — never by a golden-compared
+// or persisted JSON encode. runtime_fields_test.go asserts the
+// deterministic structs themselves carry no wall-clock fields.
+//
+// Rows are keyed by index (epoch number, sweep cell index) so
+// concurrent producers — sweep workers finishing out of order — can
+// record without coordination beyond the internal lock.
+type RuntimeStats struct {
+	mu   sync.Mutex
+	rows []RuntimeRow
+}
+
+// RuntimeRow is one measured unit of work (an epoch, a table cell).
+type RuntimeRow struct {
+	// Label identifies the unit in human output (e.g. "epoch 3",
+	// "m=2000/zipf").
+	Label string
+	// Elapsed is the unit's wall-clock on the producing machine.
+	Elapsed time.Duration
+	// AllocBytes is the heap allocated during the unit, when measured
+	// (0 otherwise). Under concurrent producers this is a global
+	// TotalAlloc delta attributed to the unit — approximate, ordering
+	// hot spots rather than accounting exactly.
+	AllocBytes uint64
+}
+
+// Set records row i, growing the slice as needed. Nil-safe no-op.
+func (rs *RuntimeStats) Set(i int, row RuntimeRow) {
+	if rs == nil || i < 0 {
+		return
+	}
+	rs.mu.Lock()
+	for len(rs.rows) <= i {
+		rs.rows = append(rs.rows, RuntimeRow{})
+	}
+	rs.rows[i] = row
+	rs.mu.Unlock()
+}
+
+// Add appends a row and returns its index (-1 on a nil receiver) — for
+// producers that accumulate across sections rather than keying by index.
+func (rs *RuntimeStats) Add(row RuntimeRow) int {
+	if rs == nil {
+		return -1
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.rows = append(rs.rows, row)
+	return len(rs.rows) - 1
+}
+
+// At returns row i (zero value when missing or rs is nil).
+func (rs *RuntimeStats) At(i int) RuntimeRow {
+	if rs == nil {
+		return RuntimeRow{}
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if i < 0 || i >= len(rs.rows) {
+		return RuntimeRow{}
+	}
+	return rs.rows[i]
+}
+
+// Len returns the number of recorded rows.
+func (rs *RuntimeStats) Len() int {
+	if rs == nil {
+		return 0
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.rows)
+}
+
+// WriteCSV renders the rows as a three-column CSV (label, elapsed_ms,
+// alloc_bytes) — the cmd/tables -statsout format. Machine-dependent by
+// design; never diffed against goldens.
+func (rs *RuntimeStats) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "label,elapsed_ms,alloc_bytes"); err != nil {
+		return err
+	}
+	if rs == nil {
+		return nil
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, r := range rs.rows {
+		if _, err := fmt.Fprintf(w, "%s,%.3f,%d\n", r.Label, float64(r.Elapsed)/float64(time.Millisecond), r.AllocBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}

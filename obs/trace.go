@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer collects completed spans and instant events. The sink is
+// pluggable: by default events accumulate in memory for a final
+// WriteChrome; SetSink streams each event to a callback instead (the
+// callback must be fast — it runs under the tracer mutex on the
+// recording path).
+type Tracer struct {
+	mu     sync.Mutex
+	origin time.Time // t=0 of the trace; timestamps are offsets from it
+	events []TraceEvent
+	sink   func(TraceEvent)
+}
+
+// TraceEvent is one Chrome trace-event record. Phase "X" is a complete
+// span (Ts+Dur), phase "i" an instant event. Ts/Dur are microseconds
+// from the tracer's origin, per the trace-event format.
+type TraceEvent struct {
+	Name  string             `json:"name"`
+	Phase string             `json:"ph"`
+	Ts    float64            `json:"ts"`
+	Dur   float64            `json:"dur,omitempty"`
+	Pid   int64              `json:"pid"`
+	Tid   int64              `json:"tid"`
+	Scope string             `json:"s,omitempty"` // instant scope; "t" = thread
+	Args  map[string]float64 `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object container Perfetto expects.
+type chromeTrace struct {
+	TraceEvents []TraceEvent `json:"traceEvents"`
+}
+
+// NewTracer returns a tracer whose t=0 is now.
+func NewTracer() *Tracer {
+	return &Tracer{origin: time.Now()}
+}
+
+// SetSink streams completed events to fn instead of buffering them.
+// Pass nil to restore buffering. Events already buffered stay buffered.
+func (t *Tracer) SetSink(fn func(TraceEvent)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = fn
+	t.mu.Unlock()
+}
+
+func attrArgs(attrs []Attr) map[string]float64 {
+	if len(attrs) == 0 {
+		return nil
+	}
+	args := make(map[string]float64, len(attrs))
+	for _, a := range attrs {
+		if a.IsInt {
+			args[a.Key] = float64(a.I)
+		} else {
+			args[a.Key] = a.F
+		}
+	}
+	return args
+}
+
+func (t *Tracer) record(ev TraceEvent) {
+	t.mu.Lock()
+	if t.sink != nil {
+		sink := t.sink
+		t.mu.Unlock()
+		sink(ev)
+		return
+	}
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// complete records a finished span.
+func (t *Tracer) complete(name string, lane int64, start time.Time, dur time.Duration, attrs []Attr) {
+	if t == nil {
+		return
+	}
+	t.record(TraceEvent{
+		Name:  name,
+		Phase: "X",
+		Ts:    float64(start.Sub(t.origin)) / float64(time.Microsecond),
+		Dur:   float64(dur) / float64(time.Microsecond),
+		Pid:   1,
+		Tid:   lane,
+		Args:  attrArgs(attrs),
+	})
+}
+
+// emit records an instant event at now.
+func (t *Tracer) emit(name string, attrs []Attr) {
+	if t == nil {
+		return
+	}
+	t.record(TraceEvent{
+		Name:  name,
+		Phase: "i",
+		Ts:    float64(time.Since(t.origin)) / float64(time.Microsecond),
+		Pid:   1,
+		Tid:   0,
+		Scope: "t",
+		Args:  attrArgs(attrs),
+	})
+}
+
+// Events returns a copy of the buffered events in recording order.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteChrome writes the buffered events as Chrome trace-event JSON
+// ({"traceEvents":[...]}), loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	evs := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs})
+}
+
+// ReadChrome parses Chrome trace-event JSON produced by WriteChrome
+// (the object form with a traceEvents array). Used by tests and tools
+// that post-process traces.
+func ReadChrome(r io.Reader) ([]TraceEvent, error) {
+	var ct chromeTrace
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ct); err != nil {
+		return nil, err
+	}
+	return ct.TraceEvents, nil
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	sc := NewScope(nil, tr)
+	sp := sc.Start("solve").OnLane(2).With(Int("iters", 17)).With(Float("gap", 0.003))
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sc.Emit("epoch", Int("n", 4))
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Must be a well-formed JSON object with a traceEvents array.
+	var generic map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &generic); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if _, ok := generic["traceEvents"]; !ok {
+		t.Fatalf("trace output missing traceEvents key")
+	}
+
+	evs, err := ReadChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("round-trip returned %d events, want 2", len(evs))
+	}
+	span := evs[0]
+	if span.Name != "solve" || span.Phase != "X" {
+		t.Fatalf("span = %+v", span)
+	}
+	if span.Pid != 1 || span.Tid != 2 {
+		t.Fatalf("span lane: pid=%d tid=%d, want pid=1 tid=2", span.Pid, span.Tid)
+	}
+	if span.Dur <= 0 {
+		t.Fatalf("span duration %v must be positive", span.Dur)
+	}
+	if span.Args["iters"] != 17 || span.Args["gap"] != 0.003 {
+		t.Fatalf("span args = %v", span.Args)
+	}
+	inst := evs[1]
+	if inst.Phase != "i" || inst.Scope != "t" {
+		t.Fatalf("instant event = %+v", inst)
+	}
+	if inst.Args["n"] != 4 {
+		t.Fatalf("instant args = %v", inst.Args)
+	}
+	if inst.Ts < span.Ts {
+		t.Fatalf("event timestamps must be monotone from origin: span ts %v, instant ts %v", span.Ts, inst.Ts)
+	}
+}
+
+func TestTracerSink(t *testing.T) {
+	tr := NewTracer()
+	var streamed []TraceEvent
+	tr.SetSink(func(ev TraceEvent) { streamed = append(streamed, ev) })
+	sc := NewScope(nil, tr)
+	sc.Start("a").End()
+	sc.Start("b").End()
+	if len(streamed) != 2 {
+		t.Fatalf("sink saw %d events, want 2", len(streamed))
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("sinked events must not buffer; Len=%d", tr.Len())
+	}
+	tr.SetSink(nil)
+	sc.Start("c").End()
+	if tr.Len() != 1 {
+		t.Fatalf("after clearing sink events must buffer; Len=%d", tr.Len())
+	}
+}
+
+func TestNilTracerAndDisabledScope(t *testing.T) {
+	var tr *Tracer
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatalf("nil tracer must be empty")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatalf("nil tracer output must still parse: %v", err)
+	}
+	if len(evs) != 0 {
+		t.Fatalf("nil tracer produced %d events", len(evs))
+	}
+
+	var sc *Scope
+	if sc.Enabled() {
+		t.Fatalf("nil scope reports enabled")
+	}
+	sp := sc.Start("x").With(Int("a", 1)).OnLane(3)
+	sp.End() // must not panic
+	sc.Emit("y")
+	if sc.Counter("c") != nil || sc.Gauge("g") != nil || sc.Histogram("h", DefBuckets) != nil {
+		t.Fatalf("nil scope must resolve nil instruments")
+	}
+	if sc.Registry() != nil || sc.Tracer() != nil {
+		t.Fatalf("nil scope must expose nil registry/tracer")
+	}
+	if NewScope(nil, nil) != nil {
+		t.Fatalf("NewScope(nil, nil) must collapse to the disabled scope")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"delaylb"
 	"delaylb/descent"
 	"delaylb/internal/qp"
+	"delaylb/obs"
 )
 
 // DescentConfig tunes a descent-backed replay: the trace's events are
@@ -46,6 +47,11 @@ type DescentConfig struct {
 	Verify bool
 	// Progress, if non-nil, is called after each completed epoch.
 	Progress func(done, total int)
+	// Obs, if non-nil, receives replay telemetry (per-epoch metrics,
+	// "replay.epoch" spans) and is propagated to the plane and the
+	// per-epoch oracle solves. One-way side channel: the timeline bytes
+	// are identical with or without it.
+	Obs *obs.Scope
 	// CrashPerEpoch crashes that many plan-chosen actors at the start
 	// of every epoch (after the epoch's events, before its rounds) —
 	// the "one actor crash per epoch" resilience drill. The victim is
@@ -75,7 +81,7 @@ func (c DescentConfig) budget() int {
 }
 
 func (c DescentConfig) oracleOptions() qp.Options {
-	opt := qp.Options{MaxIters: 400, Tol: 1e-7}
+	opt := qp.Options{MaxIters: 400, Tol: 1e-7, Obs: c.Obs}
 	if c.OracleIters > 0 {
 		opt.MaxIters = c.OracleIters
 	}
@@ -121,7 +127,6 @@ type DescentEpoch struct {
 	// serialize byte-identically.
 	SkippedEvents int                  `json:"skipped_events,omitempty"`
 	Faults        *descent.FaultTotals `json:"faults,omitempty"`
-	Elapsed       time.Duration        `json:"-"`
 }
 
 // BytesPerRound is the epoch's mean message volume per gradient round.
@@ -138,6 +143,10 @@ type DescentTimeline struct {
 	Band     float64          `json:"band"`
 	Shards   int              `json:"shards"`
 	Epochs   []DescentEpoch   `json:"epochs"`
+
+	// Runtime is the wall-clock side channel: Runtime.At(k) measures
+	// Epochs[k]. Never serialized (see obs.RuntimeStats).
+	Runtime *obs.RuntimeStats `json:"-"`
 }
 
 // WriteJSON writes the timeline as indented JSON; deterministic for a
@@ -152,10 +161,10 @@ func (tl *DescentTimeline) WriteJSON(w io.Writer) error {
 func (tl *DescentTimeline) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "%-5s %-8s %-6s %-6s %-10s %-12s %-12s %-12s %-7s %-7s %-10s %-8s %s\n",
 		"epoch", "time", "events", "m", "load", "start", "cost", "oracle", "rounds", "r2band", "bytes/rnd", "nnz", "elapsed")
-	for _, e := range tl.Epochs {
+	for k, e := range tl.Epochs {
 		fmt.Fprintf(w, "%-5d %-8.4g %-6d %-6d %-10.6g %-12.6g %-12.6g %-12.6g %-7d %-7d %-10.4g %-8d %s\n",
 			e.Epoch, e.Time, e.Events, e.Servers, e.TotalLoad, e.StartCost, e.Cost, e.OracleCost,
-			e.Rounds, e.RoundsToBand, e.BytesPerRound(), e.NNZ, e.Elapsed.Round(time.Millisecond))
+			e.Rounds, e.RoundsToBand, e.BytesPerRound(), e.NNZ, tl.Runtime.At(k).Elapsed.Round(time.Millisecond))
 		if f := e.Faults; f != nil || e.SkippedEvents > 0 {
 			if f == nil {
 				f = &descent.FaultTotals{}
@@ -186,10 +195,13 @@ func RunDescent(ctx context.Context, tr *Trace, cfg DescentConfig) (*DescentTime
 	if err != nil {
 		return nil, err
 	}
-	en := &descentEngine{cfg: cfg, idx: make(map[int64]int)}
+	en := &descentEngine{cfg: cfg, idx: make(map[int64]int), obs: newReplayObs(cfg.Obs, "descent")}
 	pcfg := cfg.Plane
 	pcfg.Band = cfg.band()
 	pcfg.Target = 0
+	if pcfg.Obs == nil {
+		pcfg.Obs = cfg.Obs
+	}
 	userRound := pcfg.OnRound
 	pcfg.OnRound = func(met descent.RoundMetrics) bool {
 		if userRound != nil && !userRound(met) {
@@ -228,12 +240,16 @@ func RunDescent(ctx context.Context, tr *Trace, cfg DescentConfig) (*DescentTime
 		en.idx[int64(i)] = i
 	}
 
-	tl := &DescentTimeline{Scenario: tr.Scenario, Band: cfg.band(), Shards: p.Shards()}
+	tl := &DescentTimeline{Scenario: tr.Scenario, Band: cfg.band(), Shards: p.Shards(), Runtime: &obs.RuntimeStats{}}
 	total := len(tr.Epochs) + 1
 	if err := en.measure(ctx, tl, 0, 0, 0, total); err != nil {
 		return tl, err
 	}
 	for k, ep := range tr.Epochs {
+		var evStart time.Time
+		if en.obs.applyHist != nil {
+			evStart = time.Now()
+		}
 		for _, ev := range ep.Events {
 			if err := en.apply(ev); err != nil {
 				if en.tolerateDeadIDs && errors.Is(err, errNoLiveServer) {
@@ -248,6 +264,9 @@ func RunDescent(ctx context.Context, tr *Trace, cfg DescentConfig) (*DescentTime
 		if err := en.flush(); err != nil {
 			return tl, fmt.Errorf("replay: descent epoch %d (t=%v): %w", k+1, ep.Time, err)
 		}
+		if en.obs.applyHist != nil {
+			en.obs.applyEvents(len(ep.Events), time.Since(evStart))
+		}
 		if err := en.measure(ctx, tl, k+1, ep.Time, len(ep.Events), total); err != nil {
 			return tl, err
 		}
@@ -260,6 +279,7 @@ func RunDescent(ctx context.Context, tr *Trace, cfg DescentConfig) (*DescentTime
 type descentEngine struct {
 	cfg     DescentConfig
 	p       *descent.Plane
+	obs     replayObs
 	ids     []int64
 	idx     map[int64]int
 	pending []float64
@@ -408,6 +428,7 @@ func (en *descentEngine) measure(ctx context.Context, tl *DescentTimeline, epoch
 		return err
 	}
 	start := time.Now()
+	span := en.obs.scope.Start("replay.epoch")
 	p := en.p
 	en.crashEvs = en.crashEvs[:0]
 
@@ -502,8 +523,18 @@ func (en *descentEngine) measure(ctx context.Context, tl *DescentTimeline, epoch
 	}
 	row.SkippedEvents = en.skipped
 	en.skipped = 0
-	row.Elapsed = time.Since(start)
+	tl.Runtime.Set(len(tl.Epochs), obs.RuntimeRow{
+		Label:   fmt.Sprintf("epoch %d", epoch),
+		Elapsed: time.Since(start),
+	})
 	tl.Epochs = append(tl.Epochs, row)
+	en.obs.epochs.Inc()
+	en.obs.cost.Set(row.Cost)
+	span.With(obs.Int("epoch", int64(epoch))).
+		With(obs.Float("cost", row.Cost)).
+		With(obs.Int("rounds", int64(row.Rounds))).
+		With(obs.Int("bytes", row.Bytes)).
+		End()
 
 	if en.cfg.Verify {
 		if err := en.verifyFeasible(); err != nil {

@@ -154,11 +154,11 @@ func TestScaleTierDescentM50k(t *testing.T) {
 	}
 	t.Logf("m=50k descent replay: %d epochs in %s (timings machine-dependent, logged only)",
 		len(tl.Epochs), time.Since(start).Round(time.Millisecond))
-	for _, row := range tl.Epochs {
+	for k, row := range tl.Epochs {
 		t.Logf("epoch %d: m=%d cost=%.6g oracle=%.6g gap=%+.4f rounds=%d r2band=%d bytes/round=%.4g nnz=%d (%s)",
 			row.Epoch, row.Servers, row.Cost, row.OracleCost, row.RelGap,
 			row.Rounds, row.RoundsToBand, row.BytesPerRound(), row.NNZ,
-			row.Elapsed.Round(time.Millisecond))
+			tl.Runtime.At(k).Elapsed.Round(time.Millisecond))
 	}
 	if len(tl.Epochs) != epochs+1 {
 		t.Fatalf("timeline has %d rows, want %d", len(tl.Epochs), epochs+1)

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"delaylb"
+	"delaylb/obs"
 )
 
 // Config tunes a replay run.
@@ -57,6 +58,11 @@ type Config struct {
 	// Progress, if non-nil, is called after each completed epoch with
 	// the number of completed timeline rows and the total.
 	Progress func(done, total int)
+	// Obs, if non-nil, receives side-channel telemetry: per-epoch spans,
+	// warm/cold iteration counters, churn mass and event-application
+	// latency. It is also threaded into the underlying qp solver. Never
+	// read back — instrumented replays produce byte-identical timelines.
+	Obs *obs.Scope
 }
 
 func (c Config) band() float64 {
@@ -100,10 +106,16 @@ func Run(ctx context.Context, tr *Trace, cfg Config) (*Timeline, error) {
 	if cfg.Options == nil {
 		cfg.Options = DefaultOptions()
 	}
+	if cfg.Obs.Enabled() {
+		// Thread the scope into every session solve (and the per-epoch
+		// cold baselines, which reuse cfg.Options below).
+		cfg.Options = append(append([]delaylb.Option(nil), cfg.Options...), delaylb.WithObs(cfg.Obs))
+	}
 	en := &engine{
 		cfg:  cfg,
 		sess: sys.NewSession(cfg.Options...),
 		idx:  make(map[int64]int),
+		obs:  newReplayObs(cfg.Obs, "session"),
 	}
 	m := en.sess.M()
 	en.ids = make([]int64, m)
@@ -119,12 +131,16 @@ func Run(ctx context.Context, tr *Trace, cfg Config) (*Timeline, error) {
 		en.block = deriveBlock(labels, en.sess.Latency(), nil)
 	}
 
-	tl := &Timeline{Scenario: tr.Scenario, Band: cfg.band(), ColdBaseline: !cfg.SkipCold}
+	tl := &Timeline{Scenario: tr.Scenario, Band: cfg.band(), ColdBaseline: !cfg.SkipCold, Runtime: &obs.RuntimeStats{}}
 	total := len(tr.Epochs) + 1
 	if err := en.measure(ctx, tl, 0, 0, 0, total); err != nil {
 		return tl, err
 	}
 	for k, ep := range tr.Epochs {
+		var evStart time.Time
+		if en.obs.applyHist != nil {
+			evStart = time.Now()
+		}
 		for _, ev := range ep.Events {
 			if err := en.apply(ev); err != nil {
 				return tl, fmt.Errorf("replay: epoch %d (t=%v): %w", k+1, ep.Time, err)
@@ -132,6 +148,9 @@ func Run(ctx context.Context, tr *Trace, cfg Config) (*Timeline, error) {
 		}
 		if err := en.flush(); err != nil {
 			return tl, fmt.Errorf("replay: epoch %d (t=%v): %w", k+1, ep.Time, err)
+		}
+		if en.obs.applyHist != nil {
+			en.obs.applyEvents(len(ep.Events), time.Since(evStart))
 		}
 		if err := en.measure(ctx, tl, k+1, ep.Time, len(ep.Events), total); err != nil {
 			return tl, err
@@ -145,6 +164,7 @@ func Run(ctx context.Context, tr *Trace, cfg Config) (*Timeline, error) {
 type engine struct {
 	cfg  Config
 	sess *delaylb.Session
+	obs  replayObs
 	// ids[i] is the stable id of the server at instance index i; idx is
 	// the inverse. Initial servers get ids 0..m−1, joins carry fresh ids.
 	ids []int64
@@ -414,6 +434,7 @@ func (en *engine) applyJoin(ev Event) error {
 // the metrics row, and verifies feasibility when configured.
 func (en *engine) measure(ctx context.Context, tl *Timeline, epoch int, t float64, events, total int) error {
 	start := time.Now()
+	span := en.obs.scope.Start("replay.epoch")
 	pre := en.sess.Result()
 	preCost := en.sess.Cost()
 
@@ -481,8 +502,21 @@ func (en *engine) measure(ctx context.Context, tl *Timeline, epoch int, t float6
 	// AllocationDistance merges sparse results in O(nnz) and reproduces
 	// the dense row-major summation order exactly.
 	row.Moved = delaylb.AllocationDistance(pre, warm) / 2
-	row.Elapsed = time.Since(start)
+	tl.Runtime.Set(len(tl.Epochs), obs.RuntimeRow{
+		Label:   fmt.Sprintf("epoch %d", epoch),
+		Elapsed: time.Since(start),
+	})
 	tl.Epochs = append(tl.Epochs, row)
+	en.obs.epochs.Inc()
+	en.obs.warmIters.Add(int64(row.WarmIters))
+	en.obs.coldIters.Add(int64(row.ColdIters))
+	en.obs.movedHist.Observe(row.Moved)
+	en.obs.cost.Set(row.Cost)
+	span.With(obs.Int("epoch", int64(epoch))).
+		With(obs.Float("cost", row.Cost)).
+		With(obs.Int("warm_iters", int64(row.WarmIters))).
+		With(obs.Float("moved", row.Moved)).
+		End()
 
 	if en.cfg.Verify {
 		if err := en.verifyFeasible(); err != nil {

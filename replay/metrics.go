@@ -7,13 +7,13 @@ import (
 	"time"
 
 	"delaylb"
+	"delaylb/obs"
 )
 
-// EpochMetrics is one row of the replay timeline. All fields except
-// Elapsed are deterministic for a fixed (trace, seed, options) triple;
-// Elapsed is wall-clock on the producing machine and deliberately
-// excluded from the JSON form so persisted timelines stay byte-identical
-// per seed — it is logged by the text rendering only.
+// EpochMetrics is one row of the replay timeline. Every field is
+// deterministic for a fixed (trace, seed, options) triple — wall-clock
+// lives in the timeline's RuntimeStats side struct (see Timeline),
+// never here, so persisted timelines stay byte-identical per seed.
 type EpochMetrics struct {
 	// Epoch is the row index: 0 is the initial solve, k ≥ 1 the k-th
 	// trace epoch.
@@ -54,9 +54,6 @@ type EpochMetrics struct {
 	// NNZ is the adopted allocation's nonzero count when the solve ran
 	// on the sparse scale-tier path; 0 otherwise.
 	NNZ int `json:"nnz,omitempty"`
-	// Elapsed is the epoch's wall-clock (events + warm solve + cold
-	// baseline). Logged only — see the type comment.
-	Elapsed time.Duration `json:"-"`
 }
 
 // Timeline is the replay engine's output: the per-epoch metrics plus the
@@ -70,6 +67,12 @@ type Timeline struct {
 	// from no cold solve at all.
 	ColdBaseline bool           `json:"cold_baseline"`
 	Epochs       []EpochMetrics `json:"epochs"`
+
+	// Runtime is the wall-clock side channel: Runtime.At(k) measures
+	// Epochs[k] (events + warm solve + cold baseline). Excluded from
+	// every JSON encode — the machine-dependent figures render only in
+	// WriteTable.
+	Runtime *obs.RuntimeStats `json:"-"`
 }
 
 // WriteJSON writes the timeline as indented JSON. The bytes are
@@ -87,7 +90,7 @@ func (tl *Timeline) WriteJSON(w io.Writer) error {
 func (tl *Timeline) WriteTable(w io.Writer) {
 	fmt.Fprintf(w, "%-5s %-8s %-6s %-5s %-10s %-12s %-12s %-12s %-7s %-7s %-10s %-8s %s\n",
 		"epoch", "time", "events", "m", "load", "warmstart", "cost", "opt", "w2band", "c2band", "moved", "nnz", "elapsed")
-	for _, e := range tl.Epochs {
+	for k, e := range tl.Epochs {
 		cold := "-"
 		// Epoch 0 mirrors the initial (cold-by-construction) solve even
 		// when the per-epoch baseline is off.
@@ -100,7 +103,7 @@ func (tl *Timeline) WriteTable(w io.Writer) {
 		}
 		fmt.Fprintf(w, "%-5d %-8.4g %-6d %-5d %-10.6g %-12.6g %-12.6g %-12.6g %-7d %-7s %-10.6g %-8s %s\n",
 			e.Epoch, e.Time, e.Events, e.Servers, e.TotalLoad, e.WarmStartCost, e.Cost, e.OptCost,
-			e.WarmItersToBand, cold, e.Moved, nnz, e.Elapsed.Round(time.Millisecond))
+			e.WarmItersToBand, cold, e.Moved, nnz, tl.Runtime.At(k).Elapsed.Round(time.Millisecond))
 	}
 }
 

@@ -1,0 +1,74 @@
+package replay_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"delaylb/replay"
+	"delaylb/sweep"
+)
+
+// The repo's one timing pattern: wall-clock lives in obs.RuntimeStats
+// side structs (tagged `json:"-"`), never in the deterministic encode
+// paths. This test reflection-walks every type reachable from the
+// golden-compared documents and fails if a serialized field smuggles a
+// time.Duration or time.Time back in. BenchEntry.ElapsedMS is exempt by
+// construction: it lives in sweep.BenchReport, which is not reachable
+// from any of these roots — BENCH_scale.json is explicitly a timing
+// artifact, not a golden table.
+func TestNoWallClockInDeterministicEncodePaths(t *testing.T) {
+	roots := []struct {
+		name string
+		typ  reflect.Type
+	}{
+		{"sweep.Report", reflect.TypeOf(sweep.Report{})},
+		{"replay.Timeline", reflect.TypeOf(replay.Timeline{})},
+		{"replay.DescentTimeline", reflect.TypeOf(replay.DescentTimeline{})},
+	}
+	banned := []reflect.Type{
+		reflect.TypeOf(time.Duration(0)),
+		reflect.TypeOf(time.Time{}),
+	}
+	for _, root := range roots {
+		seen := map[reflect.Type]bool{}
+		var walk func(path string, typ reflect.Type)
+		walk = func(path string, typ reflect.Type) {
+			for _, b := range banned {
+				if typ == b {
+					t.Errorf("%s: serialized field %s has wall-clock type %v", root.name, path, typ)
+					return
+				}
+			}
+			switch typ.Kind() {
+			case reflect.Ptr, reflect.Slice, reflect.Array:
+				walk(path, typ.Elem())
+			case reflect.Map:
+				walk(path+"[key]", typ.Key())
+				walk(path+"[val]", typ.Elem())
+			case reflect.Struct:
+				if seen[typ] {
+					return
+				}
+				seen[typ] = true
+				for i := 0; i < typ.NumField(); i++ {
+					f := typ.Field(i)
+					if !f.IsExported() {
+						continue // encoding/json skips unexported fields
+					}
+					tag := f.Tag.Get("json")
+					if tag == "-" {
+						continue // side struct, not part of the document
+					}
+					name := f.Name
+					if comma := strings.Split(tag, ","); comma[0] != "" {
+						name = comma[0]
+					}
+					walk(path+"."+name, f.Type)
+				}
+			}
+		}
+		walk(root.name, root.typ)
+	}
+}

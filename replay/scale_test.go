@@ -54,10 +54,10 @@ func TestScaleTierReplayM2000(t *testing.T) {
 	elapsed := time.Since(start)
 	t.Logf("m=2000 flash-crowd replay: %d epochs in %s (timings are machine-dependent, logged only)",
 		len(tl.Epochs), elapsed.Round(time.Millisecond))
-	for _, row := range tl.Epochs {
+	for k, row := range tl.Epochs {
 		t.Logf("epoch %d: m=%d load=%.4g warm2band=%d cold2band=%d cost=%.6g nnz=%d (%s)",
 			row.Epoch, row.Servers, row.TotalLoad, row.WarmItersToBand, row.ColdItersToBand,
-			row.Cost, row.NNZ, row.Elapsed.Round(time.Millisecond))
+			row.Cost, row.NNZ, tl.Runtime.At(k).Elapsed.Round(time.Millisecond))
 	}
 
 	// The trace's shape made it through: the hot metro grew by 8 servers

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"delaylb/internal/dynamic"
 	"delaylb/internal/model"
 	"delaylb/internal/runtime"
 	"delaylb/internal/sparse"
+	"delaylb/obs"
 )
 
 // Session is the online serving surface of the package: a long-lived,
@@ -400,6 +402,15 @@ func (s *Session) Reoptimize(ctx context.Context, opts ...Option) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
+	// Telemetry only: the churn baseline snapshot is taken only when a
+	// scope is attached, so un-instrumented sessions skip the O(nnz) copy.
+	sobs := newSessionObs(o.Obs)
+	var pre *Result
+	if sobs.enabled() {
+		pre = s.Result()
+	}
+	span := o.Obs.Start("session.reoptimize")
+	start := time.Now()
 	// Safe outside the lock: instances and allocation matrices are
 	// replaced wholesale on update, never mutated in place.
 	res, err := solver.Solve(ctx, &System{in: in}, o.SolveOptions)
@@ -410,6 +421,11 @@ func (s *Session) Reoptimize(ctx context.Context, opts ...Option) (*Result, erro
 		}
 		s.mu.Unlock()
 	}
+	sobs.reoptimized(time.Since(start), pre, res)
+	if res != nil {
+		span = span.With(obs.Float("cost", res.Cost)).With(obs.Int("iters", int64(res.Iterations)))
+	}
+	span.With(obs.Int("epoch", int64(epoch))).End()
 	return res, err
 }
 

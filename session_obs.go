@@ -1,0 +1,51 @@
+package delaylb
+
+import (
+	"time"
+
+	"delaylb/obs"
+)
+
+// sessionObs is the session lifecycle's resolved instrument bundle,
+// built per Reoptimize call from the effective options' scope. Nil
+// scope → zero bundle → every call below is a nil-check no-op, so
+// un-instrumented sessions pay nothing. Like every obs bundle in the
+// repo it is a one-way side channel: the adopted allocation and the
+// returned Result are bit-identical with or without it.
+type sessionObs struct {
+	reopts    *obs.Counter   // session_reoptimize_total
+	solveHist *obs.Histogram // session_reoptimize_seconds
+	churnHist *obs.Histogram // session_churn_requests: requests moved per re-solve
+	cost      *obs.Gauge     // session_cost: last adopted ΣC_i
+}
+
+func newSessionObs(sc *obs.Scope) sessionObs {
+	if !sc.Enabled() {
+		return sessionObs{}
+	}
+	return sessionObs{
+		reopts:    sc.Counter("session_reoptimize_total"),
+		solveHist: sc.Histogram("session_reoptimize_seconds", obs.ExpBuckets(1e-4, 10, 8)),
+		churnHist: sc.Histogram("session_churn_requests", obs.ExpBuckets(1, 4, 12)),
+		cost:      sc.Gauge("session_cost"),
+	}
+}
+
+func (so sessionObs) enabled() bool { return so.reopts != nil }
+
+// reoptimized records one completed Reoptimize: duration, adopted cost,
+// and the churn (half the L1 distance between the pre- and post-solve
+// request matrices — the requests the re-solve actually moved).
+func (so sessionObs) reoptimized(elapsed time.Duration, pre, post *Result) {
+	if !so.enabled() {
+		return
+	}
+	so.reopts.Inc()
+	so.solveHist.Observe(elapsed.Seconds())
+	if post != nil {
+		so.cost.Set(post.Cost)
+		if pre != nil {
+			so.churnHist.Observe(AllocationDistance(pre, post) / 2)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"delaylb/internal/sparse"
+	"delaylb/obs"
 )
 
 // SolveOptions carries the tuning knobs a Solver receives. The zero value
@@ -50,6 +51,11 @@ type SolveOptions struct {
 	// silently running a different algorithm; the non-QP solvers ignore
 	// the field.
 	FWVariant FWVariant
+	// Obs, if non-nil, receives solver telemetry (per-sweep duality gap,
+	// oracle calls, span timing). Strictly a side channel: the solve path
+	// never reads it back, results stay bit-identical, and the nil
+	// default adds zero allocations. See WithObs.
+	Obs *obs.Scope
 
 	// warmSparse is the sparse-session warm start (request units), set
 	// by Session.Reoptimize on sparse sessions. Only the built-in

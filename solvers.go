@@ -194,6 +194,7 @@ func (qs qpSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) (*
 		Variant:     variant,
 		OnIteration: progress,
 		Ctx:         ctx,
+		Obs:         opts.Obs,
 	}
 	sparseFW := qs.name == "frankwolfe" && opts.Sparse
 	if sparseFW && opts.warmSparse != nil {

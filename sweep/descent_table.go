@@ -20,6 +20,7 @@ import (
 	"delaylb/internal/core"
 	"delaylb/internal/qp"
 	"delaylb/internal/stats"
+	"delaylb/obs"
 )
 
 // DescentTableConfig drives the descent-vs-oracles table.
@@ -56,6 +57,10 @@ type DescentTableConfig struct {
 	Workers int
 	// Progress, if non-nil, receives (completed cells, total cells).
 	Progress func(done, total int)
+	// Stats, if non-nil, collects one wall-clock/alloc row per completed
+	// cell (see Runner.Stats). Side channel only: never part of the
+	// table's rows or any golden-compared output.
+	Stats *obs.RuntimeStats
 }
 
 // DefaultDescentTableConfig returns the standing small-m grid.
@@ -133,7 +138,7 @@ func DescentTableContext(ctx context.Context, cfg DescentTableConfig) ([]Descent
 		poa    float64
 	}
 	cells := cfg.cells()
-	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress, Stats: cfg.Stats, StatsLabel: "descent"}
 	results, done, err := RunCells(ctx, run, cells,
 		func(ctx context.Context, i int, c descentCell, rng *rand.Rand) (sample, error) {
 			s, cerr := cfg.runCell(ctx, c, rng)

@@ -22,11 +22,12 @@ import (
 type Report struct {
 	// Seed is the base seed the run used; Workers the pool bound
 	// (0 = all CPUs). Recorded so a report is self-describing.
+	// Wall-clock deliberately does NOT appear here: a report's bytes are
+	// a pure function of (seed, configuration). Machine-dependent
+	// measurements travel in obs.RuntimeStats side structs instead
+	// (cmd/tables -statsout).
 	Seed    int64 `json:"seed"`
 	Workers int   `json:"workers"`
-	// ElapsedMS is the wall-clock of the producing run in milliseconds.
-	// Excluded from determinism comparisons.
-	ElapsedMS int64 `json:"elapsed_ms,omitempty"`
 
 	Table1  []ConvergenceRow `json:"table1,omitempty"`
 	Table2  []ConvergenceRow `json:"table2,omitempty"`

@@ -18,6 +18,7 @@ import (
 	"delaylb/descent"
 	"delaylb/internal/qp"
 	"delaylb/internal/stats"
+	"delaylb/obs"
 )
 
 // FaultsConfig drives the fault-tolerance table.
@@ -46,6 +47,10 @@ type FaultsConfig struct {
 	Workers int
 	// Progress, if non-nil, receives (completed cells, total cells).
 	Progress func(done, total int)
+	// Stats, if non-nil, collects one wall-clock/alloc row per completed
+	// cell (see Runner.Stats). Side channel only: never part of the
+	// table's rows or any golden-compared output.
+	Stats *obs.RuntimeStats
 }
 
 // DefaultFaultsConfig returns the standing grid: one small clustered
@@ -129,7 +134,7 @@ func FaultsTableContext(ctx context.Context, cfg FaultsConfig) ([]FaultsRow, err
 		scenario                     int
 		gap, rounds, lost, recovered float64
 	}
-	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress, Stats: cfg.Stats, StatsLabel: "faults"}
 	results, done, err := RunCells(ctx, run, cells,
 		func(ctx context.Context, i int, c faultCell, rng *rand.Rand) (sample, error) {
 			s, cerr := cfg.runCell(ctx, scenarios[c.scenario], rng)

@@ -9,6 +9,7 @@ import (
 	"delaylb/internal/netmodel"
 	"delaylb/internal/netsim"
 	"delaylb/internal/stats"
+	"delaylb/obs"
 )
 
 // Figure2Config drives the large-network convergence experiment: peak
@@ -30,6 +31,10 @@ type Figure2Config struct {
 	Workers int
 	// Progress, if non-nil, receives (completed cells, total cells).
 	Progress func(done, total int)
+	// Stats, if non-nil, collects one wall-clock/alloc row per completed
+	// cell (see Runner.Stats). Side channel only: never part of the
+	// table's rows or any golden-compared output.
+	Stats *obs.RuntimeStats
 }
 
 // DefaultFigure2Config returns a laptop-scale configuration (full 5000-
@@ -62,7 +67,7 @@ func Figure2(cfg Figure2Config) []Figure2Series {
 // Figure2Context is Figure2 with cancellation; on ctx cancellation it
 // returns the completed curves (in size order) and ctx.Err().
 func Figure2Context(ctx context.Context, cfg Figure2Config) ([]Figure2Series, error) {
-	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress, Stats: cfg.Stats, StatsLabel: "figure2"}
 	results, done, err := RunCells(ctx, run, cfg.Sizes,
 		func(ctx context.Context, i int, m int, rng *rand.Rand) (Figure2Series, error) {
 			in, berr := buildCell(m, delaylb.NetPlanetLab, delaylb.SpeedUniform, delaylb.LoadPeak, cfg.PeakTotal, rng.Int63())

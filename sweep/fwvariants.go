@@ -16,6 +16,7 @@ import (
 	"delaylb"
 	"delaylb/internal/convtest"
 	"delaylb/internal/qp"
+	"delaylb/obs"
 )
 
 // FWVariantConfig drives the variant comparison grid.
@@ -43,6 +44,10 @@ type FWVariantConfig struct {
 	Workers int
 	// Progress, if non-nil, receives (completed cells, total cells).
 	Progress func(done, total int)
+	// Stats, if non-nil, collects one wall-clock/alloc row per completed
+	// cell (see Runner.Stats). Side channel only: never part of the
+	// table's rows or any golden-compared output.
+	Stats *obs.RuntimeStats
 }
 
 // DefaultFWVariantConfig returns the reduced-scale standing grid: two
@@ -109,7 +114,7 @@ func FWVariantTable(cfg FWVariantConfig) []FWVariantRow {
 // cancellation it returns the completed rows and ctx.Err().
 func FWVariantTableContext(ctx context.Context, cfg FWVariantConfig) ([]FWVariantRow, error) {
 	cells := cfg.cells()
-	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress, Stats: cfg.Stats, StatsLabel: "fwvariants"}
 	results, done, err := RunCells(ctx, run, cells,
 		func(ctx context.Context, _ int, c fwVariantCell, _ *rand.Rand) (FWVariantRow, error) {
 			return cfg.runCell(ctx, c)

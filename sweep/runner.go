@@ -15,9 +15,13 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
+
+	"delaylb/obs"
 )
 
 // Runner configures the concurrent experiment engine shared by every
@@ -33,6 +37,16 @@ type Runner struct {
 	// number of completed cells and the total. Calls are serialized, but
 	// may come from worker goroutines.
 	Progress func(done, total int)
+	// Stats, if non-nil, receives one RuntimeRow per completed cell —
+	// wall-clock and an approximate TotalAlloc delta (global under
+	// concurrent workers; see obs.RuntimeRow.AllocBytes). Rows land in
+	// cell order after the run, labeled "<StatsLabel>/cell<i>". Purely a
+	// side channel: results are identical with or without it, and the
+	// rows never enter a golden-compared output (cmd/tables routes them
+	// to -statsout only).
+	Stats *obs.RuntimeStats
+	// StatsLabel prefixes the Stats row labels (e.g. "table1").
+	StatsLabel string
 }
 
 func (r Runner) workers() int {
@@ -78,6 +92,14 @@ func RunCells[C, R any](ctx context.Context, r Runner, cells []C, fn func(ctx co
 		return results, done, ctx.Err()
 	}
 
+	// Per-cell runtime rows are staged by index and appended in cell
+	// order after the run, so a -statsout file is ordered the same for
+	// every worker count even though completion order is not.
+	var cellStats []obs.RuntimeRow
+	if r.Stats != nil {
+		cellStats = make([]obs.RuntimeRow, n)
+	}
+
 	next := make(chan int)
 	var wg sync.WaitGroup
 	var mu sync.Mutex // guards completed + Progress calls
@@ -87,10 +109,26 @@ func RunCells[C, R any](ctx context.Context, r Runner, cells []C, fn func(ctx co
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				var start time.Time
+				var before runtime.MemStats
+				if cellStats != nil {
+					runtime.ReadMemStats(&before)
+					start = time.Now()
+				}
 				rng := rand.New(rand.NewSource(CellSeed(r.Seed, i)))
 				v, ferr := fn(ctx, i, cells[i], rng)
 				results[i], errs[i] = v, ferr
 				done[i] = ferr == nil
+				if cellStats != nil {
+					elapsed := time.Since(start)
+					var after runtime.MemStats
+					runtime.ReadMemStats(&after)
+					cellStats[i] = obs.RuntimeRow{
+						Label:      fmt.Sprintf("%s/cell%d", r.StatsLabel, i),
+						Elapsed:    elapsed,
+						AllocBytes: after.TotalAlloc - before.TotalAlloc,
+					}
+				}
 				mu.Lock()
 				completed++
 				if r.Progress != nil {
@@ -110,6 +148,12 @@ feed:
 	}
 	close(next)
 	wg.Wait()
+
+	for i := range cellStats {
+		if done[i] {
+			r.Stats.Add(cellStats[i])
+		}
+	}
 
 	if cerr := ctx.Err(); cerr != nil {
 		return results, done, cerr

@@ -10,6 +10,7 @@ import (
 	"delaylb/internal/game"
 	"delaylb/internal/model"
 	"delaylb/internal/stats"
+	"delaylb/obs"
 )
 
 // ConvergenceConfig drives Tables I and II: how many iterations the
@@ -48,6 +49,10 @@ type ConvergenceConfig struct {
 	Workers int
 	// Progress, if non-nil, receives (completed cells, total cells).
 	Progress func(done, total int)
+	// Stats, if non-nil, collects one wall-clock/alloc row per completed
+	// cell (see Runner.Stats). Side channel only: never part of the
+	// table's rows or any golden-compared output.
+	Stats *obs.RuntimeStats
 }
 
 // DefaultTable1Config returns a laptop-scale version of the paper's
@@ -130,7 +135,7 @@ func ConvergenceTableContext(ctx context.Context, cfg ConvergenceConfig) ([]Conv
 		iters float64
 	}
 	cells := cfg.cells()
-	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress, Stats: cfg.Stats, StatsLabel: "convergence"}
 	results, done, err := RunCells(ctx, run, cells,
 		func(ctx context.Context, i int, c convergenceCell, rng *rand.Rand) (sample, error) {
 			in, berr := buildCell(c.m, c.net, delaylb.SpeedUniform, c.dist, c.avg, rng.Int63())
@@ -224,6 +229,10 @@ type SelfishnessConfig struct {
 	Workers int
 	// Progress, if non-nil, receives (completed cells, total cells).
 	Progress func(done, total int)
+	// Stats, if non-nil, collects one wall-clock/alloc row per completed
+	// cell (see Runner.Stats). Side channel only: never part of the
+	// table's rows or any golden-compared output.
+	Stats *obs.RuntimeStats
 }
 
 // LavBucket is one load row of Table III.
@@ -309,7 +318,7 @@ func SelfishnessTableContext(ctx context.Context, cfg SelfishnessConfig) ([]Self
 		skip  bool
 	}
 	cells := cfg.cells()
-	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress}
+	run := Runner{Workers: cfg.Workers, Seed: cfg.Seed, Progress: cfg.Progress, Stats: cfg.Stats, StatsLabel: "selfishness"}
 	results, done, err := RunCells(ctx, run, cells,
 		func(ctx context.Context, i int, c selfishnessCell, rng *rand.Rand) (sample, error) {
 			// Table III pools uniform and exponential loads.
