@@ -11,6 +11,7 @@
 //	lbsim -m 2000 -net metro -dist zipf -avg 100 -algo frankwolfe -sparse -iters 600
 //	lbsim -m 2000 -net metro -dist zipf -avg 100 -algo frankwolfe -variant away -sparse
 //	lbsim -replay trace.txt -algo proxy -sparse -timeline timeline.json
+//	lbsim -replay outage.txt -algo proxy -sparse -assert-nodense
 //	lbsim -descend trace.txt -part 0.5 -timeline timeline.json
 package main
 
@@ -48,6 +49,7 @@ type config struct {
 	Faults   string
 	Crashes  int
 	Timeline string
+	NoDense  bool
 
 	// Observability outputs. All are one-way side channels: enabling any
 	// of them leaves every deterministic output (stdout tables, -timeline
@@ -83,6 +85,7 @@ func main() {
 	flag.StringVar(&cfg.Faults, "faults", "", "with -descend: fault-plan spec, e.g. drop=0.05,dup=0.05,reorder=0.1,delay=0.25,crashevery=40,maxcrashes=1")
 	flag.IntVar(&cfg.Crashes, "crashes", 0, "with -descend: driver-side crash drills per epoch (kills one actor's servers before the epoch runs)")
 	flag.StringVar(&cfg.Timeline, "timeline", "", "with -replay/-descend: also write the JSON metrics timeline to this file")
+	flag.BoolVar(&cfg.NoDense, "assert-nodense", false, "with -replay: fail if the dense m×m latency matrix is materialized at any point during the replay")
 	flag.StringVar(&cfg.MetricsOut, "metrics-out", "", "write a Prometheus text metrics snapshot to this file at exit")
 	flag.StringVar(&cfg.TraceOut, "trace-out", "", "write a Chrome trace-event JSON (load in Perfetto) to this file at exit")
 	flag.StringVar(&cfg.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
@@ -146,10 +149,17 @@ func runReplay(ctx context.Context, cfg config, scope *obs.Scope, w io.Writer) e
 	}
 	fmt.Fprintf(w, "replaying %s: %s, %d epochs, %d events, algo=%s\n",
 		cfg.Replay, tr.Scenario, len(tr.Epochs), tr.Events(), cfg.Algo)
+	densifiedBefore := delaylb.DenseMaterializations()
 	start := time.Now()
 	tl, err := replay.Run(ctx, tr, replay.Config{Options: opts, Obs: scope})
 	if err != nil {
 		return err
+	}
+	if cfg.NoDense {
+		if got := delaylb.DenseMaterializations() - densifiedBefore; got != 0 {
+			return fmt.Errorf("-assert-nodense: the dense m×m latency matrix was materialized %d times during the replay", got)
+		}
+		fmt.Fprintln(w, "assert-nodense: ok — no dense latency materialization during the replay")
 	}
 	tl.WriteTable(w)
 	fmt.Fprintf(w, "replayed %d epochs in %s\n", len(tl.Epochs), time.Since(start).Round(time.Millisecond))
@@ -239,6 +249,9 @@ func run(ctx context.Context, cfg config, w io.Writer) error {
 	}
 	if (cfg.Faults != "" || cfg.Crashes != 0) && cfg.Descend == "" {
 		return fmt.Errorf("-faults and -crashes need -descend")
+	}
+	if cfg.NoDense && cfg.Replay == "" {
+		return fmt.Errorf("-assert-nodense needs -replay")
 	}
 	// Validate -variant up front so a typo (or pairing it with a solver
 	// that ignores it, like nash or runtime) fails before any solving.

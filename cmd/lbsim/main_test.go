@@ -209,6 +209,44 @@ func TestRunReplaySmoke(t *testing.T) {
 	}
 }
 
+// TestRunReplayAssertNoDense replays the committed metro-outage trace —
+// metro leaves, backbone ×1.25, bit-exact restore, metro rejoins — with
+// -assert-nodense: the whole cycle must ride the structured O(m + k²)
+// update path, so the flag's zero-materialization check passes. A trace
+// with a *targeted* latshift legitimately densifies (a single degraded
+// link need not be block-structured); it must trip the same flag,
+// proving the assertion bites.
+func TestRunReplayAssertNoDense(t *testing.T) {
+	var sb strings.Builder
+	cfg := config{Algo: "proxy", Sparse: true, Seed: 1, NoDense: true,
+		Replay: filepath.Join("testdata", "outage.trace")}
+	if err := run(context.Background(), cfg, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "assert-nodense: ok") || !strings.Contains(out, "replayed 5 epochs") {
+		t.Errorf("outage replay did not pass the no-dense assertion:\n%s", out)
+	}
+
+	targeted := filepath.Join(t.TempDir(), "targeted.trace")
+	if err := os.WriteFile(targeted, []byte(
+		"scenario m=8 net=clustered latency=20 dist=exp avg=60 speeds=uniform smin=1 smax=5 clusters=2 seed=3\n"+
+			"epoch 1\nlatshift 0 1 1.5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	cfg.Replay = targeted
+	err := run(context.Background(), cfg, &sb)
+	if err == nil || !strings.Contains(err.Error(), "materialized") {
+		t.Errorf("targeted-latshift trace error = %v, want a materialization failure", err)
+	}
+
+	if err := run(context.Background(), config{Algo: "mine", NoDense: true}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "-replay") {
+		t.Errorf("-assert-nodense without -replay error = %v, want a flag error", err)
+	}
+}
+
 // TestRunDescendSmoke drives -descend over the committed descent trace:
 // the full command path (parse file → distributed plane → summary
 // table), plus the optional JSON timeline.

@@ -114,6 +114,8 @@ func benchTestConfig() sweep.BenchConfig {
 	cfg.DescentSizes = []int{25}
 	cfg.DescentRounds = 60
 	cfg.FWVariantSizes = []int{25}
+	cfg.MineSparseSizes = []int{25}
+	cfg.LatencyUpdateSizes = []int{25}
 	return cfg
 }
 

@@ -19,36 +19,66 @@ import (
 // and infinite capacity. The min-cost max-flow re-assigns the off-
 // diagonal entries of the allocation; diagonal entries are untouched.
 //
+// On a sparse state the supply/demand vectors and the cost of the
+// current routing are folded over the stored entries only (identical
+// floats: the dense loops add exactly +0.0 for empty slots), and the
+// re-routed rows are rebuilt from the flow arcs in O(flow support). The
+// transportation graph itself involves only servers that currently
+// relay or receive, so its size tracks the allocation's support, not m².
+//
 // It returns the reduction of ΣC_i (≥ 0; loads are preserved so only the
 // communication term changes).
 func RemoveCycles(st *State) float64 {
 	in := st.In
 	m := in.M()
-	a := st.Alloc
 
 	out := make([]float64, m)
 	inc := make([]float64, m)
 	var totalRelayed float64
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			if i == j {
-				continue
+	var before float64
+	if st.Rows != nil {
+		for i := 0; i < m; i++ {
+			for t, j := range st.Rows.Idx[i] {
+				if int(j) == i {
+					continue
+				}
+				v := st.Rows.Val[i][t]
+				out[i] += v
+				inc[j] += v
 			}
-			v := a.R[i][j]
-			out[i] += v
-			inc[j] += v
+			totalRelayed += out[i]
 		}
-		totalRelayed += out[i]
-	}
-	if totalRelayed == 0 {
-		return 0
-	}
-
-	before := 0.0
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			if i != j && a.R[i][j] != 0 {
-				before += a.R[i][j] * in.LatAt(i, j)
+		if totalRelayed == 0 {
+			return 0
+		}
+		for i := 0; i < m; i++ {
+			for t, j := range st.Rows.Idx[i] {
+				if int(j) != i && st.Rows.Val[i][t] != 0 {
+					before += st.Rows.Val[i][t] * in.LatAt(i, int(j))
+				}
+			}
+		}
+	} else {
+		a := st.Alloc
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if i == j {
+					continue
+				}
+				v := a.R[i][j]
+				out[i] += v
+				inc[j] += v
+			}
+			totalRelayed += out[i]
+		}
+		if totalRelayed == 0 {
+			return 0
+		}
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if i != j && a.R[i][j] != 0 {
+					before += a.R[i][j] * in.LatAt(i, j)
+				}
 			}
 		}
 	}
@@ -65,7 +95,7 @@ func RemoveCycles(st *State) float64 {
 		}
 	}
 	type arc struct{ i, j, id int }
-	arcs := make([]arc, 0, m*m)
+	arcs := make([]arc, 0, m)
 	for i := 0; i < m; i++ {
 		if out[i] == 0 {
 			continue
@@ -87,20 +117,64 @@ func RemoveCycles(st *State) float64 {
 	if after >= before {
 		return 0
 	}
-	for i := 0; i < m; i++ {
-		for j := 0; j < m; j++ {
-			if i != j {
-				a.R[i][j] = 0
+	if st.Rows != nil {
+		// Rebuild every relaying row from its flow arcs (generated with j
+		// ascending), splicing the untouched diagonal entry back in at its
+		// sorted position. Non-relaying rows hold only their diagonal and
+		// stay as they are.
+		ai := 0
+		for i := 0; i < m; i++ {
+			start := ai
+			for ai < len(arcs) && arcs[ai].i == i {
+				ai++
+			}
+			if out[i] == 0 {
+				continue
+			}
+			diag := st.Rows.Get(i, i)
+			idxNew := make([]int32, 0, ai-start+1)
+			valNew := make([]float64, 0, ai-start+1)
+			placed := diag == 0
+			for t := start; t < ai; t++ {
+				e := arcs[t]
+				f := g.Flow(e.id)
+				if f <= 0 {
+					continue
+				}
+				if !placed && e.j > i {
+					idxNew = append(idxNew, int32(i))
+					valNew = append(valNew, diag)
+					placed = true
+				}
+				idxNew = append(idxNew, int32(e.j))
+				valNew = append(valNew, f)
+			}
+			if !placed {
+				idxNew = append(idxNew, int32(i))
+				valNew = append(valNew, diag)
+			}
+			st.Rows.Idx[i], st.Rows.Val[i] = idxNew, valNew
+		}
+		// Loads are preserved by construction; refresh to clear float
+		// drift, in the dense accumulation order.
+		st.loadsFromRows()
+	} else {
+		a := st.Alloc
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if i != j {
+					a.R[i][j] = 0
+				}
 			}
 		}
-	}
-	for _, e := range arcs {
-		if f := g.Flow(e.id); f > 0 {
-			a.R[e.i][e.j] = f
+		for _, e := range arcs {
+			if f := g.Flow(e.id); f > 0 {
+				a.R[e.i][e.j] = f
+			}
 		}
+		// Loads are preserved by construction; refresh to clear float drift.
+		a.LoadsInto(st.Loads)
 	}
-	// Loads are preserved by construction; refresh to clear float drift.
-	a.LoadsInto(st.Loads)
 	// The re-routing rewrote arbitrary off-diagonal entries.
 	st.RebuildColumnIndex()
 	return before - after

@@ -72,8 +72,8 @@ func (b *pairBuffer) loadSparse(st *State, i, j int) int {
 		}
 	}
 	for t, k := range b.ks {
-		b.ri[t] = st.Alloc.R[k][i]
-		b.rj[t] = st.Alloc.R[k][j]
+		b.ri[t] = st.entry(int(k), i)
+		b.rj[t] = st.entry(int(k), j)
 		b.oi[t] = b.ri[t]
 		b.oj[t] = b.rj[t]
 	}
@@ -91,6 +91,29 @@ func (b *pairBuffer) load(a *model.Allocation, i, j int) {
 		b.oi[k] = b.ri[k]
 		b.oj[k] = b.rj[k]
 	}
+}
+
+// loadState extracts full columns i and j from whichever store the
+// state uses — the dense-buffer entry point of the Proposition 1
+// estimation, which simulates Algorithm 1 over all m organizations.
+func (b *pairBuffer) loadState(st *State, i, j int) {
+	if st.Rows == nil {
+		b.load(st.Alloc, i, j)
+		return
+	}
+	m := st.In.M()
+	for k := 0; k < m; k++ {
+		b.ri[k] = 0
+		b.rj[k] = 0
+	}
+	for _, k := range st.colOwners[i] {
+		b.ri[k] = st.Rows.Get(int(k), i)
+	}
+	for _, k := range st.colOwners[j] {
+		b.rj[k] = st.Rows.Get(int(k), j)
+	}
+	copy(b.oi[:m], b.ri[:m])
+	copy(b.oj[:m], b.rj[:m])
 }
 
 // balance runs Algorithm 1 (CalcBestTransfer) on the buffered columns and
@@ -268,17 +291,24 @@ func balanceSparse(st *State, i, j int, buf *pairBuffer) (PairOutcome, float64, 
 	return PairOutcome{Gain: before - after, Moved: moved / 2}, li, lj
 }
 
-// commitSparse writes the balanced buffer back into the allocation and
-// refreshes the owner lists of the two columns (subsets of the gathered
-// union, which is already in ascending order).
+// commitSparse writes the balanced buffer back into the request store
+// and refreshes the owner lists of the two columns (subsets of the
+// gathered union, which is already in ascending order). On the sparse
+// row store, zero results remove their entry — stored and nonzero stay
+// synonymous.
 func commitSparse(st *State, i, j int, buf *pairBuffer, li, lj float64) {
 	n := len(buf.ks)
 	ownersI := st.colOwners[i][:0]
 	ownersJ := st.colOwners[j][:0]
 	for t := 0; t < n; t++ {
 		k := buf.ks[t]
-		st.Alloc.R[k][i] = buf.ri[t]
-		st.Alloc.R[k][j] = buf.rj[t]
+		if st.Rows != nil {
+			st.Rows.SetOrRemove(int(k), i, buf.ri[t])
+			st.Rows.SetOrRemove(int(k), j, buf.rj[t])
+		} else {
+			st.Alloc.R[k][i] = buf.ri[t]
+			st.Alloc.R[k][j] = buf.rj[t]
+		}
 		if buf.ri[t] != 0 {
 			ownersI = append(ownersI, k)
 		}

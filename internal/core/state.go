@@ -14,25 +14,41 @@ package core
 
 import (
 	"delaylb/internal/model"
+	"delaylb/internal/sparse"
 )
 
 // State couples an instance with a mutable allocation and maintains the
 // server load vector incrementally, so pairwise rebalancing steps cost
 // O(m log m) instead of O(m²).
 //
-// With the column index enabled (EnableColumnIndex), pairwise steps
-// shrink further to O((w_i + w_j) log(w_i + w_j)) where w_j is the
-// number of organizations with requests on server j — the sparse
-// delay-aware path of the large-m scale tier. Real allocations keep
+// The request matrix lives in exactly one of two stores:
+//
+//   - Alloc, the dense m×m model.Allocation — the verification oracle
+//     and the default for small m;
+//   - Rows, a sparse row store (internal/sparse) holding only the
+//     nonzero r_kj — the scale-tier representation, O(nnz) memory.
+//
+// With the column index enabled (EnableColumnIndex; always on for a
+// sparse state, where colOwners is derived from Rows), pairwise steps
+// shrink to O((w_i + w_j) log(w_i + w_j)) where w_j is the number of
+// organizations with requests on server j. Real allocations keep
 // w_j ≪ m (each server hosts a handful of organizations' requests), so
 // exact and hybrid partner evaluation stop paying for the m − w empty
-// column slots.
+// column slots, and a sparse state never allocates the m² matrix at all.
+// Both stores produce bit-identical picks, gains and costs: the sparse
+// paths reproduce the dense float accumulation orders exactly.
 type State struct {
 	In    *model.Instance
 	Alloc *model.Allocation
+	// Rows, when non-nil, is the sparse row store of the request matrix
+	// (Alloc is then nil). Invariant: no explicit zeros are stored, so
+	// stored entries and nonzero entries coincide — NewSparseState
+	// establishes it and every mutation preserves it.
+	Rows  *sparse.Matrix
 	Loads []float64
 	// colOwners[j], when the index is enabled, lists in ascending order
-	// the organizations k with Alloc.R[k][j] != 0. nil = index disabled.
+	// the organizations k with r_kj != 0. nil = index disabled (dense
+	// states only; a sparse state always carries the index).
 	colOwners [][]int32
 }
 
@@ -48,6 +64,42 @@ func NewIdentityState(in *model.Instance) *State {
 	return NewState(in, model.Identity(in))
 }
 
+// NewSparseState wraps an instance and a sparse request matrix (not
+// copied) into a State on the sparse row store. Explicit zeros are
+// pruned (bit-identical: a stored zero contributes exactly +0.0 to every
+// fold) and the column index is built — it is the representation's
+// column view, so it is always on. O(nnz + m).
+func NewSparseState(in *model.Instance, rows *sparse.Matrix) *State {
+	rows.Prune(0)
+	st := &State{In: in, Rows: rows, Loads: make([]float64, in.M())}
+	st.loadsFromRows()
+	st.EnableColumnIndex()
+	return st
+}
+
+// loadsFromRows recomputes Loads from the sparse store, in the same
+// row-major accumulation order as Allocation.LoadsInto (dense zeros add
+// exactly +0.0, so the folds agree bit-for-bit).
+func (st *State) loadsFromRows() {
+	for j := range st.Loads {
+		st.Loads[j] = 0
+	}
+	for k := range st.Rows.Idx {
+		for t, j := range st.Rows.Idx[k] {
+			st.Loads[j] += st.Rows.Val[k][t]
+		}
+	}
+}
+
+// entry returns r_kj from whichever store is active. O(1) dense,
+// O(log nnz_k) sparse.
+func (st *State) entry(k, j int) float64 {
+	if st.Rows != nil {
+		return st.Rows.Get(k, j)
+	}
+	return st.Alloc.R[k][j]
+}
+
 // Cost returns the current ΣC_i. With the column index enabled the
 // communication term is summed over owner lists (O(nnz) instead of the
 // dense O(m²) row scan).
@@ -60,7 +112,7 @@ func (st *State) Cost() float64 {
 		for j, owners := range st.colOwners {
 			for _, k := range owners {
 				if int(k) != j {
-					cost += st.Alloc.R[k][j] * st.In.LatAt(int(k), j)
+					cost += st.entry(int(k), j) * st.In.LatAt(int(k), j)
 				}
 			}
 		}
@@ -73,8 +125,12 @@ func (st *State) Cost() float64 {
 func (st *State) Clone() *State {
 	cp := &State{
 		In:    st.In,
-		Alloc: st.Alloc.Clone(),
 		Loads: append([]float64(nil), st.Loads...),
+	}
+	if st.Rows != nil {
+		cp.Rows = st.Rows.Clone()
+	} else {
+		cp.Alloc = st.Alloc.Clone()
 	}
 	if st.colOwners != nil {
 		cp.colOwners = make([][]int32, len(st.colOwners))
@@ -86,10 +142,11 @@ func (st *State) Clone() *State {
 }
 
 // EnableColumnIndex builds the per-column owner lists and switches the
-// pairwise primitives onto the sparse gather path. O(m²) once; further
-// maintenance is incremental. Mutating Alloc.R directly afterwards
-// (rather than through ApplyPair/RemoveCycles) invalidates the index —
-// call RebuildColumnIndex after such edits.
+// pairwise primitives onto the sparse gather path. O(m²) once on a dense
+// state (O(nnz + m) on a sparse one); further maintenance is
+// incremental. Mutating the request store directly afterwards (rather
+// than through ApplyPair/RemoveCycles) invalidates the index — call
+// RebuildColumnIndex after such edits.
 func (st *State) EnableColumnIndex() {
 	st.colOwners = make([][]int32, st.In.M())
 	st.RebuildColumnIndex()
@@ -98,7 +155,7 @@ func (st *State) EnableColumnIndex() {
 // ColumnIndexEnabled reports whether the sparse column path is active.
 func (st *State) ColumnIndexEnabled() bool { return st.colOwners != nil }
 
-// RebuildColumnIndex recomputes the owner lists from the allocation.
+// RebuildColumnIndex recomputes the owner lists from the request store.
 // No-op when the index is disabled.
 func (st *State) RebuildColumnIndex() {
 	if st.colOwners == nil {
@@ -106,6 +163,16 @@ func (st *State) RebuildColumnIndex() {
 	}
 	for j := range st.colOwners {
 		st.colOwners[j] = st.colOwners[j][:0]
+	}
+	if st.Rows != nil {
+		for k := range st.Rows.Idx {
+			for t, j := range st.Rows.Idx[k] {
+				if st.Rows.Val[k][t] != 0 {
+					st.colOwners[j] = append(st.colOwners[j], int32(k))
+				}
+			}
+		}
+		return
 	}
 	for k, row := range st.Alloc.R {
 		for j, v := range row {
@@ -125,10 +192,10 @@ func (st *State) localCost(i, j int) float64 {
 	cost := li*li/(2*in.Speed[i]) + lj*lj/(2*in.Speed[j])
 	if st.colOwners != nil {
 		for _, k := range st.colOwners[i] {
-			cost += st.Alloc.R[k][i] * in.LatAt(int(k), i)
+			cost += st.entry(int(k), i) * in.LatAt(int(k), i)
 		}
 		for _, k := range st.colOwners[j] {
-			cost += st.Alloc.R[k][j] * in.LatAt(int(k), j)
+			cost += st.entry(int(k), j) * in.LatAt(int(k), j)
 		}
 		return cost
 	}

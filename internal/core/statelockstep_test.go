@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"delaylb/internal/model"
+	"delaylb/internal/netmodel"
+	"delaylb/internal/sparse"
+	"delaylb/internal/workload"
+)
+
+// This file is the bit-exactness contract of the sparse row store: a
+// State on sparse.Matrix must be indistinguishable — every gain, every
+// owner list, every stored value, every cost, down to the last bit —
+// from the dense model.Allocation oracle with the column index enabled.
+// Randomized EvaluatePair/ApplyPair/RemoveCycles sequences drive both
+// twins in lockstep and compare after every step (the frankwolfe_active
+// probe style, applied to MinE).
+
+// blockTestInstance builds a BlockLatency-backed instance so the
+// lockstep covers the metro GatherCol path too.
+func blockTestInstance(t *testing.T, m int, seed int64) *model.Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	delay, labels := netmodel.ClusteredBlock(m, 4, 0.5, 100, rng)
+	in, err := model.NewBlockInstance(
+		workload.UniformSpeeds(m, 1, 5, rng),
+		workload.ExponentialLoads(m, 80, rng),
+		delay, labels,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// lockstepCompare asserts the two states are bit-identical: loads, cost,
+// owner lists and every request entry.
+func lockstepCompare(t *testing.T, step string, dense, sp *State) {
+	t.Helper()
+	m := dense.In.M()
+	if dc, sc := dense.Cost(), sp.Cost(); dc != sc {
+		t.Fatalf("%s: cost diverged: dense %v vs sparse %v", step, dc, sc)
+	}
+	for j := 0; j < m; j++ {
+		if dense.Loads[j] != sp.Loads[j] {
+			t.Fatalf("%s: load[%d] diverged: dense %v vs sparse %v", step, j, dense.Loads[j], sp.Loads[j])
+		}
+		do, so := dense.colOwners[j], sp.colOwners[j]
+		if len(do) != len(so) {
+			t.Fatalf("%s: column %d has %d dense owners vs %d sparse", step, j, len(do), len(so))
+		}
+		for x := range do {
+			if do[x] != so[x] {
+				t.Fatalf("%s: column %d owner[%d]: dense %d vs sparse %d", step, j, x, do[x], so[x])
+			}
+		}
+	}
+	for k := 0; k < m; k++ {
+		for j := 0; j < m; j++ {
+			if dv, sv := dense.Alloc.R[k][j], sp.Rows.Get(k, j); dv != sv {
+				t.Fatalf("%s: r[%d][%d] diverged: dense %v vs sparse %v", step, k, j, dv, sv)
+			}
+		}
+	}
+	// The no-explicit-zeros invariant: stored == nonzero, so the sparse
+	// NNZ must equal the dense nonzero count.
+	if dn, sn := dense.Alloc.NNZ(), sp.Rows.NNZ(); dn != sn {
+		t.Fatalf("%s: nnz diverged: dense %d vs sparse %d", step, dn, sn)
+	}
+	if err := sp.Rows.Validate(); err != nil {
+		t.Fatalf("%s: sparse store invalid: %v", step, err)
+	}
+}
+
+// TestSparseStateLockstepDense drives the sparse state and the dense
+// oracle through identical randomized pairwise sequences — with periodic
+// negative-cycle removal — and requires bit-exact agreement after every
+// step, on both dense (PlanetLab) and block (metro) latency views.
+func TestSparseStateLockstepDense(t *testing.T) {
+	cases := []struct {
+		name string
+		in   func(t *testing.T, m int, seed int64) *model.Instance
+	}{
+		{"planetlab", sparseTestInstance},
+		{"block", blockTestInstance},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, m := range []int{7, 23, 64} {
+				in := tc.in(t, m, int64(m)*3+1)
+				dense := NewIdentityState(in)
+				dense.EnableColumnIndex()
+				sp := NewSparseState(in, sparse.FromDense(model.Identity(in).R, 0))
+				lockstepCompare(t, "init", dense, sp)
+
+				rng := rand.New(rand.NewSource(int64(m)))
+				for step := 0; step < 250; step++ {
+					i, j := rng.Intn(m), rng.Intn(m)
+					if i == j {
+						continue
+					}
+					evD := EvaluatePair(dense, i, j, nil)
+					evS := EvaluatePair(sp, i, j, nil)
+					if evD != evS {
+						t.Fatalf("m=%d step %d: EvaluatePair(%d,%d): dense %+v vs sparse %+v", m, step, i, j, evD, evS)
+					}
+					apD := ApplyPair(dense, i, j, nil)
+					apS := ApplyPair(sp, i, j, nil)
+					if apD != apS {
+						t.Fatalf("m=%d step %d: ApplyPair(%d,%d): dense %+v vs sparse %+v", m, step, i, j, apD, apS)
+					}
+					if step%29 == 0 {
+						gD := RemoveCycles(dense)
+						gS := RemoveCycles(sp)
+						if gD != gS {
+							t.Fatalf("m=%d step %d: RemoveCycles: dense %v vs sparse %v", m, step, gD, gS)
+						}
+					}
+					lockstepCompare(t, "step", dense, sp)
+				}
+			}
+		})
+	}
+}
+
+// TestSparseStateRunStateLockstep runs the full MinE loop (all three
+// strategies, cycle removal on) on both stores with identical seeds and
+// pins bit-identical trajectories — every pick and every per-iteration
+// cost must agree, not just the final state.
+func TestSparseStateRunStateLockstep(t *testing.T) {
+	for _, strategy := range []Strategy{StrategyExact, StrategyProxy, StrategyHybrid} {
+		for _, m := range []int{9, 31} {
+			in := sparseTestInstance(t, m, int64(m)+100)
+			dense := NewIdentityState(in)
+			trD := RunState(dense, Config{Strategy: strategy, SparseColumns: true, RemoveCyclesEvery: 3, MaxIters: 40, Rng: rand.New(rand.NewSource(7))})
+			sp := NewSparseState(in, sparse.FromDense(model.Identity(in).R, 0))
+			trS := RunState(sp, Config{Strategy: strategy, SparseColumns: true, RemoveCyclesEvery: 3, MaxIters: 40, Rng: rand.New(rand.NewSource(7))})
+
+			if len(trD.Costs) != len(trS.Costs) || trD.Reason != trS.Reason {
+				t.Fatalf("strategy=%d m=%d: trajectories diverged: dense %d iters (%s) vs sparse %d (%s)",
+					strategy, m, trD.Iters, trD.Reason, trS.Iters, trS.Reason)
+			}
+			for k := range trD.Costs {
+				if trD.Costs[k] != trS.Costs[k] {
+					t.Fatalf("strategy=%d m=%d iter %d: cost diverged: dense %v vs sparse %v",
+						strategy, m, k, trD.Costs[k], trS.Costs[k])
+				}
+			}
+			lockstepCompare(t, "final", dense, sp)
+		}
+	}
+}
+
+// TestSparseStateErrorBound pins the Proposition 1 estimation on the
+// sparse store against the dense oracle bit-for-bit.
+func TestSparseStateErrorBound(t *testing.T) {
+	in := sparseTestInstance(t, 14, 5)
+	dense := NewIdentityState(in)
+	dense.EnableColumnIndex()
+	sp := NewSparseState(in, sparse.FromDense(model.Identity(in).R, 0))
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 30; step++ {
+		i, j := rng.Intn(14), rng.Intn(14)
+		if i == j {
+			continue
+		}
+		ApplyPair(dense, i, j, nil)
+		ApplyPair(sp, i, j, nil)
+	}
+	if db, sb := DistanceBound(dense), DistanceBound(sp); db != sb {
+		t.Fatalf("DistanceBound diverged: dense %v vs sparse %v", db, sb)
+	}
+	if dg, sg := CycleGain(dense), CycleGain(sp); dg != sg {
+		t.Fatalf("CycleGain diverged: dense %v vs sparse %v", dg, sg)
+	}
+}

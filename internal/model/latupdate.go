@@ -1,0 +1,223 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// LatencyUpdate is a structured edit of the network: an update a
+// BlockLatency-backed instance can absorb natively on its k×k delay
+// table — O(k²), no m×m matrix ever materialized — while a dense
+// instance applies the exact same per-entry arithmetic to its matrix
+// (the verification oracle; pinned bit-identical by FuzzLatencyUpdate).
+//
+// Like the latency views themselves, the family is sealed: the fast
+// paths dispatch on the concrete type, and Instance.WithLatencyUpdate
+// follows the replace-don't-mutate discipline — a fresh view is built,
+// nothing is edited in place, and the label vector is shared (COW).
+type LatencyUpdate interface {
+	// ApplyBlock returns a fresh delay table with the update applied;
+	// the input table is never mutated.
+	ApplyBlock(delay [][]float64) ([][]float64, error)
+	// ApplyDense applies the update to a dense matrix in place (the
+	// caller owns the copy), using the per-server metro labels. The
+	// arithmetic per entry is identical to the block path, so a block
+	// apply followed by Dense() equals a dense apply bit-for-bit.
+	ApplyDense(lat [][]float64, labels []int) error
+	// latencyUpdate seals the family to this package.
+	latencyUpdate()
+}
+
+// checkFactor rejects scale factors that could not come from a real
+// degradation/recovery feed: delays must stay non-negative and finite.
+func checkFactor(factor float64) error {
+	if factor < 0 || math.IsNaN(factor) || math.IsInf(factor, 0) {
+		return fmt.Errorf("model: latency scale factor %v, must be non-negative and finite", factor)
+	}
+	return nil
+}
+
+// ScaleMetroPair multiplies the delay between metros G and H (the
+// directed G→H entry of the block table, every server pair it covers in
+// the dense form) by Factor. G == H scales a metro's intra-metro delay.
+type ScaleMetroPair struct {
+	G, H   int
+	Factor float64
+}
+
+func (u ScaleMetroPair) latencyUpdate() {}
+
+func (u ScaleMetroPair) ApplyBlock(delay [][]float64) ([][]float64, error) {
+	if err := checkFactor(u.Factor); err != nil {
+		return nil, err
+	}
+	k := len(delay)
+	if u.G < 0 || u.G >= k || u.H < 0 || u.H >= k {
+		return nil, fmt.Errorf("model: ScaleMetroPair(%d,%d) out of range for %d metros", u.G, u.H, k)
+	}
+	out := cloneDelay(delay)
+	out[u.G][u.H] *= u.Factor
+	return out, nil
+}
+
+func (u ScaleMetroPair) ApplyDense(lat [][]float64, labels []int) error {
+	if err := checkFactor(u.Factor); err != nil {
+		return err
+	}
+	if u.G < 0 || u.H < 0 {
+		return fmt.Errorf("model: ScaleMetroPair(%d,%d) has negative metro ids", u.G, u.H)
+	}
+	for i, gi := range labels {
+		if gi != u.G {
+			continue
+		}
+		for j, gj := range labels {
+			if i != j && gj == u.H {
+				lat[i][j] *= u.Factor
+			}
+		}
+	}
+	return nil
+}
+
+// ScaleBackbone multiplies every entry of the block table — every
+// off-diagonal delay of the dense form, intra-metro links included — by
+// Factor: the whole-network degradation of a MetroOutage epoch.
+type ScaleBackbone struct {
+	Factor float64
+}
+
+func (u ScaleBackbone) latencyUpdate() {}
+
+func (u ScaleBackbone) ApplyBlock(delay [][]float64) ([][]float64, error) {
+	if err := checkFactor(u.Factor); err != nil {
+		return nil, err
+	}
+	out := cloneDelay(delay)
+	for g := range out {
+		for h := range out[g] {
+			out[g][h] *= u.Factor
+		}
+	}
+	return out, nil
+}
+
+func (u ScaleBackbone) ApplyDense(lat [][]float64, labels []int) error {
+	if err := checkFactor(u.Factor); err != nil {
+		return err
+	}
+	for i := range lat {
+		for j := range lat[i] {
+			if i != j {
+				lat[i][j] *= u.Factor
+			}
+		}
+	}
+	return nil
+}
+
+// RestoreDelayTable replaces the block table with an exact snapshot —
+// the bit-exact recovery step after a degradation, mirroring the replay
+// engine's LatencyRestore (an inverse multiply provably cannot undo a
+// scale in IEEE arithmetic; writing the old bytes back can). The given
+// table is copied, so a caller may keep mutating its snapshot.
+type RestoreDelayTable struct {
+	Delay [][]float64
+}
+
+func (u RestoreDelayTable) latencyUpdate() {}
+
+func (u RestoreDelayTable) ApplyBlock(delay [][]float64) ([][]float64, error) {
+	k := len(delay)
+	if len(u.Delay) != k {
+		return nil, fmt.Errorf("model: RestoreDelayTable has %d metros, view has %d", len(u.Delay), k)
+	}
+	for g, row := range u.Delay {
+		if len(row) != k {
+			return nil, fmt.Errorf("model: RestoreDelayTable row %d has %d entries, want %d", g, len(row), k)
+		}
+	}
+	return cloneDelay(u.Delay), nil
+}
+
+func (u RestoreDelayTable) ApplyDense(lat [][]float64, labels []int) error {
+	for g, row := range u.Delay {
+		if len(row) != len(u.Delay) {
+			return fmt.Errorf("model: RestoreDelayTable row %d has %d entries, want %d", g, len(row), len(u.Delay))
+		}
+	}
+	for i, gi := range labels {
+		if gi >= len(u.Delay) {
+			return fmt.Errorf("model: RestoreDelayTable covers %d metros, label[%d]=%d", len(u.Delay), i, gi)
+		}
+		for j, gj := range labels {
+			if i != j {
+				lat[i][j] = u.Delay[gi][gj]
+			}
+		}
+	}
+	return nil
+}
+
+func cloneDelay(delay [][]float64) [][]float64 {
+	out := make([][]float64, len(delay))
+	buf := make([]float64, len(delay)*len(delay))
+	for g, row := range delay {
+		out[g], buf = buf[:len(delay):len(delay)], buf[len(delay):]
+		copy(out[g], row)
+	}
+	return out
+}
+
+// WithLatencyUpdate returns a new instance with the structured update
+// applied to its latency view. On a BlockLatency-backed instance this is
+// the O(m + k²) fast path: a fresh k×k table, the label vector and every
+// per-server slice shared with the receiver (the generation-tagged COW
+// step Session.ApplyLatencyUpdate builds on). On a dense instance the
+// update is applied entry-by-entry using the Cluster labels — the
+// verification oracle; it errors without labels, since the structured
+// vocabulary is meaningless on an unlabeled network.
+func (in *Instance) WithLatencyUpdate(u LatencyUpdate) (*Instance, error) {
+	switch lat := in.Latency.(type) {
+	case *BlockLatency:
+		delay, err := u.ApplyBlock(lat.Delay)
+		if err != nil {
+			return nil, err
+		}
+		next := &Instance{
+			Speed:   in.Speed,
+			Load:    in.Load,
+			Latency: NewBlock(delay, lat.Label),
+			Cluster: in.Cluster,
+		}
+		if err := next.Validate(); err != nil {
+			return nil, err
+		}
+		return next, nil
+	case DenseLatency:
+		if in.Cluster == nil {
+			return nil, fmt.Errorf("model: WithLatencyUpdate on a dense instance without cluster labels")
+		}
+		rows := make([][]float64, len(lat))
+		buf := make([]float64, len(lat)*len(lat))
+		for i, row := range lat {
+			rows[i], buf = buf[:len(lat):len(lat)], buf[len(lat):]
+			copy(rows[i], row)
+		}
+		if err := u.ApplyDense(rows, in.Cluster); err != nil {
+			return nil, err
+		}
+		next := &Instance{
+			Speed:   in.Speed,
+			Load:    in.Load,
+			Latency: NewDense(rows),
+			Cluster: in.Cluster,
+		}
+		if err := next.Validate(); err != nil {
+			return nil, err
+		}
+		return next, nil
+	default:
+		return nil, fmt.Errorf("model: WithLatencyUpdate on unknown latency view %T", in.Latency)
+	}
+}

@@ -1,0 +1,103 @@
+package model_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"delaylb/internal/model"
+)
+
+// FuzzLatencyUpdate pins the oracle contract of the structured update
+// family across the whole input space: applying an update on the block
+// representation and then materializing the dense matrix must equal
+// applying the same update entry-by-entry on the already-materialized
+// dense twin, bit for bit — and when either path rejects the update,
+// both must, leaving both instances untouched.
+func FuzzLatencyUpdate(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(1), uint8(2), 1.25)
+	f.Add(int64(2), uint8(1), uint8(0), uint8(0), 0.8)
+	f.Add(int64(3), uint8(2), uint8(3), uint8(1), 1.0)
+	f.Add(int64(4), uint8(0), uint8(2), uint8(2), 0.0)
+	f.Add(int64(5), uint8(1), uint8(0), uint8(0), math.Inf(1))
+	f.Add(int64(6), uint8(2), uint8(0), uint8(0), -1.5)
+	f.Fuzz(func(t *testing.T, seed int64, kind, g, h uint8, factor float64) {
+		const m, k = 12, 4
+		rng := rand.New(rand.NewSource(seed))
+		delay := make([][]float64, k)
+		labels := make([]int, m)
+		for a := range delay {
+			delay[a] = make([]float64, k)
+			for b := range delay[a] {
+				delay[a][b] = math.Round(rng.Float64()*1000) / 10
+			}
+		}
+		for i := range labels {
+			labels[i] = rng.Intn(k)
+		}
+		speed := make([]float64, m)
+		load := make([]float64, m)
+		for i := 0; i < m; i++ {
+			speed[i] = 1 + rng.Float64()
+			load[i] = rng.Float64() * 100
+		}
+		block, err := model.NewBlockInstance(speed, load, delay, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl := block.Latency.(*model.BlockLatency)
+		dense := &model.Instance{
+			Speed:   speed,
+			Load:    load,
+			Latency: model.NewDense(bl.Dense()),
+			Cluster: labels,
+		}
+		if err := dense.Validate(); err != nil {
+			t.Fatal(err)
+		}
+
+		var u model.LatencyUpdate
+		switch kind % 3 {
+		case 0:
+			u = model.ScaleMetroPair{G: int(g % k), H: int(h % k), Factor: factor}
+		case 1:
+			u = model.ScaleBackbone{Factor: factor}
+		default:
+			next := make([][]float64, k)
+			for a := range next {
+				next[a] = make([]float64, k)
+				for b := range next[a] {
+					next[a][b] = math.Round(rng.Float64()*1000) / 10
+				}
+			}
+			u = model.RestoreDelayTable{Delay: next}
+		}
+
+		nb, berr := block.WithLatencyUpdate(u)
+		nd, derr := dense.WithLatencyUpdate(u)
+		if (berr == nil) != (derr == nil) {
+			t.Fatalf("paths disagree on rejection: block err %v, dense err %v", berr, derr)
+		}
+		if berr != nil {
+			return
+		}
+		got := nb.Latency.(*model.BlockLatency).Dense()
+		want := nd.Latency.(model.DenseLatency)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("lat[%d][%d]: block-then-dense %v != dense-apply %v (update %#v)",
+						i, j, got[i][j], want[i][j], u)
+				}
+			}
+		}
+		// Replace-don't-mutate: the source instances kept their views.
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				if bl.Delay[a][b] != delay[a][b] {
+					t.Fatalf("WithLatencyUpdate mutated the source block table at [%d][%d]", a, b)
+				}
+			}
+		}
+	})
+}

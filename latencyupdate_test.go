@@ -1,0 +1,143 @@
+package delaylb_test
+
+import (
+	"strings"
+	"testing"
+
+	"delaylb"
+)
+
+// latUpdateScenario is the shared clustered shape of the structured
+// latency-update tests: small enough to materialize the dense m×m
+// oracle, large enough that every metro pair is populated.
+func latUpdateScenario() delaylb.Scenario {
+	return delaylb.NewScenario(48).WithClusters(6).WithLoads(delaylb.LoadZipf, 100).WithSeed(3)
+}
+
+func buildSession(t *testing.T, sc delaylb.Scenario) *delaylb.Session {
+	t.Helper()
+	sys, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys.NewSession()
+}
+
+// TestApplyLatencyUpdateMatchesDenseOracle drives the identical
+// structured-update sequence through a block-latency session (the
+// O(m + k²) fast path) and its dense-matrix twin (the entry-by-entry
+// oracle) and requires the materialized matrices to agree bit for bit
+// after every step — the contract that lets a replay on a block session
+// and on its dense twin produce byte-identical timelines.
+func TestApplyLatencyUpdateMatchesDenseOracle(t *testing.T) {
+	sc := latUpdateScenario()
+	block := buildSession(t, sc)
+	dense := buildSession(t, sc.WithDenseLatency())
+
+	snapshot, _, ok := block.BlockLatency()
+	if !ok {
+		t.Fatal("clustered scenario did not produce a block-latency session")
+	}
+	if _, _, ok := dense.BlockLatency(); ok {
+		t.Fatal("dense twin is unexpectedly block-backed")
+	}
+
+	updates := []delaylb.LatencyUpdate{
+		delaylb.ScaleMetroPair(1, 4, 1.7),
+		delaylb.ScaleBackbone(1.25),
+		delaylb.ScaleMetroPair(2, 2, 0.5), // intra-metro delay
+		delaylb.ScaleBackbone(0.8),        // NOT the inverse of 1.25 in IEEE arithmetic
+		delaylb.RestoreBlockLatency(snapshot),
+	}
+	for step, u := range updates {
+		if err := block.ApplyLatencyUpdate(u); err != nil {
+			t.Fatalf("step %d (%s): block apply: %v", step, u, err)
+		}
+		if err := dense.ApplyLatencyUpdate(u); err != nil {
+			t.Fatalf("step %d (%s): dense apply: %v", step, u, err)
+		}
+		bl, dl := block.Latency(), dense.Latency()
+		for i := range bl {
+			for j := range bl[i] {
+				if bl[i][j] != dl[i][j] {
+					t.Fatalf("step %d (%s): latency[%d][%d] diverged: block %v vs dense %v",
+						step, u, i, j, bl[i][j], dl[i][j])
+				}
+			}
+		}
+		if bc, dc := block.Cost(), dense.Cost(); bc != dc {
+			t.Fatalf("step %d (%s): cost diverged: block %v vs dense %v", step, u, bc, dc)
+		}
+	}
+
+	// The restore was bit-exact: the block session's table equals the
+	// pre-shift snapshot again.
+	final, _, _ := block.BlockLatency()
+	for g := range snapshot {
+		for h := range snapshot[g] {
+			if final[g][h] != snapshot[g][h] {
+				t.Fatalf("delay[%d][%d] = %v after restore, want the snapshot's %v",
+					g, h, final[g][h], snapshot[g][h])
+			}
+		}
+	}
+	if got := block.Epoch(); got != len(updates) {
+		t.Fatalf("block session epoch %d after %d updates", got, len(updates))
+	}
+	// The session stayed block-backed throughout — the whole point.
+	if _, _, ok := block.BlockLatency(); !ok {
+		t.Fatal("structured updates densified the block session")
+	}
+}
+
+// TestApplyLatencyUpdateErrors pins the failure modes: a zero update, a
+// structured update on an unlabeled network, out-of-range metros, bad
+// factors and wrong snapshot shapes are all rejected without advancing
+// the session epoch or touching its state.
+func TestApplyLatencyUpdateErrors(t *testing.T) {
+	sess := buildSession(t, latUpdateScenario())
+	before, _, _ := sess.BlockLatency()
+
+	cases := []struct {
+		name string
+		u    delaylb.LatencyUpdate
+		want string
+	}{
+		{"zero-update", delaylb.LatencyUpdate{}, "zero LatencyUpdate"},
+		{"metro-out-of-range", delaylb.ScaleMetroPair(0, 99, 1.5), "out of range"},
+		{"negative-factor", delaylb.ScaleBackbone(-2), "must be non-negative"},
+		{"wrong-snapshot-shape", delaylb.RestoreBlockLatency(make([][]float64, 3)), "3 metros"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			epoch := sess.Epoch()
+			err := sess.ApplyLatencyUpdate(tc.u)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want one mentioning %q", err, tc.want)
+			}
+			if sess.Epoch() != epoch {
+				t.Fatal("failed update advanced the session epoch")
+			}
+		})
+	}
+	after, _, _ := sess.BlockLatency()
+	for g := range before {
+		for h := range before[g] {
+			if after[g][h] != before[g][h] {
+				t.Fatalf("failed updates mutated delay[%d][%d]: %v -> %v", g, h, before[g][h], after[g][h])
+			}
+		}
+	}
+
+	// A structured update needs metro vocabulary: on an unlabeled dense
+	// network (PlanetLab) there is nothing for it to name.
+	sys, err := delaylb.NewScenario(20).WithSeed(1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := sys.NewSession()
+	if err := pl.ApplyLatencyUpdate(delaylb.ScaleBackbone(1.1)); err == nil ||
+		!strings.Contains(err.Error(), "cluster labels") {
+		t.Fatalf("unlabeled session error = %v, want one mentioning cluster labels", err)
+	}
+}

@@ -190,11 +190,21 @@ type engine struct {
 // latSnap records the entries a LatencyShift scaled, in the shift's own
 // iteration order, so a LatencyRestore can undo it bit-exactly —
 // multiplying by the inverse factor cannot (IEEE round-off).
+//
+// A wildcard shift on a block-backed session takes the structured form
+// instead: the pre-shift k×k delay table plus the metro labels, O(m+k²)
+// against the dense snapshot's O(m²). A block-structured matrix is fully
+// determined by (table, labels), so the structured restore writes back
+// the exact same values the dense snapshot would have recorded.
 type latSnap struct {
 	id, to    int64 // the shift's trace-level endpoints (Wildcard allowed)
 	from, dst int   // resolved instance indices at shift time (-1: all)
 	m         int   // fleet size at shift time
 	vals      []float64
+	// table/labels, when non-nil, mark a structured snapshot: the
+	// pre-shift block-delay table and per-server metro labels.
+	table  [][]float64
+	labels []int
 }
 
 func (en *engine) liveIndex(id int64) (int, error) {
@@ -286,6 +296,26 @@ func (en *engine) apply(ev Event) error {
 }
 
 func (en *engine) applyLatencyShift(ev Event) error {
+	// Structured fast path: a wildcard shift scales every off-diagonal
+	// delay — exactly ScaleBackbone on a block-backed session. Applied
+	// natively at O(m + k²) with a k×k snapshot, so a MetroOutage replay
+	// never materializes the dense matrix. A targeted shift, or a shift
+	// after a dense edit is already pending this epoch, falls through to
+	// the dense batch (the oracle and the escape hatch — a targeted
+	// per-server shift need not be block-structured).
+	if ev.ID == Wildcard && ev.To == Wildcard && en.pendingLat == nil {
+		if delay, labels, ok := en.sess.BlockLatency(); ok {
+			if err := en.sess.ApplyLatencyUpdate(delaylb.ScaleBackbone(ev.Value)); err != nil {
+				return err
+			}
+			en.latSnaps = append(en.latSnaps, latSnap{
+				id: ev.ID, to: ev.To, from: -1, dst: -1,
+				m: len(labels), table: delay, labels: labels,
+			})
+			en.blockStale = true
+			return nil
+		}
+	}
 	if en.pendingLat == nil {
 		en.pendingLat = en.sess.Latency()
 	}
@@ -337,6 +367,9 @@ func (en *engine) applyLatencyRestore(ev Event) error {
 	}
 	snap := en.latSnaps[k]
 	en.latSnaps = append(en.latSnaps[:k], en.latSnaps[k+1:]...)
+	if snap.table != nil {
+		return en.restoreStructured(ev, snap)
+	}
 	if en.pendingLat == nil {
 		en.pendingLat = en.sess.Latency()
 	}
@@ -358,6 +391,43 @@ func (en *engine) applyLatencyRestore(ev Event) error {
 			}
 			lat[i][j] = snap.vals[t]
 			t++
+		}
+	}
+	en.blockStale = true
+	return nil
+}
+
+// restoreStructured undoes a structured (block) snapshot. On a session
+// that is still block-backed with no dense edit pending, the saved k×k
+// table is swapped back in natively — O(m + k²), no dense matrix.
+// Otherwise the table-derived entries are written into the pending
+// dense matrix: the pre-shift matrix was block-structured, so these are
+// the exact values a dense snapshot would have recorded, and the two
+// restore paths stay bit-identical.
+func (en *engine) restoreStructured(ev Event, snap latSnap) error {
+	// Server churn between shift and restore renumbers the matrix; the
+	// snapshot's coordinates would land on the wrong links.
+	if m := en.sess.M(); m != snap.m {
+		return fmt.Errorf("latrestore %s→%s: fleet has %d servers, had %d when the shift landed",
+			idStr(ev.ID), idStr(ev.To), m, snap.m)
+	}
+	if en.pendingLat == nil {
+		if _, _, ok := en.sess.BlockLatency(); ok {
+			if err := en.sess.ApplyLatencyUpdate(delaylb.RestoreBlockLatency(snap.table)); err != nil {
+				return err
+			}
+			en.blockStale = true
+			return nil
+		}
+		en.pendingLat = en.sess.Latency()
+	}
+	lat := en.pendingLat
+	for i := 0; i < snap.m; i++ {
+		gi := snap.labels[i]
+		for j := 0; j < snap.m; j++ {
+			if i != j {
+				lat[i][j] = snap.table[gi][snap.labels[j]]
+			}
 		}
 	}
 	en.blockStale = true

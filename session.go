@@ -259,7 +259,11 @@ func (s *Session) UpdateLoads(loads []float64) error {
 // dense-backed from this point on (the new matrix need not be
 // block-structured). Solvers re-verify the preserved cluster hint
 // against the new matrix, so a structure-breaking change degrades them
-// to the generic path, never corrupts.
+// to the generic path, never corrupts. When the change IS structured —
+// a metro pair scaled, the whole backbone degraded, a saved table
+// restored — use ApplyLatencyUpdate instead: it stays on the block
+// representation at O(m + k²) per event and never materializes the
+// matrix.
 func (s *Session) UpdateLatency(latency [][]float64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()

